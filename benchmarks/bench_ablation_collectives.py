@@ -1,0 +1,79 @@
+"""Ablation — collective algorithm choice under different (g, L).
+
+The BSP premise: a programmer picks between algorithm variants *from the
+machine's g and L alone*.  This bench makes the choice concrete for
+reduction: the flat one-superstep reduce (h = (p−1)·m) versus the
+logarithmic tree reduce (log p supersteps, h = m each), across payload
+sizes, priced on the SGI (low L) and the Cenju (high L).
+
+Assertions: for small payloads the flat variant wins on the Cenju (its
+L = 2.9 ms at p=16 dwarfs any bandwidth saving); for large payloads the
+tree variant's smaller H wins on the SGI; and the cost model's preferred
+variant flips with payload size on at least one machine — the g/L
+trade-off the paper built the model for.
+"""
+
+from __future__ import annotations
+
+import operator
+
+from conftest import emit
+
+from repro import bsp_run
+from repro.collectives import reduce as bsp_reduce
+from repro.collectives import tree_reduce
+from repro.core.cost import predict_comm_seconds
+from repro.core.machines import CENJU, SGI
+from repro.util.tables import render_table
+
+P = 16
+PAYLOAD_PACKETS = (1, 64, 4096)
+
+
+def run_variant(variant: str, packets: int):
+    payload = b"x" * (16 * packets)
+
+    def program(bsp):
+        if variant == "flat":
+            bsp_reduce(bsp, payload, operator.add)
+        else:
+            tree_reduce(bsp, payload, operator.add)
+
+    return bsp_run(program, P).stats
+
+
+def sweep():
+    return {
+        (variant, packets): run_variant(variant, packets)
+        for variant in ("flat", "tree")
+        for packets in PAYLOAD_PACKETS
+    }
+
+
+def test_ablation_collectives(once):
+    results = once(sweep)
+    rows = []
+    comm = {}
+    for (variant, packets), stats in results.items():
+        sgi = predict_comm_seconds(stats, SGI)
+        cenju = predict_comm_seconds(stats, CENJU)
+        comm[(variant, packets)] = {"SGI": sgi, "Cenju": cenju}
+        rows.append([
+            variant, packets, stats.S, stats.H, sgi * 1e3, cenju * 1e3,
+        ])
+    emit(
+        "ablation_collectives",
+        render_table(
+            ["variant", "payload pkts", "S", "H", "SGI comm ms",
+             "Cenju comm ms"],
+            rows,
+            title=f"Reduce variants, p={P} — pick by the machine's g and L",
+        ),
+    )
+    small, large = PAYLOAD_PACKETS[0], PAYLOAD_PACKETS[-1]
+    # High-latency machine, small payload: flat's single superstep wins.
+    assert comm[("flat", small)]["Cenju"] < comm[("tree", small)]["Cenju"]
+    # Low-latency machine, large payload: tree's smaller H wins.
+    assert comm[("tree", large)]["SGI"] < comm[("flat", large)]["SGI"]
+    # The preferred variant flips with payload size on the SGI.
+    assert comm[("flat", small)]["SGI"] < comm[("tree", small)]["SGI"]

@@ -1,0 +1,68 @@
+"""Ablation — the MST phase-switch threshold (Section 3.3).
+
+The paper's MST "switches to a mixed parallel/sequential phase" once the
+component count is small.  This bench sweeps the switch threshold from 1
+(pure Borůvka, most supersteps) to effectively-infinite (straight to the
+sequential finish after the local phase) and prices the runs.
+
+Assertions: every setting computes the same tree weight; supersteps fall
+monotonically as the threshold grows; and the sequential-finish extreme
+concentrates traffic (max per-superstep h grows), which is exactly the
+trade the cost model is supposed to arbitrate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import emit
+
+from repro.apps.mst import bsp_mst, kruskal
+from repro.core.cost import predict_seconds
+from repro.core.machines import CENJU, SGI
+from repro.graphs import geometric_graph, spatial_partition
+from repro.util.tables import render_table
+
+N, P = 5000, 8
+THRESHOLDS = (1, 8, 32, 10**9)
+
+
+def sweep():
+    gg = geometric_graph(N, seed=4)
+    owner = spatial_partition(gg.points, P)
+    out = {}
+    for threshold in THRESHOLDS:
+        res = bsp_mst(gg.graph, owner, P, switch_threshold=threshold)
+        out[threshold] = (res.weight, res.stats)
+    return out, kruskal(gg.graph).weight
+
+
+def test_ablation_mst_switch(once):
+    results, true_weight = once(sweep)
+    rows = []
+    s_vals = []
+    max_h = {}
+    for threshold, (weight, stats) in results.items():
+        assert math.isclose(weight, true_weight), (
+            f"threshold {threshold} broke correctness"
+        )
+        scaled = stats.scaled(5.0)
+        rows.append([
+            threshold if threshold < 10**9 else "inf",
+            stats.S, stats.H, max(s.h for s in stats.supersteps),
+            predict_seconds(scaled, SGI, work_scale=1.0),
+            predict_seconds(scaled, CENJU, work_scale=1.0),
+        ])
+        s_vals.append(stats.S)
+        max_h[threshold] = max(s.h for s in stats.supersteps)
+    emit(
+        "ablation_mst_switch",
+        render_table(
+            ["switch at", "S", "H", "max h_i", "SGI pred", "Cenju pred"],
+            rows,
+            title=f"MST phase-switch ablation — n={N}, p={P} "
+                  "(all settings produce the exact MST)",
+        ),
+    )
+    assert all(a >= b for a, b in zip(s_vals, s_vals[1:])), s_vals
+    assert max_h[10**9] >= max_h[1]

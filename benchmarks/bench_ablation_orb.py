@@ -1,0 +1,62 @@
+"""Ablation — ORB repartitioning policy (Section 3.2).
+
+The paper repartitions "only ... if the load imbalance reaches a certain
+threshold, as suggested in [23]", instead of after every iteration as in
+Warren–Salmon.  This bench evolves a Plummer cluster for several steps
+under three policies — rebalance every step (threshold 0), the paper's
+thresholded policy, and never rebalance — and compares migration traffic
+(H in the repartition supersteps) against work balance.
+
+Assertions: eager rebalancing moves at least as much data as the
+thresholded policy; never rebalancing moves the least; work balance
+(total work / work depth) is never *better* for 'never' than for 'eager'.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.apps.nbody import bsp_nbody, plummer
+from repro.util.tables import render_table
+
+N, P, STEPS = 1024, 8, 4
+POLICIES = {"eager": 0.0, "threshold": 0.2, "never": 1e9}
+
+
+def sweep():
+    bodies = plummer(N, seed=2)
+    out = {}
+    for name, threshold in POLICIES.items():
+        run = bsp_nbody(
+            bodies, P, steps=STEPS, theta=0.9, dt=0.05,
+            rebalance_threshold=threshold,
+        )
+        out[name] = run.stats
+    return out
+
+
+def test_ablation_orb_rebalancing(once):
+    results = once(sweep)
+    rows = []
+    h_totals = {}
+    balance = {}
+    for name, stats in results.items():
+        h_totals[name] = stats.H
+        balance[name] = (
+            stats.total_charged / (stats.charged_depth * P)
+            if stats.charged_depth
+            else 0.0
+        )
+        rows.append([name, POLICIES[name], stats.H, stats.S,
+                     stats.charged_depth, balance[name]])
+    emit(
+        "ablation_orb",
+        render_table(
+            ["policy", "threshold", "H", "S", "charged W", "balance"],
+            rows,
+            title=f"ORB repartitioning ablation — nbody n={N}, p={P}, "
+                  f"{STEPS} steps (balance = total/(W·p), 1.0 is perfect)",
+        ),
+    )
+    assert h_totals["eager"] >= h_totals["threshold"] >= h_totals["never"]
+    assert balance["eager"] >= balance["never"] - 0.05

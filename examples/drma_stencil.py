@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Example — Oxford-BSP-style one-sided access for a static stencil code.
+
+Section 1.3 of the paper contrasts two BSP library styles: the Oxford
+library's direct remote memory access, "well suited for many static
+computations that arise in scientific computing", versus Green BSP's
+message passing, better for dynamic applications.  repro ships both: the
+DRMA layer (`repro.Drma`) is ~150 lines over send/sync.
+
+Here a 1-D Jacobi heat-diffusion solver keeps each processor's halo cells
+up to date with one-sided *puts* — no explicit receive code at all, the
+Oxford idiom — and converges to the analytic linear steady state.
+
+Run:  python examples/drma_stencil.py
+"""
+
+import numpy as np
+
+from repro import Drma, bsp_run
+from repro.collectives import allreduce
+
+
+def jacobi_program(bsp, n_global, iterations):
+    """1-D heat equation with fixed ends: u[0]=0, u[n+1]=1.
+
+    Each processor owns a contiguous chunk plus two halo cells; after a
+    Jacobi sweep it *puts* its edge values into its neighbours' halos.
+    """
+    me, p = bsp.pid, bsp.nprocs
+    lo = n_global * me // p
+    hi = n_global * (me + 1) // p
+    k = hi - lo
+    # Local array: [halo_left, owned..., halo_right].
+    u = np.zeros(k + 2)
+    drma = Drma(bsp)
+    handle = drma.register(u)
+
+    if me == p - 1:
+        u[k + 1] = 1.0  # right boundary condition
+
+    for _ in range(iterations):
+        new = 0.5 * (u[:-2] + u[2:])
+        u[1:-1] = new
+        # One-sided halo refresh: write into the neighbour's array.
+        if me > 0:
+            drma.put(me - 1, handle, [u[1]], offset=k_of(n_global, p, me - 1) + 1)
+        if me < p - 1:
+            drma.put(me + 1, handle, [u[k]], offset=0)
+        drma.sync()
+
+    # Residual vs the analytic steady state u(x) = x/(n+1).
+    xs = np.arange(lo + 1, hi + 1)
+    exact = xs / (n_global + 1)
+    err = float(np.abs(u[1:-1] - exact).max()) if k else 0.0
+    return allreduce(bsp, err, max)
+
+
+def k_of(n_global, p, pid):
+    return n_global * (pid + 1) // p - n_global * pid // p
+
+
+def main():
+    # Jacobi contracts by ~cos(π/(n+2)) per sweep: n=32 needs a few
+    # thousand sweeps to reach 1e-3 of the steady state.
+    n, iters, p = 32, 6000, 4
+    run = bsp_run(jacobi_program, p, args=(n, iters))
+    err = run.results[0]
+    print(f"1-D Jacobi, n={n}, {iters} iterations on {p} processors")
+    print(f"max deviation from analytic steady state: {err:.2e}")
+    assert err < 1e-3
+    stats = run.stats
+    print(f"stats: {stats.summary()}")
+    print(f"supersteps per iteration: {(stats.S - 1) / iters:.0f} "
+          "(a DRMA sync costs two barriers on a message-passing substrate "
+          "— the overhead the Oxford library avoids on shared memory)")
+
+
+if __name__ == "__main__":
+    main()

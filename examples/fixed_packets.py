@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Example — the paper's exact 16-byte-packet wire discipline.
+
+"All results in this paper were obtained with a fixed packet size of 16
+bytes ... The data in the packet can be in any format, and it is up to
+the programmer to provide sufficient labeling information."  This example
+programs at that level: application messages are fragmented into 16-byte
+wire packets with a PacketCodec, shipped as individual BSP packets, and
+reassembled from the arbitrary arrival order — a token-ring broadcast of
+variable-length strings.
+
+Run:  python examples/fixed_packets.py
+"""
+
+from repro import PACKET_BYTES, PacketCodec, bsp_run
+
+
+def ring_gossip(bsp, messages):
+    """Each processor forwards its (fragmented) message around the ring.
+
+    After p−1 supersteps every processor has reassembled every message;
+    every wire packet is exactly 16 bytes, so the h-relation per
+    superstep IS the packet count, as in the paper's tables.
+    """
+    me, p = bsp.pid, bsp.nprocs
+    right = (me + 1) % p
+    codec_out = PacketCodec()
+    codec_in = PacketCodec()
+    collected = {me: messages[me]}
+
+    # Outbox of wire fragments to forward this superstep.
+    to_forward = codec_out.encode(messages[me].encode("utf-8"))
+    for _ in range(p - 1):
+        for frag in to_forward:
+            bsp.send(right, frag)  # 16 bytes -> h=1 each, automatically
+        bsp.sync()
+        to_forward = []
+        for pkt in bsp.packets():
+            assert len(pkt.payload) == PACKET_BYTES
+            assert pkt.h == 1
+            to_forward.append(pkt.payload)  # forward verbatim next round
+            for message in codec_in.feed(pkt.payload):
+                text = message.decode("utf-8")
+                sender = int(text.split(":", 1)[0])
+                collected[sender] = text
+    return collected
+
+
+def main():
+    p = 5
+    messages = [
+        f"{pid}: " + "bulk-synchronous " * (pid + 1) + f"from {pid}"
+        for pid in range(p)
+    ]
+    run = bsp_run(ring_gossip, p, args=(messages,))
+    for pid, got in enumerate(run.results):
+        assert len(got) == p, f"pid {pid} missed messages"
+        assert set(got.values()) == set(messages)
+    print(f"{p} processors gossiped {p} variable-length messages as "
+          f"16-byte packets")
+    print(f"stats: {run.stats.summary()}")
+    per_step = [s.h for s in run.stats.supersteps]
+    print(f"h-relation per superstep (= wire packets): {per_step}")
+    print("\nEvery h in the paper's Figures C.1-C.6 counts exactly these")
+    print("16-byte units; repro charges them automatically from payload")
+    print("sizes, or you can program the wire format yourself, as here.")
+
+
+if __name__ == "__main__":
+    main()

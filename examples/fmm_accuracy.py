@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Example — the Fast Multipole Method the paper planned to add (§5).
+
+Evaluates the 2-D potential of thousands of charges three ways — exact
+O(N²) sum, sequential FMM, and the BSP FMM (two supersteps, total) — and
+shows the accuracy dial: each extra expansion term buys a fixed factor of
+precision for a linear increase in bandwidth.
+
+Run:  python examples/fmm_accuracy.py [npoints]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import PC_LAN
+from repro.apps.fmm import bsp_fmm, direct_evaluate, fmm_evaluate
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
+    p = 8
+    rng = np.random.default_rng(42)
+    pts = rng.random((n, 2))
+    q = rng.standard_normal(n)
+
+    t0 = time.perf_counter()
+    exact = direct_evaluate(pts, q)
+    t_direct = time.perf_counter() - t0
+    print(f"{n} charges; direct O(N²) sum: {t_direct:.2f}s")
+
+    t0 = time.perf_counter()
+    fmm = fmm_evaluate(pts, q, terms=16)
+    t_fmm = time.perf_counter() - t0
+    err = np.abs(fmm.potential - exact.potential).max()
+    err /= np.abs(exact.potential).max()
+    print(f"sequential FMM (P=16, depth {fmm.depth}): {t_fmm:.2f}s, "
+          f"rel err {err:.1e}")
+
+    print("\naccuracy dial (BSP FMM on 8 processors):")
+    print(f"{'terms':>6} {'rel err':>10} {'H (packets)':>12} "
+          f"{'S':>3} {'PC-LAN comm':>12}")
+    for terms in (6, 10, 16, 22):
+        run = bsp_fmm(pts, q, p, terms=terms)
+        err = np.abs(run.potential - exact.potential).max()
+        err /= np.abs(exact.potential).max()
+        comm = PC_LAN.g(p) * run.stats.H + PC_LAN.L(p) * run.stats.S
+        print(f"{terms:>6} {err:>10.1e} {run.stats.H:>12} "
+              f"{run.stats.S:>3} {comm * 1e3:>10.1f}ms")
+
+    print("\nTwo supersteps regardless of machine size or accuracy — the")
+    print("most latency-tolerant program in the suite, which is why the")
+    print("paper wanted it next.")
+
+
+if __name__ == "__main__":
+    main()

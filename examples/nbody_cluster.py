@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Example — Barnes–Hut N-body simulation of a Plummer star cluster.
+
+The paper's Section 3.2 workload end-to-end: sample a Plummer sphere,
+evolve it with the BSP Barnes–Hut program (ORB partitioning,
+essential-tree exchange, six supersteps per step), verify the forces
+against the exact O(N²) sum, and price the run on the paper's machines.
+
+Run:  python examples/nbody_cluster.py [nbodies] [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import CENJU, PC_LAN, SGI, predict_comm_seconds
+from repro.apps.nbody import (
+    bsp_nbody,
+    direct_accelerations,
+    plummer,
+    simulate,
+    total_energy,
+)
+
+
+def main():
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    nprocs = 8
+    theta = 0.8
+
+    print(f"Plummer cluster: {n} bodies, {steps} steps, theta={theta}, "
+          f"p={nprocs}")
+    bodies = plummer(n, seed=42)
+    e0 = total_energy(bodies)
+    print(f"initial total energy: {e0:+.4f}  (Hénon units; ≈ -0.25)")
+
+    # Accuracy of the opening criterion vs the exact pairwise sum.
+    from repro.apps.nbody import accelerations
+
+    acc_bh, inter = accelerations(bodies.pos, bodies.mass, theta=theta)
+    acc_exact = direct_accelerations(bodies.pos, bodies.mass)
+    rel = np.linalg.norm(acc_bh - acc_exact, axis=1)
+    rel /= np.linalg.norm(acc_exact, axis=1) + 1e-12
+    print(f"BH force error vs direct sum: mean {rel.mean():.2%}, "
+          f"max {rel.max():.2%}; interactions/body "
+          f"{inter.mean():.0f} of {n - 1}")
+
+    # Parallel evolution, checked against the sequential program.
+    run = bsp_nbody(bodies, nprocs, steps=steps, theta=theta, dt=0.01)
+    seq = simulate(bodies, steps=steps, theta=theta, dt=0.01)
+    drift = np.abs(run.bodies.pos - seq.bodies.pos).max()
+    e1 = total_energy(run.bodies)
+    print(f"parallel vs sequential position drift: {drift:.2e}")
+    print(f"energy after {steps} steps: {e1:+.4f} "
+          f"(drift {abs(e1 - e0) / abs(e0):.2%})")
+
+    stats = run.stats
+    print(f"\nBSP shape: {stats.summary()}")
+    print(f"supersteps/step: {(stats.S - 1) // steps} (paper: 6)")
+    print("\ncommunication+sync cost (gH + LS) on the paper's machines:")
+    for machine in (SGI, CENJU, PC_LAN):
+        if machine.supports(nprocs):
+            comm = predict_comm_seconds(stats, machine)
+            print(f"  {machine.name:>7}: {comm * 1e3:8.2f} ms")
+    print("\nThe six-superstep iteration is why this app speeds up even on")
+    print("the PC-LAN, where ocean (hundreds of supersteps) collapses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Example — Langmuir oscillations in a BSP particle-in-cell plasma.
+
+The workload of the paper's related work [28] (plasma simulation under
+BSP on networks of workstations), validated by first principles: a cold
+electron slab displaced sinusoidally oscillates at the plasma frequency
+ω_p = sqrt(ρ₀).  The run uses the distributed PIC cycle — whose field
+solver is literally the ocean application's multigrid — and checks the
+measured period against theory, then prints an ASCII trace of the field
+energy.
+
+Run:  python examples/plasma_oscillation.py
+"""
+
+import math
+
+from repro.apps.plasma import (
+    bsp_pic,
+    oscillation_period,
+    perturbed_lattice,
+    plasma_frequency,
+)
+
+
+def sparkline(values, width=72):
+    glyphs = " .:-=+*#%@"
+    step = max(1, len(values) // width)
+    sampled = values[::step]
+    top = max(sampled) or 1.0
+    return "".join(
+        glyphs[min(int(v / top * (len(glyphs) - 1)), len(glyphs) - 1)]
+        for v in sampled
+    )
+
+
+def main():
+    nside, grid, steps, dt, p = 48, 32, 160, 0.05, 4
+    print(f"cold electron lattice {nside}², grid {grid}², dt={dt}, "
+          f"{steps} steps on {p} BSP processors")
+    particles = perturbed_lattice(nside, amplitude=0.02, rho0=1.0)
+    run = bsp_pic(particles, grid, p, steps, dt=dt, rho0=1.0)
+
+    period = oscillation_period(run.history.field_energy, dt)
+    expected = 2 * math.pi / plasma_frequency(1.0)
+    print(f"\nfield energy (time →):\n{sparkline(run.history.field_energy)}")
+    print(f"\nmeasured oscillation period: {period:.3f}")
+    print(f"theory (2π/ω_p):             {expected:.3f}")
+    print(f"deviation: {abs(period - expected) / expected:.1%}")
+    print(f"\nmultigrid V-cycles per solve (warm-started): "
+          f"{run.history.cycles[:8]} ...")
+    print(f"BSP shape: {run.stats.summary()}")
+    print("\nThe field solve is the ocean application's distributed")
+    print("multigrid, verbatim — one substrate, two sciences.")
+
+
+if __name__ == "__main__":
+    main()

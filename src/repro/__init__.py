@@ -1,0 +1,94 @@
+"""Green BSP in Python — reproduction of Goudreau et al., SPAA 1996.
+
+A Bulk-Synchronous Parallel programming library modeled on the Green BSP
+library ("Towards Efficiency and Portability: Programming with the BSP
+Model"), together with the paper's six applications, its machine profiles,
+and its evaluation harness.
+
+Public entry points
+-------------------
+``bsp_run``
+    Execute a BSP program on ``p`` virtual processors.
+``Bsp``
+    The per-processor context passed to programs (send / get_pkt / sync).
+``MachineProfile`` / ``SGI`` / ``CENJU`` / ``PC_LAN``
+    The paper's Figure 2.1 machine parameters.
+``predict_seconds`` / ``breakdown``
+    The BSP cost function ``T = W + gH + LS``.
+
+See ``examples/quickstart.py`` for a tour, and DESIGN.md for the full
+system inventory.
+"""
+
+from .core.api import Bsp
+from .core.drma import Drma, GetFuture
+from .core.cost import (
+    CostBreakdown,
+    breakdown,
+    modeled_speedup,
+    predict_comm_seconds,
+    predict_seconds,
+    superstep_costs,
+    work_speedup,
+)
+from .core.errors import (
+    BspConfigError,
+    BspError,
+    BspUsageError,
+    CostModelError,
+    PacketError,
+    SynchronizationError,
+    VirtualProcessorError,
+)
+from .core.machines import (
+    CENJU,
+    PAPER_MACHINES,
+    PC_LAN,
+    SGI,
+    CalibrationResult,
+    MachineProfile,
+    calibrate_backend,
+    get_machine,
+)
+from .core.packets import PACKET_BYTES, Packet, PacketCodec, h_units
+from .core.runtime import BspRunResult, bsp_run
+from .core.stats import ProgramStats, SuperstepStats, VPLedger
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bsp",
+    "BspConfigError",
+    "BspError",
+    "BspRunResult",
+    "BspUsageError",
+    "CalibrationResult",
+    "CostBreakdown",
+    "CostModelError",
+    "CENJU",
+    "Drma",
+    "GetFuture",
+    "MachineProfile",
+    "PACKET_BYTES",
+    "PAPER_MACHINES",
+    "PC_LAN",
+    "Packet",
+    "PacketCodec",
+    "PacketError",
+    "ProgramStats",
+    "SGI",
+    "SuperstepStats",
+    "SynchronizationError",
+    "VPLedger",
+    "VirtualProcessorError",
+    "breakdown",
+    "bsp_run",
+    "calibrate_backend",
+    "get_machine",
+    "h_units",
+    "modeled_speedup",
+    "predict_comm_seconds",
+    "predict_seconds",
+    "superstep_costs",
+    "work_speedup",
+]

@@ -1,0 +1,1 @@
+"""The paper's six applications, each a BSP program over the core library."""

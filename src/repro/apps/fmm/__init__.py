@@ -1,0 +1,71 @@
+"""2-D Fast Multipole Method (paper Section 5's named future work).
+
+The uniform-quadtree FMM — the full O(N) machinery (P2M/M2M upward, M2L
+interaction lists, L2L downward, near-field direct sums) that the
+*adaptive* method of [7] refines with non-uniform trees.  The BSP version
+runs in a **constant** number of supersteps (one multipole exchange, one
+near-field particle exchange): the strongest possible instance of the
+paper's small-S design rule.
+"""
+
+from .expansions import (
+    eval_multipole,
+    eval_multipole_deriv,
+    l2l,
+    l2p,
+    l2p_deriv,
+    m2l,
+    m2m,
+    p2m,
+    p2p,
+    p2p_deriv,
+)
+from .parallel import FmmRun, bsp_fmm, fmm_program
+from .quadtree import (
+    cell_center,
+    cell_width,
+    cells_at,
+    children,
+    demorton,
+    interaction_list,
+    leaf_owner_ranges,
+    morton,
+    neighbors,
+    parent,
+)
+from .sequential import (
+    FmmResult,
+    default_depth,
+    direct_evaluate,
+    fmm_evaluate,
+)
+
+__all__ = [
+    "FmmResult",
+    "FmmRun",
+    "bsp_fmm",
+    "cell_center",
+    "cell_width",
+    "cells_at",
+    "children",
+    "default_depth",
+    "demorton",
+    "direct_evaluate",
+    "eval_multipole",
+    "eval_multipole_deriv",
+    "fmm_evaluate",
+    "fmm_program",
+    "interaction_list",
+    "l2l",
+    "l2p",
+    "l2p_deriv",
+    "leaf_owner_ranges",
+    "m2l",
+    "m2m",
+    "morton",
+    "neighbors",
+    "p2m",
+    "p2p",
+    "p2p_deriv",
+    "parent",
+]

@@ -1,0 +1,173 @@
+"""Complex-variable expansions for the 2-D FMM (Greengard–Rokhlin).
+
+The 2-D Coulomb/gravity potential of charges :math:`q_i` at
+:math:`z_i ∈ ℂ` is :math:`φ(z) = Σ_i q_i · \\mathrm{Re}\\,\\log(z−z_i)`;
+the (complexified) field is :math:`φ'(z) = Σ_i q_i/(z−z_i)`.
+
+All five FMM operators live here, each directly testable against brute
+force:
+
+* :func:`p2m` — particles → multipole about a centre,
+* :func:`m2m` — shift a multipole to a new (parent) centre,
+* :func:`m2l` — convert a well-separated multipole to a local expansion,
+* :func:`l2l` — shift a local expansion to a (child) centre,
+* :func:`l2p` / :func:`eval_multipole` — evaluate expansions,
+* :func:`p2p` — direct near-field sum.
+
+Conventions: a multipole is the coefficient vector ``a[0..P]`` of
+:math:`φ(z) = a_0 \\log(z−z_c) + Σ_{k≥1} a_k/(z−z_c)^k`; a local
+expansion is ``b[0..P]`` of :math:`φ(z) = Σ_l b_l (z−z_c)^l`.  The
+*real part* is the physical potential (imaginary parts differ by log
+branch choices); derivatives are branch-free and compare exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import comb
+
+
+def p2m(z: np.ndarray, q: np.ndarray, center: complex, terms: int
+        ) -> np.ndarray:
+    """Multipole coefficients (length terms+1) of charges about center."""
+    a = np.zeros(terms + 1, dtype=np.complex128)
+    d = z - center
+    a[0] = q.sum()
+    power = np.ones_like(d)
+    for k in range(1, terms + 1):
+        power = power * d
+        a[k] = -(q * power).sum() / k
+    return a
+
+
+def eval_multipole(a: np.ndarray, center: complex, z: np.ndarray
+                   ) -> np.ndarray:
+    """Evaluate a multipole expansion at (well-separated) targets."""
+    d = z - center
+    out = a[0] * np.log(d)
+    inv = 1.0 / d
+    power = np.ones_like(d)
+    for k in range(1, len(a)):
+        power = power * inv
+        out = out + a[k] * power
+    return out
+
+
+def eval_multipole_deriv(a: np.ndarray, center: complex, z: np.ndarray
+                         ) -> np.ndarray:
+    """d/dz of the multipole expansion (the complexified field)."""
+    d = z - center
+    out = a[0] / d
+    inv = 1.0 / d
+    power = inv
+    for k in range(1, len(a)):
+        power = power * inv
+        out = out - k * a[k] * power
+    return out
+
+
+def m2m(a: np.ndarray, shift: complex) -> np.ndarray:
+    """Shift a multipole from centre ``z0`` to ``z0 − shift``.
+
+    ``shift = child_center − parent_center``; Greengard's Lemma 2.3:
+    ``b_l = −a_0 shift^l/l + Σ_{k=1}^{l} a_k shift^{l−k} C(l−1, k−1)``.
+    """
+    terms = len(a) - 1
+    b = np.zeros_like(a)
+    b[0] = a[0]
+    for l in range(1, terms + 1):
+        total = -a[0] * shift**l / l
+        for k in range(1, l + 1):
+            total += a[k] * shift ** (l - k) * comb(l - 1, k - 1, exact=True)
+        b[l] = total
+    return b
+
+
+def m2l(a: np.ndarray, d: complex) -> np.ndarray:
+    """Convert a multipole about ``z_m`` to a local about ``z_l``.
+
+    ``d = z_m − z_l`` with the cells well separated; Greengard's
+    Lemma 2.4:
+    ``b_0 = a_0 log(−d) + Σ_k a_k (−1)^k / d^k``
+    ``b_l = −a_0/(l d^l) + d^{−l} Σ_k a_k (−1)^k C(l+k−1, k−1)/d^k``.
+    """
+    terms = len(a) - 1
+    b = np.zeros_like(a)
+    inv = 1.0 / d
+    signs = (-1.0) ** np.arange(terms + 1)
+    powers = inv ** np.arange(terms + 1)
+    b[0] = a[0] * np.log(-d) + (a[1:] * signs[1:] * powers[1:]).sum()
+    for l in range(1, terms + 1):
+        total = -a[0] / l
+        for k in range(1, terms + 1):
+            total += (
+                a[k] * signs[k] * powers[k]
+                * comb(l + k - 1, k - 1, exact=True)
+            )
+        b[l] = total * powers[l]
+    return b
+
+
+def l2l(b: np.ndarray, shift: complex) -> np.ndarray:
+    """Re-centre a local expansion: coefficients about ``z_c + shift``
+    become coefficients about ``z_c`` ... precisely: given φ(z) =
+    Σ b_l (z − z_old)^l, return c with φ(z) = Σ c_j (z − z_new)^j where
+    ``shift = z_new − z_old`` (plain binomial re-expansion)."""
+    terms = len(b) - 1
+    c = np.zeros_like(b)
+    for j in range(terms + 1):
+        total = 0.0 + 0.0j
+        for l in range(j, terms + 1):
+            total += b[l] * comb(l, j, exact=True) * shift ** (l - j)
+        c[j] = total
+    return c
+
+
+def l2p(b: np.ndarray, center: complex, z: np.ndarray) -> np.ndarray:
+    """Evaluate a local expansion at targets (Horner)."""
+    d = z - center
+    out = np.full_like(d, b[-1])
+    for l in range(len(b) - 2, -1, -1):
+        out = out * d + b[l]
+    return out
+
+
+def l2p_deriv(b: np.ndarray, center: complex, z: np.ndarray) -> np.ndarray:
+    """d/dz of a local expansion at targets."""
+    if len(b) < 2:
+        return np.zeros_like(z)
+    d = z - center
+    out = np.full_like(d, (len(b) - 1) * b[-1])
+    for l in range(len(b) - 2, 0, -1):
+        out = out * d + l * b[l]
+    return out
+
+
+def p2p(z_targets: np.ndarray, z_sources: np.ndarray, q: np.ndarray,
+        *, skip_self: bool = False) -> np.ndarray:
+    """Direct potential (complex log-sum) of sources at targets.
+
+    ``skip_self`` drops zero-distance pairs (self-interaction) instead of
+    producing infinities.
+    """
+    d = z_targets[:, None] - z_sources[None, :]
+    if skip_self:
+        mask = d == 0
+        d = np.where(mask, 1.0, d)
+        vals = np.log(d) * q[None, :]
+        vals = np.where(mask, 0.0, vals)
+        return vals.sum(axis=1)
+    return (np.log(d) * q[None, :]).sum(axis=1)
+
+
+def p2p_deriv(z_targets: np.ndarray, z_sources: np.ndarray, q: np.ndarray,
+              *, skip_self: bool = False) -> np.ndarray:
+    """Direct field Σ q/(z−z_i) at targets."""
+    d = z_targets[:, None] - z_sources[None, :]
+    if skip_self:
+        mask = d == 0
+        d = np.where(mask, 1.0, d)
+        vals = q[None, :] / d
+        vals = np.where(mask, 0.0, vals)
+        return vals.sum(axis=1)
+    return (q[None, :] / d).sum(axis=1)

@@ -1,0 +1,131 @@
+"""Uniform quadtree geometry for the 2-D Fast Multipole Method.
+
+Cells at level ℓ form a 2^ℓ × 2^ℓ grid over the unit square; a cell is
+addressed by ``(ix, iy)`` or by its Morton (z-order) index, which is also
+the parallel decomposition order (contiguous Morton ranges make each
+processor's subtree boundary short).  This module is pure geometry:
+parent/child maps, neighbor sets, and the classic *interaction list* —
+children of the parent's neighbors that are not the cell's own neighbors,
+i.e. the well-separated cells whose multipoles convert to this cell's
+local expansion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cells_at(level: int) -> int:
+    """Number of cells per side at ``level``."""
+    if level < 0:
+        raise ValueError(f"level must be >= 0, got {level}")
+    return 1 << level
+
+
+def cell_center(level: int, ix: int, iy: int) -> complex:
+    """Centre of cell (ix, iy) at ``level`` as a complex coordinate."""
+    w = 1.0 / cells_at(level)
+    return complex((ix + 0.5) * w, (iy + 0.5) * w)
+
+
+def cell_width(level: int) -> float:
+    return 1.0 / cells_at(level)
+
+
+def morton(ix: int, iy: int) -> int:
+    """Interleave bits: z-order index of (ix, iy)."""
+    code = 0
+    for bit in range(max(ix.bit_length(), iy.bit_length(), 1)):
+        code |= ((ix >> bit) & 1) << (2 * bit)
+        code |= ((iy >> bit) & 1) << (2 * bit + 1)
+    return code
+
+
+def demorton(code: int) -> tuple[int, int]:
+    """Inverse of :func:`morton`."""
+    ix = iy = 0
+    bit = 0
+    while code:
+        ix |= (code & 1) << bit
+        code >>= 1
+        iy |= (code & 1) << bit
+        code >>= 1
+        bit += 1
+    return ix, iy
+
+
+def morton_of_points(points: np.ndarray, level: int) -> np.ndarray:
+    """Morton index of the leaf cell containing each (x, y) point."""
+    n = cells_at(level)
+    ix = np.clip((points[:, 0] * n).astype(np.int64), 0, n - 1)
+    iy = np.clip((points[:, 1] * n).astype(np.int64), 0, n - 1)
+    return np.array(
+        [morton(int(a), int(b)) for a, b in zip(ix, iy)], dtype=np.int64
+    )
+
+
+def parent(ix: int, iy: int) -> tuple[int, int]:
+    return ix // 2, iy // 2
+
+
+def children(ix: int, iy: int) -> list[tuple[int, int]]:
+    return [
+        (2 * ix + dx, 2 * iy + dy) for dx in (0, 1) for dy in (0, 1)
+    ]
+
+
+def neighbors(level: int, ix: int, iy: int) -> list[tuple[int, int]]:
+    """The ≤8 adjacent cells at the same level (excluding the cell)."""
+    n = cells_at(level)
+    out = []
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            if dx == dy == 0:
+                continue
+            jx, jy = ix + dx, iy + dy
+            if 0 <= jx < n and 0 <= jy < n:
+                out.append((jx, jy))
+    return out
+
+
+def interaction_list(level: int, ix: int, iy: int
+                     ) -> list[tuple[int, int]]:
+    """Well-separated same-level cells: children of the parent's
+    neighborhood, minus the cell's own 3×3 neighborhood (≤ 27 cells)."""
+    if level == 0:
+        return []
+    out = []
+    px, py = parent(ix, iy)
+    candidates = set()
+    for qx, qy in neighbors(level - 1, px, py) + [(px, py)]:
+        candidates.update(children(qx, qy))
+    near = set(neighbors(level, ix, iy)) | {(ix, iy)}
+    n = cells_at(level)
+    for jx, jy in candidates:
+        if (jx, jy) not in near and 0 <= jx < n and 0 <= jy < n:
+            out.append((jx, jy))
+    return sorted(out)
+
+
+def leaf_owner_ranges(depth: int, nprocs: int) -> list[tuple[int, int]]:
+    """Contiguous Morton ranges of leaf cells per processor.
+
+    Returns ``[(start, stop), ...]`` over ``4**depth`` leaves; balanced to
+    ±1 leaf.  Coarser-level ownership derives from it: a cell belongs to
+    the owner of its first descendant leaf.
+    """
+    total = 4**depth
+    return [
+        ((q * total) // nprocs, ((q + 1) * total) // nprocs)
+        for q in range(nprocs)
+    ]
+
+
+def owner_of_cell(level: int, ix: int, iy: int, depth: int,
+                  ranges: list[tuple[int, int]]) -> int:
+    """Owner of a cell = owner of its first descendant leaf's Morton id."""
+    first_leaf = morton(ix, iy) << (2 * (depth - level))
+    for q, (start, stop) in enumerate(ranges):
+        if start <= first_leaf < stop:
+            return q
+    raise ValueError(f"leaf {first_leaf} outside every range")

@@ -1,0 +1,23 @@
+"""Dense matrix multiplication: Cannon's algorithm + sequential baselines
+(paper Section 3.6, Figure C.3)."""
+
+from .cannon import (
+    MatmulRun,
+    cannon_matmul,
+    cannon_program,
+    expected_shape,
+    grid_side,
+    initial_blocks,
+)
+from .sequential import blocked_matmul, reference_matmul
+
+__all__ = [
+    "MatmulRun",
+    "blocked_matmul",
+    "cannon_matmul",
+    "cannon_program",
+    "expected_shape",
+    "grid_side",
+    "initial_blocks",
+    "reference_matmul",
+]

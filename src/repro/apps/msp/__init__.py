@@ -1,0 +1,38 @@
+"""Multiple simultaneous shortest paths (paper Section 3.5, Figure C.6).
+
+The application shares its engine with :mod:`repro.apps.sssp`: one
+read-only distributed graph, ``K`` independent label arrays and queues
+(the paper's "three integers and one double per node" of read-write state
+per computation), and updates tagged with the source index.  The paper's
+experiments run 25 computations simultaneously with the Section-3.4 work
+factor; :func:`default_sources` reproduces that setup.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sssp.parallel import DEFAULT_WORK_FACTOR, SsspResult, bsp_msp
+from ..sssp.sequential import dijkstra_many
+
+#: Number of simultaneous computations in the paper's MSP experiments.
+PAPER_NSOURCES = 25
+
+
+def default_sources(n: int, nsources: int = PAPER_NSOURCES, seed: int = 0
+                    ) -> list[int]:
+    """``nsources`` distinct source nodes, uniform over the graph."""
+    if nsources > n:
+        raise ValueError(f"cannot draw {nsources} distinct sources from {n}")
+    rng = np.random.default_rng(seed)
+    return sorted(rng.choice(n, size=nsources, replace=False).tolist())
+
+
+__all__ = [
+    "DEFAULT_WORK_FACTOR",
+    "PAPER_NSOURCES",
+    "SsspResult",
+    "bsp_msp",
+    "default_sources",
+    "dijkstra_many",
+]

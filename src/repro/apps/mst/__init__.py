@@ -1,0 +1,14 @@
+"""Minimum spanning tree: sequential baselines + the conservative
+parallel algorithm (paper Section 3.3, Figure C.2)."""
+
+from .parallel import ParallelMstResult, bsp_mst, mst_program
+from .sequential import MstResult, kruskal, prim
+
+__all__ = [
+    "MstResult",
+    "ParallelMstResult",
+    "bsp_mst",
+    "kruskal",
+    "mst_program",
+    "prim",
+]

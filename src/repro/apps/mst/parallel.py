@@ -1,0 +1,327 @@
+"""Parallel MST on the Green BSP library (paper Section 3.3).
+
+Three phases, as in the paper:
+
+1. **Local phase** (no communication): each processor grows MST fragments
+   from its home-home edges with a *guarded* Kruskal: an edge ``e=(a, b)``
+   is added only when, at that moment, ``e`` is no heavier than the
+   lightest cut edge incident to ``a``'s or ``b``'s fragment.  That makes
+   ``e`` the minimum outgoing edge of that fragment (any lighter home-home
+   edge was already processed, and skipped edges are provably heavier than
+   the fragment's cut minimum), so by the cut property ``e`` is a global
+   MST edge.  Edges that fail the guard are decided later.
+2. **Parallel phase** — a simplification of the conservative DRAM
+   algorithm of Leiserson & Maggs: Borůvka rounds over *component labels*.
+   Fragments carry globally unique labels (minimum member id).  One
+   conservative superstep tells each border-watcher the initial labels of
+   the boundary home nodes; from then on every processor maintains an
+   identical replicated union-find over labels, so border labels never
+   need per-node refresh.  Each round all-gathers per-component candidate
+   minima and merges every component along its *global* minimum outgoing
+   edge (exact Borůvka; ties broken on the total order (w, u, v)).
+3. **Mixed parallel/sequential phase**: at ``switch_threshold`` components,
+   every processor ships its lightest edge per component pair to processor
+   0, which finishes sequentially with Kruskal over the contracted
+   multigraph — the paper's "uses a single processor to assemble the
+   forests into components".
+
+The algorithm is *conservative*: per-node traffic is exactly one label per
+(boundary node, watcher) pair; everything else is per-component or
+per-component-pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...collectives import allgather, allreduce, gather
+from ...core.api import Bsp
+from ...core.runtime import bsp_run
+from ...core.stats import ProgramStats
+from ...graphs.distributed import LocalGraph
+from ...graphs.graph import Graph
+from ...graphs.unionfind import UnionFind
+
+#: h-unit charges: a (node, label) record packs into one 16-byte packet;
+#: an edge record (label/pair tag + endpoints + weight) into two.
+H_LABEL = 1
+H_EDGE = 2
+
+#: Lexicographic edge key; makes equal weights behave as distinct.
+EdgeKey = tuple[float, int, int]
+_INF_KEY: EdgeKey = (float("inf"), -1, -1)
+
+
+def _edge_key(w: float, a: int, b: int) -> EdgeKey:
+    return (w, a, b) if a < b else (w, b, a)
+
+
+def _local_phase(
+    lg: LocalGraph,
+) -> tuple[list[tuple[int, int, float]], np.ndarray, UnionFind]:
+    """Local fragment growth.  Returns (edges, labels, node union-find).
+
+    Classic safe rule, processing *all* locally visible edges (home-home
+    and cut) in ascending (w, u, v) order: a cut edge **freezes** the
+    fragment of its home endpoint (the fragment's next MST edge leaves the
+    processor, so it is decided in phase 2); a home-home edge is added iff
+    its endpoints lie in different fragments and at least one of them is
+    unfrozen — then every lighter edge incident to that fragment was
+    internal, so this edge is the fragment's minimum outgoing edge and by
+    the cut property a global MST edge.  A merge inherits frozenness.
+
+    Labels are global node ids (minimum member); valid for home nodes.
+    """
+    hu, hv, hw = lg.home_edges()
+    cu, cv, cw = lg.cut_edges()
+    items: list[tuple[EdgeKey, bool, int, int]] = [
+        (_edge_key(float(hw[k]), int(hu[k]), int(hv[k])), False,
+         int(hu[k]), int(hv[k]))
+        for k in range(len(hu))
+    ]
+    items += [
+        (_edge_key(float(cw[k]), int(cu[k]), int(cv[k])), True,
+         int(cu[k]), int(cv[k]))
+        for k in range(len(cu))
+    ]
+    items.sort()
+
+    uf = UnionFind(lg.n_global)
+    frozen: set[int] = set()
+    edges: list[tuple[int, int, float]] = []
+    for key, is_cut, a, b in items:
+        if is_cut:
+            frozen.add(uf.find(a))
+            continue
+        ra, rb = uf.find(a), uf.find(b)
+        if ra == rb:
+            continue
+        if ra in frozen and rb in frozen:
+            continue  # both fragments already have lighter outgoing edges
+        was_frozen = ra in frozen or rb in frozen
+        frozen.discard(ra)
+        frozen.discard(rb)
+        uf.union(ra, rb)
+        if was_frozen:
+            frozen.add(uf.find(a))
+        edges.append((a, b, key[0]))
+
+    label = np.full(lg.n_global, -1, dtype=np.int64)
+    if len(lg.home):
+        roots = np.array([uf.find(int(g)) for g in lg.home], dtype=np.int64)
+        mins: dict[int, int] = {}
+        for gid, root in zip(lg.home.tolist(), roots.tolist()):
+            mins[root] = min(mins.get(root, gid), gid)
+        label[lg.home] = [mins[r] for r in roots.tolist()]
+    return edges, label, uf
+
+
+def mst_program(
+    bsp: Bsp,
+    lg_all: list[LocalGraph],
+    switch_threshold: int,
+) -> dict:
+    """BSP program; returns this processor's contribution to the forest."""
+    with bsp.off_clock():
+        lg = lg_all[bsp.pid]
+
+    # -- Phase 1: guarded local Kruskal (no communication).
+    local_edges, label, _ = _local_phase(lg)
+    nedges_local = (lg.indptr[-1] if len(lg.indptr) else 0)
+    bsp.charge(
+        float(nedges_local) * max(1.0, np.log2(max(nedges_local, 2)))
+    )
+
+    # Conservative label exchange: boundary home nodes tell their watchers.
+    outgoing: dict[int, list[tuple[int, int]]] = {}
+    for gid in lg.home.tolist():
+        watchers = lg.watchers(gid)
+        if len(watchers):
+            record = (gid, int(label[gid]))
+            for q in watchers.tolist():
+                outgoing.setdefault(q, []).append(record)
+    for q, records in outgoing.items():
+        bsp.send(q, ("labels", records), h=H_LABEL * len(records))
+    bsp.charge(float(lg.nhome + lg.nborder))
+    bsp.sync()
+    for pkt in bsp.packets():
+        _, records = pkt.payload
+        for gid, lab in records:
+            label[gid] = lab
+
+    # Replicated component structure over labels.
+    comp = UnionFind(lg.n_global)
+    nlocal = len(np.unique(label[lg.home])) if len(lg.home) else 0
+    ncomp = allreduce(bsp, nlocal, lambda a, b: a + b)
+
+    cu, cv, cw = lg.cut_edges()
+    hu, hv, hw = lg.home_edges()
+    merge_edges: list[tuple[int, int, float]] = []
+
+    # Locally visible crossing-edge candidates, pre-sorted by the global
+    # tie-break key (w, min(u,v), max(u,v)); each Borůvka round compacts
+    # away edges that became internal, so total scan work across rounds
+    # stays near-linear instead of rounds × edges.
+    eu = np.concatenate([cu, hu]).astype(np.int64)
+    ev = np.concatenate([cv, hv]).astype(np.int64)
+    ew = np.concatenate([cw, hw])
+    lo_id, hi_id = np.minimum(eu, ev), np.maximum(eu, ev)
+    order = np.lexsort((hi_id, lo_id, ew))
+    eu, ev, ew = eu[order], ev[order], ew[order]
+    lo_id, hi_id = lo_id[order], hi_id[order]
+    lab_u, lab_v = label[eu], label[ev]
+    active = np.arange(len(eu))
+
+    # A candidate carries the edge key *and* the component labels of its
+    # endpoints: node labels are only known near their owners, but label
+    # ids are global, so replicas can replay merges identically.
+    Candidate = tuple[EdgeKey, int, int]  # (key, label_a, label_b)
+
+    def proposals() -> dict[int, Candidate]:
+        """Per-current-component minimum crossing edge, from this view.
+
+        Also compacts ``active`` down to still-crossing edges.
+        """
+        nonlocal active
+        roots = comp.roots()
+        la = roots[lab_u[active]]
+        lb = roots[lab_v[active]]
+        crossing = la != lb
+        bsp.charge(float(len(active)))
+        active = active[crossing]
+        la, lb = la[crossing], lb[crossing]
+        best: dict[int, Candidate] = {}
+        # ``active`` preserves key order, so the first edge seen per
+        # component id is its minimum.
+        for side in (la, lb):
+            ids, first = np.unique(side, return_index=True)
+            for comp_id, pos in zip(ids.tolist(), first.tolist()):
+                k = int(active[pos])
+                cand = (
+                    (float(ew[k]), int(lo_id[k]), int(hi_id[k])),
+                    int(la[pos]),
+                    int(lb[pos]),
+                )
+                if comp_id not in best or cand[0] < best[comp_id][0]:
+                    best[comp_id] = cand
+        return best
+
+    # -- Phase 2: exact Borůvka over components.
+    while ncomp > max(1, switch_threshold):
+        mine = sorted(proposals().items())
+        rounds = allgather(bsp, mine)
+        best: dict[int, Candidate] = {}
+        for part in rounds:
+            for comp_id, cand in part:
+                if comp_id not in best or cand[0] < best[comp_id][0]:
+                    best[comp_id] = cand
+        merged = 0
+        bsp.charge(float(max(len(best), 1)))
+        for comp_id in sorted(best):
+            (wt, a, b), la, lb = best[comp_id]
+            ra, rb = comp.find(la), comp.find(lb)
+            if ra != rb:
+                comp.union(ra, rb)
+                merged += 1
+                merge_edges.append((a, b, wt))
+        ncomp -= merged
+        if merged == 0:
+            break  # disconnected input: nothing joins the leftovers
+
+    # -- Phase 3: sequential finish of the contracted graph on processor 0.
+    final_edges: list[tuple[int, int, float]] = []
+    if ncomp > 1:
+        roots = comp.roots()
+        la = roots[lab_u[active]]
+        lb = roots[lab_v[active]]
+        crossing = la != lb
+        bsp.charge(float(len(active)))
+        active = active[crossing]
+        la, lb = la[crossing], lb[crossing]
+        pair_best: dict[tuple[int, int], Candidate] = {}
+        pair_lo = np.minimum(la, lb)
+        pair_hi = np.maximum(la, lb)
+        pair_code = pair_lo * np.int64(lg.n_global) + pair_hi
+        _, first = np.unique(pair_code, return_index=True)
+        for pos in first.tolist():
+            k = int(active[pos])
+            key = (int(pair_lo[pos]), int(pair_hi[pos]))
+            pair_best[key] = (
+                (float(ew[k]), int(lo_id[k]), int(hi_id[k])),
+                int(la[pos]),
+                int(lb[pos]),
+            )
+        mine_tail = sorted(set(pair_best.values()))
+        per_proc = gather(bsp, mine_tail, root=0)
+        if bsp.pid == 0:
+            assert per_proc is not None
+            tail_total = sum(len(part) for part in per_proc)
+            bsp.charge(
+                float(tail_total) * max(1.0, np.log2(max(tail_total, 2)))
+            )
+            for (wt, a, b), la, lb in sorted(
+                {c for part in per_proc for c in part}
+            ):
+                ra, rb = comp.find(la), comp.find(lb)
+                if ra != rb:
+                    comp.union(ra, rb)
+                    final_edges.append((a, b, wt))
+                    ncomp -= 1
+    ncomp = allreduce(bsp, ncomp if bsp.pid == 0 else lg.n_global, min)
+
+    # Merge edges are replicated everywhere; report them from pid 0 only.
+    return {
+        "local": local_edges,
+        "merge": merge_edges if bsp.pid == 0 else [],
+        "final": final_edges,
+        "ncomp": ncomp,
+    }
+
+
+@dataclass(frozen=True)
+class ParallelMstResult:
+    """Forest edges, total weight, component count, and BSP accounting."""
+
+    edges: list[tuple[int, int, float]]
+    weight: float
+    ncomponents: int
+    stats: ProgramStats
+
+
+def bsp_mst(
+    graph: Graph,
+    owner: np.ndarray,
+    nprocs: int,
+    *,
+    backend: str = "simulator",
+    switch_threshold: int | None = None,
+) -> ParallelMstResult:
+    """Compute the MST of ``graph`` partitioned by ``owner`` on ``nprocs``.
+
+    ``switch_threshold`` is the component count at which the Borůvka phase
+    hands over to the sequential finish (the paper switches "once the
+    number of components becomes small"); default ``4 * nprocs``.
+    Setting it to 1 disables the sequential finish (pure Borůvka), setting
+    it very large disables the Borůvka phase — both ends are exercised by
+    the ablation benchmark.
+    """
+    if switch_threshold is None:
+        switch_threshold = 4 * nprocs
+    lg_all = [LocalGraph.build(graph, owner, pid, nprocs) for pid in range(nprocs)]
+    run = bsp_run(
+        mst_program, nprocs, backend=backend, args=(lg_all, switch_threshold)
+    )
+    edges: list[tuple[int, int, float]] = []
+    for part in run.results:
+        edges.extend(part["local"])
+        edges.extend(part["merge"])
+        edges.extend(part["final"])
+    weight = float(sum(w for _, _, w in edges))
+    return ParallelMstResult(
+        edges=edges,
+        weight=weight,
+        ncomponents=run.results[0]["ncomp"],
+        stats=run.stats,
+    )

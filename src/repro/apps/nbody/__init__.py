@@ -1,0 +1,53 @@
+"""Barnes–Hut N-body simulation with ORB partitioning and essential-tree
+exchange (paper Section 3.2, Figure C.4)."""
+
+from .bhtree import (
+    DEFAULT_EPS,
+    DEFAULT_THETA,
+    BHTree,
+    accelerations,
+    direct_accelerations,
+    pairwise_acceleration,
+)
+from .bodies import Bodies, box_min_distance
+from .orb import load_imbalance, orb_partition
+from .parallel import (
+    DEFAULT_REBALANCE_THRESHOLD,
+    NBodyRun,
+    bsp_nbody,
+    nbody_program,
+)
+from .plummer import plummer, uniform_cube
+from .simulation import (
+    DEFAULT_DT,
+    SimulationResult,
+    potential_energy,
+    simulate,
+    simulate_direct,
+    total_energy,
+)
+
+__all__ = [
+    "BHTree",
+    "Bodies",
+    "DEFAULT_DT",
+    "DEFAULT_EPS",
+    "DEFAULT_REBALANCE_THRESHOLD",
+    "DEFAULT_THETA",
+    "NBodyRun",
+    "SimulationResult",
+    "accelerations",
+    "box_min_distance",
+    "bsp_nbody",
+    "direct_accelerations",
+    "load_imbalance",
+    "nbody_program",
+    "orb_partition",
+    "pairwise_acceleration",
+    "plummer",
+    "potential_energy",
+    "simulate",
+    "simulate_direct",
+    "total_energy",
+    "uniform_cube",
+]

@@ -1,0 +1,87 @@
+"""Body-set container and axis-aligned bounding boxes for the N-body app."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Bodies:
+    """A set of point masses with positions and velocities (3-D).
+
+    Arrays are (n, 3) float64 for ``pos``/``vel`` and (n,) for ``mass``;
+    ``ident`` carries stable global ids through migrations so parallel and
+    sequential results can be compared body-by-body.
+    """
+
+    pos: np.ndarray
+    vel: np.ndarray
+    mass: np.ndarray
+    ident: np.ndarray
+
+    @classmethod
+    def create(cls, pos: np.ndarray, vel: np.ndarray, mass: np.ndarray
+               ) -> "Bodies":
+        pos = np.ascontiguousarray(pos, dtype=np.float64)
+        vel = np.ascontiguousarray(vel, dtype=np.float64)
+        mass = np.ascontiguousarray(mass, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 3:
+            raise ValueError(f"pos must be (n, 3), got {pos.shape}")
+        if vel.shape != pos.shape:
+            raise ValueError("vel shape must match pos")
+        if mass.shape != (len(pos),):
+            raise ValueError("mass must be (n,)")
+        if len(mass) and mass.min() <= 0:
+            raise ValueError("masses must be positive")
+        return cls(pos=pos, vel=vel, mass=mass,
+                   ident=np.arange(len(pos), dtype=np.int64))
+
+    def __len__(self) -> int:
+        return len(self.mass)
+
+    def subset(self, index: np.ndarray) -> "Bodies":
+        return Bodies(
+            pos=self.pos[index].copy(),
+            vel=self.vel[index].copy(),
+            mass=self.mass[index].copy(),
+            ident=self.ident[index].copy(),
+        )
+
+    @staticmethod
+    def concatenate(parts: list["Bodies"]) -> "Bodies":
+        if not parts:
+            raise ValueError("nothing to concatenate")
+        return Bodies(
+            pos=np.vstack([p.pos for p in parts]),
+            vel=np.vstack([p.vel for p in parts]),
+            mass=np.concatenate([p.mass for p in parts]),
+            ident=np.concatenate([p.ident for p in parts]),
+        )
+
+    def ordered_by_ident(self) -> "Bodies":
+        """Rows sorted by global id (canonical order for comparisons)."""
+        return self.subset(np.argsort(self.ident, kind="stable"))
+
+    def aabb(self) -> tuple[np.ndarray, np.ndarray]:
+        """(lo, hi) corners of the bodies' bounding box."""
+        if len(self) == 0:
+            zero = np.zeros(3)
+            return zero, zero
+        return self.pos.min(axis=0), self.pos.max(axis=0)
+
+    def kinetic_energy(self) -> float:
+        return float(0.5 * (self.mass * (self.vel**2).sum(axis=1)).sum())
+
+
+def box_min_distance(lo: np.ndarray, hi: np.ndarray, point: np.ndarray
+                     ) -> float:
+    """Minimum Euclidean distance from ``point`` to the box [lo, hi].
+
+    Zero when the point lies inside — the conservative quantity the
+    essential-tree pruning uses: every body in the box is at least this
+    far from ``point``.
+    """
+    gap = np.maximum(np.maximum(lo - point, point - hi), 0.0)
+    return float(np.sqrt((gap * gap).sum()))

@@ -1,0 +1,99 @@
+"""Sequential Barnes–Hut N-body simulation (the 1-processor baseline).
+
+Each time step rebuilds the BH tree, evaluates softened-gravity
+accelerations with the opening criterion, and advances a symplectic Euler
+(kick–drift) integrator — the same scheme the BSP driver uses, so parallel
+and sequential trajectories are directly comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .bhtree import DEFAULT_EPS, DEFAULT_THETA, accelerations, direct_accelerations
+from .bodies import Bodies
+
+#: Default time step in Hénon units.
+DEFAULT_DT = 0.025
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Final state plus per-run diagnostics."""
+
+    bodies: Bodies
+    total_interactions: int
+    steps: int
+
+
+def step_bodies(
+    bodies: Bodies,
+    acc: np.ndarray,
+    dt: float,
+) -> None:
+    """One in-place kick–drift update (symplectic Euler)."""
+    bodies.vel += acc * dt
+    bodies.pos += bodies.vel * dt
+
+
+def simulate(
+    bodies: Bodies,
+    steps: int = 1,
+    *,
+    theta: float = DEFAULT_THETA,
+    eps: float = DEFAULT_EPS,
+    dt: float = DEFAULT_DT,
+    leaf_size: int = 8,
+) -> SimulationResult:
+    """Evolve a copy of ``bodies`` for ``steps`` Barnes–Hut time steps."""
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    state = bodies.subset(np.arange(len(bodies)))
+    total_inter = 0
+    for _ in range(steps):
+        acc, inter = accelerations(
+            state.pos, state.mass, theta=theta, eps=eps, leaf_size=leaf_size
+        )
+        total_inter += int(inter.sum())
+        step_bodies(state, acc, dt)
+    return SimulationResult(
+        bodies=state, total_interactions=total_inter, steps=steps
+    )
+
+
+def potential_energy(bodies: Bodies, eps: float = DEFAULT_EPS) -> float:
+    """Exact softened pairwise potential (for energy-drift diagnostics)."""
+    n = len(bodies)
+    total = 0.0
+    for i in range(n):
+        delta = bodies.pos[i + 1 :] - bodies.pos[i]
+        r = np.sqrt((delta * delta).sum(axis=1) + eps * eps)
+        total -= float((bodies.mass[i] * bodies.mass[i + 1 :] / r).sum())
+    return total
+
+
+def total_energy(bodies: Bodies, eps: float = DEFAULT_EPS) -> float:
+    return bodies.kinetic_energy() + potential_energy(bodies, eps)
+
+
+def simulate_direct(
+    bodies: Bodies,
+    steps: int = 1,
+    *,
+    eps: float = DEFAULT_EPS,
+    dt: float = DEFAULT_DT,
+) -> SimulationResult:
+    """Same integrator with exact O(N²) forces — the accuracy oracle."""
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    state = bodies.subset(np.arange(len(bodies)))
+    for _ in range(steps):
+        acc = direct_accelerations(state.pos, state.mass, eps=eps)
+        step_bodies(state, acc, dt)
+    return SimulationResult(
+        bodies=state,
+        total_interactions=steps * len(bodies) * (len(bodies) - 1),
+        steps=steps,
+    )

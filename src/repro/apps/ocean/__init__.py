@@ -1,0 +1,52 @@
+"""Ocean eddy simulation: multigrid + double-gyre vorticity model
+(paper Section 3.1, Figures 1.1 and C.1)."""
+
+from .model import (
+    OceanParams,
+    OceanState,
+    explicit_tendency,
+    interior_of,
+    ocean_sequential,
+    wind_forcing,
+)
+from .multigrid import (
+    SolveInfo,
+    prolong,
+    relax_red_black,
+    residual,
+    restrict,
+    solve_poisson,
+    v_cycle,
+)
+from .parallel import (
+    LocalBlock,
+    OceanRun,
+    RowPartition,
+    bsp_ocean,
+    build_partitions,
+    ocean_program,
+    solve_poisson_distributed,
+)
+
+__all__ = [
+    "LocalBlock",
+    "OceanParams",
+    "OceanRun",
+    "OceanState",
+    "RowPartition",
+    "SolveInfo",
+    "bsp_ocean",
+    "build_partitions",
+    "explicit_tendency",
+    "interior_of",
+    "ocean_program",
+    "ocean_sequential",
+    "prolong",
+    "relax_red_black",
+    "residual",
+    "restrict",
+    "solve_poisson",
+    "solve_poisson_distributed",
+    "v_cycle",
+    "wind_forcing",
+]

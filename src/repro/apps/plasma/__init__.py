@@ -1,0 +1,39 @@
+"""Electrostatic particle-in-cell plasma simulation (Related Work [28]:
+BSP plasma codes on networks of workstations)."""
+
+from .parallel import PicRun, bsp_pic, pic_program, split_particles
+from .pic import (
+    Particles,
+    PicHistory,
+    PicResult,
+    deposit,
+    field_energy,
+    gather,
+    kinetic_energy,
+    oscillation_period,
+    perturbed_lattice,
+    plasma_frequency,
+    push,
+    simulate_pic,
+    solve_field,
+)
+
+__all__ = [
+    "Particles",
+    "PicHistory",
+    "PicResult",
+    "PicRun",
+    "bsp_pic",
+    "deposit",
+    "field_energy",
+    "gather",
+    "kinetic_energy",
+    "oscillation_period",
+    "perturbed_lattice",
+    "pic_program",
+    "plasma_frequency",
+    "push",
+    "simulate_pic",
+    "solve_field",
+    "split_particles",
+]

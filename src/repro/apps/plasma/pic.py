@@ -1,0 +1,323 @@
+"""Sequential 2-D electrostatic particle-in-cell plasma simulation.
+
+The paper's related work (Section 1.3) points to plasma simulation as an
+early BSP success on networks of workstations [Nibhanupudi, Norton &
+Szymanski 1995]; this package reproduces that workload class on our
+substrate.  The model is the standard electrostatic PIC cycle on a
+grounded square box (φ = 0 walls, the same cell-centred grid and
+multigrid solver as the ocean application):
+
+1. **deposit** — cloud-in-cell (bilinear) weighting of electron charge
+   onto the grid, plus a uniform neutralizing ion background;
+2. **solve** — ``∇²φ = −ρ`` by multigrid (normalized units:
+   ε₀ = 1, electron charge −1, mass 1);
+3. **gather/push** — central-difference field at cell centres, bilinear
+   field at particles, leapfrog velocity/position update, specular
+   reflection at the walls.
+
+The classic validation is the cold Langmuir oscillation: a sinusoidal
+density perturbation of amplitude ε oscillates at the plasma frequency
+``ω_p = sqrt(ρ₀)`` (normalized); the tests measure the field-energy
+period against that dispersion relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ocean.multigrid import check_power_of_two, solve_poisson
+
+#: Electron charge and mass in normalized units.
+CHARGE = -1.0
+MASS = 1.0
+
+
+@dataclass
+class Particles:
+    """Electron macro-particles: positions in [0, 1)², velocities, weight.
+
+    ``weight`` is the charge carried by each macro-particle (all equal),
+    chosen so the mean charge density is ``−rho0``.
+    """
+
+    pos: np.ndarray
+    vel: np.ndarray
+    weight: float
+    ident: np.ndarray
+
+    @classmethod
+    def create(cls, pos: np.ndarray, vel: np.ndarray, rho0: float
+               ) -> "Particles":
+        pos = np.ascontiguousarray(pos, dtype=np.float64)
+        vel = np.ascontiguousarray(vel, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 2:
+            raise ValueError(f"pos must be (n, 2), got {pos.shape}")
+        if vel.shape != pos.shape:
+            raise ValueError("vel shape must match pos")
+        if len(pos) == 0:
+            raise ValueError("need at least one particle")
+        if rho0 <= 0:
+            raise ValueError(f"rho0 must be positive, got {rho0}")
+        weight = CHARGE * rho0 / len(pos)  # total charge = -rho0 * area(=1)
+        return cls(pos=pos, vel=vel, weight=weight,
+                   ident=np.arange(len(pos), dtype=np.int64))
+
+    def __len__(self) -> int:
+        return len(self.pos)
+
+    def subset(self, index: np.ndarray) -> "Particles":
+        return Particles(
+            pos=self.pos[index].copy(),
+            vel=self.vel[index].copy(),
+            weight=self.weight,
+            ident=self.ident[index].copy(),
+        )
+
+    @staticmethod
+    def concatenate(parts: list["Particles"]) -> "Particles":
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            raise ValueError("nothing to concatenate")
+        return Particles(
+            pos=np.vstack([p.pos for p in parts]),
+            vel=np.vstack([p.vel for p in parts]),
+            weight=parts[0].weight,
+            ident=np.concatenate([p.ident for p in parts]),
+        )
+
+    def ordered_by_ident(self) -> "Particles":
+        return self.subset(np.argsort(self.ident, kind="stable"))
+
+
+def perturbed_lattice(
+    nside: int,
+    *,
+    amplitude: float = 0.05,
+    mode: int = 1,
+    rho0: float = 1.0,
+    seed: int | None = None,
+) -> Particles:
+    """Cold electron lattice with a sinusoidal x-displacement.
+
+    The textbook Langmuir-oscillation initial condition: ``nside²``
+    particles on a regular lattice, displaced by
+    ``amplitude·sin(mode·π·x)/…`` so the density perturbation excites the
+    box's ``sin`` eigenmode; zero initial velocities.  ``seed`` adds a
+    tiny jitter to avoid exact grid degeneracies when set.
+    """
+    if nside < 2:
+        raise ValueError(f"nside must be >= 2, got {nside}")
+    coords = (np.arange(nside) + 0.5) / nside
+    x, y = np.meshgrid(coords, coords, indexing="ij")
+    pos = np.column_stack([x.ravel(), y.ravel()])
+    if seed is not None:
+        rng = np.random.default_rng(seed)
+        pos += rng.uniform(-1e-4, 1e-4, size=pos.shape)
+    pos[:, 0] += amplitude / (np.pi * mode) * np.sin(
+        np.pi * mode * pos[:, 0]
+    )
+    pos = np.clip(pos, 1e-9, 1 - 1e-9)
+    vel = np.zeros_like(pos)
+    return Particles.create(pos, vel, rho0=rho0)
+
+
+# --------------------------------------------------------------------------
+# Grid operations (cell-centred n×n interior in an (n+2)² array).
+# --------------------------------------------------------------------------
+
+
+def cic_indices(pos: np.ndarray, n: int
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Cloud-in-cell cells and weights for each particle.
+
+    Returns ``(i0, j0, fx, fy)``: the lower-left *cell index* (0-based
+    over an (n+1)-wide dual grid; cell centres sit at ((i+½)h, (j+½)h))
+    and the fractional offsets.  Particles between the wall and the first
+    cell centre weight partly onto the ghost ring, which the Dirichlet
+    reflection discards — physically, image charges in the grounded wall.
+    """
+    h = 1.0 / n
+    gx = pos[:, 0] / h - 0.5
+    gy = pos[:, 1] / h - 0.5
+    i0 = np.floor(gx).astype(np.int64)
+    j0 = np.floor(gy).astype(np.int64)
+    fx = gx - i0
+    fy = gy - j0
+    return i0, j0, fx, fy
+
+
+def deposit(pos: np.ndarray, weight: float, n: int,
+            rho0: float) -> np.ndarray:
+    """Charge density ρ on the (n+2)² grid: CIC electrons + ion background.
+
+    Ghost-ring deposits (image-charge shares) are dropped, matching the
+    grounded-wall boundary condition.
+    """
+    check_power_of_two(n)
+    h = 1.0 / n
+    rho = np.zeros((n + 2, n + 2))
+    i0, j0, fx, fy = cic_indices(pos, n)
+    per_cell = weight / (h * h)  # charge -> density
+    for di, dj, w in (
+        (0, 0, (1 - fx) * (1 - fy)),
+        (1, 0, fx * (1 - fy)),
+        (0, 1, (1 - fx) * fy),
+        (1, 1, fx * fy),
+    ):
+        ii = i0 + di + 1  # +1: ghost ring offset
+        jj = j0 + dj + 1
+        keep = (ii >= 1) & (ii <= n) & (jj >= 1) & (jj <= n)
+        np.add.at(rho, (ii[keep], jj[keep]), per_cell * w[keep])
+    rho[1:-1, 1:-1] += rho0  # neutralizing ions
+    return rho
+
+
+def solve_field(rho: np.ndarray, *, tol: float = 1e-8,
+                u0: np.ndarray | None = None
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """(φ, Ex, Ey, cycles): multigrid solve of ∇²φ = −ρ and its field.
+
+    E = −∇φ by central differences at cell centres; the ghost ring is
+    reflected (φ = 0 walls) before differencing.
+    """
+    n = rho.shape[0] - 2
+    h = 1.0 / n
+    f = -rho
+    phi, info = solve_poisson(f, h, tol=tol, u0=u0)
+    ex, ey = field_from_phi(phi, h)
+    return phi, ex, ey, info.cycles
+
+
+def field_from_phi(phi: np.ndarray, h: float
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """E = −∇φ on the interior, ghosts filled by reflection first."""
+    from ..ocean.multigrid import apply_reflection
+
+    apply_reflection(phi)
+    inv2h = 1.0 / (2.0 * h)
+    ex = np.zeros_like(phi)
+    ey = np.zeros_like(phi)
+    ex[1:-1, 1:-1] = -(phi[2:, 1:-1] - phi[:-2, 1:-1]) * inv2h
+    ey[1:-1, 1:-1] = -(phi[1:-1, 2:] - phi[1:-1, :-2]) * inv2h
+    return ex, ey
+
+
+def gather(ex: np.ndarray, ey: np.ndarray, pos: np.ndarray, n: int
+           ) -> np.ndarray:
+    """Bilinear field at each particle (same CIC weights as deposit)."""
+    i0, j0, fx, fy = cic_indices(pos, n)
+    out = np.zeros_like(pos)
+    for di, dj, w in (
+        (0, 0, (1 - fx) * (1 - fy)),
+        (1, 0, fx * (1 - fy)),
+        (0, 1, (1 - fx) * fy),
+        (1, 1, fx * fy),
+    ):
+        ii = np.clip(i0 + di + 1, 0, n + 1)
+        jj = np.clip(j0 + dj + 1, 0, n + 1)
+        out[:, 0] += w * ex[ii, jj]
+        out[:, 1] += w * ey[ii, jj]
+    return out
+
+
+def push(particles: Particles, efield: np.ndarray, dt: float) -> None:
+    """Leapfrog kick+drift with specular wall reflection, in place."""
+    particles.vel += (CHARGE / MASS) * efield * dt
+    particles.pos += particles.vel * dt
+    for axis in range(2):
+        x = particles.pos[:, axis]
+        v = particles.vel[:, axis]
+        low = x < 0
+        x[low] = -x[low]
+        v[low] = -v[low]
+        high = x > 1
+        x[high] = 2.0 - x[high]
+        v[high] = -v[high]
+        np.clip(x, 1e-12, 1 - 1e-12, out=x)
+
+
+# --------------------------------------------------------------------------
+# Driver + diagnostics.
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class PicHistory:
+    """Per-step diagnostics of a PIC run."""
+
+    field_energy: list[float] = field(default_factory=list)
+    kinetic_energy: list[float] = field(default_factory=list)
+    cycles: list[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class PicResult:
+    particles: Particles
+    history: PicHistory
+
+
+def field_energy(ex: np.ndarray, ey: np.ndarray, n: int) -> float:
+    """½∫|E|² over the box (cell-centred quadrature)."""
+    h2 = (1.0 / n) ** 2
+    return 0.5 * h2 * float(
+        (ex[1:-1, 1:-1] ** 2 + ey[1:-1, 1:-1] ** 2).sum()
+    )
+
+
+def kinetic_energy(particles: Particles) -> float:
+    # Macro-particle mass is |weight| * MASS / |CHARGE| per unit charge.
+    m = MASS * abs(particles.weight / CHARGE)
+    return 0.5 * m * float((particles.vel**2).sum())
+
+
+def simulate_pic(
+    particles: Particles,
+    n: int,
+    steps: int,
+    *,
+    dt: float = 0.05,
+    rho0: float = 1.0,
+    tol: float = 1e-8,
+) -> PicResult:
+    """Run the sequential PIC cycle for ``steps`` steps on an n×n grid."""
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    check_power_of_two(n)
+    state = particles.subset(np.arange(len(particles)))
+    history = PicHistory()
+    phi = None
+    for _ in range(steps):
+        rho = deposit(state.pos, state.weight, n, rho0)
+        phi, ex, ey, cycles = solve_field(rho, tol=tol, u0=phi)
+        efield = gather(ex, ey, state.pos, n)
+        history.field_energy.append(field_energy(ex, ey, n))
+        history.kinetic_energy.append(kinetic_energy(state))
+        history.cycles.append(cycles)
+        push(state, efield, dt)
+    return PicResult(particles=state, history=history)
+
+
+def plasma_frequency(rho0: float = 1.0) -> float:
+    """ω_p = sqrt(ρ₀ q²/(ε₀ m)) in normalized units."""
+    return float(np.sqrt(rho0 * CHARGE * CHARGE / MASS))
+
+
+def oscillation_period(energies: list[float], dt: float) -> float | None:
+    """Estimated period from successive minima of the field energy.
+
+    The field energy of a Langmuir oscillation dips twice per plasma
+    period, so the period is twice the mean minima spacing.  Returns
+    ``None`` when fewer than two interior minima exist.
+    """
+    e = np.asarray(energies)
+    if len(e) < 5:
+        return None
+    interior = np.flatnonzero(
+        (e[1:-1] <= e[:-2]) & (e[1:-1] <= e[2:])
+    ) + 1
+    if len(interior) < 2:
+        return None
+    spacing = np.diff(interior).mean()
+    return float(2.0 * spacing * dt)

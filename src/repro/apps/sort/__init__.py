@@ -1,0 +1,13 @@
+"""BSP sample sort (the paper's Section 4 "simple subroutine").
+
+The paper's conclusions single out sorting as the kind of simple
+subroutine where the cost model's "curve fitting" of running times is
+realistic.  This package supplies that subroutine — the classic
+one-round BSP sample sort (regular sampling) — so the claim can be
+tested: ``benchmarks/bench_sort_prediction.py`` fits predicted against
+measured shapes across sizes and processor counts.
+"""
+
+from .samplesort import SortRun, bsp_sample_sort, sample_sort_program
+
+__all__ = ["SortRun", "bsp_sample_sort", "sample_sort_program"]

@@ -1,0 +1,139 @@
+"""Parallel sorting by regular sampling on the Green BSP library.
+
+The classic one-round BSP sort (Shi & Schaeffer's PSRS, the standard BSP
+example of the era):
+
+1. each processor sorts its local block and picks ``p`` regular samples
+   — one superstep to gather the samples at processor 0;
+2. processor 0 sorts the ``p²`` samples and broadcasts ``p − 1``
+   splitters — one superstep;
+3. every processor partitions its sorted block by the splitters and
+   routes each bucket to its owner — one superstep of total exchange;
+4. each processor merges what it received.
+
+BSP shape: ``S = 4`` (three communication supersteps + the final merge
+segment), ``H ≈ max_j received_j ≈ n/p`` packets for random inputs —
+cheap, regular, and exactly the profile the cost model "curve fits" well
+(the point of ``benchmarks/bench_sort_prediction.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...core.api import Bsp
+from ...core.runtime import bsp_run
+from ...core.stats import ProgramStats
+
+#: 16-byte packet per key record (8-byte key + 8-byte tag), paper-style.
+H_KEY = 1
+
+
+def sample_sort_program(bsp: Bsp, data: np.ndarray) -> np.ndarray:
+    """BSP program: returns this processor's sorted slice of the result.
+
+    ``data`` is the full input; each processor takes its block slice off
+    the work clock (the paper's "initially partitioned" convention).
+    Concatenating the per-processor results in pid order yields the
+    sorted array.
+    """
+    me, p = bsp.pid, bsp.nprocs
+    with bsp.off_clock():
+        lo = len(data) * me // p
+        hi = len(data) * (me + 1) // p
+        mine = np.array(data[lo:hi], dtype=np.float64)
+
+    # Phase 1: local sort + regular samples to processor 0.
+    mine.sort(kind="mergesort")
+    bsp.charge(max(1.0, len(mine) * np.log2(max(len(mine), 2))))
+    if len(mine):
+        idx = (np.arange(1, p + 1) * len(mine)) // (p + 1)
+        samples = mine[np.minimum(idx, len(mine) - 1)]
+    else:
+        samples = np.zeros(0)
+    bsp.send(0, (me, samples), h=max(1, H_KEY * len(samples)))
+    bsp.sync()
+
+    # Phase 2: processor 0 sorts the sample pool, broadcasts splitters.
+    if me == 0:
+        pool = np.concatenate([pkt.payload[1] for pkt in bsp.packets()])
+        pool.sort(kind="mergesort")
+        bsp.charge(max(1.0, len(pool) * np.log2(max(len(pool), 2))))
+        if len(pool) >= p - 1 and p > 1:
+            idx = (np.arange(1, p) * len(pool)) // p
+            splitters = pool[idx]
+        else:
+            splitters = np.zeros(max(p - 1, 0))
+        for q in range(p):
+            if q != 0:
+                bsp.send(q, splitters, h=max(1, H_KEY * len(splitters)))
+    else:
+        list(bsp.packets())
+        splitters = None
+    bsp.sync()
+    if me != 0:
+        (pkt,) = list(bsp.packets())
+        splitters = pkt.payload
+    else:
+        list(bsp.packets())
+    assert splitters is not None
+
+    # Phase 3: route buckets to their owners (total exchange).
+    bounds = np.searchsorted(mine, splitters, side="right")
+    cuts = np.concatenate([[0], bounds, [len(mine)]])
+    for q in range(p):
+        bucket = mine[cuts[q] : cuts[q + 1]]
+        if q == me:
+            kept = bucket
+        else:
+            bsp.send(q, bucket, h=max(1, H_KEY * len(bucket)))
+    bsp.sync()
+    pieces = [kept]
+    for pkt in bsp.packets():
+        pieces.append(pkt.payload)
+
+    # Phase 4: merge the (already sorted) pieces.
+    merged = np.concatenate([x for x in pieces if len(x)]) if any(
+        len(x) for x in pieces
+    ) else np.zeros(0)
+    merged.sort(kind="mergesort")  # k-way merge; sort of mostly-sorted data
+    bsp.charge(max(1.0, len(merged) * np.log2(max(len(merged), 2))))
+    return merged
+
+
+@dataclass(frozen=True)
+class SortRun:
+    """Sorted output plus BSP accounting.
+
+    ``bucket_sizes`` are the final per-processor bucket sizes; regular
+    sampling bounds the largest at ~2n/p.
+    """
+
+    data: np.ndarray
+    stats: ProgramStats
+    bucket_sizes: tuple[int, ...]
+
+
+def bsp_sample_sort(
+    data: np.ndarray,
+    nprocs: int,
+    *,
+    backend: str = "simulator",
+) -> SortRun:
+    """Sort ``data`` (1-D numeric) on ``nprocs`` BSP processors."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 1:
+        raise ValueError("sample sort expects a 1-D array")
+    run = bsp_run(sample_sort_program, nprocs, backend=backend, args=(data,))
+    merged = (
+        np.concatenate([r for r in run.results if len(r)])
+        if any(len(r) for r in run.results)
+        else np.zeros(0)
+    )
+    return SortRun(
+        data=merged,
+        stats=run.stats,
+        bucket_sizes=tuple(len(r) for r in run.results),
+    )

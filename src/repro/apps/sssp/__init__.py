@@ -1,0 +1,21 @@
+"""Single-source shortest paths: sequential Dijkstra + the BSP
+work-factor algorithm (paper Section 3.4, Figure C.5)."""
+
+from .parallel import (
+    DEFAULT_WORK_FACTOR,
+    SsspResult,
+    bsp_msp,
+    bsp_sssp,
+    sssp_program,
+)
+from .sequential import dijkstra, dijkstra_many
+
+__all__ = [
+    "DEFAULT_WORK_FACTOR",
+    "SsspResult",
+    "bsp_msp",
+    "bsp_sssp",
+    "dijkstra",
+    "dijkstra_many",
+    "sssp_program",
+]

@@ -1,0 +1,36 @@
+"""Execution backends for the Green BSP runtime.
+
+Three backends mirror the paper's three library versions (Appendix B);
+all share delivery semantics, so programs behave identically everywhere:
+
+============  ============================  =================================
+name          paper analogue                use for
+============  ============================  =================================
+"simulator"   IPC 1-processor simulation    measuring W/H/S, debugging
+"threads"     shared-memory version (B.1)   semantics under real concurrency
+"processes"   MPI/TCP versions (B.2/B.3)    true parallel execution
+============  ============================  =================================
+"""
+
+from .base import (
+    Backend,
+    BackendRun,
+    available_backends,
+    get_backend,
+    register_backend,
+    route_packets,
+)
+from .exchange import IDLE, exchange_schedule, peer_order, validate_schedule
+
+__all__ = [
+    "Backend",
+    "BackendRun",
+    "IDLE",
+    "available_backends",
+    "exchange_schedule",
+    "get_backend",
+    "peer_order",
+    "register_backend",
+    "route_packets",
+    "validate_schedule",
+]

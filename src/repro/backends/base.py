@@ -1,0 +1,126 @@
+"""Backend protocol and shared routing logic.
+
+A *backend* executes one BSP program on ``p`` virtual processors and
+returns each processor's result plus its accounting ledger.  Three backends
+ship with the library, mirroring the paper's three library versions:
+
+* :mod:`~repro.backends.simulator` — deterministic serialized execution;
+  the paper's "IPC single-processor simulation" used to measure work depth.
+* :mod:`~repro.backends.threads` — one OS thread per virtual processor
+  with double-buffered shared mailboxes (the shared-memory version, B.1).
+* :mod:`~repro.backends.processes` — one OS process per virtual processor
+  exchanging at superstep boundaries (the MPI/TCP versions, B.2/B.3).
+
+All backends share :func:`route_packets`, so delivery semantics (and the
+deterministic delivery order) are identical everywhere; a program debugged
+on the simulator behaves bit-for-bit the same on the concurrent backends.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from ..core.errors import BspConfigError, BspUsageError
+from ..core.packets import Packet
+from ..core.stats import VPLedger
+
+#: Signature of a user BSP program.
+Program = Callable[..., Any]
+
+
+@dataclass
+class BackendRun:
+    """Raw output of one backend execution."""
+
+    results: list[Any]
+    ledgers: list[VPLedger]
+    wall_seconds: float
+
+
+class Backend(ABC):
+    """Executes BSP programs; one instance may be reused across runs."""
+
+    #: Registry name; subclasses set this.
+    name: str = ""
+
+    @abstractmethod
+    def run(
+        self,
+        program: Program,
+        nprocs: int,
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> BackendRun:
+        """Run ``program`` on ``nprocs`` virtual processors."""
+
+    @staticmethod
+    def check_nprocs(nprocs: int) -> None:
+        if not isinstance(nprocs, int) or nprocs < 1:
+            raise BspConfigError(f"nprocs must be a positive int, got {nprocs!r}")
+
+
+def route_packets(
+    outboxes: Sequence[Sequence[Packet]], nprocs: int
+) -> list[list[Packet]]:
+    """Route per-sender outboxes into per-receiver inboxes.
+
+    Validates destinations and preserves per-sender order; receivers later
+    apply the canonical (src, seq) delivery order themselves (in
+    ``Bsp.sync``), so this helper only needs to bucket.
+    """
+    inboxes: list[list[Packet]] = [[] for _ in range(nprocs)]
+    for outbox in outboxes:
+        for pkt in outbox:
+            if not 0 <= pkt.dst < nprocs:
+                raise BspUsageError(
+                    f"packet from pid {pkt.src} addressed to {pkt.dst}, "
+                    f"outside range({nprocs})"
+                )
+            inboxes[pkt.dst].append(pkt)
+    return inboxes
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, Callable[[], Backend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], Backend]) -> None:
+    """Register a backend factory under ``name`` (used by plugins/tests)."""
+    if not name:
+        raise BspConfigError("backend name must be non-empty")
+    _REGISTRY[name] = factory
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate a registered backend by name."""
+    # Import the built-ins lazily so ``base`` has no heavy dependencies.
+    if not _REGISTRY:
+        _register_builtins()
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise BspConfigError(
+            f"unknown backend {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_backends() -> list[str]:
+    if not _REGISTRY:
+        _register_builtins()
+    return sorted(_REGISTRY)
+
+
+def _register_builtins() -> None:
+    from .processes import ProcessBackend
+    from .simulator import SimulatorBackend
+    from .threads import ThreadBackend
+
+    _REGISTRY.setdefault("simulator", SimulatorBackend)
+    _REGISTRY.setdefault("threads", ThreadBackend)
+    _REGISTRY.setdefault("processes", ProcessBackend)

@@ -1,0 +1,106 @@
+"""Total-exchange pairing schedules (the TCP version's routing discipline).
+
+The paper's TCP implementation (Appendix B.3) avoids deadlock under
+blocking sockets by having "the processors pair off and talk according to a
+precomputed p-1 stage total-exchange pattern".  This module computes that
+pattern: a decomposition of the complete graph :math:`K_p` into perfect
+matchings — the classic round-robin tournament (circle) method.
+
+For even ``p`` there are exactly ``p - 1`` stages and every processor is
+busy in every stage; for odd ``p`` there are ``p`` stages and each
+processor sits out exactly one (its partner is :data:`IDLE`).
+
+The schedule is used by the process backend to order its sends, and is a
+good property-test target: every stage must be a perfect matching, and the
+union over stages must cover every unordered pair exactly once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..core.errors import BspConfigError
+
+#: Partner value for a processor idle in a stage (odd ``p`` only).
+IDLE = -1
+
+
+@lru_cache(maxsize=None)
+def exchange_schedule(nprocs: int) -> tuple[tuple[int, ...], ...]:
+    """Pairing schedule for a total exchange among ``nprocs`` processors.
+
+    Returns ``stages``, where ``stages[s][i]`` is the processor that ``i``
+    talks to during stage ``s`` (:data:`IDLE` if ``i`` sits out).  Stage
+    count is ``nprocs - 1`` for even ``nprocs``, ``nprocs`` for odd, and
+    ``0`` for ``nprocs == 1``.
+
+    Circle method: fix processor ``n-1`` (even case) and rotate the rest.
+    """
+    if nprocs < 1:
+        raise BspConfigError(f"nprocs must be >= 1, got {nprocs}")
+    if nprocs == 1:
+        return ()
+    # Odd p: add a phantom; pairing with the phantom means idle.
+    n = nprocs if nprocs % 2 == 0 else nprocs + 1
+    phantom = n - 1
+    stages: list[tuple[int, ...]] = []
+    ring = list(range(n - 1))  # rotating players; player n-1 is fixed
+    for _ in range(n - 1):
+        partner = [IDLE] * nprocs
+        # Fixed player vs ring head.
+        a, b = phantom, ring[0]
+        if a < nprocs and b < nprocs:
+            partner[a], partner[b] = b, a
+        elif b < nprocs:
+            partner[b] = IDLE
+        # Remaining players pair symmetrically around the ring.
+        for k in range(1, (n - 1) // 2 + 1):
+            a, b = ring[k], ring[-k]
+            if a < nprocs and b < nprocs:
+                partner[a], partner[b] = b, a
+            elif a < nprocs:
+                partner[a] = IDLE
+            elif b < nprocs:
+                partner[b] = IDLE
+        stages.append(tuple(partner))
+        ring = ring[1:] + ring[:1]  # rotate
+    return tuple(stages)
+
+
+def peer_order(nprocs: int, pid: int) -> list[int]:
+    """Peers of ``pid`` in schedule order (its column through the stages).
+
+    This is the order in which a processor should address its per-peer
+    communication during a total exchange so that, globally, every stage is
+    a set of disjoint pairs — the deadlock-freedom argument of B.3.
+    """
+    if not 0 <= pid < nprocs:
+        raise BspConfigError(f"pid {pid} out of range({nprocs})")
+    return [
+        stage[pid] for stage in exchange_schedule(nprocs) if stage[pid] != IDLE
+    ]
+
+
+def validate_schedule(nprocs: int) -> None:
+    """Assert the schedule's matching-decomposition invariants.
+
+    Raises :class:`AssertionError` on violation; used by tests and as a
+    self-check hook.
+    """
+    stages = exchange_schedule(nprocs)
+    seen: set[frozenset[int]] = set()
+    for stage in stages:
+        busy: set[int] = set()
+        for i, j in enumerate(stage):
+            if j == IDLE:
+                continue
+            assert 0 <= j < nprocs and j != i, f"bad partner {j} for {i}"
+            assert stage[j] == i, f"asymmetric pairing {i}<->{j}"
+            busy.add(i)
+        pairs = {frozenset((i, j)) for i, j in enumerate(stage) if j != IDLE}
+        assert not pairs & seen, "pair repeated across stages"
+        seen |= pairs
+        # Perfect matching on the busy set.
+        assert len(busy) == 2 * len(pairs)
+    expected = nprocs * (nprocs - 1) // 2
+    assert len(seen) == expected, f"covered {len(seen)} pairs, want {expected}"

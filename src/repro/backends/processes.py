@@ -1,0 +1,231 @@
+"""Process backend — the MPI/TCP library versions (Appendices B.2, B.3).
+
+One OS process per virtual processor, so compute genuinely runs in
+parallel (no GIL).  As in the paper's MPI version, communication happens
+*only at superstep boundaries*: during a superstep each processor merely
+buckets its outgoing packets per destination; at the boundary it pushes one
+message per peer (possibly empty — the all-to-all itself is the implicit
+synchronization, exactly as in B.2) and blocks until it has received the
+boundary message of every live peer.  Sends are issued in the
+:func:`~repro.backends.exchange.peer_order` of the precomputed
+total-exchange pairing schedule, the TCP version's deadlock-avoidance
+discipline (B.3); with OS pipes it is not required for safety but keeps
+the traffic pattern faithful.
+
+Like the thread backend's vanishing barrier, a processor that finishes
+sends a departure sentinel so peers stop waiting for it; mismatched
+superstep counts then surface as a stats-merge error rather than a hang.
+
+Requires a ``fork``-capable platform (Linux); with fork, programs and
+arguments need not be picklable, but packet *payloads* must be, since they
+cross process boundaries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+import traceback
+from collections import defaultdict
+from typing import Any, Sequence
+
+from ..core.api import Bsp
+from ..core.errors import BspConfigError, SynchronizationError, VirtualProcessorError
+from ..core.packets import Packet
+from .base import Backend, BackendRun, Program
+from .exchange import peer_order
+
+#: Inter-process message tags.
+_PKT, _LEFT, _DEAD = "pkt", "left", "dead"
+
+
+class _Abort(BaseException):
+    """Unwinds a worker after a peer reported failure."""
+
+
+class _ProcChannel:
+    """Superstep-boundary exchange over per-processor queues."""
+
+    def __init__(self, pid: int, nprocs: int, queues: list[Any]):
+        self._pid = pid
+        self._nprocs = nprocs
+        self._queues = queues
+        self._peers = peer_order(nprocs, pid)
+        self._departed: set[int] = set()
+        #: Early arrivals from peers already one superstep ahead.
+        self._stash: dict[int, dict[int, list[Packet]]] = {}
+
+    def exchange(self, pid: int, step: int, outbox: list[Packet]) -> list[Packet]:
+        buckets: dict[int, list[Packet]] = defaultdict(list)
+        for pkt in outbox:
+            buckets[pkt.dst].append(pkt)
+
+        # Pipe writes block once the OS buffer fills, so two peers pushing
+        # large boundary messages at each other would deadlock — the exact
+        # hazard Appendix B.3 describes ("receivers [must] actively empty
+        # the pipe").  We play the receiver role on this thread while a
+        # helper thread performs the blocking sends in schedule order.
+        push_error: list[BaseException] = []
+
+        def push() -> None:
+            try:
+                for peer in self._peers:
+                    self._queues[peer].put(
+                        (_PKT, step, self._pid, buckets.get(peer, []))
+                    )
+            except BaseException as exc:  # e.g. an unpicklable payload
+                push_error.append(exc)
+                # Fail fast: wake every peer (and ourselves) so nobody
+                # blocks on a message that will never arrive.
+                for peer in self._peers:
+                    self._queues[peer].put((_DEAD, self._pid))
+                self._queues[self._pid].put((_DEAD, self._pid))
+
+        # Daemonic: if we abort because a peer died, our own sends may be
+        # stuck on a pipe nobody will ever drain; the thread must not keep
+        # the process alive then.
+        sender = threading.Thread(
+            target=push, name=f"bsp-send-{self._pid}", daemon=True
+        )
+        sender.start()
+        inbox: list[Packet] = list(buckets.get(self._pid, ()))
+
+        got: set[int] = set()
+        stashed = self._stash.pop(step, {})
+        for src, pkts in stashed.items():
+            inbox.extend(pkts)
+            got.add(src)
+        while True:
+            waiting = set(self._peers) - self._departed - got
+            if not waiting:
+                break
+            msg = self._queues[self._pid].get()
+            tag = msg[0]
+            if tag == _PKT:
+                _, msg_step, src, pkts = msg
+                if msg_step == step:
+                    inbox.extend(pkts)
+                    got.add(src)
+                else:
+                    self._stash.setdefault(msg_step, {})[src] = pkts
+            elif tag == _LEFT:
+                self._departed.add(msg[1])
+            elif tag == _DEAD:
+                if msg[1] == self._pid:
+                    sender.join()
+                    raise push_error[0]  # our own send failed: surface it
+                raise _Abort()
+        sender.join()
+        if push_error:
+            raise push_error[0]
+        return inbox
+
+    def depart(self) -> None:
+        for peer in self._peers:
+            self._queues[peer].put((_LEFT, self._pid))
+
+    def die(self) -> None:
+        for peer in self._peers:
+            self._queues[peer].put((_DEAD, self._pid))
+
+
+def _worker(
+    pid: int,
+    nprocs: int,
+    program: Program,
+    args: Sequence[Any],
+    kwargs: dict[str, Any],
+    queues: list[Any],
+    result_q: Any,
+) -> None:
+    channel = _ProcChannel(pid, nprocs, queues)
+    bsp = Bsp(pid, nprocs, channel)
+    try:
+        result = program(bsp, *args, **kwargs)
+        ledger = bsp._finish()
+        channel.depart()
+        result_q.put(("ok", pid, result, ledger))
+    except _Abort:
+        result_q.put(("aborted", pid, None, None))
+    except BaseException:  # noqa: BLE001 - reported to the parent
+        channel.die()
+        result_q.put(("error", pid, traceback.format_exc(), None))
+    finally:
+        # mp.Queue.put is asynchronous (feeder thread); exiting before it
+        # flushes can silently drop the result and leave the parent to
+        # its timeout.  close() + join_thread() forces the flush.
+        result_q.close()
+        result_q.join_thread()
+
+
+class ProcessBackend(Backend):
+    """One process per virtual processor; boundary all-to-all exchange."""
+
+    name = "processes"
+
+    def __init__(self, *, join_timeout: float = 120.0):
+        self._join_timeout = join_timeout
+        try:
+            self._ctx = mp.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise BspConfigError(
+                "the process backend requires a fork-capable platform"
+            ) from exc
+
+    def run(
+        self,
+        program: Program,
+        nprocs: int,
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> BackendRun:
+        self.check_nprocs(nprocs)
+        kwargs = kwargs or {}
+        ctx = self._ctx
+        queues = [ctx.SimpleQueue() for _ in range(nprocs)]
+        result_q = ctx.Queue()
+        procs = [
+            ctx.Process(
+                target=_worker,
+                args=(pid, nprocs, program, args, kwargs, queues, result_q),
+                name=f"bsp-{pid}",
+                daemon=True,
+            )
+            for pid in range(nprocs)
+        ]
+        t0 = time.perf_counter()
+        for proc in procs:
+            proc.start()
+
+        outcomes: list[tuple[str, Any, Any] | None] = [None] * nprocs
+        try:
+            for _ in range(nprocs):
+                try:
+                    tag, pid, a, b = result_q.get(timeout=self._join_timeout)
+                except Exception as exc:
+                    raise SynchronizationError(
+                        f"timed out after {self._join_timeout}s waiting for "
+                        "worker results (deadlocked BSP program?)"
+                    ) from exc
+                outcomes[pid] = (tag, a, b)
+        finally:
+            for proc in procs:
+                proc.join(timeout=5.0)
+            for proc in procs:
+                if proc.is_alive():  # pragma: no cover - only on deadlock
+                    proc.terminate()
+                    proc.join()
+        wall = time.perf_counter() - t0
+
+        for pid, outcome in enumerate(outcomes):
+            if outcome is not None and outcome[0] == "error":
+                raise VirtualProcessorError(pid, outcome[1])
+        missing = [pid for pid, o in enumerate(outcomes) if o is None or o[0] != "ok"]
+        if missing:
+            raise SynchronizationError(
+                f"workers {missing} did not complete (aborted or lost)"
+            )
+        results = [outcome[1] for outcome in outcomes]  # type: ignore[index]
+        ledgers = [outcome[2] for outcome in outcomes]  # type: ignore[index]
+        return BackendRun(results=results, ledgers=ledgers, wall_seconds=wall)

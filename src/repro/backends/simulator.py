@@ -1,0 +1,180 @@
+"""Deterministic serialized backend — the paper's measurement instrument.
+
+The paper measured work depth ``W`` and total work "by simulating the
+parallel computation on a single processor using an IPC shared-memory
+implementation of our library" (Section 3).  This backend is that
+instrument: the ``p`` virtual processors run one at a time, in pid order,
+each executing from one superstep boundary to the next before the scheduler
+moves on.  Consequences:
+
+* execution is fully deterministic (given deterministic program code), so
+  the measured ``H`` and ``S`` are exact and repeatable;
+* per-processor work times are uncontended wall-clock on a single core —
+  the cleanest available proxy for the paper's per-processor ``w_i``;
+* there is no actual parallelism: wall-clock of a simulator run is the
+  *total* work, not the work depth.  Speed-ups are obtained by feeding the
+  measured (W, H, S) to the cost model, never from simulator wall-clock.
+
+Implementation: each virtual processor runs on its own thread, but a
+turn-taking token guarantees exactly one is ever runnable; the scheduler
+(on the calling thread) resumes them round-robin within each superstep and
+routes packets once all have reached the barrier.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from typing import Any, Sequence
+
+from ..core.api import Bsp
+from ..core.errors import SynchronizationError, VirtualProcessorError
+from ..core.packets import Packet
+from ..core.stats import VPLedger
+from .base import Backend, BackendRun, Program, route_packets
+
+_RUNNING = "running"
+_SYNCED = "synced"
+_DONE = "done"
+_FAILED = "failed"
+
+
+class _Abort(BaseException):
+    """Unwinds a virtual-processor thread after another one failed."""
+
+
+class _SimWorker:
+    """One virtual processor: thread + handshake events + mailbox."""
+
+    def __init__(self, pid: int):
+        self.pid = pid
+        self.go = threading.Event()
+        self.outbox: list[Packet] = []
+        self.inbox: list[Packet] = []
+        self.state = _RUNNING
+        self.result: Any = None
+        self.error_text = ""
+        self.error: BaseException | None = None
+        self.ledger: VPLedger | None = None
+        self.thread: threading.Thread | None = None
+
+
+class _SimChannel:
+    """ExchangeChannel wired to the scheduler's turn-taking protocol."""
+
+    def __init__(self, worker: _SimWorker, done: threading.Event, abort: threading.Event):
+        self._worker = worker
+        self._done = done
+        self._abort = abort
+
+    def exchange(self, pid: int, step: int, outbox: list[Packet]) -> list[Packet]:
+        worker = self._worker
+        worker.outbox = outbox
+        worker.state = _SYNCED
+        worker.go.clear()
+        self._done.set()          # yield to the scheduler
+        worker.go.wait()          # resumed for the next superstep
+        if self._abort.is_set():
+            raise _Abort()
+        worker.state = _RUNNING
+        inbox, worker.inbox = worker.inbox, []
+        return inbox
+
+
+class SimulatorBackend(Backend):
+    """Serialized deterministic execution of all virtual processors."""
+
+    name = "simulator"
+
+    def run(
+        self,
+        program: Program,
+        nprocs: int,
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> BackendRun:
+        self.check_nprocs(nprocs)
+        kwargs = kwargs or {}
+        abort = threading.Event()
+        yielded = threading.Event()
+        workers = [_SimWorker(pid) for pid in range(nprocs)]
+
+        def body(worker: _SimWorker) -> None:
+            worker.go.wait()
+            if abort.is_set():
+                return
+            channel = _SimChannel(worker, yielded, abort)
+            bsp = Bsp(worker.pid, nprocs, channel)
+            try:
+                worker.result = program(bsp, *args, **kwargs)
+                worker.ledger = bsp._finish()
+                worker.state = _DONE
+            except _Abort:
+                worker.state = _FAILED
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                worker.error = exc
+                worker.error_text = traceback.format_exc()
+                worker.state = _FAILED
+            finally:
+                yielded.set()
+
+        for worker in workers:
+            worker.thread = threading.Thread(
+                target=body, args=(worker,), name=f"bsp-sim-{worker.pid}", daemon=True
+            )
+            worker.thread.start()
+
+        t0 = time.perf_counter()
+        try:
+            self._schedule(workers, yielded, abort, nprocs)
+        finally:
+            abort.set()
+            for worker in workers:
+                worker.go.set()
+            for worker in workers:
+                assert worker.thread is not None
+                worker.thread.join()
+        wall = time.perf_counter() - t0
+
+        results = [w.result for w in workers]
+        ledgers = [w.ledger for w in workers]
+        assert all(ledger is not None for ledger in ledgers)
+        return BackendRun(results=results, ledgers=ledgers, wall_seconds=wall)
+
+    def _schedule(
+        self,
+        workers: list[_SimWorker],
+        yielded: threading.Event,
+        abort: threading.Event,
+        nprocs: int,
+    ) -> None:
+        active = list(workers)
+        while active:
+            # Run each still-active processor up to its next boundary.
+            for worker in active:
+                yielded.clear()
+                worker.go.set()
+                yielded.wait()
+                if worker.state == _FAILED:
+                    abort.set()
+                    raise VirtualProcessorError(
+                        worker.pid, worker.error_text, worker.error
+                    )
+            synced = [w for w in active if w.state == _SYNCED]
+            done = [w for w in active if w.state == _DONE]
+            if synced and done:
+                abort.set()
+                raise SynchronizationError(
+                    f"processors {[w.pid for w in done]} finished while "
+                    f"processors {[w.pid for w in synced]} are waiting at the "
+                    "barrier; every processor must call sync() the same "
+                    "number of times"
+                )
+            if not synced:
+                return  # all done
+            inboxes = route_packets([w.outbox for w in synced], nprocs)
+            for worker in synced:
+                worker.outbox = []
+                worker.inbox = inboxes[worker.pid]
+            active = synced

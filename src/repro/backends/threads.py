@@ -1,0 +1,193 @@
+"""Thread backend — the shared-memory library version (Appendix B.1).
+
+One OS thread per virtual processor, all runnable concurrently.  As in the
+paper's shared-memory implementation, communication goes through *two
+alternating input-buffer sets* indexed by superstep parity: a sender
+deposits its packets (pre-bucketed by destination) in its own slot of the
+current parity's buffer set, everyone synchronizes, and receivers then read
+every sender's slot.  The parity alternation is what lets superstep ``i+1``
+writes proceed while stragglers may conceptually still hold superstep ``i``
+data — the same trick as the paper's two large input buffers.  Because each
+sender writes only its own slot, no locks are needed beyond the barrier
+(the paper needed locks only because its processes shared one buffer).
+
+The barrier is a *vanishing* barrier: a processor that returns from its
+program leaves the party, so remaining processors can keep synchronizing.
+(If they do, the ledgers will disagree on superstep counts and the stats
+merge reports the program bug; a correct BSP program has every processor
+sync the same number of times.)
+
+CPython's GIL serializes pure-Python compute, so this backend demonstrates
+*semantics* and I/O concurrency rather than compute speed-up; NumPy kernels
+do release the GIL and overlap.  Performance reproduction uses the cost
+model on simulator-measured (W, H, S) — see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from collections import defaultdict
+from typing import Any, Sequence
+
+from ..core.api import Bsp
+from ..core.errors import SynchronizationError, VirtualProcessorError
+from ..core.packets import Packet
+from ..core.stats import VPLedger
+from .base import Backend, BackendRun, Program
+
+
+class _Abort(BaseException):
+    """Unwinds worker threads after a peer failed."""
+
+
+class VanishingBarrier:
+    """A cyclic barrier whose party count shrinks as members leave.
+
+    ``wait()`` blocks until every *current* party has arrived; ``leave()``
+    permanently removes the caller from the party (and releases a waiting
+    cohort that is now complete); ``abort()`` breaks the barrier, waking all
+    waiters with :class:`SynchronizationError`.
+    """
+
+    def __init__(self, parties: int):
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self._cond = threading.Condition()
+        self._parties = parties
+        self._waiting = 0
+        self._generation = 0
+        self._broken = False
+
+    def wait(self) -> None:
+        with self._cond:
+            if self._broken:
+                raise SynchronizationError("barrier is broken")
+            generation = self._generation
+            self._waiting += 1
+            if self._waiting == self._parties:
+                self._release()
+                return
+            while generation == self._generation and not self._broken:
+                self._cond.wait()
+            if self._broken:
+                raise SynchronizationError("barrier broken while waiting")
+
+    def leave(self) -> None:
+        with self._cond:
+            self._parties -= 1
+            if 0 < self._parties == self._waiting:
+                self._release()
+
+    def abort(self) -> None:
+        with self._cond:
+            self._broken = True
+            self._cond.notify_all()
+
+    def _release(self) -> None:
+        self._waiting = 0
+        self._generation += 1
+        self._cond.notify_all()
+
+    @property
+    def parties(self) -> int:
+        with self._cond:
+            return self._parties
+
+
+#: A sender's deposit: (superstep stamp, {dst: [packets]}).
+_Slot = tuple[int, dict[int, list[Packet]]]
+
+
+class _ThreadShared:
+    """Double-buffered mailbox slots + the superstep barrier."""
+
+    def __init__(self, nprocs: int):
+        self.nprocs = nprocs
+        empty: _Slot = (-1, {})
+        self.slots: list[list[_Slot]] = [
+            [empty] * nprocs for _ in range(2)
+        ]
+        self.barrier = VanishingBarrier(nprocs)
+
+
+class _ThreadChannel:
+    """Per-processor view of the shared mailbox structure."""
+
+    def __init__(self, shared: _ThreadShared, abort: threading.Event):
+        self._shared = shared
+        self._abort = abort
+
+    def exchange(self, pid: int, step: int, outbox: list[Packet]) -> list[Packet]:
+        shared = self._shared
+        buckets: dict[int, list[Packet]] = defaultdict(list)
+        for pkt in outbox:
+            buckets[pkt.dst].append(pkt)
+        parity = step % 2
+        shared.slots[parity][pid] = (step, dict(buckets))
+        try:
+            shared.barrier.wait()
+        except SynchronizationError:
+            raise _Abort() from None
+        if self._abort.is_set():
+            raise _Abort()
+        inbox: list[Packet] = []
+        for src in range(shared.nprocs):
+            stamp, by_dst = shared.slots[parity][src]
+            if stamp == step:
+                inbox.extend(by_dst.get(pid, ()))
+        return inbox
+
+
+class ThreadBackend(Backend):
+    """Concurrent threads with double-buffered shared mailboxes."""
+
+    name = "threads"
+
+    def run(
+        self,
+        program: Program,
+        nprocs: int,
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> BackendRun:
+        self.check_nprocs(nprocs)
+        kwargs = kwargs or {}
+        shared = _ThreadShared(nprocs)
+        abort = threading.Event()
+        results: list[Any] = [None] * nprocs
+        ledgers: list[VPLedger | None] = [None] * nprocs
+        errors: list[tuple[int, str, BaseException] | None] = [None] * nprocs
+
+        def body(pid: int) -> None:
+            channel = _ThreadChannel(shared, abort)
+            bsp = Bsp(pid, nprocs, channel)
+            try:
+                results[pid] = program(bsp, *args, **kwargs)
+                ledgers[pid] = bsp._finish()
+                shared.barrier.leave()
+            except _Abort:
+                pass
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                errors[pid] = (pid, traceback.format_exc(), exc)
+                abort.set()
+                shared.barrier.abort()
+
+        threads = [
+            threading.Thread(target=body, args=(pid,), name=f"bsp-{pid}", daemon=True)
+            for pid in range(nprocs)
+        ]
+        t0 = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - t0
+
+        for entry in errors:
+            if entry is not None:
+                pid, text, exc = entry
+                raise VirtualProcessorError(pid, text, exc)
+        assert all(ledger is not None for ledger in ledgers)
+        return BackendRun(results=results, ledgers=list(ledgers), wall_seconds=wall)

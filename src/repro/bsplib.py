@@ -1,0 +1,221 @@
+"""A BSPlib-flavoured adapter over the Green BSP core.
+
+The Green BSP library predates BSPlib (Hill et al., 1998), but the
+standard that grew out of this family of libraries is BSPlib, and most
+surviving BSP code is written against its vocabulary.  This module lets
+such code run on repro's backends with minimal translation:
+
+=====================  ==========================================
+BSPlib                 repro.bsplib
+=====================  ==========================================
+``bsp_pid()``          ``ctx.pid``
+``bsp_nprocs()``       ``ctx.nprocs``
+``bsp_sync()``         ``ctx.sync()``
+``bsp_send(pid, tag,   ``ctx.bsp_send(pid, tag, payload)``
+  payload)``
+``bsp_qsize()``        ``ctx.qsize()``
+``bsp_get_tag()``      ``ctx.get_tag()``
+``bsp_move()``         ``ctx.move()``
+``bsp_push_reg/put/    ``ctx.push_reg(array)`` / ``ctx.put(...)`` /
+  get/pop_reg``          ``ctx.get(...)`` / ``ctx.pop_reg(h)``
+``bsp_time()``         ``ctx.time()``
+=====================  ==========================================
+
+Semantics follow BSPlib's *buffered* (safe) variants: ``put`` copies on
+call and lands at the next sync; ``get`` reads the source as of the next
+sync and materializes after it (one extra barrier, as in
+:mod:`repro.core.drma`, which supplies the registration machinery).
+BSMP (``bsp_send``/``bsp_move``) delivers tagged messages after the sync,
+in deterministic order.
+
+``bsp_sync`` here always costs **two** core supersteps — the DRMA
+request/reply round trip — so S in the statistics is twice the BSPlib
+superstep count plus one.  BSPlib-on-shared-memory avoids that; the gap
+is the same one the paper notes between the Oxford and Green libraries.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from .core.api import Bsp
+from .core.drma import Drma, GetFuture
+from .core.errors import BspUsageError
+from .core.runtime import BspRunResult, bsp_run
+
+
+class BsplibContext:
+    """Per-processor BSPlib-style facade over a :class:`Bsp` context."""
+
+    def __init__(self, bsp: Bsp):
+        self._bsp = bsp
+        self._drma = Drma(bsp)
+        self._queue: deque[tuple[Any, Any]] = deque()
+        self._pending_gets: list[tuple[GetFuture, np.ndarray, int]] = []
+        self._t0 = time.perf_counter()
+
+    # -- SPMD inquiry -----------------------------------------------------
+
+    @property
+    def pid(self) -> int:
+        """``bsp_pid()``."""
+        return self._bsp.pid
+
+    @property
+    def nprocs(self) -> int:
+        """``bsp_nprocs()``."""
+        return self._bsp.nprocs
+
+    def time(self) -> float:
+        """``bsp_time()``: elapsed seconds on this processor."""
+        return time.perf_counter() - self._t0
+
+    # -- BSMP (tagged message passing) --------------------------------------
+
+    def bsp_send(self, pid: int, tag: Any, payload: Any) -> None:
+        """``bsp_send``: queue a tagged message for delivery at the sync."""
+        self._bsp.send(pid, ("bsmp", tag, payload))
+
+    def qsize(self) -> int:
+        """``bsp_qsize()``: number of undelivered received messages."""
+        return len(self._queue)
+
+    def get_tag(self) -> Any | None:
+        """``bsp_get_tag()``: tag of the head message (None when empty)."""
+        if not self._queue:
+            return None
+        return self._queue[0][0]
+
+    def move(self) -> Any | None:
+        """``bsp_move()``: pop and return the head message's payload."""
+        if not self._queue:
+            return None
+        return self._queue.popleft()[1]
+
+    def messages(self) -> list[tuple[Any, Any]]:
+        """Drain all queued (tag, payload) pairs (convenience)."""
+        out = list(self._queue)
+        self._queue.clear()
+        return out
+
+    # -- DRMA ---------------------------------------------------------------
+
+    def push_reg(self, array: np.ndarray) -> int:
+        """``bsp_push_reg``: register a 1-D array; returns its handle.
+
+        Must be called collectively in the same order everywhere,
+        matching BSPlib's registration sequence semantics.
+        """
+        return self._drma.register(array)
+
+    def pop_reg(self, handle: int) -> None:
+        """``bsp_pop_reg``: registration is positional and permanent in
+        this adapter; popping is accepted and ignored (documented
+        divergence — reuse of popped slots is not supported)."""
+
+    def put(self, pid: int, handle: int, values: Any, offset: int = 0
+            ) -> None:
+        """``bsp_put`` (buffered): lands at the next :meth:`sync`."""
+        self._drma.put(pid, handle, values, offset)
+
+    def get(self, pid: int, handle: int, offset: int, length: int
+            ) -> GetFuture:
+        """``bsp_get`` (buffered): value is available after :meth:`sync`."""
+        return self._drma.get(pid, handle, offset, length)
+
+    def hpput(self, pid: int, handle: int, values: Any, offset: int = 0
+              ) -> None:
+        """``bsp_hpput``: in this adapter identical to the safe put (no
+        unbuffered fast path exists on a message-passing substrate)."""
+        self.put(pid, handle, values, offset)
+
+    # -- synchronization ------------------------------------------------------
+
+    def sync(self) -> None:
+        """``bsp_sync()``: one BSPlib superstep (= two core supersteps).
+
+        Delivers puts, serves gets, and makes BSMP messages available via
+        :meth:`move` in deterministic (sender, order) sequence.
+        """
+        bsmp: list[tuple[Any, Any]] = []
+
+        # The DRMA layer's sync() consumes the packet stream; BSMP
+        # messages ride the same superstep, so intercept them first by
+        # wrapping the context's packet iterator.  Simplest correct
+        # approach: run the DRMA protocol manually around a tagged drain.
+        drma = self._drma
+        bsp = self._bsp
+        bsp.sync()
+        for pkt in bsp.packets():
+            tag = pkt.payload[0]
+            if tag == "bsmp":
+                bsmp.append((pkt.payload[1], pkt.payload[2]))
+            elif tag == "drma-put":
+                _, handle, offset, data = pkt.payload
+                target = drma._check_handle(handle)
+                drma._bounds(target, offset, len(data))
+                target[offset : offset + len(data)] = data
+            elif tag == "drma-getreq":
+                _, handle, offset, length, ticket = pkt.payload
+                source = drma._check_handle(handle)
+                drma._bounds(source, offset, length)
+                bsp.send(
+                    pkt.src,
+                    ("drma-getrep", ticket, source[offset:offset + length].copy()),
+                )
+            else:
+                raise BspUsageError(f"unexpected packet tag {tag!r}")
+        bsp.sync()
+        replies = {}
+        for pkt in bsp.packets():
+            tag, ticket, data = pkt.payload
+            if tag != "drma-getrep":
+                raise BspUsageError(
+                    "plain sends must not cross a bsplib sync boundary"
+                )
+            replies[ticket] = data
+        for ticket, future in drma._pending_gets:
+            if ticket not in replies:
+                raise BspUsageError(f"get ticket {ticket} missing its reply")
+            future._value = replies[ticket]
+            future._ready = True
+        drma._pending_gets.clear()
+        self._queue.extend(bsmp)
+
+
+@dataclass(frozen=True)
+class BsplibRun:
+    """Results of a bsplib program run."""
+
+    results: list[Any]
+    stats: Any
+
+    @classmethod
+    def from_core(cls, run: BspRunResult) -> "BsplibRun":
+        return cls(results=run.results, stats=run.stats)
+
+
+def bsp_begin(
+    program: Callable[..., Any],
+    nprocs: int,
+    *,
+    backend: str = "simulator",
+    args: Sequence[Any] = (),
+) -> BsplibRun:
+    """Run a BSPlib-style SPMD program: ``program(ctx, *args)``.
+
+    The name mirrors BSPlib's ``bsp_begin``; Python needs no matching
+    ``bsp_end`` — returning from the program ends the computation.
+    """
+
+    def wrapper(bsp: Bsp, *inner: Any) -> Any:
+        return program(BsplibContext(bsp), *inner)
+
+    return BsplibRun.from_core(
+        bsp_run(wrapper, nprocs, backend=backend, args=tuple(args))
+    )

@@ -1,0 +1,38 @@
+"""Collective operations built purely on Green BSP send/sync.
+
+The paper contrasts BSP with PVM/MPI precisely here (Section 1.3): rich
+libraries optimize each collective per machine, which "rules out any simple
+cost model", whereas BSP builds collectives from its two primitives and
+*costs them* with ``W + gH + LS``.  Each function documents its BSP cost so
+a programmer can pick variants from a machine's g and L — e.g. the
+two-phase broadcast trades an extra superstep (+L) for an h-relation that
+drops from ``(p-1)·m`` to ``~m + p``.
+"""
+
+from .ops import (
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    broadcast,
+    gather,
+    reduce,
+    scan,
+    scatter,
+    total_exchange,
+    tree_reduce,
+)
+
+__all__ = [
+    "allgather",
+    "allreduce",
+    "alltoall",
+    "barrier",
+    "broadcast",
+    "gather",
+    "reduce",
+    "scan",
+    "scatter",
+    "total_exchange",
+    "tree_reduce",
+]

@@ -1,0 +1,275 @@
+"""Collective operations built purely on Green BSP ``send``/``sync``.
+
+Every function takes the per-processor :class:`~repro.core.api.Bsp` context
+as its first argument, consumes one or more *whole supersteps*, and must be
+called by **all** processors in the same superstep.  Docstrings state each
+collective's BSP cost in terms of the message size ``m`` (in 16-byte
+packets) and processor count ``p``, so variants can be chosen from a
+machine's g and L exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Sequence, TypeVar
+
+from ..core.api import Bsp
+from ..core.errors import BspUsageError
+from ..core.packets import h_units
+
+T = TypeVar("T")
+
+
+def barrier(bsp: Bsp) -> None:
+    """Pure synchronization: one superstep, h = 0, cost ``L``."""
+    bsp.sync()
+
+
+def broadcast(
+    bsp: Bsp,
+    value: Any = None,
+    root: int = 0,
+    *,
+    two_phase: bool | None = None,
+) -> Any:
+    """Broadcast ``value`` from ``root`` to all processors.
+
+    Two variants, selectable with ``two_phase`` (default: pick by size):
+
+    * **one-stage** — root sends the whole value to everyone.
+      Cost: ``g·(p−1)·m + L`` (one superstep); best for small ``m`` or
+      large ``L``.
+    * **two-phase** — root scatters ``p`` slices, then everyone
+      all-gathers.  Cost: ``≈ 2·g·(m + p) + 2L`` (two supersteps); best
+      when ``m ≫ p`` and bandwidth dominates latency.  Only available for
+      values that slice like sequences/bytes; the value is delivered
+      re-assembled.
+
+    Returns the broadcast value on every processor.
+    """
+    p = bsp.nprocs
+    if not 0 <= root < p:
+        raise BspUsageError(f"broadcast root {root} out of range({p})")
+    if two_phase is None:
+        two_phase = (
+            bsp.pid == root
+            and isinstance(value, (bytes, bytearray, list, tuple))
+            and h_units(value) >= 4 * p
+        )
+        # All processors must agree on the variant; agreement costs one
+        # superstep, so auto-selection is only safe when the type is known
+        # root-side.  Broadcast the flag itself one-stage.
+        if bsp.pid == root:
+            for q in range(p):
+                if q != root:
+                    bsp.send(q, ("bcast-mode", two_phase))
+        bsp.sync()
+        if bsp.pid != root:
+            (pkt,) = list(bsp.packets())
+            two_phase = pkt.payload[1]
+        else:
+            list(bsp.packets())
+    if not two_phase:
+        if bsp.pid == root:
+            for q in range(p):
+                if q != root:
+                    bsp.send(q, value)
+        bsp.sync()
+        if bsp.pid == root:
+            list(bsp.packets())
+            return value
+        (pkt,) = list(bsp.packets())
+        return pkt.payload
+
+    # Two-phase: scatter slices, then allgather them.
+    if bsp.pid == root:
+        n = len(value)
+        bounds = [(k * n) // p for k in range(p + 1)]
+        slices = [value[bounds[k] : bounds[k + 1]] for k in range(p)]
+        kind = type(value)
+    else:
+        slices = None
+        kind = None
+    my_slice = scatter(bsp, slices, root=root)
+    parts = allgather(bsp, my_slice)
+    first = parts[0]
+    if isinstance(first, (bytes, bytearray)):
+        return type(first)().join(parts)
+    out: list[Any] = []
+    for part in parts:
+        out.extend(part)
+    return tuple(out) if isinstance(first, tuple) else out
+
+
+def scatter(bsp: Bsp, values: Sequence[Any] | None, root: int = 0) -> Any:
+    """Distribute ``values[q]`` from ``root`` to processor ``q``.
+
+    One superstep; root's h is ``sum_q m_q``.  ``values`` is only read on
+    the root (length must be ``p``); returns this processor's slice.
+    """
+    p = bsp.nprocs
+    if bsp.pid == root:
+        if values is None or len(values) != p:
+            raise BspUsageError(
+                f"scatter root needs exactly {p} values, got "
+                f"{None if values is None else len(values)}"
+            )
+        for q in range(p):
+            bsp.send(q, values[q])
+    bsp.sync()
+    (pkt,) = list(bsp.packets())
+    return pkt.payload
+
+
+def gather(bsp: Bsp, value: Any, root: int = 0) -> list[Any] | None:
+    """Collect one value per processor at ``root`` (pid order).
+
+    One superstep; root receives ``sum_q m_q``.  Returns the list on the
+    root, ``None`` elsewhere.
+    """
+    bsp.send(root, (bsp.pid, value))
+    bsp.sync()
+    if bsp.pid != root:
+        return None
+    out: list[Any] = [None] * bsp.nprocs
+    for pkt in bsp.packets():
+        pid, value = pkt.payload
+        out[pid] = value
+    return out
+
+
+def allgather(bsp: Bsp, value: Any) -> list[Any]:
+    """Every processor ends with ``[value_0, ..., value_{p-1}]``.
+
+    One superstep, total exchange; h = ``(p−1)·m`` per processor.
+    """
+    for q in range(bsp.nprocs):
+        if q != bsp.pid:
+            bsp.send(q, (bsp.pid, value))
+    bsp.sync()
+    out: list[Any] = [None] * bsp.nprocs
+    out[bsp.pid] = value
+    for pkt in bsp.packets():
+        pid, payload = pkt.payload
+        out[pid] = payload
+    return out
+
+
+def alltoall(bsp: Bsp, values: Sequence[Any]) -> list[Any]:
+    """Personalized total exchange: processor ``i`` gets ``values_j[i]``.
+
+    ``values`` must have length ``p`` (entry ``q`` goes to processor
+    ``q``).  One superstep; h = ``sum_{q≠pid} m_q`` out per processor.
+    """
+    p = bsp.nprocs
+    if len(values) != p:
+        raise BspUsageError(f"alltoall needs exactly {p} values, got {len(values)}")
+    for q in range(p):
+        if q != bsp.pid:
+            bsp.send(q, (bsp.pid, values[q]))
+    bsp.sync()
+    out: list[Any] = [None] * p
+    out[bsp.pid] = values[bsp.pid]
+    for pkt in bsp.packets():
+        pid, payload = pkt.payload
+        out[pid] = payload
+    return out
+
+
+#: Alias emphasizing the communication pattern the paper's g-benchmark uses.
+total_exchange = alltoall
+
+
+def reduce(
+    bsp: Bsp,
+    value: T,
+    op: Callable[[T, T], T],
+    root: int = 0,
+) -> T | None:
+    """Combine one value per processor with ``op`` at ``root``.
+
+    One superstep (gather then local fold): root's h is ``(p−1)·m``; the
+    fold is applied in pid order, so non-commutative ``op`` is safe as
+    long as it is associative.  Returns the result on root, ``None``
+    elsewhere.
+    """
+    values = gather(bsp, value, root=root)
+    if bsp.pid != root:
+        return None
+    assert values is not None
+    acc = values[0]
+    for item in values[1:]:
+        acc = op(acc, item)
+    return acc
+
+
+def allreduce(bsp: Bsp, value: T, op: Callable[[T, T], T]) -> T:
+    """Combine values with ``op``; every processor gets the result.
+
+    Implemented as a symmetric all-gather + local fold: **one** superstep
+    with h = ``(p−1)·m``, versus two supersteps for reduce-then-broadcast.
+    For the small values typical of convergence flags this is the right
+    trade on every paper machine (L ≫ g·p·m).
+    """
+    values = allgather(bsp, value)
+    acc = values[0]
+    for item in values[1:]:
+        acc = op(acc, item)
+    return acc
+
+
+def scan(bsp: Bsp, value: T, op: Callable[[T, T], T]) -> T:
+    """Inclusive prefix combine: processor ``i`` gets ``op``-fold of
+    ``value_0 .. value_i``.
+
+    One superstep: each processor sends its value to all *higher* pids
+    (h ≤ ``(p−1)·m``) and folds what it receives in pid order.
+    """
+    for q in range(bsp.pid + 1, bsp.nprocs):
+        bsp.send(q, (bsp.pid, value))
+    bsp.sync()
+    received = sorted((pkt.payload for pkt in bsp.packets()), key=lambda kv: kv[0])
+    acc: T | None = None
+    for _, item in received:
+        acc = item if acc is None else op(acc, item)
+    return value if acc is None else op(acc, value)
+
+
+def tree_reduce(
+    bsp: Bsp,
+    value: T,
+    op: Callable[[T, T], T],
+    *,
+    fanin: int = 2,
+) -> T | None:
+    """Tree reduction to processor 0 in ``ceil(log_fanin p)`` supersteps.
+
+    Cost: ``log_fanin(p) · (g·(fanin−1)·m + L)``.  Beats the flat
+    :func:`reduce` when ``g·p·m > log(p)·L`` — i.e. for large messages on
+    low-latency machines (the SGI column of Figure 2.1); the flat version
+    wins on the Cenju/PC-LAN latency profiles.  Provided for the
+    collectives ablation benchmark.
+    """
+    if fanin < 2:
+        raise BspUsageError(f"fanin must be >= 2, got {fanin}")
+    p = bsp.nprocs
+    acc = value
+    stride = 1
+    rounds = max(1, math.ceil(math.log(p, fanin))) if p > 1 else 0
+    for _ in range(rounds):
+        group = stride * fanin
+        if bsp.pid % group != 0:
+            parent = (bsp.pid // group) * group
+            if bsp.pid % stride == 0:
+                bsp.send(parent, (bsp.pid, acc))
+            bsp.sync()
+            list(bsp.packets())
+        else:
+            bsp.sync()
+            received = sorted(
+                (pkt.payload for pkt in bsp.packets()), key=lambda kv: kv[0]
+            )
+            for _, item in received:
+                acc = op(acc, item)
+        stride = group
+    return acc if bsp.pid == 0 else None

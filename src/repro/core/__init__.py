@@ -1,0 +1,15 @@
+"""Core Green BSP machinery: API, packets, statistics, cost model, runtime."""
+
+from .api import Bsp
+from .cost import breakdown, modeled_speedup, predict_comm_seconds, predict_seconds
+from .machines import CENJU, PC_LAN, SGI, MachineProfile
+from .packets import PACKET_BYTES, Packet, PacketCodec, h_units
+from .runtime import BspRunResult, bsp_run
+from .stats import ProgramStats, VPLedger
+
+__all__ = [
+    "Bsp", "BspRunResult", "CENJU", "MachineProfile", "PACKET_BYTES",
+    "PC_LAN", "Packet", "PacketCodec", "ProgramStats", "SGI", "VPLedger",
+    "breakdown", "bsp_run", "h_units", "modeled_speedup",
+    "predict_comm_seconds", "predict_seconds",
+]

@@ -1,0 +1,260 @@
+"""The per-processor Green BSP programming interface.
+
+A BSP program is a plain Python callable ``program(bsp, *args, **kwargs)``
+executed once per virtual processor; ``bsp`` is the :class:`Bsp` context for
+that processor.  The API mirrors the three core calls of the paper's
+Appendix A —
+
+=====================  =======================================
+paper (C)              this library
+=====================  =======================================
+``bspSendPkt(d, pkt)`` ``bsp.send(d, payload)`` / ``bsp.send_pkt``
+``bspGetPkt()``        ``bsp.get_pkt()`` (or ``for pkt in bsp.packets()``)
+``bspSynch()``         ``bsp.sync()`` / ``bsp.synch()``
+=====================  =======================================
+
+plus the auxiliary calls the paper mentions (process id, processor count,
+count of unreceived packets).  Delivery semantics are the paper's: a packet
+sent in superstep *i* is available after the sync that ends superstep *i*,
+packets may be retrieved in arbitrary order (the runtime's order is
+deterministic, but programs must not rely on it), and packets left unread
+when the *next* sync completes are dropped.
+
+The context also performs the ledger accounting (work seconds, h-units
+sent/received per superstep) that feeds :class:`~repro.core.stats.ProgramStats`
+and the cost model.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Callable, Iterator, Protocol
+
+from .errors import BspUsageError
+from .packets import Packet, delivery_order, h_units
+from .stats import VPLedger
+
+
+class ExchangeChannel(Protocol):
+    """What a backend must provide to a :class:`Bsp` context.
+
+    ``exchange`` implements one superstep boundary: it takes the packets the
+    processor sent during the superstep that is ending, blocks until all
+    peers reach the same boundary, and returns the packets addressed to this
+    processor that were sent during that superstep.
+    """
+
+    def exchange(self, pid: int, step: int, outbox: list[Packet]) -> list[Packet]:
+        ...  # pragma: no cover - protocol
+
+
+class Bsp:
+    """Green BSP context bound to one virtual processor.
+
+    Created by a backend; user programs only consume it.  Not thread-safe:
+    each context belongs to exactly one virtual processor.
+    """
+
+    __slots__ = (
+        "_pid",
+        "_nprocs",
+        "_channel",
+        "_ledger",
+        "_sample",
+        "_inbox",
+        "_outbox",
+        "_step",
+        "_seq",
+        "_t0",
+        "_finished",
+        "_clock",
+    )
+
+    def __init__(
+        self,
+        pid: int,
+        nprocs: int,
+        channel: ExchangeChannel,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if not 0 <= pid < nprocs:
+            raise BspUsageError(f"pid {pid} out of range for nprocs {nprocs}")
+        self._pid = pid
+        self._nprocs = nprocs
+        self._channel = channel
+        self._clock = clock
+        self._ledger = VPLedger(pid)
+        self._sample = self._ledger.begin_superstep()
+        self._inbox: deque[Packet] = deque()
+        self._outbox: list[Packet] = []
+        self._step = 0
+        self._seq = 0
+        self._finished = False
+        self._t0 = clock()
+
+    # -- identity ---------------------------------------------------------
+
+    @property
+    def pid(self) -> int:
+        """This virtual processor's id in ``range(nprocs)``."""
+        return self._pid
+
+    @property
+    def nprocs(self) -> int:
+        """Number of virtual processors in the run."""
+        return self._nprocs
+
+    @property
+    def superstep(self) -> int:
+        """Index of the current superstep (0-based)."""
+        return self._step
+
+    # -- sending ----------------------------------------------------------
+
+    def send(self, dst: int, payload: Any, *, h: int | None = None) -> None:
+        """Queue ``payload`` for delivery to processor ``dst`` next superstep.
+
+        ``h`` overrides the h-unit charge (16-byte packet count) for the
+        message; by default it is derived from the payload's size via
+        :func:`repro.core.packets.h_units`.
+        """
+        self._check_live()
+        if not 0 <= dst < self._nprocs:
+            raise BspUsageError(
+                f"destination {dst} out of range for nprocs {self._nprocs}"
+            )
+        cost = h_units(payload) if h is None else h
+        pkt = Packet(src=self._pid, dst=dst, payload=payload, h=cost, seq=self._seq)
+        self._seq += 1
+        self._outbox.append(pkt)
+        self._sample.h_sent += pkt.h
+        self._sample.msgs_sent += 1
+
+    def send_pkt(self, dst: int, payload: Any) -> None:
+        """Paper-faithful alias of :meth:`send` (``bspSendPkt``)."""
+        self.send(dst, payload)
+
+    def broadcast_send(self, payload: Any, *, include_self: bool = False) -> None:
+        """Send ``payload`` to every (other) processor — a convenience for
+        one-superstep broadcasts; charged ``(p-1)`` (or ``p``) times ``h``."""
+        for q in range(self._nprocs):
+            if include_self or q != self._pid:
+                self.send(q, payload)
+
+    # -- receiving --------------------------------------------------------
+
+    def get_pkt(self) -> Packet | None:
+        """Return the next delivered packet, or ``None`` when drained.
+
+        Mirrors ``bspGetPkt``; only packets sent in the immediately
+        preceding superstep are available.
+        """
+        self._check_live()
+        if self._inbox:
+            return self._inbox.popleft()
+        return None
+
+    def packets(self) -> Iterator[Packet]:
+        """Iterate over (and consume) the packets delivered at the last sync."""
+        while True:
+            pkt = self.get_pkt()
+            if pkt is None:
+                return
+            yield pkt
+
+    def payloads(self) -> Iterator[Any]:
+        """Like :meth:`packets` but yields just the payloads."""
+        for pkt in self.packets():
+            yield pkt.payload
+
+    @property
+    def npackets(self) -> int:
+        """Number of delivered-but-unread packets (paper's aux call)."""
+        return len(self._inbox)
+
+    # -- synchronization ---------------------------------------------------
+
+    def sync(self) -> None:
+        """End the current superstep (``bspSynch``).
+
+        Blocks until every virtual processor reaches the same boundary; on
+        return, the packets sent to this processor during the superstep
+        that just ended are available via :meth:`get_pkt`.  Packets from
+        the *previous* superstep still unread are discarded.
+        """
+        self._check_live()
+        self._sample.work_seconds += self._clock() - self._t0
+        outbox, self._outbox = self._outbox, []
+        inbound = self._channel.exchange(self._pid, self._step, outbox)
+        self._sample.h_recv = sum(p.h for p in inbound)
+        self._sample.msgs_recv = len(inbound)
+        self._inbox = deque(delivery_order(inbound))
+        self._step += 1
+        self._seq = 0
+        self._sample = self._ledger.begin_superstep()
+        self._t0 = self._clock()
+
+    def synch(self) -> None:
+        """Paper-faithful alias of :meth:`sync`."""
+        self.sync()
+
+    # -- instrumentation ----------------------------------------------------
+
+    def charge(self, units: float) -> None:
+        """Accumulate abstract work units on the current superstep.
+
+        Purely an instrumentation hook: lets applications report
+        host-independent operation counts alongside measured seconds.
+        """
+        self._sample.charged += units
+
+    def off_clock(self) -> "_OffClock":
+        """Context manager excluding a code block from work measurement.
+
+        Used by harness code (input distribution, verification) that runs
+        inside the program body but is not part of the algorithm being
+        costed — the paper's experiments likewise exclude I/O.
+        """
+        return _OffClock(self)
+
+    # -- lifecycle (backend-internal) ---------------------------------------
+
+    def _finish(self) -> VPLedger:
+        """Close the ledger at program end.  Called by backends only."""
+        if self._finished:
+            raise BspUsageError("Bsp context finished twice")
+        if self._outbox:
+            raise BspUsageError(
+                f"pid {self._pid}: program ended with {len(self._outbox)} "
+                "unsent packet(s) queued; every send() must be followed by "
+                "a sync() before the program returns"
+            )
+        self._sample.work_seconds += self._clock() - self._t0
+        self._finished = True
+        return self._ledger
+
+    def _check_live(self) -> None:
+        if self._finished:
+            raise BspUsageError("Bsp context used after program end")
+
+
+class _OffClock:
+    """Pause work-time measurement for the enclosed block."""
+
+    __slots__ = ("_bsp", "_t")
+
+    def __init__(self, bsp: Bsp):
+        self._bsp = bsp
+        self._t = 0.0
+
+    def __enter__(self) -> None:
+        bsp = self._bsp
+        bsp._sample.work_seconds += bsp._clock() - bsp._t0
+        return None
+
+    def __exit__(self, *exc: object) -> None:
+        bsp = self._bsp
+        bsp._t0 = bsp._clock()
+        return None

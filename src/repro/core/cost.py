@@ -1,0 +1,157 @@
+"""The BSP cost function ``T = W + gH + LS`` and prediction helpers.
+
+Equation (1) of the paper assigns a superstep the cost ``w_i + g*h_i + L``
+and a program the cost ``W + gH + LS``.  Given a :class:`ProgramStats`
+(measured by any backend) and a :class:`MachineProfile` (Figure 2.1), these
+functions produce the paper's *predicted* times, their communication-only
+component (the dotted series of Figure 1.1), and modeled speed-ups.
+
+Work depths measured on this host are transplanted to a paper machine by a
+multiplicative ``work_scale`` — either the machine profile's default or a
+per-application override, mirroring how the paper *estimated* Cenju and
+PC-LAN work depths from SGI measurements (Appendix C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import CostModelError
+from .machines import MachineProfile
+from .stats import ProgramStats
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Predicted time split into the three BSP terms (seconds)."""
+
+    work: float        # W (after work_scale)
+    bandwidth: float   # g * H
+    latency: float     # L * S
+
+    @property
+    def total(self) -> float:
+        return self.work + self.bandwidth + self.latency
+
+    @property
+    def comm(self) -> float:
+        """Communication + synchronization share, gH + LS (Fig 1.1)."""
+        return self.bandwidth + self.latency
+
+
+def breakdown(
+    stats: ProgramStats,
+    machine: MachineProfile,
+    *,
+    work_scale: float | None = None,
+) -> CostBreakdown:
+    """Cost-model terms for ``stats`` executed on ``machine``.
+
+    ``work_scale`` overrides the machine's default relative CPU speed; the
+    per-application benchmark harnesses pass the ratio of the paper's
+    1-processor time on that machine to the SGI's, as the paper did.
+    """
+    p = stats.nprocs
+    if not machine.supports(p):
+        raise CostModelError(
+            f"{machine.name} has no parameters for {p} processors"
+        )
+    scale = machine.work_scale if work_scale is None else work_scale
+    if scale <= 0:
+        raise CostModelError(f"work_scale must be positive, got {scale}")
+    return CostBreakdown(
+        work=stats.W * scale,
+        bandwidth=machine.g(p) * stats.H,
+        latency=machine.L(p) * stats.S,
+    )
+
+
+def predict_seconds(
+    stats: ProgramStats,
+    machine: MachineProfile,
+    *,
+    work_scale: float | None = None,
+) -> float:
+    """Predicted execution time ``W + gH + LS`` in seconds."""
+    return breakdown(stats, machine, work_scale=work_scale).total
+
+
+def predict_comm_seconds(
+    stats: ProgramStats,
+    machine: MachineProfile,
+) -> float:
+    """Predicted communication+synchronization time ``gH + LS``."""
+    return breakdown(stats, machine).comm
+
+
+def superstep_costs(
+    stats: ProgramStats,
+    machine: MachineProfile,
+    *,
+    work_scale: float | None = None,
+) -> list[float]:
+    """Per-superstep predicted costs ``w_i + g*h_i + L`` (seconds).
+
+    Summing this list equals :func:`predict_seconds` — the model is linear —
+    but the per-superstep series is what identifies *which* phase of a
+    program a machine's latency hurts.
+    """
+    p = stats.nprocs
+    if not machine.supports(p):
+        raise CostModelError(
+            f"{machine.name} has no parameters for {p} processors"
+        )
+    scale = machine.work_scale if work_scale is None else work_scale
+    g, L = machine.g(p), machine.L(p)
+    return [s.w * scale + g * s.h + L for s in stats.supersteps]
+
+
+def modeled_speedup(
+    seq_stats: ProgramStats,
+    par_stats: ProgramStats,
+    machine: MachineProfile,
+    *,
+    work_scale: float | None = None,
+) -> float:
+    """Speed-up predicted by the cost model: ``T_pred(1) / T_pred(p)``.
+
+    ``seq_stats`` must come from a 1-processor run of the *same program*
+    (the paper's speed-up definition: same code, p=1).
+    """
+    if seq_stats.nprocs != 1:
+        raise CostModelError(
+            f"sequential stats must have nprocs=1, got {seq_stats.nprocs}"
+        )
+    t1 = predict_seconds(seq_stats, machine, work_scale=work_scale)
+    tp = predict_seconds(par_stats, machine, work_scale=work_scale)
+    if tp <= 0:
+        raise CostModelError("predicted parallel time is not positive")
+    return t1 / tp
+
+
+def work_speedup(par_stats: ProgramStats) -> float:
+    """The paper's parenthesized speed-up: total work / work depth.
+
+    Figure 3.1 reports ``total_work(p) / time(p)`` next to the conventional
+    speed-up to flag superlinear artifacts (the parallel code doing *less*
+    total work than the 1-processor code).  On model terms this is
+    ``total_work / W``, the load-balance-limited speed-up, which can never
+    exceed p.
+    """
+    if par_stats.W <= 0:
+        raise CostModelError("work depth is not positive")
+    return par_stats.total_work / par_stats.W
+
+
+def efficiency(
+    seq_stats: ProgramStats,
+    par_stats: ProgramStats,
+    machine: MachineProfile,
+    *,
+    work_scale: float | None = None,
+) -> float:
+    """Modeled parallel efficiency, speed-up / p, in [0, ...)."""
+    return (
+        modeled_speedup(seq_stats, par_stats, machine, work_scale=work_scale)
+        / par_stats.nprocs
+    )

@@ -1,0 +1,178 @@
+"""Direct Remote Memory Access on top of Green BSP message passing.
+
+The paper (Section 1.3) contrasts two BSP library styles: the Oxford BSP
+library, which "allows a processor to directly access the memory of
+another processor" — well suited to static scientific codes — versus
+Green BSP's message passing, better suited to dynamic applications.  This
+module shows the former is a thin layer over the latter: BSPlib-style
+buffered ``put``/``get`` on *registered* NumPy arrays, implemented purely
+with ``send``/``sync``.
+
+Semantics (buffered, as in BSPlib's safe variants):
+
+* :meth:`Drma.register` — collective; every processor registers its local
+  array in the same order, producing a common handle.
+* :meth:`Drma.put` — copy local values now; they land in the remote array
+  when the superstep ends.
+* :meth:`Drma.get` — request remote values; they are returned by the
+  *following* :meth:`Drma.sync` (gets need a request/reply round trip, so
+  a DRMA superstep costs two BSP supersteps — an honest accounting of
+  what one-sided access costs on a message-passing substrate, and exactly
+  the overhead the Oxford library avoids on shared memory).
+* :meth:`Drma.sync` — ends the superstep: applies incoming puts, serves
+  get requests, delivers get replies.
+
+Puts that race on the same cells resolve by sender pid order (highest pid
+wins, deterministically — programs should not rely on it, as with
+``bspGetPkt`` ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .api import Bsp
+from .errors import BspUsageError
+
+_PUT, _GETREQ, _GETREP = "drma-put", "drma-getreq", "drma-getrep"
+
+
+@dataclass
+class GetFuture:
+    """Value placeholder filled by the next :meth:`Drma.sync`."""
+
+    _value: np.ndarray | None = None
+    _ready: bool = False
+
+    def value(self) -> np.ndarray:
+        if not self._ready:
+            raise BspUsageError(
+                "get() result read before the next drma.sync()"
+            )
+        assert self._value is not None
+        return self._value
+
+
+@dataclass
+class Drma:
+    """One-sided access layer bound to a :class:`Bsp` context.
+
+    All processors must create it in the same superstep and call its
+    collective operations in lockstep.
+    """
+
+    bsp: Bsp
+    _arrays: list[np.ndarray] = field(default_factory=list)
+    _pending_gets: list[tuple[int, GetFuture]] = field(default_factory=list)
+    _tickets: int = 0
+
+    def register(self, array: np.ndarray) -> int:
+        """Collectively register a local 1-D array; returns its handle.
+
+        Registration is positional (BSPlib style): the k-th registration
+        on every processor names the same logical distributed variable.
+        Local registration only — costs no communication.
+        """
+        array = np.asarray(array)
+        if array.ndim != 1:
+            raise BspUsageError("registered arrays must be 1-D")
+        self._arrays.append(array)
+        return len(self._arrays) - 1
+
+    def _check_handle(self, handle: int) -> np.ndarray:
+        if not 0 <= handle < len(self._arrays):
+            raise BspUsageError(f"unknown DRMA handle {handle}")
+        return self._arrays[handle]
+
+    def put(
+        self,
+        dst_pid: int,
+        handle: int,
+        values: Any,
+        offset: int = 0,
+    ) -> None:
+        """Write ``values`` into ``array[offset:offset+len]`` on ``dst_pid``
+        at the end of this superstep.  Buffered: ``values`` is copied now.
+        """
+        self._check_handle(handle)
+        data = np.array(values, copy=True)
+        if data.ndim != 1:
+            raise BspUsageError("put values must be 1-D")
+        self.bsp.send(dst_pid, (_PUT, handle, offset, data))
+
+    def get(
+        self,
+        src_pid: int,
+        handle: int,
+        offset: int = 0,
+        length: int = 1,
+    ) -> GetFuture:
+        """Read ``array[offset:offset+length]`` from ``src_pid``.
+
+        The value materializes after the next :meth:`sync`; h-cost is one
+        16-byte request packet now plus the data on the reply leg.
+        """
+        self._check_handle(handle)
+        if length < 0:
+            raise BspUsageError("get length must be >= 0")
+        ticket = self._tickets
+        self._tickets += 1
+        future = GetFuture()
+        self._pending_gets.append((ticket, future))
+        self.bsp.send(src_pid, (_GETREQ, handle, offset, length, ticket),
+                      h=1)
+        return future
+
+    def sync(self) -> None:
+        """End the DRMA superstep (two BSP supersteps).
+
+        First barrier: apply puts, serve get requests.  Second barrier:
+        deliver get replies into their futures.  Any plain packets a
+        program interleaves with DRMA traffic are not supported — use
+        separate supersteps for messaging and DRMA phases.
+        """
+        bsp = self.bsp
+        bsp.sync()
+        for pkt in bsp.packets():
+            tag = pkt.payload[0]
+            if tag == _PUT:
+                _, handle, offset, data = pkt.payload
+                target = self._check_handle(handle)
+                self._bounds(target, offset, len(data))
+                target[offset : offset + len(data)] = data
+            elif tag == _GETREQ:
+                _, handle, offset, length, ticket = pkt.payload
+                source = self._check_handle(handle)
+                self._bounds(source, offset, length)
+                reply = source[offset : offset + length].copy()
+                bsp.send(pkt.src, (_GETREP, ticket, reply))
+            else:
+                raise BspUsageError(
+                    f"non-DRMA packet during drma.sync(): {tag!r}"
+                )
+        bsp.sync()
+        replies = {}
+        for pkt in bsp.packets():
+            tag, ticket, data = pkt.payload
+            if tag != _GETREP:
+                raise BspUsageError(
+                    f"non-DRMA packet during drma.sync(): {tag!r}"
+                )
+            replies[ticket] = data
+        for ticket, future in self._pending_gets:
+            if ticket not in replies:
+                raise BspUsageError(f"get ticket {ticket} received no reply")
+            future._value = replies[ticket]
+            future._ready = True
+        self._pending_gets.clear()
+
+    @staticmethod
+    def _bounds(array: np.ndarray, offset: int, length: int) -> None:
+        if offset < 0 or offset + length > len(array):
+            raise BspUsageError(
+                f"remote access [{offset}:{offset + length}] outside "
+                f"array of length {len(array)}"
+            )

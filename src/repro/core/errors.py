@@ -1,0 +1,58 @@
+"""Exception hierarchy for the Green BSP runtime.
+
+All library-raised errors derive from :class:`BspError` so callers can catch
+one type.  Backend-internal failures of a single virtual processor are
+wrapped in :class:`VirtualProcessorError`, which records the pid and the
+original traceback text so a crash inside one of ``p`` threads or processes
+surfaces as a single coherent exception in the caller.
+"""
+
+from __future__ import annotations
+
+
+class BspError(Exception):
+    """Base class for all Green BSP errors."""
+
+
+class BspConfigError(BspError, ValueError):
+    """Invalid runtime configuration (bad nprocs, unknown backend, ...)."""
+
+
+class BspUsageError(BspError, RuntimeError):
+    """API misuse detected at run time (send after finish, bad pid, ...)."""
+
+
+class PacketError(BspError, ValueError):
+    """Packet encoding/decoding failure (oversized payload, bad header...)."""
+
+
+class CostModelError(BspError, ValueError):
+    """Invalid cost-model query (unknown machine, unsupported nprocs...)."""
+
+
+class SynchronizationError(BspError, RuntimeError):
+    """A superstep barrier could not complete (peer died, timeout...)."""
+
+
+class VirtualProcessorError(BspError, RuntimeError):
+    """An exception escaped the program body of one virtual processor.
+
+    Attributes
+    ----------
+    pid:
+        The virtual processor whose program raised.
+    original:
+        The original exception instance when available (thread/simulator
+        backends); ``None`` for process backends, where only the formatted
+        traceback crosses the pipe.
+    traceback_text:
+        Formatted traceback of the original failure.
+    """
+
+    def __init__(self, pid: int, traceback_text: str, original: BaseException | None = None):
+        self.pid = pid
+        self.original = original
+        self.traceback_text = traceback_text
+        super().__init__(
+            f"virtual processor {pid} raised:\n{traceback_text}"
+        )

@@ -1,0 +1,78 @@
+"""Front-end entry point: run a BSP program and collect its statistics.
+
+>>> from repro import bsp_run
+>>> def hello(bsp):
+...     right = (bsp.pid + 1) % bsp.nprocs
+...     bsp.send(right, bsp.pid)
+...     bsp.sync()
+...     return [pkt.payload for pkt in bsp.packets()]
+>>> run = bsp_run(hello, nprocs=4)
+>>> [r[0] for r in run.results]
+[3, 0, 1, 2]
+>>> run.stats.S
+2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from ..backends.base import Program, get_backend
+from .stats import ProgramStats
+
+
+@dataclass(frozen=True)
+class BspRunResult:
+    """Everything one BSP execution produced.
+
+    Attributes
+    ----------
+    results:
+        The per-processor return values of the program, indexed by pid.
+    stats:
+        Merged :class:`ProgramStats` — the (W, H, S) accounting that feeds
+        the cost model.
+    backend:
+        Name of the backend that executed the run.
+    """
+
+    results: list[Any]
+    stats: ProgramStats
+    backend: str
+
+    @property
+    def result(self) -> Any:
+        """Processor 0's return value (the common single-answer case)."""
+        return self.results[0]
+
+
+def bsp_run(
+    program: Program,
+    nprocs: int,
+    *,
+    backend: str = "simulator",
+    args: Sequence[Any] = (),
+    kwargs: dict[str, Any] | None = None,
+) -> BspRunResult:
+    """Execute ``program`` on ``nprocs`` virtual processors.
+
+    Parameters
+    ----------
+    program:
+        Callable ``program(bsp, *args, **kwargs)`` run once per virtual
+        processor with its own :class:`~repro.core.api.Bsp` context.
+    nprocs:
+        Number of virtual processors, ``>= 1``.
+    backend:
+        ``"simulator"`` (deterministic, serialized — use for measuring W/H/S),
+        ``"threads"`` (concurrent threads, shared-memory style), or
+        ``"processes"`` (one OS process per virtual processor, true
+        parallelism).
+    args, kwargs:
+        Extra arguments forwarded to every instance of the program.
+    """
+    engine = get_backend(backend)
+    run = engine.run(program, nprocs, args=args, kwargs=kwargs)
+    stats = ProgramStats.from_ledgers(run.ledgers, wall_seconds=run.wall_seconds)
+    return BspRunResult(results=run.results, stats=stats, backend=backend)

@@ -1,0 +1,39 @@
+"""Graph substrate: CSR graphs, the paper's G(δ) generator, partitioners,
+and the home/border distributed layout used by MST, SP, and MSP."""
+
+from .distributed import LocalGraph, partition_graph
+from .generators import (
+    GeometricGraph,
+    connectivity_threshold,
+    geometric_graph,
+    grid_graph,
+    random_connected_graph,
+)
+from .graph import Graph
+from .partition import (
+    block_partition,
+    cut_edges,
+    hash_partition,
+    imbalance,
+    partition_counts,
+    spatial_partition,
+)
+from .unionfind import UnionFind
+
+__all__ = [
+    "GeometricGraph",
+    "Graph",
+    "LocalGraph",
+    "UnionFind",
+    "block_partition",
+    "connectivity_threshold",
+    "cut_edges",
+    "geometric_graph",
+    "grid_graph",
+    "hash_partition",
+    "imbalance",
+    "partition_counts",
+    "partition_graph",
+    "random_connected_graph",
+    "spatial_partition",
+]

@@ -1,0 +1,153 @@
+"""The paper's distributed graph layout: home nodes and border nodes.
+
+Sections 3.3/3.4: "Each processor contains a data structure representing
+the portion of the graph for which it is responsible, and also a copy of
+each node in the graph that is connected to a node in its portion.  The
+nodes for which a processor is responsible are called *home nodes* and the
+other nodes are called *border nodes*."
+
+:class:`LocalGraph` is that per-processor structure.  It also precomputes
+*watchers*: for each home node, the set of other processors that hold it as
+a border node — exactly the processors that must be notified when the home
+node's label changes.  An algorithm that only ever sends one message per
+(changed home node, watcher) pair is *conservative* in the paper's sense:
+its per-processor traffic is bounded by its border-node count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .graph import Graph
+
+
+@dataclass(frozen=True)
+class LocalGraph:
+    """Processor-local view of a partitioned graph.
+
+    All node ids are *global*; ``local_of`` maps a global home id to its
+    row in the local CSR arrays (−1 for non-home nodes).
+    """
+
+    pid: int
+    nprocs: int
+    n_global: int
+    owner: np.ndarray          # global: node -> owning processor
+    home: np.ndarray           # sorted global ids owned by this processor
+    border: np.ndarray         # sorted global ids adjacent to home, not home
+    local_of: np.ndarray       # global id -> local home row, or -1
+    indptr: np.ndarray         # CSR over local home rows
+    indices: np.ndarray        # neighbor *global* ids
+    weights: np.ndarray
+    watcher_ptr: np.ndarray    # CSR over local home rows ...
+    watcher_pid: np.ndarray    # ... listing processors that border the node
+
+    @classmethod
+    def build(cls, graph: Graph, owner: np.ndarray, pid: int, nprocs: int
+              ) -> "LocalGraph":
+        owner = np.asarray(owner, dtype=np.int64)
+        if len(owner) != graph.n:
+            raise ValueError("owner array length must equal node count")
+        if len(owner) and not (0 <= owner.min() and owner.max() < nprocs):
+            raise ValueError(
+                f"owner values must lie in range({nprocs}); got "
+                f"[{owner.min()}, {owner.max()}]"
+            )
+        home = np.flatnonzero(owner == pid).astype(np.int64)
+        local_of = np.full(graph.n, -1, dtype=np.int64)
+        local_of[home] = np.arange(len(home), dtype=np.int64)
+
+        counts = graph.indptr[home + 1] - graph.indptr[home] if len(home) else \
+            np.zeros(0, dtype=np.int64)
+        indptr = np.zeros(len(home) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        indices = np.empty(indptr[-1], dtype=np.int64)
+        weights = np.empty(indptr[-1], dtype=np.float64)
+        for row, gid in enumerate(home):
+            lo, hi = graph.indptr[gid], graph.indptr[gid + 1]
+            indices[indptr[row]: indptr[row + 1]] = graph.indices[lo:hi]
+            weights[indptr[row]: indptr[row + 1]] = graph.weights[lo:hi]
+
+        nbr_owner = owner[indices] if len(indices) else np.zeros(0, np.int64)
+        foreign = nbr_owner != pid
+        border = np.unique(indices[foreign])
+
+        # Watchers per home row: unique foreign owners among its neighbors.
+        watcher_ptr = np.zeros(len(home) + 1, dtype=np.int64)
+        watcher_chunks: list[np.ndarray] = []
+        for row in range(len(home)):
+            seg = nbr_owner[indptr[row]: indptr[row + 1]]
+            uniq = np.unique(seg[seg != pid])
+            watcher_chunks.append(uniq)
+            watcher_ptr[row + 1] = watcher_ptr[row] + len(uniq)
+        watcher_pid = (
+            np.concatenate(watcher_chunks)
+            if watcher_chunks
+            else np.zeros(0, dtype=np.int64)
+        )
+        return cls(
+            pid=pid,
+            nprocs=nprocs,
+            n_global=graph.n,
+            owner=owner,
+            home=home,
+            border=border,
+            local_of=local_of,
+            indptr=indptr,
+            indices=indices,
+            weights=weights,
+            watcher_ptr=watcher_ptr,
+            watcher_pid=watcher_pid,
+        )
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def nhome(self) -> int:
+        return len(self.home)
+
+    @property
+    def nborder(self) -> int:
+        return len(self.border)
+
+    def is_home(self, gid: int) -> bool:
+        return self.local_of[gid] >= 0
+
+    def neighbors(self, gid: int) -> tuple[np.ndarray, np.ndarray]:
+        """(global neighbor ids, weights) of home node ``gid``."""
+        row = self.local_of[gid]
+        if row < 0:
+            raise KeyError(f"node {gid} is not a home node of pid {self.pid}")
+        return (
+            self.indices[self.indptr[row]: self.indptr[row + 1]],
+            self.weights[self.indptr[row]: self.indptr[row + 1]],
+        )
+
+    def watchers(self, gid: int) -> np.ndarray:
+        """Processors holding home node ``gid`` as a border node."""
+        row = self.local_of[gid]
+        if row < 0:
+            raise KeyError(f"node {gid} is not a home node of pid {self.pid}")
+        return self.watcher_pid[self.watcher_ptr[row]: self.watcher_ptr[row + 1]]
+
+    def home_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Edges with both endpoints home, each once (u < v), global ids."""
+        src = np.repeat(self.home, np.diff(self.indptr))
+        dst = self.indices
+        keep = (self.local_of[dst] >= 0) & (src < dst)
+        return src[keep], dst[keep], self.weights[keep]
+
+    def cut_edges(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Edges from a home node to a foreign node (home endpoint first)."""
+        src = np.repeat(self.home, np.diff(self.indptr))
+        keep = self.local_of[self.indices] < 0
+        return src[keep], self.indices[keep], self.weights[keep]
+
+
+def partition_graph(
+    graph: Graph, owner: np.ndarray, nprocs: int
+) -> list[LocalGraph]:
+    """Build every processor's :class:`LocalGraph` (harness convenience)."""
+    return [LocalGraph.build(graph, owner, pid, nprocs) for pid in range(nprocs)]

@@ -1,0 +1,139 @@
+"""Input-graph generators, including the paper's geometric class G(δ).
+
+Section 3.3: "Nodes are assigned uniformly at random to points on the unit
+square.  Now construct a graph G(r) on the nodes by adding an edge between
+all nodes within distance r.  The graph G is G(δ) where δ is the minimum
+value such that G(δ) is a single connected component.  The weight assigned
+to edge (u, v) is the distance between the points."
+
+δ is computed exactly: it is the longest edge of the Euclidean minimum
+spanning tree of the points (the classic connectivity-threshold fact), and
+the EMST is a subgraph of the Delaunay triangulation, so we Kruskal over
+Delaunay edges — O(n log n) overall — then materialize G(δ) with a k-d
+tree range query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.spatial import Delaunay, cKDTree
+
+from .graph import Graph
+from .unionfind import UnionFind
+
+
+@dataclass(frozen=True)
+class GeometricGraph:
+    """A G(δ) instance: the graph plus its generative data."""
+
+    graph: Graph
+    points: np.ndarray  # (n, 2) positions in the unit square
+    delta: float        # the connectivity threshold used as radius
+
+
+def _delaunay_edges(points: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unique undirected edges of the Delaunay triangulation."""
+    tri = Delaunay(points)
+    simplices = tri.simplices
+    pairs = np.vstack(
+        [simplices[:, [0, 1]], simplices[:, [1, 2]], simplices[:, [0, 2]]]
+    )
+    lo = pairs.min(axis=1)
+    hi = pairs.max(axis=1)
+    keys = lo * len(points) + hi
+    _, unique_idx = np.unique(keys, return_index=True)
+    return lo[unique_idx], hi[unique_idx]
+
+
+def connectivity_threshold(points: np.ndarray) -> float:
+    """δ = longest edge of the Euclidean MST of ``points``.
+
+    For n < 2 the threshold is 0 (a single point is trivially connected).
+    Degenerate inputs (collinear points, n <= 3) fall back to Kruskal over
+    all pairs, which Delaunay cannot triangulate.
+    """
+    n = len(points)
+    if n < 2:
+        return 0.0
+    if n <= 3:
+        u, v = np.triu_indices(n, k=1)
+    else:
+        try:
+            u, v = _delaunay_edges(points)
+        except Exception:
+            u, v = np.triu_indices(n, k=1)
+    d = np.linalg.norm(points[u] - points[v], axis=1)
+    order = np.argsort(d, kind="stable")
+    uf = UnionFind(n)
+    longest = 0.0
+    for k in order:
+        if uf.union(int(u[k]), int(v[k])):
+            longest = float(d[k])
+            if uf.ncomponents == 1:
+                return longest
+    raise ValueError(
+        "points not connected by candidate edges (degenerate input)"
+    )
+
+
+def geometric_graph(n: int, seed: int = 0) -> GeometricGraph:
+    """The paper's G(δ) input: minimal-radius connected geometric graph.
+
+    Weights are Euclidean distances.  Deterministic given ``(n, seed)``.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, 2))
+    delta = connectivity_threshold(points)
+    if n == 1:
+        graph = Graph.from_edges(
+            1, np.empty(0, int), np.empty(0, int), np.empty(0)
+        )
+        return GeometricGraph(graph=graph, points=points, delta=0.0)
+    tree = cKDTree(points)
+    # Tiny epsilon keeps the threshold pair itself inside the radius under
+    # floating-point round-off.
+    pairs = tree.query_pairs(delta * (1 + 1e-12), output_type="ndarray")
+    u, v = pairs[:, 0], pairs[:, 1]
+    w = np.linalg.norm(points[u] - points[v], axis=1)
+    graph = Graph.from_edges(n, u, v, w)
+    return GeometricGraph(graph=graph, points=points, delta=delta)
+
+
+def random_connected_graph(
+    n: int, extra_edges: int = 0, seed: int = 0
+) -> Graph:
+    """Uniform random connected graph for tests: a random spanning tree
+    (random-parent construction) plus ``extra_edges`` random chords, with
+    uniform weights in (0, 1]."""
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    rng = np.random.default_rng(seed)
+    us: list[int] = []
+    vs: list[int] = []
+    perm = rng.permutation(n)
+    for i in range(1, n):
+        parent = perm[rng.integers(0, i)]
+        us.append(int(perm[i]))
+        vs.append(int(parent))
+    for _ in range(extra_edges):
+        a, b = rng.integers(0, n, size=2)
+        if a != b:
+            us.append(int(a))
+            vs.append(int(b))
+    w = rng.random(len(us)) + 1e-9
+    return Graph.from_edges(n, np.array(us, int), np.array(vs, int), w)
+
+
+def grid_graph(rows: int, cols: int, seed: int = 0) -> Graph:
+    """rows×cols lattice with random weights; a worst case for border
+    traffic under block partitioning (used by partitioning tests)."""
+    rng = np.random.default_rng(seed)
+    idx = np.arange(rows * cols).reshape(rows, cols)
+    us = np.concatenate([idx[:, :-1].ravel(), idx[:-1, :].ravel()])
+    vs = np.concatenate([idx[:, 1:].ravel(), idx[1:, :].ravel()])
+    w = rng.random(len(us)) + 1e-9
+    return Graph.from_edges(rows * cols, us, vs, w)

@@ -1,0 +1,123 @@
+"""Compact CSR graph representation shared by the graph applications.
+
+An undirected weighted graph stored in compressed-sparse-row form with
+NumPy arrays — the data layout every graph app (MST, SP, MSP) iterates
+over.  Construction deduplicates parallel edges (keeping the lightest) and
+rejects self-loops, matching the paper's geometric input class where an
+edge is a unique point pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Graph:
+    """Undirected weighted graph in CSR form.
+
+    Attributes
+    ----------
+    indptr, indices, weights:
+        Standard CSR arrays; every undirected edge appears twice (u→v and
+        v→u) with the same weight.
+    """
+
+    n: int
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+
+    @classmethod
+    def from_edges(
+        cls,
+        n: int,
+        edges_u: np.ndarray,
+        edges_v: np.ndarray,
+        edge_weights: np.ndarray,
+    ) -> "Graph":
+        """Build from undirected edge arrays (each edge listed once).
+
+        Self-loops are rejected; duplicate (u, v) pairs keep the minimum
+        weight.
+        """
+        u = np.asarray(edges_u, dtype=np.int64)
+        v = np.asarray(edges_v, dtype=np.int64)
+        w = np.asarray(edge_weights, dtype=np.float64)
+        if not (len(u) == len(v) == len(w)):
+            raise ValueError("edge arrays must have equal length")
+        if len(u) and (u.min() < 0 or v.min() < 0 or max(u.max(), v.max()) >= n):
+            raise ValueError("edge endpoint out of range")
+        if np.any(u == v):
+            raise ValueError("self-loops are not allowed")
+        # Canonicalize and dedupe, keeping the lightest parallel edge.
+        lo, hi = np.minimum(u, v), np.maximum(u, v)
+        order = np.lexsort((w, hi, lo))
+        lo, hi, w = lo[order], hi[order], w[order]
+        if len(lo):
+            keep = np.ones(len(lo), dtype=bool)
+            keep[1:] = (lo[1:] != lo[:-1]) | (hi[1:] != hi[:-1])
+            lo, hi, w = lo[keep], hi[keep], w[keep]
+        # Symmetrize into CSR.
+        src = np.concatenate([lo, hi])
+        dst = np.concatenate([hi, lo])
+        ww = np.concatenate([w, w])
+        order = np.argsort(src, kind="stable")
+        src, dst, ww = src[order], dst[order], ww[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(indptr, src + 1, 1)
+        np.cumsum(indptr, out=indptr)
+        return cls(n=n, indptr=indptr, indices=dst, weights=ww)
+
+    @property
+    def nedges(self) -> int:
+        """Number of undirected edges."""
+        return len(self.indices) // 2
+
+    def degree(self, node: int) -> int:
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def neighbors(self, node: int) -> tuple[np.ndarray, np.ndarray]:
+        """(neighbor ids, edge weights) of ``node`` as array views."""
+        lo, hi = self.indptr[node], self.indptr[node + 1]
+        return self.indices[lo:hi], self.weights[lo:hi]
+
+    def edge_list(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Each undirected edge once, as (u, v, w) arrays with u < v."""
+        src = np.repeat(np.arange(self.n, dtype=np.int64),
+                        np.diff(self.indptr))
+        mask = src < self.indices
+        return src[mask], self.indices[mask], self.weights[mask]
+
+    def is_connected(self) -> bool:
+        """BFS connectivity check (used by generators and tests)."""
+        if self.n == 0:
+            return True
+        seen = np.zeros(self.n, dtype=bool)
+        frontier = [0]
+        seen[0] = True
+        count = 1
+        while frontier:
+            nxt: list[int] = []
+            for node in frontier:
+                lo, hi = self.indptr[node], self.indptr[node + 1]
+                for nbr in self.indices[lo:hi]:
+                    if not seen[nbr]:
+                        seen[nbr] = True
+                        count += 1
+                        nxt.append(int(nbr))
+            frontier = nxt
+        return count == self.n
+
+    def subgraph_edges(
+        self, node_mask: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Edges with *both* endpoints in ``node_mask`` (each once, u < v)."""
+        u, v, w = self.edge_list()
+        keep = node_mask[u] & node_mask[v]
+        return u[keep], v[keep], w[keep]
+
+    def total_weight(self) -> float:
+        return float(self.weights.sum() / 2.0)

@@ -1,0 +1,87 @@
+"""Array-based disjoint-set forest (union by rank + path halving).
+
+Used by the sequential Kruskal baseline, by the local and mixed phases of
+the parallel MST (Section 3.3), and by the geometric-graph generator to
+find the connectivity threshold δ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class UnionFind:
+    """Disjoint sets over ``range(n)``.
+
+    >>> uf = UnionFind(4)
+    >>> uf.union(0, 1)
+    True
+    >>> uf.union(1, 0)
+    False
+    >>> uf.connected(0, 1), uf.connected(0, 2)
+    (True, False)
+    >>> uf.ncomponents
+    3
+    """
+
+    __slots__ = ("_parent", "_rank", "_ncomp")
+
+    def __init__(self, n: int):
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        self._parent = np.arange(n, dtype=np.int64)
+        self._rank = np.zeros(n, dtype=np.int8)
+        self._ncomp = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, x: int) -> int:
+        """Representative of ``x``'s set (path halving)."""
+        parent = self._parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return int(x)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the sets of ``a`` and ``b``; True if they were distinct."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        rank = self._rank
+        if rank[ra] < rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if rank[ra] == rank[rb]:
+            rank[ra] += 1
+        self._ncomp -= 1
+        return True
+
+    def connected(self, a: int, b: int) -> bool:
+        return self.find(a) == self.find(b)
+
+    @property
+    def ncomponents(self) -> int:
+        """Number of disjoint sets."""
+        return self._ncomp
+
+    def roots(self) -> np.ndarray:
+        """Representative of every element (fully compressed), as an array."""
+        parent = self._parent
+        # Iterative full compression: repeatedly jump until fixpoint.
+        roots = parent.copy()
+        while True:
+            nxt = roots[roots]
+            if np.array_equal(nxt, roots):
+                return roots
+            roots = nxt
+
+    def components(self) -> dict[int, np.ndarray]:
+        """Map from representative to the member array of its set."""
+        roots = self.roots()
+        order = np.argsort(roots, kind="stable")
+        sorted_roots = roots[order]
+        bounds = np.flatnonzero(np.diff(sorted_roots)) + 1
+        groups = np.split(order, bounds)
+        return {int(roots[g[0]]): g for g in groups}

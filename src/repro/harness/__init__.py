@@ -1,0 +1,37 @@
+"""Experiment harness: runs the six applications, feeds the cost model,
+and renders the paper's tables (Figures 1.1, 2.1, 3.1, 3.2, C.1–C.6)."""
+
+from .paperdata import ALL_TABLES, PaperRow, paper_sizes, rows_for
+from .report import (
+    ExperimentTable,
+    ReproducedRow,
+    appendix_table,
+    evaluate_app,
+    machine_cpu_ratios,
+    speedup_series,
+)
+from .runner import (
+    APP_NPROCS,
+    APP_SIZES,
+    full_runs_enabled,
+    run_app,
+    runnable_sizes,
+)
+
+__all__ = [
+    "ALL_TABLES",
+    "APP_NPROCS",
+    "APP_SIZES",
+    "ExperimentTable",
+    "PaperRow",
+    "ReproducedRow",
+    "appendix_table",
+    "evaluate_app",
+    "full_runs_enabled",
+    "machine_cpu_ratios",
+    "paper_sizes",
+    "rows_for",
+    "run_app",
+    "runnable_sizes",
+    "speedup_series",
+]

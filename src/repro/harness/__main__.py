@@ -1,0 +1,56 @@
+"""Command-line entry point: regenerate any paper table on demand.
+
+Usage::
+
+    python -m repro.harness ocean 130          # one (app, size) sweep
+    python -m repro.harness mst                # all runnable sizes
+    python -m repro.harness --list             # what can be run
+
+Prints the Appendix-C-style table (ours next to the paper's).  The same
+sweeps, with shape assertions, live in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .paperdata import ALL_TABLES
+from .report import appendix_table, evaluate_app
+from .runner import APP_SIZES, runnable_sizes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's Appendix C tables.",
+    )
+    parser.add_argument("app", nargs="?", choices=sorted(ALL_TABLES))
+    parser.add_argument("size", nargs="?", help="paper size label, e.g. 130")
+    parser.add_argument("--list", action="store_true",
+                        help="list apps and runnable sizes")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.list or args.app is None:
+        for app in sorted(APP_SIZES):
+            sizes = runnable_sizes(app)
+            extra = sorted(set(APP_SIZES[app]) - set(sizes))
+            note = f" (+{', '.join(extra)} with REPRO_FULL=1)" if extra else ""
+            print(f"{app:>8}: {', '.join(sizes)}{note}")
+        return 0
+
+    sizes = [args.size] if args.size else runnable_sizes(args.app)
+    for size in sizes:
+        if size not in APP_SIZES[args.app]:
+            print(f"unknown size {size!r} for {args.app}; "
+                  f"known: {list(APP_SIZES[args.app])}", file=sys.stderr)
+            return 2
+        table = evaluate_app(args.app, size, seed=args.seed)
+        print(appendix_table(table))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

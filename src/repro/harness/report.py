@@ -1,0 +1,214 @@
+"""Turn measured statistics into the paper's tables.
+
+The pipeline per (app, size):
+
+1. run the app on the simulator for every processor count, collecting
+   (W, H, S) — the paper's own measurement method;
+2. transplant the measured work seconds onto 1996 hardware: a single
+   *host→SGI scale* per (app, size), the ratio of the paper's measured
+   one-processor work to ours, plus a per-(app, machine) CPU ratio taken
+   from the paper's own one-processor predictions (exactly how the paper
+   "estimated" Cenju/PC work depths from SGI measurements);
+3. apply the cost model ``T = scaled_W + gH + LS`` with the Figure 2.1
+   parameters to produce predicted times and modeled speed-ups per
+   machine;
+4. print them beside the paper's columns.
+
+What should match is the *shape*: speed-up trends, latency breakdowns,
+crossovers.  Absolute W matches by construction at p = 1; everything else
+is genuinely reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.machines import PAPER_MACHINES, MachineProfile
+from ..core.stats import ProgramStats
+from ..util.tables import render_table
+from .paperdata import PaperRow, rows_for
+from .runner import APP_NPROCS, run_app
+
+#: Machine column order in all reports.
+MACHINE_ORDER = ("SGI", "Cenju", "PC-LAN")
+
+#: Apps whose work depth is modeled by *charged* operation counts rather
+#: than measured Python seconds: stencil cells (ocean), block flops
+#: (matmult), body-cell interactions (nbody), edges scanned (mst/sp/msp),
+#: key comparisons (sort).  Wall-clock on this host misrepresents load on
+#: the paper's machines — per-superstep interpreter overhead swamps small
+#: kernels, and shared-host contention adds noise — so the harness uses
+#: the analytic counts, the analogue of the paper's own "estimated" work
+#: depths, normalized to the paper's measured one-processor seconds.
+#: Measured seconds remain recorded in every run's statistics.
+CHARGED_WORK_APPS = frozenset(
+    {"ocean", "matmult", "nbody", "mst", "sp", "msp", "sort"}
+)
+
+
+def work_measures(app: str, stats: ProgramStats) -> tuple[float, float]:
+    """(work depth, total work) in the app's chosen work metric."""
+    if app in CHARGED_WORK_APPS and stats.total_charged > 0:
+        return stats.charged_depth, stats.total_charged
+    return stats.W, stats.total_work
+
+
+@dataclass(frozen=True)
+class ReproducedRow:
+    """Our counterpart of one Appendix C row."""
+
+    app: str
+    size: str
+    np: int
+    pred: dict[str, float | None]   # machine -> predicted seconds
+    spdp: dict[str, float | None]   # machine -> modeled speed-up
+    comm: dict[str, float | None]   # machine -> gH + LS share
+    w_scaled: float                 # work depth in paper-SGI seconds
+    h: int
+    s: int
+    twk_scaled: float               # total work in paper-SGI seconds
+    paper: PaperRow | None = None
+
+
+@dataclass
+class ExperimentTable:
+    """All rows of one (app, size) experiment plus its scales."""
+
+    app: str
+    size: str
+    host_to_sgi: float
+    machine_ratio: dict[str, float]
+    rows: list[ReproducedRow] = field(default_factory=list)
+
+
+def machine_cpu_ratios(app: str, size: str) -> dict[str, float]:
+    """Per-machine CPU-speed ratio vs the SGI, from the paper's own
+    one-processor predictions for this (app, size)."""
+    (row,) = rows_for(app, size, np_=1)
+    ratios = {"SGI": 1.0}
+    ratios["Cenju"] = (
+        row.cenju_pred / row.sgi_pred if row.cenju_pred and row.sgi_pred
+        else 1.0
+    )
+    ratios["PC-LAN"] = (
+        row.pc_pred / row.sgi_pred if row.pc_pred and row.sgi_pred
+        else PAPER_MACHINES["PC-LAN"].work_scale
+    )
+    return ratios
+
+
+def evaluate_app(
+    app: str,
+    size: str,
+    nprocs_list: tuple[int, ...] | None = None,
+    *,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Run the full processor sweep for one (app, size) and model it."""
+    nprocs_list = nprocs_list or APP_NPROCS[app]
+    stats: dict[int, ProgramStats] = {
+        p: run_app(app, size, p, seed=seed) for p in nprocs_list
+    }
+    base = stats[nprocs_list[0]]
+    if nprocs_list[0] != 1:
+        raise ValueError("the sweep must include p=1 first (for scaling)")
+    paper_one = rows_for(app, size, np_=1)
+    base_w, _ = work_measures(app, base)
+    host_to_sgi = (paper_one[0].w / base_w) if paper_one and base_w > 0 else 1.0
+    ratios = machine_cpu_ratios(app, size) if paper_one else {
+        m: 1.0 for m in MACHINE_ORDER
+    }
+    table = ExperimentTable(
+        app=app, size=size, host_to_sgi=host_to_sgi, machine_ratio=ratios
+    )
+    preds_one: dict[str, float | None] = {}
+    for p in nprocs_list:
+        st = stats[p]
+        w_depth, w_total = work_measures(app, st)
+        pred: dict[str, float | None] = {}
+        comm: dict[str, float | None] = {}
+        spdp: dict[str, float | None] = {}
+        for name in MACHINE_ORDER:
+            machine = PAPER_MACHINES[name]
+            if not machine.supports(p):
+                pred[name] = comm[name] = spdp[name] = None
+                continue
+            g, length = machine.g(p), machine.L(p)
+            work = w_depth * host_to_sgi * ratios[name]
+            comm_cost = g * st.H + length * st.S
+            pred[name] = work + comm_cost
+            comm[name] = comm_cost
+            if p == nprocs_list[0]:
+                preds_one[name] = pred[name]
+            base_pred = preds_one.get(name)
+            spdp[name] = (
+                base_pred / pred[name] if base_pred and pred[name] else None
+            )
+        paper_rows = rows_for(app, size, np_=p)
+        table.rows.append(
+            ReproducedRow(
+                app=app,
+                size=size,
+                np=p,
+                pred=pred,
+                spdp=spdp,
+                comm=comm,
+                w_scaled=w_depth * host_to_sgi,
+                h=st.H,
+                s=st.S,
+                twk_scaled=w_total * host_to_sgi,
+                paper=paper_rows[0] if paper_rows else None,
+            )
+        )
+    return table
+
+
+def appendix_table(table: ExperimentTable) -> str:
+    """Render an Appendix-C-style table: ours next to the paper's."""
+    headers = [
+        "NP",
+        "SGI pred", "SGI paper", "SGI spdp", "SGI p.spdp",
+        "Cenju pred", "Cenju paper", "Cenju spdp", "Cenju p.spdp",
+        "PC pred", "PC paper", "PC spdp", "PC p.spdp",
+        "W", "W paper", "H", "H paper", "S", "S paper",
+    ]
+    rows = []
+    for r in table.rows:
+        p = r.paper
+        rows.append([
+            r.np,
+            r.pred["SGI"], p.sgi_pred if p else None,
+            r.spdp["SGI"], p.sgi_spdp if p else None,
+            r.pred["Cenju"], p.cenju_pred if p else None,
+            r.spdp["Cenju"], p.cenju_spdp if p else None,
+            r.pred["PC-LAN"], p.pc_pred if p else None,
+            r.spdp["PC-LAN"], p.pc_spdp if p else None,
+            r.w_scaled, p.w if p else None,
+            r.h, p.h if p else None,
+            r.s, p.s if p else None,
+        ])
+    title = (
+        f"{table.app} size {table.size} — reproduced (pred/spdp) vs paper "
+        f"(paper/p.spdp); host→SGI work scale {table.host_to_sgi:.3g}"
+    )
+    return render_table(headers, rows, title=title)
+
+
+def speedup_series(table: ExperimentTable, machine: str
+                   ) -> list[tuple[int, float | None, float | None]]:
+    """(np, our modeled speed-up, paper speed-up) for one machine."""
+    out = []
+    for r in table.rows:
+        paper_spdp = None
+        if r.paper is not None:
+            paper_spdp = {
+                "SGI": r.paper.sgi_spdp,
+                "Cenju": r.paper.cenju_spdp,
+                "PC-LAN": r.paper.pc_spdp,
+            }[machine]
+        out.append((r.np, r.spdp[machine], paper_spdp))
+    return out
+
+
+def assert_supported(machine: MachineProfile, nprocs: int) -> bool:
+    return machine.supports(nprocs)

@@ -1,0 +1,14 @@
+"""Shared utilities: paper-style tables and superstep tracing."""
+
+from .tables import format_cell, print_table, render_table
+from .trace import compare_machines, hotspots, superstep_table, to_csv
+
+__all__ = [
+    "compare_machines",
+    "format_cell",
+    "hotspots",
+    "print_table",
+    "render_table",
+    "superstep_table",
+    "to_csv",
+]

@@ -1,0 +1,106 @@
+"""Superstep-level inspection of a run: tables, CSV, cost attribution.
+
+The BSP model's pedagogical strength is that a program's behaviour on any
+machine is readable off its per-superstep (w_i, h_i) profile.  These
+helpers render that profile — as a table, as CSV for external tooling,
+and as a "which superstep costs what on machine X" attribution that
+pinpoints the phase a given machine's g or L punishes.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+from ..core.machines import MachineProfile
+from ..core.stats import ProgramStats
+from .tables import render_table
+
+
+def superstep_table(
+    stats: ProgramStats,
+    *,
+    limit: int = 20,
+) -> str:
+    """Human-readable per-superstep profile (first ``limit`` rows)."""
+    headers = ["step", "w (ms)", "charged", "h", "msgs", "total work (ms)"]
+    rows: list[list[object]] = []
+    for s in stats.supersteps[:limit]:
+        rows.append([
+            s.index, s.w * 1e3, s.charged, s.h, s.m, s.total_work * 1e3,
+        ])
+    title = f"per-superstep profile ({stats.summary()})"
+    text = render_table(headers, rows, title=title)
+    hidden = stats.S - min(limit, stats.S)
+    if hidden > 0:
+        text += f"\n... {hidden} more supersteps"
+    return text
+
+
+def to_csv(stats: ProgramStats) -> str:
+    """Machine-readable per-superstep dump (header + one row per step)."""
+    buf = io.StringIO()
+    buf.write("index,w_seconds,charged,h,h_sent_max,h_recv_max,m,"
+              "total_work,total_charged,total_msgs\n")
+    for s in stats.supersteps:
+        buf.write(
+            f"{s.index},{s.w!r},{s.charged!r},{s.h},{s.h_sent_max},"
+            f"{s.h_recv_max},{s.m},{s.total_work!r},{s.total_charged!r},"
+            f"{s.total_msgs}\n"
+        )
+    return buf.getvalue()
+
+
+def hotspots(
+    stats: ProgramStats,
+    machine: MachineProfile,
+    *,
+    top: int = 5,
+    work_scale: float = 1.0,
+) -> list[tuple[int, float, str]]:
+    """The ``top`` costliest supersteps on ``machine``.
+
+    Returns (superstep index, predicted seconds, dominant term) tuples,
+    sorted by cost.  The dominant term — "work", "bandwidth", or
+    "latency" — says which knob (W, H, or S) to attack first, the
+    paper's three-way optimization objective.
+    """
+    p = stats.nprocs
+    g, latency = machine.g(p), machine.L(p)
+    scored: list[tuple[int, float, str]] = []
+    for s in stats.supersteps:
+        terms = {
+            "work": s.w * work_scale,
+            "bandwidth": g * s.h,
+            "latency": latency,
+        }
+        dominant = max(terms, key=terms.__getitem__)
+        scored.append((s.index, sum(terms.values()), dominant))
+    scored.sort(key=lambda item: -item[1])
+    return scored[:top]
+
+
+def compare_machines(
+    stats: ProgramStats,
+    machines: Sequence[MachineProfile],
+    *,
+    work_scale: float = 1.0,
+) -> str:
+    """One-line cost breakdown per machine, as a table."""
+    headers = ["machine", "pred (s)", "work", "bandwidth", "latency",
+               "dominant"]
+    rows: list[list[object]] = []
+    for machine in machines:
+        if not machine.supports(stats.nprocs):
+            rows.append([machine.name, None, None, None, None, "-"])
+            continue
+        g, latency = machine.g(stats.nprocs), machine.L(stats.nprocs)
+        work = stats.W * work_scale
+        bandwidth = g * stats.H
+        lat = latency * stats.S
+        terms = {"work": work, "bandwidth": bandwidth, "latency": lat}
+        rows.append([
+            machine.name, work + bandwidth + lat, work, bandwidth, lat,
+            max(terms, key=terms.__getitem__),
+        ])
+    return render_table(headers, rows, title="cost attribution by machine")

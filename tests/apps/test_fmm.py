@@ -1,0 +1,284 @@
+"""Tests for the Fast Multipole Method (quadtree, operators, drivers)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.fmm import (
+    bsp_fmm,
+    cell_center,
+    cells_at,
+    children,
+    default_depth,
+    demorton,
+    direct_evaluate,
+    eval_multipole,
+    eval_multipole_deriv,
+    fmm_evaluate,
+    interaction_list,
+    l2l,
+    l2p,
+    l2p_deriv,
+    leaf_owner_ranges,
+    m2l,
+    m2m,
+    morton,
+    neighbors,
+    p2m,
+    p2p,
+    p2p_deriv,
+    parent,
+)
+
+
+def cluster(rng, center, radius, n=25):
+    z = center + radius * (
+        (rng.random(n) - 0.5) + 1j * (rng.random(n) - 0.5)
+    )
+    q = rng.standard_normal(n)
+    return z, q
+
+
+class TestQuadtree:
+    def test_morton_roundtrip(self):
+        for ix in range(16):
+            for iy in range(16):
+                assert demorton(morton(ix, iy)) == (ix, iy)
+
+    def test_morton_children_contiguous(self):
+        """A cell's 4 children occupy 4 consecutive Morton codes."""
+        for ix, iy in [(0, 0), (3, 5), (7, 7)]:
+            kid_codes = sorted(morton(cx, cy) for cx, cy in children(ix, iy))
+            assert kid_codes == list(
+                range(4 * morton(ix, iy), 4 * morton(ix, iy) + 4)
+            )
+
+    def test_parent_child_inverse(self):
+        for ix, iy in [(0, 0), (5, 2), (7, 7)]:
+            for cx, cy in children(ix, iy):
+                assert parent(cx, cy) == (ix, iy)
+
+    def test_neighbors_counts(self):
+        assert len(neighbors(2, 0, 0)) == 3    # corner
+        assert len(neighbors(2, 1, 0)) == 5    # edge
+        assert len(neighbors(2, 1, 1)) == 8    # interior
+
+    def test_interaction_list_properties(self):
+        for level in (2, 3):
+            n = cells_at(level)
+            for ix, iy in [(0, 0), (n // 2, n // 2), (n - 1, 1)]:
+                il = interaction_list(level, ix, iy)
+                assert len(il) <= 27
+                near = set(neighbors(level, ix, iy)) | {(ix, iy)}
+                for jx, jy in il:
+                    assert (jx, jy) not in near
+                    # Parent-adjacency: their parents are neighbors/equal.
+                    assert abs(parent(jx, jy)[0] - parent(ix, iy)[0]) <= 1
+                    assert abs(parent(jx, jy)[1] - parent(ix, iy)[1]) <= 1
+
+    def test_interaction_list_covers_all_separated_cells(self):
+        """Every cell is near, in the IL, or handled at a coarser level:
+        at level 2 (4x4), near + IL covers everything."""
+        il = interaction_list(2, 1, 1)
+        near = set(neighbors(2, 1, 1)) | {(1, 1)}
+        assert len(il) + len(near) == 16
+
+    def test_leaf_owner_ranges_partition(self):
+        ranges = leaf_owner_ranges(3, 5)
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 64
+        for (a, b), (c, d) in zip(ranges, ranges[1:]):
+            assert b == c
+
+    def test_default_depth_scales(self):
+        assert default_depth(10) == 2
+        assert default_depth(10_000) > default_depth(100)
+
+
+class TestOperators:
+    """Each FMM operator against brute force, to near machine precision."""
+
+    def setup_method(self):
+        self.rng = np.random.default_rng(7)
+        self.center = 0.125 + 0.125j
+        self.z, self.q = cluster(self.rng, self.center, 0.12)
+        self.far = 0.8 + 0.75j + 0.05 * self.rng.random(6)
+        self.exact = p2p(self.far, self.z, self.q)
+        self.terms = 20
+
+    def test_p2m_eval(self):
+        a = p2m(self.z, self.q, self.center, self.terms)
+        approx = eval_multipole(a, self.center, self.far)
+        assert np.abs(approx.real - self.exact.real).max() < 1e-10
+
+    def test_p2m_deriv(self):
+        a = p2m(self.z, self.q, self.center, self.terms)
+        approx = eval_multipole_deriv(a, self.center, self.far)
+        exact = p2p_deriv(self.far, self.z, self.q)
+        assert np.abs(approx - exact).max() < 1e-9
+
+    def test_m2m_exactness(self):
+        """M2M is exact (no truncation beyond the original expansion)."""
+        a = p2m(self.z, self.q, self.center, self.terms)
+        new_center = 0.25 + 0.25j
+        b = m2m(a, self.center - new_center)
+        shifted = eval_multipole(b, new_center, self.far)
+        original = eval_multipole(a, self.center, self.far)
+        assert np.abs(shifted.real - original.real).max() < 1e-10
+
+    def test_m2l_and_l2p(self):
+        a = p2m(self.z, self.q, self.center, self.terms)
+        local_center = 0.8 + 0.75j
+        b = m2l(a, self.center - local_center)
+        approx = l2p(b, local_center, self.far)
+        assert np.abs(approx.real - self.exact.real).max() < 1e-8
+
+    def test_l2l_exactness(self):
+        a = p2m(self.z, self.q, self.center, self.terms)
+        local_center = 0.8 + 0.75j
+        b = m2l(a, self.center - local_center)
+        new_center = 0.82 + 0.73j
+        c = l2l(b, new_center - local_center)
+        assert np.abs(
+            l2p(c, new_center, self.far) - l2p(b, local_center, self.far)
+        ).max() < 1e-9
+
+    def test_l2p_deriv_matches_difference_quotient(self):
+        a = p2m(self.z, self.q, self.center, self.terms)
+        local_center = 0.8 + 0.75j
+        b = m2l(a, self.center - local_center)
+        z0 = np.array([0.81 + 0.76j])
+        h = 1e-6
+        numeric = (
+            l2p(b, local_center, z0 + h) - l2p(b, local_center, z0 - h)
+        ) / (2 * h)
+        assert np.abs(l2p_deriv(b, local_center, z0) - numeric).max() < 1e-4
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), terms=st.integers(8, 24))
+    def test_property_pipeline_error_bounded(self, seed, terms):
+        """P2M→M2M→M2L→L2L→L2P error shrinks geometrically in terms."""
+        rng = np.random.default_rng(seed)
+        z, q = cluster(rng, 0.125 + 0.125j, 0.2)
+        targets = 0.875 + 0.875j + 0.1 * (
+            rng.random(4) - 0.5 + 1j * (rng.random(4) - 0.5)
+        )
+        a = p2m(z, q, 0.125 + 0.125j, terms)
+        b = m2m(a, (0.125 + 0.125j) - (0.25 + 0.25j))
+        c = m2l(b, (0.25 + 0.25j) - (0.75 + 0.75j))
+        d = l2l(c, (0.875 + 0.875j) - (0.75 + 0.75j))
+        approx = l2p(d, 0.875 + 0.875j, targets)
+        exact = p2p(targets, z, q)
+        scale = max(np.abs(exact.real).max(), 1e-9)
+        assert np.abs(approx.real - exact.real).max() / scale < 0.7**terms * 50
+
+
+class TestSequentialFmm:
+    def test_matches_direct_sum(self):
+        rng = np.random.default_rng(3)
+        pts = rng.random((600, 2))
+        q = rng.standard_normal(600)
+        res = fmm_evaluate(pts, q, terms=16, depth=3)
+        exact = direct_evaluate(pts, q)
+        scale = np.abs(exact.potential).max()
+        assert np.abs(res.potential - exact.potential).max() / scale < 1e-6
+        fscale = np.abs(exact.field).max()
+        assert np.abs(res.field - exact.field).max() / fscale < 1e-5
+
+    def test_error_decays_with_terms(self):
+        rng = np.random.default_rng(5)
+        pts = rng.random((400, 2))
+        q = rng.standard_normal(400)
+        exact = direct_evaluate(pts, q)
+        errs = []
+        for terms in (6, 12, 18):
+            res = fmm_evaluate(pts, q, terms=terms, depth=3)
+            errs.append(np.abs(res.potential - exact.potential).max())
+        assert errs[0] > errs[1] > errs[2]
+        assert errs[2] < errs[0] * 1e-3
+
+    def test_depth_invariance(self):
+        rng = np.random.default_rng(6)
+        pts = rng.random((500, 2))
+        q = rng.standard_normal(500)
+        exact = direct_evaluate(pts, q)
+        for depth in (2, 3, 4):
+            res = fmm_evaluate(pts, q, terms=16, depth=depth)
+            scale = np.abs(exact.potential).max()
+            err = np.abs(res.potential - exact.potential).max() / scale
+            assert err < 1e-5, (depth, err)
+
+    def test_neutral_pair_far_field_cancels(self):
+        """A tight ± dipole's far potential is tiny (multipole a0 = 0)."""
+        pts = np.array([[0.5, 0.5], [0.501, 0.5], [0.95, 0.95]])
+        q = np.array([1.0, -1.0, 0.0])
+        res = fmm_evaluate(pts, q, terms=16, depth=2)
+        exact = direct_evaluate(pts, q)
+        assert abs(res.potential[2] - exact.potential[2]) < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fmm_evaluate(np.zeros((3, 3)), np.zeros(3))
+        with pytest.raises(ValueError):
+            fmm_evaluate(np.full((2, 2), 1.5), np.zeros(2))
+        with pytest.raises(ValueError):
+            fmm_evaluate(np.full((2, 2), 0.5), np.zeros(2), terms=1)
+        with pytest.raises(ValueError):
+            fmm_evaluate(np.full((2, 2), 0.5), np.zeros(2), depth=1)
+
+
+class TestBspFmm:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_matches_sequential(self, p):
+        rng = np.random.default_rng(11)
+        pts = rng.random((500, 2))
+        q = rng.standard_normal(500)
+        seq = fmm_evaluate(pts, q, terms=12, depth=3)
+        run = bsp_fmm(pts, q, p, terms=12, depth=3)
+        assert np.allclose(run.potential, seq.potential, atol=1e-10)
+        assert np.allclose(run.field, seq.field, atol=1e-9)
+
+    def test_constant_supersteps(self):
+        """The FMM's BSP headline: S independent of p and depth."""
+        rng = np.random.default_rng(13)
+        pts = rng.random((300, 2))
+        q = rng.standard_normal(300)
+        s_values = set()
+        for p in (2, 4, 8):
+            for depth in (2, 3):
+                s_values.add(
+                    bsp_fmm(pts, q, p, terms=8, depth=depth).stats.S
+                )
+        assert s_values == {2}
+
+    def test_h_is_boundary_not_volume(self):
+        """Exchanged data ≪ replicating all multipoles + particles."""
+        rng = np.random.default_rng(17)
+        n = 2000
+        pts = rng.random((n, 2))
+        q = rng.standard_normal(n)
+        run = bsp_fmm(pts, q, 4, terms=8, depth=4)
+        everything = 9 * (4**4 + 4**3 + 4**2) + 2 * n  # all cells + bodies
+        assert run.stats.H < everything
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_concurrent_backends(self, backend):
+        rng = np.random.default_rng(19)
+        pts = rng.random((300, 2))
+        q = rng.standard_normal(300)
+        seq = fmm_evaluate(pts, q, terms=10, depth=3)
+        run = bsp_fmm(pts, q, 3, terms=10, depth=3, backend=backend)
+        assert np.allclose(run.potential, seq.potential, atol=1e-10)
+
+    def test_clustered_distribution(self):
+        """Non-uniform inputs (empty cells) stay correct."""
+        rng = np.random.default_rng(23)
+        blob1 = 0.1 + 0.08 * rng.random((200, 2))
+        blob2 = 0.8 + 0.15 * rng.random((200, 2))
+        pts = np.vstack([blob1, blob2])
+        q = rng.standard_normal(400)
+        seq = direct_evaluate(pts, q)
+        run = bsp_fmm(pts, q, 4, terms=16, depth=3)
+        scale = np.abs(seq.potential).max()
+        assert np.abs(run.potential - seq.potential).max() / scale < 1e-6

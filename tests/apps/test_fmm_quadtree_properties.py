@@ -1,0 +1,119 @@
+"""Property-based tests for the FMM quadtree geometry."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.fmm import (
+    cell_center,
+    cell_width,
+    cells_at,
+    children,
+    demorton,
+    interaction_list,
+    leaf_owner_ranges,
+    morton,
+    neighbors,
+    parent,
+)
+from repro.apps.fmm.quadtree import morton_of_points, owner_of_cell
+
+
+class TestMortonProperties:
+    @given(st.integers(0, 1023), st.integers(0, 1023))
+    def test_property_roundtrip(self, ix, iy):
+        assert demorton(morton(ix, iy)) == (ix, iy)
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_property_parent_code_is_quarter(self, ix, iy):
+        px, py = parent(ix, iy)
+        assert morton(px, py) == morton(ix, iy) // 4
+
+    @settings(max_examples=30)
+    @given(
+        pts=st.lists(
+            st.tuples(
+                st.floats(0, 0.999999, allow_nan=False),
+                st.floats(0, 0.999999, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=40,
+        ),
+        level=st.integers(1, 5),
+    )
+    def test_property_points_map_to_containing_cell(self, pts, level):
+        points = np.array(pts)
+        codes = morton_of_points(points, level)
+        n = cells_at(level)
+        for (x, y), code in zip(pts, codes):
+            ix, iy = demorton(int(code))
+            w = cell_width(level)
+            assert ix * w <= x < (ix + 1) * w or np.isclose(x, ix * w)
+            assert 0 <= ix < n and 0 <= iy < n
+
+
+class TestGeometryProperties:
+    @settings(max_examples=40)
+    @given(level=st.integers(1, 4), seed=st.integers(0, 10_000))
+    def test_property_interaction_list_symmetric(self, level, seed):
+        """j in IL(i) ⟺ i in IL(j)."""
+        rng = np.random.default_rng(seed)
+        n = cells_at(level)
+        ix, iy = int(rng.integers(0, n)), int(rng.integers(0, n))
+        for jx, jy in interaction_list(level, ix, iy):
+            assert (ix, iy) in interaction_list(level, jx, jy)
+
+    @settings(max_examples=40)
+    @given(level=st.integers(1, 4), seed=st.integers(0, 10_000))
+    def test_property_near_plus_il_plus_coarse_covers(self, level, seed):
+        """Any two distinct cells are near, interacting, or separated at
+        a coarser level (the FMM completeness invariant)."""
+        rng = np.random.default_rng(seed)
+        n = cells_at(level)
+        ix, iy = int(rng.integers(0, n)), int(rng.integers(0, n))
+        jx, jy = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if (ix, iy) == (jx, jy):
+            return
+        near = set(neighbors(level, ix, iy))
+        il = set(interaction_list(level, ix, iy))
+        if (jx, jy) in near or (jx, jy) in il:
+            return
+        # Must be handled at some coarser level: walking both up, they
+        # eventually land in each other's ILs (or are the same cell).
+        ax, ay, bx, by = ix, iy, jx, jy
+        for lvl in range(level - 1, -1, -1):
+            ax, ay = parent(ax, ay)
+            bx, by = parent(bx, by)
+            if (ax, ay) == (bx, by):
+                break
+            if (bx, by) in set(interaction_list(lvl, ax, ay)):
+                return
+        else:
+            raise AssertionError("pair never separated")
+
+    def test_children_partition_parent_area(self):
+        for ix, iy in [(0, 0), (2, 3)]:
+            kids = children(ix, iy)
+            assert len(set(kids)) == 4
+            for cx, cy in kids:
+                assert parent(cx, cy) == (ix, iy)
+
+    @given(st.integers(1, 4))
+    def test_property_cell_centers_inside_unit_square(self, level):
+        n = cells_at(level)
+        for ix in range(0, n, max(1, n // 3)):
+            c = cell_center(level, ix, n - 1)
+            assert 0 < c.real < 1 and 0 < c.imag < 1
+
+
+class TestOwnership:
+    @settings(max_examples=30)
+    @given(depth=st.integers(2, 4), p=st.integers(1, 9))
+    def test_property_every_cell_has_exactly_one_owner(self, depth, p):
+        ranges = leaf_owner_ranges(depth, p)
+        level = depth - 1
+        n = cells_at(level)
+        for ix in range(n):
+            for iy in range(n):
+                owner = owner_of_cell(level, ix, iy, depth, ranges)
+                assert 0 <= owner < p

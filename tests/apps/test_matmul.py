@@ -1,0 +1,152 @@
+"""Tests for the Cannon matrix-multiplication application."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.matmul import (
+    blocked_matmul,
+    cannon_matmul,
+    expected_shape,
+    grid_side,
+    initial_blocks,
+    reference_matmul,
+)
+
+
+def random_pair(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((n, n)), rng.standard_normal((n, n))
+
+
+class TestSequential:
+    @pytest.mark.parametrize("n,block", [(1, 1), (7, 3), (16, 4), (33, 8),
+                                         (48, 64)])
+    def test_blocked_matches_blas(self, n, block):
+        a, b = random_pair(n, seed=n)
+        assert np.allclose(blocked_matmul(a, b, block=block),
+                           reference_matmul(a, b))
+
+    def test_rectangular(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.standard_normal((5, 9)), rng.standard_normal((9, 3))
+        assert np.allclose(blocked_matmul(a, b, block=4), a @ b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            blocked_matmul(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_bad_block(self):
+        with pytest.raises(ValueError):
+            blocked_matmul(np.zeros((2, 2)), np.zeros((2, 2)), block=0)
+
+    def test_non_2d(self):
+        with pytest.raises(ValueError):
+            blocked_matmul(np.zeros(4), np.zeros((4, 4)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(1, 20), block=st.integers(1, 8),
+           seed=st.integers(0, 100))
+    def test_property_blocked_equals_blas(self, n, block, seed):
+        a, b = random_pair(n, seed=seed)
+        assert np.allclose(blocked_matmul(a, b, block=block), a @ b)
+
+
+class TestGrid:
+    def test_grid_side(self):
+        assert grid_side(1) == 1
+        assert grid_side(4) == 2
+        assert grid_side(16) == 4
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            grid_side(6)
+
+    def test_initial_blocks_skew(self):
+        """Processor (x, y) must hold A(x, x+y) and B(x+y, y)."""
+        n, q = 8, 2
+        a = np.arange(n * n, dtype=float).reshape(n, n)
+        b = a + 1000
+        bs = n // q
+        for pid in range(q * q):
+            x, y = divmod(pid, q)
+            k = (x + y) % q
+            a_blk, b_blk = initial_blocks(a, b, pid, q)
+            assert np.array_equal(
+                a_blk, a[x * bs:(x + 1) * bs, k * bs:(k + 1) * bs]
+            )
+            assert np.array_equal(
+                b_blk, b[k * bs:(k + 1) * bs, y * bs:(y + 1) * bs]
+            )
+
+
+class TestCannon:
+    @pytest.mark.parametrize("n,p", [(4, 1), (4, 4), (8, 4), (12, 9),
+                                     (16, 16), (24, 4)])
+    def test_matches_blas(self, n, p):
+        a, b = random_pair(n, seed=n * p)
+        run = cannon_matmul(a, b, p)
+        assert np.allclose(run.c, a @ b)
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_other_backends(self, backend):
+        a, b = random_pair(8, seed=3)
+        run = cannon_matmul(a, b, 4, backend=backend)
+        assert np.allclose(run.c, a @ b)
+
+    def test_identity(self):
+        n = 12
+        eye = np.eye(n)
+        a, _ = random_pair(n, seed=5)
+        assert np.allclose(cannon_matmul(a, eye, 9).c, a)
+
+    def test_bad_divisibility(self):
+        a, b = random_pair(6, seed=1)
+        with pytest.raises(ValueError):
+            cannon_matmul(a, b, 16)  # 6 not divisible by 4
+
+    def test_bad_shapes(self):
+        with pytest.raises(ValueError):
+            cannon_matmul(np.zeros((4, 4)), np.zeros((8, 8)), 4)
+
+    def test_nonsquare_procs(self):
+        a, b = random_pair(6, seed=1)
+        with pytest.raises(ValueError):
+            cannon_matmul(a, b, 6)
+
+
+class TestBspShape:
+    """The run's S and H must match the paper's Figure C.3 formulas."""
+
+    @pytest.mark.parametrize("n,p", [(16, 4), (24, 9), (16, 16)])
+    def test_s_and_h_formulas(self, n, p):
+        a, b = random_pair(n, seed=7)
+        run = cannon_matmul(a, b, p)
+        s_expected, h_expected = expected_shape(n, p)
+        assert run.stats.S == s_expected
+        assert run.stats.H == h_expected
+
+    def test_single_processor_shape(self):
+        a, b = random_pair(8, seed=9)
+        run = cannon_matmul(a, b, 1)
+        assert run.stats.S == 1
+        assert run.stats.H == 0
+
+    def test_paper_row_576_16(self):
+        """Scaled check of the headline Figure C.3 row: same formulas that
+        give S=7, H=124416 at n=576 give the right values at any n."""
+        s, h = expected_shape(576, 16)
+        assert (s, h) == (7, 124416)
+        s, h = expected_shape(576, 9)
+        assert (s, h) == (5, 147456)
+        s, h = expected_shape(144, 4)
+        assert (s, h) == (3, 10368)
+
+    def test_h_per_superstep_uniform(self):
+        n, p = 16, 4
+        a, b = random_pair(n, seed=11)
+        run = cannon_matmul(a, b, p)
+        shift_steps = [s for s in run.stats.supersteps if s.h > 0]
+        block_elems = (n // 2) ** 2
+        assert all(s.h == block_elems for s in shift_steps)

@@ -1,0 +1,195 @@
+"""Tests for the MST application (sequential baselines + BSP parallel)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.mst import bsp_mst, kruskal, prim
+from repro.graphs import (
+    Graph,
+    block_partition,
+    geometric_graph,
+    grid_graph,
+    hash_partition,
+    random_connected_graph,
+    spatial_partition,
+)
+
+
+class TestSequentialBaselines:
+    def test_triangle(self):
+        g = Graph.from_edges(
+            3, np.array([0, 1, 0]), np.array([1, 2, 2]),
+            np.array([1.0, 2.0, 3.0])
+        )
+        res = kruskal(g)
+        assert res.weight == pytest.approx(3.0)
+        assert res.nedges == 2
+        assert res.ncomponents == 1
+
+    def test_kruskal_equals_prim_weight(self):
+        for seed in range(5):
+            gg = geometric_graph(120, seed=seed)
+            assert kruskal(gg.graph).weight == pytest.approx(
+                prim(gg.graph).weight
+            )
+
+    def test_distinct_weights_same_edge_set(self):
+        g = random_connected_graph(60, extra_edges=100, seed=3)
+        k = {(u, v) for u, v, _ in kruskal(g).edges}
+        p = {(u, v) for u, v, _ in prim(g).edges}
+        assert k == p
+
+    def test_forest_on_disconnected(self):
+        g = Graph.from_edges(
+            5, np.array([0, 2]), np.array([1, 3]), np.array([1.0, 2.0])
+        )
+        res = kruskal(g)
+        assert res.ncomponents == 3
+        assert res.nedges == 2
+        assert prim(g).ncomponents == 3
+
+    def test_tree_input_returns_itself(self):
+        g = random_connected_graph(30, extra_edges=0, seed=7)
+        res = kruskal(g)
+        assert res.nedges == 29
+        assert res.weight == pytest.approx(g.total_weight())
+
+    def test_single_node(self):
+        g = Graph.from_edges(1, np.empty(0, int), np.empty(0, int),
+                             np.empty(0))
+        assert kruskal(g).weight == 0.0
+        assert kruskal(g).nedges == 0
+
+
+class TestParallelMst:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_matches_kruskal_geometric(self, p):
+        gg = geometric_graph(150, seed=p)
+        owner = spatial_partition(gg.points, p)
+        res = bsp_mst(gg.graph, owner, p)
+        assert res.weight == pytest.approx(kruskal(gg.graph).weight)
+        assert res.ncomponents == 1
+        assert len(res.edges) == gg.graph.n - 1
+
+    @pytest.mark.parametrize("p", [2, 4])
+    def test_matches_kruskal_random_graph(self, p):
+        g = random_connected_graph(100, extra_edges=300, seed=p)
+        owner = block_partition(g.n, p)
+        res = bsp_mst(g, owner, p)
+        assert res.weight == pytest.approx(kruskal(g).weight)
+
+    def test_hash_partition_still_correct(self):
+        """Correctness must not depend on partition locality."""
+        gg = geometric_graph(120, seed=9)
+        owner = hash_partition(gg.graph.n, 4, seed=1)
+        res = bsp_mst(gg.graph, owner, 4)
+        assert res.weight == pytest.approx(kruskal(gg.graph).weight)
+
+    def test_grid_graph(self):
+        g = grid_graph(10, 12, seed=5)
+        owner = block_partition(g.n, 4)
+        res = bsp_mst(g, owner, 4)
+        assert res.weight == pytest.approx(kruskal(g).weight)
+
+    def test_edges_form_spanning_tree(self):
+        gg = geometric_graph(80, seed=11)
+        owner = spatial_partition(gg.points, 3)
+        res = bsp_mst(gg.graph, owner, 3)
+        from repro.graphs import UnionFind
+
+        uf = UnionFind(gg.graph.n)
+        for u, v, _ in res.edges:
+            assert uf.union(u, v), "parallel MST produced a cycle"
+        assert uf.ncomponents == 1
+
+    def test_disconnected_input_gives_forest(self):
+        # Two separate cliques.
+        rng = np.random.default_rng(0)
+        us, vs = [], []
+        for base in (0, 10):
+            for i in range(10):
+                for j in range(i + 1, 10):
+                    us.append(base + i)
+                    vs.append(base + j)
+        g = Graph.from_edges(
+            20, np.array(us), np.array(vs), rng.random(len(us)) + 0.01
+        )
+        owner = block_partition(20, 4)
+        res = bsp_mst(g, owner, 4)
+        assert res.ncomponents == 2
+        assert len(res.edges) == 18
+        assert res.weight == pytest.approx(kruskal(g).weight)
+
+    @pytest.mark.parametrize("threshold", [1, 2, 8, 10_000])
+    def test_switch_threshold_extremes(self, threshold):
+        """Pure Borůvka (1) and pure sequential-finish (huge) both work."""
+        gg = geometric_graph(100, seed=13)
+        owner = spatial_partition(gg.points, 4)
+        res = bsp_mst(gg.graph, owner, 4, switch_threshold=threshold)
+        assert res.weight == pytest.approx(kruskal(gg.graph).weight)
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_concurrent_backends(self, backend):
+        gg = geometric_graph(90, seed=17)
+        owner = spatial_partition(gg.points, 3)
+        res = bsp_mst(gg.graph, owner, 3, backend=backend)
+        assert res.weight == pytest.approx(kruskal(gg.graph).weight)
+
+    def test_equal_weights_handled(self):
+        """Lexicographic tie-breaking must not duplicate or cycle."""
+        g = grid_graph(6, 6, seed=0)
+        g = Graph.from_edges(36, *[arr for arr in g.edge_list()][:2],
+                             np.ones(len(g.edge_list()[0])))
+        owner = block_partition(36, 4)
+        res = bsp_mst(g, owner, 4)
+        assert len(res.edges) == 35
+        assert res.weight == pytest.approx(35.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=80),
+        p=st.integers(min_value=1, max_value=5),
+        seed=st.integers(0, 500),
+    )
+    def test_property_weight_matches_kruskal(self, n, p, seed):
+        gg = geometric_graph(n, seed=seed)
+        owner = spatial_partition(gg.points, p)
+        res = bsp_mst(gg.graph, owner, p)
+        assert res.weight == pytest.approx(kruskal(gg.graph).weight)
+
+
+class TestBspShape:
+    def test_single_processor_no_traffic(self):
+        gg = geometric_graph(100, seed=1)
+        res = bsp_mst(gg.graph, np.zeros(100, dtype=np.int64), 1)
+        assert res.stats.H == 0
+
+    def test_conservative_label_traffic(self):
+        """Superstep-0 traffic is bounded by border-node counts."""
+        from repro.graphs import LocalGraph
+
+        gg = geometric_graph(200, seed=3)
+        p = 4
+        owner = spatial_partition(gg.points, p)
+        res = bsp_mst(gg.graph, owner, p)
+        locals_ = [LocalGraph.build(gg.graph, owner, q, p) for q in range(p)]
+        max_border = max(lg.nborder for lg in locals_)
+        max_links = max(len(lg.watcher_pid) for lg in locals_)
+        first = res.stats.supersteps[0]
+        # Received labels = this processor's border nodes (the paper's
+        # conservative bound); sent labels = its watcher links.
+        assert first.h_recv_max <= max_border
+        assert first.h_sent_max <= max_links
+
+    def test_supersteps_grow_slowly_with_size(self):
+        """Paper: S grows quite slowly with problem size (12 -> 62)."""
+        owner_s = []
+        s_values = []
+        for n in (100, 400):
+            gg = geometric_graph(n, seed=5)
+            owner = spatial_partition(gg.points, 4)
+            res = bsp_mst(gg.graph, owner, 4)
+            s_values.append(res.stats.S)
+        assert s_values[1] <= s_values[0] + 10

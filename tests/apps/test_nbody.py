@@ -1,0 +1,340 @@
+"""Tests for the N-body application (tree, ORB, sequential, BSP)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.nbody import (
+    BHTree,
+    Bodies,
+    accelerations,
+    box_min_distance,
+    bsp_nbody,
+    direct_accelerations,
+    load_imbalance,
+    orb_partition,
+    plummer,
+    simulate,
+    simulate_direct,
+    total_energy,
+    uniform_cube,
+)
+
+
+class TestBodies:
+    def test_create_validates(self):
+        with pytest.raises(ValueError):
+            Bodies.create(np.zeros((3, 2)), np.zeros((3, 2)), np.ones(3))
+        with pytest.raises(ValueError):
+            Bodies.create(np.zeros((3, 3)), np.zeros((2, 3)), np.ones(3))
+        with pytest.raises(ValueError):
+            Bodies.create(np.zeros((2, 3)), np.zeros((2, 3)), np.zeros(2))
+
+    def test_subset_concat_roundtrip(self):
+        b = uniform_cube(10, seed=1)
+        parts = [b.subset(np.arange(0, 5)), b.subset(np.arange(5, 10))]
+        merged = Bodies.concatenate(parts).ordered_by_ident()
+        assert np.allclose(merged.pos, b.pos)
+        assert np.array_equal(merged.ident, b.ident)
+
+    def test_box_min_distance(self):
+        lo, hi = np.zeros(3), np.ones(3)
+        assert box_min_distance(lo, hi, np.array([0.5, 0.5, 0.5])) == 0.0
+        assert box_min_distance(lo, hi, np.array([2.0, 0.5, 0.5])) == 1.0
+        assert box_min_distance(lo, hi, np.array([2.0, 2.0, 0.5])) == (
+            pytest.approx(np.sqrt(2))
+        )
+
+
+class TestPlummer:
+    def test_standard_units(self):
+        b = plummer(2000, seed=1)
+        assert b.mass.sum() == pytest.approx(1.0)
+        # Centre of mass at rest at the origin.
+        assert np.allclose((b.mass[:, None] * b.pos).sum(axis=0), 0, atol=1e-12)
+        assert np.allclose((b.mass[:, None] * b.vel).sum(axis=0), 0, atol=1e-12)
+
+    def test_virial_energy_near_quarter(self):
+        """Standard units: total energy ≈ −1/4 (sampling noise allowed)."""
+        b = plummer(3000, seed=2)
+        e = total_energy(b, eps=0.0)
+        assert -0.35 < e < -0.15
+
+    def test_deterministic(self):
+        a, b = plummer(100, seed=7), plummer(100, seed=7)
+        assert np.array_equal(a.pos, b.pos)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            plummer(0)
+
+
+class TestBHTree:
+    def test_mass_conservation(self):
+        b = plummer(300, seed=3)
+        tree = BHTree(b.pos, b.mass)
+        assert tree.root.mass == pytest.approx(b.mass.sum())
+        assert np.allclose(
+            tree.root.com, (b.mass[:, None] * b.pos).sum(axis=0) / b.mass.sum()
+        )
+
+    def test_theta_zero_is_direct_sum(self):
+        b = plummer(120, seed=4)
+        acc_bh, inter = accelerations(b.pos, b.mass, theta=0.0, eps=0.05)
+        acc_direct = direct_accelerations(b.pos, b.mass, eps=0.05)
+        assert np.allclose(acc_bh, acc_direct, rtol=1e-9, atol=1e-12)
+        # theta=0 never uses a cell summary: interactions = n-1 each.
+        assert np.all(inter == len(b) - 1)
+
+    @pytest.mark.parametrize("theta", [0.3, 0.7, 1.0])
+    def test_accuracy_improves_with_smaller_theta(self, theta):
+        b = plummer(250, seed=5)
+        acc_bh, _ = accelerations(b.pos, b.mass, theta=theta, eps=0.05)
+        acc_d = direct_accelerations(b.pos, b.mass, eps=0.05)
+        scale = np.abs(acc_d).max()
+        err = np.abs(acc_bh - acc_d).max() / scale
+        assert err < 0.08 * theta
+
+    def test_fewer_interactions_with_larger_theta(self):
+        b = plummer(400, seed=6)
+        _, i_small = accelerations(b.pos, b.mass, theta=0.3)
+        _, i_large = accelerations(b.pos, b.mass, theta=1.2)
+        assert i_large.sum() < i_small.sum()
+
+    def test_identical_positions_handled(self):
+        pos = np.zeros((5, 3))
+        tree = BHTree(pos, np.ones(5))
+        assert tree.root.mass == pytest.approx(5.0)
+
+    def test_leaf_size_bucketing(self):
+        b = plummer(200, seed=8)
+        t1 = BHTree(b.pos, b.mass, leaf_size=1)
+        t16 = BHTree(b.pos, b.mass, leaf_size=16)
+        assert t16.cell_count() < t1.cell_count()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BHTree(np.zeros((2, 2)), np.ones(2))
+        with pytest.raises(ValueError):
+            BHTree(np.zeros((2, 3)), np.ones(2), leaf_size=0)
+
+
+class TestEssentialRecords:
+    def test_far_box_gets_single_record(self):
+        b = uniform_cube(200, seed=9)
+        tree = BHTree(b.pos, b.mass)
+        far_lo = np.array([100.0, 100.0, 100.0])
+        far_hi = far_lo + 1.0
+        masses, points = tree.essential_records(far_lo, far_hi, theta=1.0)
+        assert len(masses) == 1
+        assert masses[0] == pytest.approx(b.mass.sum())
+
+    def test_near_box_gets_more_records(self):
+        b = uniform_cube(300, seed=10)
+        tree = BHTree(b.pos, b.mass)
+        near = tree.essential_records(
+            np.array([1.0, 0.0, 0.0]), np.array([2.0, 1.0, 1.0]), theta=0.7
+        )
+        far = tree.essential_records(
+            np.array([50.0, 0.0, 0.0]), np.array([51.0, 1.0, 1.0]), theta=0.7
+        )
+        assert len(near[0]) > len(far[0])
+
+    def test_mass_always_conserved(self):
+        b = plummer(250, seed=11)
+        tree = BHTree(b.pos, b.mass)
+        masses, _ = tree.essential_records(
+            np.array([0.5, 0.5, 0.5]), np.array([1.5, 1.5, 1.5]), theta=0.8
+        )
+        assert masses.sum() == pytest.approx(b.mass.sum())
+
+    def test_pruning_is_sound_for_all_box_points(self):
+        """Forces from the pruned records match the full tree for any
+        point inside the requested box, within the theta error budget."""
+        rng = np.random.default_rng(12)
+        b = uniform_cube(400, seed=12)
+        tree = BHTree(b.pos, b.mass)
+        lo = np.array([2.0, 2.0, 2.0])
+        hi = np.array([3.0, 3.0, 3.0])
+        masses, points = tree.essential_records(lo, hi, theta=0.5)
+        from repro.apps.nbody import pairwise_acceleration
+
+        for _ in range(10):
+            pt = lo + rng.random(3) * (hi - lo)
+            approx = pairwise_acceleration(pt, masses, points, 0.05)
+            exact = pairwise_acceleration(pt, b.mass, b.pos, 0.05)
+            assert np.linalg.norm(approx - exact) <= (
+                0.05 * np.linalg.norm(exact) + 1e-12
+            )
+
+
+class TestOrb:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 8])
+    def test_balanced_counts_uniform_weights(self, p):
+        b = uniform_cube(400, seed=13)
+        owner = orb_partition(b.pos, None, p)
+        counts = np.bincount(owner, minlength=p)
+        assert counts.min() > 0
+        assert counts.max() - counts.min() <= max(2, 0.1 * counts.mean())
+
+    def test_weighted_balance(self):
+        b = uniform_cube(300, seed=14)
+        weights = np.ones(300)
+        weights[:50] = 20.0  # heavy corner
+        owner = orb_partition(b.pos, weights, 4)
+        loads = np.array(
+            [weights[owner == q].sum() for q in range(4)]
+        )
+        assert load_imbalance(loads) < 0.5
+
+    def test_spatial_coherence(self):
+        """ORB regions are boxes: each part's bbox overlaps others little."""
+        b = uniform_cube(500, seed=15)
+        owner = orb_partition(b.pos, None, 2)
+        a = b.pos[owner == 0]
+        c = b.pos[owner == 1]
+        # Split along one axis: the two parts separate on some axis.
+        separated = any(
+            a[:, ax].max() <= c[:, ax].min() + 1e-12
+            or c[:, ax].max() <= a[:, ax].min() + 1e-12
+            for ax in range(3)
+        )
+        assert separated
+
+    def test_validation(self):
+        b = uniform_cube(10, seed=16)
+        with pytest.raises(ValueError):
+            orb_partition(b.pos, None, 0)
+        with pytest.raises(ValueError):
+            orb_partition(b.pos, np.ones(5), 2)
+        with pytest.raises(ValueError):
+            orb_partition(b.pos, -np.ones(10), 2)
+
+    def test_load_imbalance_metric(self):
+        assert load_imbalance(np.array([1.0, 1.0])) == 0.0
+        assert load_imbalance(np.array([3.0, 1.0])) == pytest.approx(0.5)
+
+
+class TestSequentialSimulation:
+    def test_energy_roughly_conserved(self):
+        b = plummer(200, seed=17)
+        e0 = total_energy(b)
+        res = simulate(b, steps=5, theta=0.6, dt=0.01)
+        e1 = total_energy(res.bodies)
+        assert abs(e1 - e0) < 0.05 * abs(e0)
+
+    def test_matches_direct_at_theta_zero(self):
+        b = plummer(80, seed=18)
+        bh = simulate(b, steps=3, theta=0.0, dt=0.01)
+        direct = simulate_direct(b, steps=3, dt=0.01)
+        assert np.allclose(bh.bodies.pos, direct.bodies.pos, atol=1e-10)
+
+    def test_zero_steps_identity(self):
+        b = plummer(50, seed=19)
+        res = simulate(b, steps=0)
+        assert np.array_equal(res.bodies.pos, b.pos)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            simulate(plummer(10), steps=-1)
+
+
+class TestBspNBody:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_exact_match_at_theta_zero(self, p):
+        """theta=0 disables approximation: parallel == direct sum."""
+        b = plummer(60, seed=20)
+        run = bsp_nbody(b, p, steps=2, theta=0.0, dt=0.01)
+        direct = simulate_direct(b, steps=2, dt=0.01)
+        assert np.array_equal(run.bodies.ident, direct.bodies.ident)
+        assert np.allclose(run.bodies.pos, direct.bodies.pos, atol=1e-9)
+
+    @pytest.mark.parametrize("p", [2, 3, 4])
+    def test_close_to_sequential_bh(self, p):
+        """With theta>0 trees differ across layouts, but trajectories stay
+        within the approximation budget."""
+        b = plummer(150, seed=21)
+        run = bsp_nbody(b, p, steps=1, theta=0.5, dt=0.01)
+        seq = simulate(b, steps=1, theta=0.5, dt=0.01)
+        scale = np.abs(seq.bodies.pos).max()
+        assert np.allclose(run.bodies.pos, seq.bodies.pos,
+                           atol=2e-3 * scale)
+
+    def test_mass_and_count_preserved(self):
+        b = plummer(120, seed=22)
+        run = bsp_nbody(b, 4, steps=3, theta=0.8, dt=0.01,
+                        rebalance_threshold=0.01)
+        assert len(run.bodies) == 120
+        assert run.bodies.mass.sum() == pytest.approx(b.mass.sum())
+        assert np.array_equal(np.sort(run.bodies.ident), np.arange(120))
+
+    def test_six_supersteps_per_iteration(self):
+        """Figure C.4: S = 6 per time step."""
+        b = plummer(80, seed=23)
+        for steps in (1, 2, 3):
+            run = bsp_nbody(b, 4, steps=steps, theta=0.8, dt=0.01)
+            assert run.stats.S == 6 * steps + 1  # + final segment
+
+    def test_rebalance_keeps_correctness(self):
+        b = plummer(100, seed=24)
+        eager = bsp_nbody(b, 4, steps=3, theta=0.0, dt=0.01,
+                          rebalance_threshold=0.0)
+        direct = simulate_direct(b, steps=3, dt=0.01)
+        assert np.allclose(eager.bodies.pos, direct.bodies.pos, atol=1e-9)
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_concurrent_backends(self, backend):
+        b = plummer(60, seed=25)
+        run = bsp_nbody(b, 2, steps=1, theta=0.0, dt=0.01, backend=backend)
+        direct = simulate_direct(b, steps=1, dt=0.01)
+        assert np.allclose(run.bodies.pos, direct.bodies.pos, atol=1e-9)
+
+    def test_essential_traffic_less_than_naive(self):
+        """H must be far below the all-bodies exchange (the paper's
+        bandwidth-minimization claim)."""
+        b = plummer(256, seed=26)
+        p = 4
+        run = bsp_nbody(b, p, steps=1, theta=0.9, dt=0.01)
+        naive_h = 2 * 256 * (p - 1)  # every body to every peer
+        essential_h = max(s.h for s in run.stats.supersteps)
+        assert essential_h < naive_h
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        n=st.integers(min_value=8, max_value=80),
+        p=st.integers(min_value=1, max_value=4),
+        seed=st.integers(0, 100),
+    )
+    def test_property_theta_zero_matches_direct(self, n, p, seed):
+        b = plummer(n, seed=seed)
+        run = bsp_nbody(b, p, steps=1, theta=0.0, dt=0.01)
+        direct = simulate_direct(b, steps=1, dt=0.01)
+        assert np.allclose(run.bodies.pos, direct.bodies.pos, atol=1e-9)
+
+
+class TestWarmup:
+    def test_warmup_trims_statistics(self):
+        b = plummer(100, seed=30)
+        plain = bsp_nbody(b, 4, steps=2, theta=0.8, dt=0.01)
+        warmed = bsp_nbody(b, 4, steps=2, theta=0.8, dt=0.01,
+                           warmup_steps=1)
+        # Accounted supersteps cover only the measured steps.
+        assert plain.stats.S == 2 * 6 + 1
+        assert warmed.stats.S == 2 * 6 + 1
+        # ... but the warmed run has evolved one step further.
+        assert not np.allclose(plain.bodies.pos, warmed.bodies.pos)
+
+    def test_warmup_improves_balance(self):
+        b = plummer(512, seed=31)
+        cold = bsp_nbody(b, 4, steps=1, theta=0.9, dt=0.01, balance=False,
+                         rebalance_threshold=1e9)
+        warm = bsp_nbody(b, 4, steps=1, theta=0.9, dt=0.01, balance=False,
+                         rebalance_threshold=1e9, warmup_steps=1)
+        def balance(stats):
+            return stats.total_charged / (stats.charged_depth * 4)
+        assert balance(warm.stats) >= balance(cold.stats) - 0.02
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            bsp_nbody(plummer(10), 2, steps=1, warmup_steps=-1)

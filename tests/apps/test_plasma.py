@@ -1,0 +1,208 @@
+"""Tests for the particle-in-cell plasma application."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.plasma import (
+    Particles,
+    bsp_pic,
+    deposit,
+    field_energy,
+    gather,
+    kinetic_energy,
+    oscillation_period,
+    perturbed_lattice,
+    plasma_frequency,
+    push,
+    simulate_pic,
+    solve_field,
+    split_particles,
+)
+from repro.apps.ocean.parallel import RowPartition
+
+
+class TestParticles:
+    def test_create_validates(self):
+        with pytest.raises(ValueError):
+            Particles.create(np.zeros((3, 3)), np.zeros((3, 3)), 1.0)
+        with pytest.raises(ValueError):
+            Particles.create(np.zeros((3, 2)), np.zeros((2, 2)), 1.0)
+        with pytest.raises(ValueError):
+            Particles.create(np.zeros((0, 2)), np.zeros((0, 2)), 1.0)
+        with pytest.raises(ValueError):
+            Particles.create(np.zeros((2, 2)), np.zeros((2, 2)), -1.0)
+
+    def test_total_charge_is_minus_rho0(self):
+        parts = perturbed_lattice(16, rho0=2.0)
+        assert parts.weight * len(parts) == pytest.approx(-2.0)
+
+    def test_subset_concat_roundtrip(self):
+        parts = perturbed_lattice(8)
+        halves = [parts.subset(np.arange(0, 32)),
+                  parts.subset(np.arange(32, 64))]
+        merged = Particles.concatenate(halves).ordered_by_ident()
+        assert np.array_equal(merged.pos, parts.pos)
+
+
+class TestDepositGather:
+    def test_charge_conservation_away_from_walls(self):
+        """All CIC fractions land on the grid for interior particles."""
+        rng = np.random.default_rng(0)
+        pos = 0.25 + 0.5 * rng.random((200, 2))  # comfortably interior
+        parts = Particles.create(pos, np.zeros_like(pos), rho0=1.0)
+        n = 16
+        rho = deposit(parts.pos, parts.weight, n, rho0=0.0)
+        total = rho[1:-1, 1:-1].sum() / (n * n)  # density -> charge
+        assert total == pytest.approx(parts.weight * len(parts), rel=1e-12)
+
+    def test_uniform_plasma_is_neutral(self):
+        parts = perturbed_lattice(32, amplitude=0.0)
+        rho = deposit(parts.pos, parts.weight, 16, rho0=1.0)
+        assert np.abs(rho[2:-2, 2:-2]).max() < 1e-9
+
+    def test_gather_constant_field(self):
+        n = 16
+        ex = np.zeros((n + 2, n + 2))
+        ey = np.zeros((n + 2, n + 2))
+        ex[1:-1, 1:-1] = 3.0
+        rng = np.random.default_rng(1)
+        pos = 0.2 + 0.6 * rng.random((50, 2))
+        e = gather(ex, ey, pos, n)
+        assert np.allclose(e[:, 0], 3.0)
+        assert np.allclose(e[:, 1], 0.0)
+
+    def test_field_solver_sign(self):
+        """Field lines point *into* a negative blob; electrons are
+        repelled from it."""
+        pos = np.full((100, 2), 0.5)
+        parts = Particles.create(pos, np.zeros_like(pos), rho0=1.0)
+        rho = deposit(parts.pos, parts.weight, 32, rho0=0.0)
+        _, ex, ey, _ = solve_field(rho)
+        probe = gather(ex, ey, np.array([[0.75, 0.5]]), 32)
+        # E_x < 0 at x=0.75 (toward the blob); electron force −E_x > 0
+        # (away from it — like charges repel).
+        assert probe[0, 0] < 0
+
+
+class TestPush:
+    def test_free_streaming(self):
+        pos = np.array([[0.5, 0.5]])
+        vel = np.array([[0.1, -0.05]])
+        parts = Particles.create(pos, vel, rho0=1.0)
+        push(parts, np.zeros_like(pos), dt=1.0)
+        assert np.allclose(parts.pos, [[0.6, 0.45]])
+
+    def test_wall_reflection(self):
+        pos = np.array([[0.95, 0.5]])
+        vel = np.array([[0.2, 0.0]])
+        parts = Particles.create(pos, vel, rho0=1.0)
+        push(parts, np.zeros_like(pos), dt=1.0)
+        assert parts.pos[0, 0] == pytest.approx(2.0 - 1.15)
+        assert parts.vel[0, 0] == -0.2
+
+
+class TestPhysics:
+    def test_langmuir_frequency(self):
+        """The headline validation: oscillation at ω_p = sqrt(ρ₀)."""
+        parts = perturbed_lattice(48, amplitude=0.02, rho0=1.0)
+        dt = 0.05
+        res = simulate_pic(parts, 32, 160, dt=dt, rho0=1.0)
+        period = oscillation_period(res.history.field_energy, dt)
+        expected = 2 * math.pi / plasma_frequency(1.0)
+        assert period is not None
+        assert abs(period - expected) / expected < 0.08
+
+    def test_frequency_scales_with_density(self):
+        """ω_p ∝ sqrt(ρ₀): doubling the density shortens the period."""
+        dt = 0.04
+        periods = {}
+        for rho0 in (1.0, 2.0):
+            parts = perturbed_lattice(40, amplitude=0.02, rho0=rho0)
+            res = simulate_pic(parts, 32, 140, dt=dt, rho0=rho0)
+            periods[rho0] = oscillation_period(
+                res.history.field_energy, dt
+            )
+        ratio = periods[1.0] / periods[2.0]
+        assert ratio == pytest.approx(math.sqrt(2.0), rel=0.15)
+
+    def test_cold_uniform_plasma_interior_is_field_free(self):
+        """Uniform plasma: the interior field vanishes (wall sheaths —
+        image-charge imbalance within half a cell of the walls — are the
+        only structure)."""
+        parts = perturbed_lattice(32, amplitude=0.0)
+        rho = deposit(parts.pos, parts.weight, 16, rho0=1.0)
+        _, ex, ey, _ = solve_field(rho)
+        interior = slice(4, -4)
+        interior_field = max(
+            np.abs(ex[interior, interior]).max(),
+            np.abs(ey[interior, interior]).max(),
+        )
+        wall_field = np.abs(ex[1, 1:-1]).max()
+        assert interior_field < 1e-4
+        assert interior_field < wall_field / 100
+
+    def test_warm_start_reduces_cycles(self):
+        parts = perturbed_lattice(32, amplitude=0.05)
+        res = simulate_pic(parts, 32, 6, dt=0.05)
+        assert res.history.cycles[-1] <= res.history.cycles[0]
+
+
+class TestBspPic:
+    @pytest.mark.parametrize("p", [1, 2, 4, 8])
+    def test_matches_sequential_exactly(self, p):
+        parts = perturbed_lattice(24, amplitude=0.05, seed=1)
+        n, steps = 16, 4
+        run = bsp_pic(parts, n, p, steps, dt=0.05)
+        seq = simulate_pic(parts, n, steps, dt=0.05)
+        seq_sorted = seq.particles.ordered_by_ident()
+        assert np.allclose(run.particles.pos, seq_sorted.pos, atol=1e-12)
+        assert np.allclose(run.particles.vel, seq_sorted.vel, atol=1e-12)
+        assert np.allclose(
+            run.history.field_energy, seq.history.field_energy, rtol=1e-9
+        )
+
+    def test_particles_conserved_through_migration(self):
+        parts = perturbed_lattice(20, amplitude=0.3, seed=2)
+        run = bsp_pic(parts, 16, 4, 8, dt=0.1)
+        assert len(run.particles) == len(parts)
+        assert np.array_equal(
+            np.sort(run.particles.ident), np.arange(len(parts))
+        )
+
+    def test_split_particles_covers_all(self):
+        parts = perturbed_lattice(16)
+        top = RowPartition.block(16, 3)
+        split = split_particles(parts, top)
+        assert sum(len(s) for s in split) == len(parts)
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_concurrent_backends(self, backend):
+        parts = perturbed_lattice(16, amplitude=0.05, seed=3)
+        run = bsp_pic(parts, 16, 2, 2, dt=0.05, backend=backend)
+        seq = simulate_pic(parts, 16, 2, dt=0.05)
+        assert np.allclose(
+            run.particles.pos,
+            seq.particles.ordered_by_ident().pos,
+            atol=1e-12,
+        )
+
+    def test_solver_dominates_supersteps(self):
+        parts = perturbed_lattice(16, amplitude=0.05)
+        run = bsp_pic(parts, 16, 4, 3, dt=0.05)
+        # 3 particle-phase supersteps per step (deposit, migrate, E
+        # ghosts) + diagnostics vs tens from the solver.
+        assert run.stats.S > 10 * 3
+
+    def test_energy_diagnostics_match_functions(self):
+        parts = perturbed_lattice(24, amplitude=0.05)
+        run = bsp_pic(parts, 16, 2, 1, dt=0.05)
+        rho = deposit(parts.pos, parts.weight, 16, 1.0)
+        _, ex, ey, _ = solve_field(rho)
+        assert run.history.field_energy[0] == pytest.approx(
+            field_energy(ex, ey, 16), rel=1e-9
+        )
+        assert run.history.kinetic_energy[0] == pytest.approx(
+            kinetic_energy(parts), abs=1e-15
+        )

@@ -1,0 +1,101 @@
+"""Tests for the BSP sample-sort subroutine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.sort import bsp_sample_sort
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8, 16])
+    def test_sorts_random_input(self, p):
+        rng = np.random.default_rng(p)
+        data = rng.standard_normal(500)
+        run = bsp_sample_sort(data, p)
+        assert np.array_equal(run.data, np.sort(data))
+
+    def test_already_sorted(self):
+        data = np.arange(100, dtype=float)
+        run = bsp_sample_sort(data, 4)
+        assert np.array_equal(run.data, data)
+
+    def test_reverse_sorted(self):
+        data = np.arange(100, dtype=float)[::-1]
+        run = bsp_sample_sort(data, 4)
+        assert np.array_equal(run.data, np.arange(100, dtype=float))
+
+    def test_duplicates(self):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 5, size=200).astype(float)
+        run = bsp_sample_sort(data, 4)
+        assert np.array_equal(run.data, np.sort(data))
+
+    def test_all_equal(self):
+        data = np.full(64, 7.0)
+        run = bsp_sample_sort(data, 4)
+        assert np.array_equal(run.data, data)
+
+    def test_tiny_inputs(self):
+        for n in (0, 1, 2, 3):
+            data = np.random.default_rng(n).standard_normal(n)
+            run = bsp_sample_sort(data, 4)
+            assert np.array_equal(run.data, np.sort(data))
+
+    def test_fewer_items_than_processors(self):
+        data = np.array([3.0, 1.0])
+        run = bsp_sample_sort(data, 8)
+        assert np.array_equal(run.data, np.array([1.0, 3.0]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            bsp_sample_sort(np.zeros((3, 3)), 2)
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_concurrent_backends(self, backend):
+        rng = np.random.default_rng(9)
+        data = rng.standard_normal(300)
+        run = bsp_sample_sort(data, 4, backend=backend)
+        assert np.array_equal(run.data, np.sort(data))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        data=st.lists(
+            st.floats(allow_nan=False, allow_infinity=False,
+                      width=32),
+            max_size=300,
+        ),
+        p=st.integers(1, 6),
+    )
+    def test_property_matches_numpy(self, data, p):
+        arr = np.array(data, dtype=np.float64)
+        run = bsp_sample_sort(arr, p)
+        assert np.array_equal(run.data, np.sort(arr))
+
+
+class TestBspShape:
+    def test_four_supersteps(self):
+        rng = np.random.default_rng(1)
+        run = bsp_sample_sort(rng.standard_normal(1000), 8)
+        assert run.stats.S == 4
+
+    def test_regular_sampling_bounds_buckets(self):
+        """PSRS guarantee: no bucket exceeds ~2n/p for distinct keys."""
+        rng = np.random.default_rng(2)
+        n, p = 4000, 8
+        run = bsp_sample_sort(rng.standard_normal(n), p)
+        assert max(run.bucket_sizes) <= 2 * n // p + p
+        assert sum(run.bucket_sizes) == n
+
+    def test_h_scales_with_block_size(self):
+        rng = np.random.default_rng(4)
+        small = bsp_sample_sort(rng.standard_normal(800), 4).stats
+        large = bsp_sample_sort(rng.standard_normal(8000), 4).stats
+        assert 4 < large.H / small.H < 25
+
+    def test_single_processor_no_traffic(self):
+        rng = np.random.default_rng(5)
+        run = bsp_sample_sort(rng.standard_normal(100), 1)
+        # Only the self-addressed sample message.
+        assert run.stats.H <= 2

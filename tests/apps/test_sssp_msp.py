@@ -1,0 +1,228 @@
+"""Tests for the shortest-paths applications (SP and MSP)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.msp import PAPER_NSOURCES, default_sources
+from repro.apps.sssp import bsp_msp, bsp_sssp, dijkstra, dijkstra_many
+from repro.graphs import (
+    Graph,
+    block_partition,
+    geometric_graph,
+    grid_graph,
+    hash_partition,
+    random_connected_graph,
+    spatial_partition,
+)
+
+
+def scipy_dijkstra(graph, source):
+    """Independent oracle: scipy.sparse.csgraph."""
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import dijkstra as sp_dijkstra
+
+    mat = csr_matrix(
+        (graph.weights, graph.indices, graph.indptr), shape=(graph.n, graph.n)
+    )
+    return sp_dijkstra(mat, indices=source)
+
+
+class TestSequentialDijkstra:
+    def test_line_graph(self):
+        g = Graph.from_edges(
+            4, np.array([0, 1, 2]), np.array([1, 2, 3]),
+            np.array([1.0, 2.0, 3.0])
+        )
+        assert dijkstra(g, 0).tolist() == [0.0, 1.0, 3.0, 6.0]
+
+    def test_matches_scipy(self):
+        gg = geometric_graph(200, seed=1)
+        assert np.allclose(dijkstra(gg.graph, 5), scipy_dijkstra(gg.graph, 5))
+
+    def test_unreachable_is_inf(self):
+        g = Graph.from_edges(3, np.array([0]), np.array([1]), np.array([1.0]))
+        d = dijkstra(g, 0)
+        assert d[2] == np.inf
+
+    def test_bad_source(self):
+        g = grid_graph(2, 2)
+        with pytest.raises(ValueError):
+            dijkstra(g, 99)
+
+    def test_negative_weight_rejected(self):
+        g = Graph.from_edges(2, np.array([0]), np.array([1]),
+                             np.array([-1.0]))
+        with pytest.raises(ValueError):
+            dijkstra(g, 0)
+
+    def test_dijkstra_many_rows(self):
+        g = random_connected_graph(50, extra_edges=60, seed=2)
+        many = dijkstra_many(g, [0, 7, 13])
+        assert many.shape == (3, 50)
+        for row, s in zip(many, [0, 7, 13]):
+            assert np.allclose(row, dijkstra(g, s))
+
+
+class TestBspSssp:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 8])
+    def test_matches_dijkstra_geometric(self, p):
+        gg = geometric_graph(180, seed=p)
+        owner = spatial_partition(gg.points, p)
+        res = bsp_sssp(gg.graph, owner, p, source=0)
+        assert np.allclose(res.dist, dijkstra(gg.graph, 0))
+
+    @pytest.mark.parametrize("work_factor", [1, 5, 50, None])
+    def test_any_work_factor_correct(self, work_factor):
+        """The work factor trades supersteps for balance — never accuracy."""
+        gg = geometric_graph(120, seed=3)
+        owner = spatial_partition(gg.points, 4)
+        res = bsp_sssp(gg.graph, owner, 4, source=7, work_factor=work_factor)
+        assert np.allclose(res.dist, dijkstra(gg.graph, 7))
+
+    def test_naive_variant_fewer_supersteps(self):
+        """Draining the queue (naive) syncs less often than tiny budgets."""
+        gg = geometric_graph(150, seed=5)
+        owner = spatial_partition(gg.points, 4)
+        naive = bsp_sssp(gg.graph, owner, 4, source=0, work_factor=None)
+        tiny = bsp_sssp(gg.graph, owner, 4, source=0, work_factor=1)
+        assert naive.stats.S < tiny.stats.S
+
+    def test_hash_partition_correct(self):
+        gg = geometric_graph(100, seed=7)
+        owner = hash_partition(gg.graph.n, 4, seed=1)
+        res = bsp_sssp(gg.graph, owner, 4, source=3)
+        assert np.allclose(res.dist, dijkstra(gg.graph, 3))
+
+    def test_grid_graph(self):
+        g = grid_graph(8, 8, seed=1)
+        owner = block_partition(g.n, 4)
+        res = bsp_sssp(g, owner, 4, source=0)
+        assert np.allclose(res.dist, dijkstra(g, 0))
+
+    def test_disconnected_graph(self):
+        g = Graph.from_edges(
+            5, np.array([0, 1]), np.array([1, 2]), np.array([1.0, 1.0])
+        )
+        owner = block_partition(5, 2)
+        res = bsp_sssp(g, owner, 2, source=0)
+        expected = np.array([0.0, 1.0, 2.0, np.inf, np.inf])
+        assert np.allclose(res.dist, expected)
+
+    def test_source_on_last_processor(self):
+        gg = geometric_graph(90, seed=9)
+        owner = spatial_partition(gg.points, 3)
+        src = int(np.flatnonzero(owner == 2)[0])
+        res = bsp_sssp(gg.graph, owner, 3, source=src)
+        assert np.allclose(res.dist, dijkstra(gg.graph, src))
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_concurrent_backends(self, backend):
+        gg = geometric_graph(90, seed=11)
+        owner = spatial_partition(gg.points, 3)
+        res = bsp_sssp(gg.graph, owner, 3, source=0, backend=backend)
+        assert np.allclose(res.dist, dijkstra(gg.graph, 0))
+
+    def test_bad_args(self):
+        g = grid_graph(3, 3)
+        owner = block_partition(9, 2)
+        with pytest.raises(ValueError):
+            bsp_sssp(g, owner, 2, source=100)
+        with pytest.raises(ValueError):
+            bsp_sssp(g, owner, 2, source=0, work_factor=0)
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=80),
+        p=st.integers(min_value=1, max_value=4),
+        seed=st.integers(0, 200),
+        wf=st.sampled_from([2, 25, None]),
+    )
+    def test_property_matches_dijkstra(self, n, p, seed, wf):
+        gg = geometric_graph(n, seed=seed)
+        owner = spatial_partition(gg.points, p)
+        src = seed % n
+        res = bsp_sssp(gg.graph, owner, p, source=src, work_factor=wf)
+        assert np.allclose(res.dist, dijkstra(gg.graph, src))
+
+
+class TestBspMsp:
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_matches_sequential_many(self, p):
+        gg = geometric_graph(150, seed=p + 20)
+        owner = spatial_partition(gg.points, p)
+        sources = default_sources(gg.graph.n, nsources=8, seed=1)
+        res = bsp_msp(gg.graph, owner, p, sources)
+        assert res.dist.shape == (8, gg.graph.n)
+        assert np.allclose(res.dist, dijkstra_many(gg.graph, sources))
+
+    def test_single_source_equals_sssp(self):
+        gg = geometric_graph(100, seed=31)
+        owner = spatial_partition(gg.points, 3)
+        msp = bsp_msp(gg.graph, owner, 3, [4])
+        sp = bsp_sssp(gg.graph, owner, 3, source=4)
+        assert np.allclose(msp.dist[0], sp.dist)
+
+    def test_paper_source_count(self):
+        sources = default_sources(1000)
+        assert len(sources) == PAPER_NSOURCES == 25
+        assert len(set(sources)) == 25
+
+    def test_sources_validation(self):
+        g = grid_graph(3, 3)
+        owner = block_partition(9, 2)
+        with pytest.raises(ValueError):
+            bsp_msp(g, owner, 2, [])
+        with pytest.raises(ValueError):
+            default_sources(5, nsources=10)
+
+    def test_shared_graph_amortizes_supersteps(self):
+        """K computations together need far fewer supersteps than K runs."""
+        gg = geometric_graph(120, seed=41)
+        owner = spatial_partition(gg.points, 4)
+        sources = default_sources(gg.graph.n, nsources=5, seed=3)
+        together = bsp_msp(gg.graph, owner, 4, sources, work_factor=50)
+        separate = sum(
+            bsp_sssp(gg.graph, owner, 4, source=s, work_factor=50).stats.S
+            for s in sources
+        )
+        assert together.stats.S < separate
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_concurrent_backends(self, backend):
+        gg = geometric_graph(80, seed=51)
+        owner = spatial_partition(gg.points, 3)
+        sources = [0, 10, 20]
+        res = bsp_msp(gg.graph, owner, 3, sources, backend=backend)
+        assert np.allclose(res.dist, dijkstra_many(gg.graph, sources))
+
+
+class TestBspShape:
+    def test_conservative_updates(self):
+        """Per-superstep update traffic never exceeds border counts + flags."""
+        from repro.graphs import LocalGraph
+
+        gg = geometric_graph(200, seed=61)
+        p = 4
+        owner = spatial_partition(gg.points, p)
+        res = bsp_sssp(gg.graph, owner, p, source=0, work_factor=None)
+        max_border = max(
+            LocalGraph.build(gg.graph, owner, q, p).nborder for q in range(p)
+        )
+        for step in res.stats.supersteps:
+            assert step.h_sent_max <= max_border + (p - 1)
+
+    def test_supersteps_scale_with_work_factor(self):
+        gg = geometric_graph(200, seed=71)
+        owner = spatial_partition(gg.points, 4)
+        s_small = bsp_sssp(gg.graph, owner, 4, source=0, work_factor=10).stats.S
+        s_large = bsp_sssp(gg.graph, owner, 4, source=0, work_factor=1000).stats.S
+        assert s_small > s_large
+
+    def test_single_processor_minimal(self):
+        gg = geometric_graph(100, seed=81)
+        res = bsp_sssp(gg.graph, np.zeros(100, dtype=np.int64), 1, source=0,
+                       work_factor=None)
+        assert res.stats.H == 0
+        assert np.allclose(res.dist, dijkstra(gg.graph, 0))

@@ -1,0 +1,85 @@
+"""Property test: random BSP programs behave identically on all backends.
+
+The portability claim, adversarially: generate a random-but-deterministic
+communication pattern from a seed (random destinations, payload sizes,
+superstep counts, including processors that sit silent), run it on the
+simulator, thread, and process backends, and require identical results
+and identical (H, S, per-superstep h) accounting.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import bsp_run
+
+
+def chaos_program(bsp, seed, nsteps):
+    """Deterministic pseudo-random exchange pattern, seeded per pid."""
+    rng = np.random.default_rng(seed * 1000 + bsp.pid)
+    digest = 0
+    for step in range(nsteps):
+        nsend = int(rng.integers(0, 5))
+        for _ in range(nsend):
+            dst = int(rng.integers(0, bsp.nprocs))
+            kind = int(rng.integers(0, 3))
+            if kind == 0:
+                payload = int(rng.integers(0, 1000))
+            elif kind == 1:
+                payload = bytes(rng.integers(0, 256, size=int(rng.integers(0, 50)), dtype=np.uint8))
+            else:
+                payload = rng.standard_normal(int(rng.integers(1, 20)))
+            bsp.send(dst, (bsp.pid, step, payload))
+        bsp.sync()
+        for pkt in bsp.packets():
+            src, pstep, payload = pkt.payload
+            digest = (digest * 31 + src + pstep) % (2**31)
+            if isinstance(payload, bytes):
+                digest = (digest + sum(payload)) % (2**31)
+            elif isinstance(payload, np.ndarray):
+                digest = (digest + int(abs(payload).sum() * 100)) % (2**31)
+            else:
+                digest = (digest + payload) % (2**31)
+    return digest
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    nprocs=st.integers(1, 5),
+    nsteps=st.integers(1, 6),
+)
+def test_property_backends_agree_on_chaos(seed, nprocs, nsteps):
+    outcomes = []
+    for backend in ("simulator", "threads", "processes"):
+        run = bsp_run(
+            chaos_program, nprocs, backend=backend, args=(seed, nsteps)
+        )
+        outcomes.append(
+            (
+                tuple(run.results),
+                run.stats.S,
+                run.stats.H,
+                tuple(s.h for s in run.stats.supersteps),
+                tuple(s.m for s in run.stats.supersteps),
+            )
+        )
+    assert outcomes[0] == outcomes[1] == outcomes[2]
+
+
+@pytest.mark.parametrize("backend", ["simulator", "threads", "processes"])
+def test_silent_processors_are_fine(backend):
+    """Processors that never send still synchronize correctly."""
+
+    def program(bsp):
+        for _ in range(3):
+            if bsp.pid == 0:
+                bsp.send(bsp.nprocs - 1, "ping")
+            bsp.sync()
+            drained = len(list(bsp.packets()))
+        return drained
+
+    run = bsp_run(program, 4, backend=backend)
+    assert run.results == [0, 0, 0, 1]
+    assert run.stats.S == 4

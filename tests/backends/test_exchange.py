@@ -1,0 +1,67 @@
+"""Property tests for the total-exchange pairing schedule (Appendix B.3)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.backends.exchange import (
+    IDLE,
+    exchange_schedule,
+    peer_order,
+    validate_schedule,
+)
+from repro.core.errors import BspConfigError
+
+
+class TestSchedule:
+    def test_single_processor_empty(self):
+        assert exchange_schedule(1) == ()
+
+    def test_two_processors(self):
+        assert exchange_schedule(2) == ((1, 0),)
+
+    def test_even_p_has_p_minus_1_stages_no_idle(self):
+        for p in (2, 4, 8, 16):
+            stages = exchange_schedule(p)
+            assert len(stages) == p - 1
+            assert all(IDLE not in stage for stage in stages)
+
+    def test_odd_p_has_p_stages_one_idle_each(self):
+        for p in (3, 5, 7, 9):
+            stages = exchange_schedule(p)
+            assert len(stages) == p
+            for stage in stages:
+                assert sum(1 for x in stage if x == IDLE) == 1
+            # Each processor idles exactly once.
+            idles = [i for stage in stages for i, x in enumerate(stage) if x == IDLE]
+            assert sorted(idles) == list(range(p))
+
+    @given(st.integers(min_value=1, max_value=40))
+    def test_property_matching_decomposition(self, p):
+        """Every stage is a matching; stages cover each pair exactly once."""
+        validate_schedule(p)
+
+    def test_invalid_nprocs(self):
+        with pytest.raises(BspConfigError):
+            exchange_schedule(0)
+
+
+class TestPeerOrder:
+    @given(st.integers(min_value=2, max_value=20))
+    def test_property_each_pid_sees_all_peers_once(self, p):
+        for pid in range(p):
+            order = peer_order(p, pid)
+            assert sorted(order) == [q for q in range(p) if q != pid]
+
+    def test_symmetry_within_stage(self):
+        # If i talks to j at its k-th busy stage, j talks to i at the same
+        # global stage (deadlock-freedom of the pairing).
+        p = 6
+        stages = exchange_schedule(p)
+        for stage in stages:
+            for i, j in enumerate(stage):
+                assert stage[j] == i
+
+    def test_bad_pid(self):
+        with pytest.raises(BspConfigError):
+            peer_order(4, 4)

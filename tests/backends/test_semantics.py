@@ -1,0 +1,235 @@
+"""BSP delivery semantics, identical across all backends.
+
+Every test here is parameterized over the three backends: the paper's
+portability claim starts with the library behaving the same everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro import BspError, BspUsageError, VirtualProcessorError, bsp_run
+from repro.core.errors import SynchronizationError
+
+BACKENDS = ["simulator", "threads", "processes"]
+
+pytestmark = pytest.mark.parametrize("backend", BACKENDS)
+
+
+def ring_program(bsp):
+    right = (bsp.pid + 1) % bsp.nprocs
+    bsp.send(right, ("hello", bsp.pid))
+    bsp.sync()
+    return [pkt.payload for pkt in bsp.packets()]
+
+
+class TestDelivery:
+    def test_ring_exchange(self, backend):
+        run = bsp_run(ring_program, 4, backend=backend)
+        for pid, got in enumerate(run.results):
+            assert got == [("hello", (pid - 1) % 4)]
+
+    def test_single_processor(self, backend):
+        run = bsp_run(ring_program, 1, backend=backend)
+        assert run.results == [[("hello", 0)]]
+
+    def test_self_send(self, backend):
+        def program(bsp):
+            bsp.send(bsp.pid, bsp.pid * 10)
+            bsp.sync()
+            return [p.payload for p in bsp.packets()]
+
+        run = bsp_run(program, 3, backend=backend)
+        assert run.results == [[0], [10], [20]]
+
+    def test_no_delivery_before_sync(self, backend):
+        def program(bsp):
+            bsp.send(bsp.pid, "x")
+            before = bsp.npackets
+            bsp.sync()
+            after = bsp.npackets
+            return before, after
+
+        run = bsp_run(program, 2, backend=backend)
+        assert all(r == (0, 1) for r in run.results)
+
+    def test_unread_packets_dropped_at_next_sync(self, backend):
+        def program(bsp):
+            bsp.send(bsp.pid, "old")
+            bsp.sync()
+            # Do not read; sync again -> "old" must be gone.
+            bsp.send(bsp.pid, "new")
+            bsp.sync()
+            return [p.payload for p in bsp.packets()]
+
+        run = bsp_run(program, 2, backend=backend)
+        assert all(r == ["new"] for r in run.results)
+
+    def test_all_to_all(self, backend):
+        def program(bsp):
+            for q in range(bsp.nprocs):
+                bsp.send(q, (bsp.pid, q))
+            bsp.sync()
+            return sorted(p.payload for p in bsp.packets())
+
+        p = 4
+        run = bsp_run(program, p, backend=backend)
+        for pid, got in enumerate(run.results):
+            assert got == [(src, pid) for src in range(p)]
+
+    def test_multiple_supersteps_accumulate(self, backend):
+        def program(bsp):
+            total = 0
+            left = (bsp.pid - 1) % bsp.nprocs
+            for step in range(5):
+                bsp.send(left, step)
+                bsp.sync()
+                total += sum(p.payload for p in bsp.packets())
+            return total
+
+        run = bsp_run(program, 3, backend=backend)
+        assert run.results == [10, 10, 10]
+
+    def test_deterministic_delivery_order(self, backend):
+        def program(bsp):
+            if bsp.pid != 0:
+                for k in range(3):
+                    bsp.send(0, (bsp.pid, k))
+            bsp.sync()
+            return [p.payload for p in bsp.packets()]
+
+        run = bsp_run(program, 4, backend=backend)
+        expected = [(src, k) for src in range(1, 4) for k in range(3)]
+        assert run.results[0] == expected
+
+    def test_numpy_payloads(self, backend):
+        def program(bsp):
+            data = np.arange(8, dtype=np.float64) * bsp.pid
+            bsp.send((bsp.pid + 1) % bsp.nprocs, data)
+            bsp.sync()
+            (pkt,) = list(bsp.packets())
+            return float(pkt.payload.sum())
+
+        run = bsp_run(program, 3, backend=backend)
+        base = float(np.arange(8).sum())
+        assert run.results == [base * 2, 0.0, base * 1]
+
+    def test_results_indexed_by_pid(self, backend):
+        run = bsp_run(lambda bsp: bsp.pid * 2, 5, backend=backend)
+        assert run.results == [0, 2, 4, 6, 8]
+        assert run.result == 0
+
+
+class TestAccounting:
+    def test_superstep_count(self, backend):
+        def program(bsp):
+            for _ in range(7):
+                bsp.sync()
+
+        run = bsp_run(program, 2, backend=backend)
+        # 7 syncs => 8 supersteps (final segment counts).
+        assert run.stats.S == 8
+
+    def test_h_counts_16_byte_units(self, backend):
+        def program(bsp):
+            if bsp.pid == 0:
+                bsp.send(1, b"x" * 160)  # 10 packets
+            bsp.sync()
+            list(bsp.packets())
+
+        run = bsp_run(program, 2, backend=backend)
+        assert run.stats.H == 10
+        assert run.stats.supersteps[0].h_sent_max == 10
+        assert run.stats.supersteps[0].h_recv_max == 10
+
+    def test_h_recv_attributed_to_sending_superstep(self, backend):
+        def program(bsp):
+            if bsp.pid == 0:
+                bsp.send(1, b"x" * 32)  # 2 packets in superstep 0
+            bsp.sync()
+            list(bsp.packets())
+            bsp.sync()
+
+        run = bsp_run(program, 2, backend=backend)
+        assert run.stats.supersteps[0].h == 2
+        assert run.stats.supersteps[1].h == 0
+
+    def test_explicit_h_override(self, backend):
+        def program(bsp):
+            bsp.send((bsp.pid + 1) % bsp.nprocs, "tiny", h=50)
+            bsp.sync()
+            list(bsp.packets())
+
+        run = bsp_run(program, 2, backend=backend)
+        assert run.stats.supersteps[0].h == 50
+
+    def test_charge(self, backend):
+        def program(bsp):
+            bsp.charge(100)
+            bsp.sync()
+            bsp.charge(1)
+
+        run = bsp_run(program, 2, backend=backend)
+        assert run.stats.charged_depth == pytest.approx(101)
+        assert run.stats.total_charged == pytest.approx(202)
+
+    def test_work_measured_positive(self, backend):
+        def program(bsp):
+            acc = 0
+            for i in range(20000):
+                acc += i * i
+            bsp.sync()
+            return acc
+
+        run = bsp_run(program, 2, backend=backend)
+        assert run.stats.W > 0
+        assert run.stats.total_work >= run.stats.W
+
+
+class TestErrors:
+    def test_program_exception_propagates(self, backend):
+        def program(bsp):
+            if bsp.pid == 1:
+                raise ValueError("boom on 1")
+            bsp.sync()
+
+        with pytest.raises(VirtualProcessorError) as info:
+            bsp_run(program, 3, backend=backend)
+        assert info.value.pid == 1
+        assert "boom on 1" in info.value.traceback_text
+
+    def test_bad_destination(self, backend):
+        def program(bsp):
+            bsp.send(99, "x")
+
+        with pytest.raises(VirtualProcessorError):
+            bsp_run(program, 2, backend=backend)
+
+    def test_unsynced_send_at_exit_rejected(self, backend):
+        def program(bsp):
+            bsp.send((bsp.pid + 1) % bsp.nprocs, "lost")
+            # Missing sync before return.
+
+        with pytest.raises((VirtualProcessorError, BspUsageError)):
+            bsp_run(program, 2, backend=backend)
+
+    def test_mismatched_sync_counts_detected(self, backend):
+        def program(bsp):
+            if bsp.pid == 0:
+                bsp.sync()
+            # pid 1 never syncs.
+
+        with pytest.raises((BspError, SynchronizationError)):
+            bsp_run(program, 2, backend=backend)
+
+
+class TestOffClock:
+    def test_off_clock_excludes_time(self, backend):
+        import time
+
+        def program(bsp):
+            with bsp.off_clock():
+                time.sleep(0.05)
+            bsp.sync()
+
+        run = bsp_run(program, 2, backend=backend)
+        assert run.stats.W < 0.05

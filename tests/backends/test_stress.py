@@ -1,0 +1,79 @@
+"""Stress-shaped backend tests: wide fan-outs, many supersteps, big p."""
+
+import numpy as np
+import pytest
+
+from repro import bsp_run
+
+
+class TestWideRuns:
+    def test_thirty_two_processors_simulator(self):
+        def program(bsp):
+            for q in range(bsp.nprocs):
+                bsp.send(q, bsp.pid)
+            bsp.sync()
+            return sum(p.payload for p in bsp.packets())
+
+        run = bsp_run(program, 32)
+        total = 32 * 31 // 2
+        assert run.results == [total] * 32
+        assert run.stats.supersteps[0].h == 32
+
+    def test_hundred_supersteps(self):
+        def program(bsp):
+            acc = 0
+            for step in range(100):
+                bsp.send((bsp.pid + 1) % bsp.nprocs, step)
+                bsp.sync()
+                acc += sum(p.payload for p in bsp.packets())
+            return acc
+
+        run = bsp_run(program, 4)
+        assert run.results == [sum(range(100))] * 4
+        assert run.stats.S == 101
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_sixteen_concurrent(self, backend):
+        def program(bsp):
+            data = np.arange(100) * bsp.pid
+            bsp.send((bsp.pid + 7) % bsp.nprocs, data)
+            bsp.sync()
+            (pkt,) = list(bsp.packets())
+            return int(pkt.payload.sum())
+
+        run = bsp_run(program, 16, backend=backend)
+        base = int(np.arange(100).sum())
+        for pid, got in enumerate(run.results):
+            src = (pid - 7) % 16
+            assert got == base * src
+
+    def test_fan_in_hotspot(self):
+        """Everyone floods processor 0: h accounting and delivery hold."""
+
+        def program(bsp):
+            for k in range(20):
+                bsp.send(0, (bsp.pid, k))
+            bsp.sync()
+            if bsp.pid == 0:
+                got = [p.payload for p in bsp.packets()]
+                return len(got), got == sorted(got)
+            return len(list(bsp.packets())), True
+
+        run = bsp_run(program, 8)
+        assert run.results[0] == (160, True)
+        assert run.stats.supersteps[0].h_recv_max == 160
+
+    def test_alternating_silence(self):
+        """Processors alternate between sending and idling per superstep."""
+
+        def program(bsp):
+            seen = 0
+            for step in range(10):
+                if (step + bsp.pid) % 2 == 0:
+                    bsp.send((bsp.pid + 1) % bsp.nprocs, 1)
+                bsp.sync()
+                seen += sum(p.payload for p in bsp.packets())
+            return seen
+
+        run = bsp_run(program, 4)
+        assert run.results == [5] * 4

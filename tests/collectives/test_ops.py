@@ -1,0 +1,311 @@
+"""Unit + property tests for the BSP collectives.
+
+Each collective is checked against its functional specification on the
+simulator; a representative subset re-runs on the concurrent backends to
+guard against backend-specific ordering assumptions.
+"""
+
+import operator
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import bsp_run
+from repro.collectives import (
+    allgather,
+    allreduce,
+    alltoall,
+    barrier,
+    broadcast,
+    gather,
+    reduce,
+    scan,
+    scatter,
+    tree_reduce,
+)
+from repro.core.errors import BspUsageError
+
+
+def run(program, nprocs, backend="simulator", **kwargs):
+    return bsp_run(program, nprocs, backend=backend, kwargs=kwargs)
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+    def test_one_stage(self, p):
+        def program(bsp):
+            value = ("payload", 42) if bsp.pid == 1 % p else None
+            return broadcast(bsp, value, root=1 % p, two_phase=False)
+
+        assert run(program, p).results == [("payload", 42)] * p
+
+    @pytest.mark.parametrize("p", [2, 4, 7])
+    def test_two_phase_bytes(self, p):
+        data = bytes(range(256)) * 2
+
+        def program(bsp):
+            return broadcast(
+                bsp, data if bsp.pid == 0 else None, root=0, two_phase=True
+            )
+
+        assert run(program, p).results == [data] * p
+
+    def test_two_phase_list(self):
+        data = list(range(101))
+
+        def program(bsp):
+            return broadcast(
+                bsp, data if bsp.pid == 0 else None, root=0, two_phase=True
+            )
+
+        assert run(program, 4).results == [data] * 4
+
+    def test_two_phase_tuple_preserves_type(self):
+        data = tuple(range(50))
+
+        def program(bsp):
+            return broadcast(
+                bsp, data if bsp.pid == 0 else None, root=0, two_phase=True
+            )
+
+        for result in run(program, 3).results:
+            assert result == data
+            assert isinstance(result, tuple)
+
+    def test_auto_mode_small_value(self):
+        def program(bsp):
+            return broadcast(bsp, 7 if bsp.pid == 0 else None, root=0)
+
+        assert run(program, 4).results == [7] * 4
+
+    def test_auto_mode_large_sequence(self):
+        data = bytes(1000)
+
+        def program(bsp):
+            return broadcast(bsp, data if bsp.pid == 0 else None, root=0)
+
+        assert run(program, 4).results == [data] * 4
+
+    def test_superstep_cost(self):
+        """One-stage broadcast costs exactly one superstep."""
+
+        def program(bsp):
+            broadcast(bsp, 1 if bsp.pid == 0 else None, root=0, two_phase=False)
+
+        assert run(program, 4).stats.S == 2  # 1 collective + final segment
+
+    def test_bad_root(self):
+        def program(bsp):
+            broadcast(bsp, 1, root=9, two_phase=False)
+
+        with pytest.raises(Exception):
+            run(program, 2)
+
+
+class TestScatterGather:
+    @pytest.mark.parametrize("p", [1, 3, 6])
+    def test_scatter(self, p):
+        def program(bsp):
+            values = [f"item-{q}" for q in range(p)] if bsp.pid == 0 else None
+            return scatter(bsp, values, root=0)
+
+        assert run(program, p).results == [f"item-{q}" for q in range(p)]
+
+    def test_scatter_wrong_length(self):
+        def program(bsp):
+            scatter(bsp, [1] if bsp.pid == 0 else None, root=0)
+
+        with pytest.raises(Exception):
+            run(program, 3)
+
+    @pytest.mark.parametrize("p", [1, 2, 5])
+    def test_gather(self, p):
+        def program(bsp):
+            return gather(bsp, bsp.pid * 10, root=0)
+
+        results = run(program, p).results
+        assert results[0] == [q * 10 for q in range(p)]
+        assert all(r is None for r in results[1:])
+
+    def test_gather_to_nonzero_root(self):
+        def program(bsp):
+            return gather(bsp, bsp.pid, root=2)
+
+        results = run(program, 4).results
+        assert results[2] == [0, 1, 2, 3]
+        assert results[0] is None
+
+    def test_scatter_gather_roundtrip(self):
+        def program(bsp):
+            values = list(range(bsp.nprocs)) if bsp.pid == 0 else None
+            mine = scatter(bsp, values, root=0)
+            return gather(bsp, mine * 2, root=0)
+
+        results = run(program, 5).results
+        assert results[0] == [2 * q for q in range(5)]
+
+
+class TestAllVariants:
+    @pytest.mark.parametrize("p", [1, 2, 4, 7])
+    def test_allgather(self, p):
+        def program(bsp):
+            return allgather(bsp, chr(ord("a") + bsp.pid))
+
+        expected = [chr(ord("a") + q) for q in range(p)]
+        assert run(program, p).results == [expected] * p
+
+    @pytest.mark.parametrize("p", [1, 2, 4])
+    def test_alltoall(self, p):
+        def program(bsp):
+            return alltoall(bsp, [(bsp.pid, q) for q in range(bsp.nprocs)])
+
+        for pid, got in enumerate(run(program, p).results):
+            assert got == [(src, pid) for src in range(p)]
+
+    def test_alltoall_wrong_length(self):
+        def program(bsp):
+            alltoall(bsp, [0])
+
+        with pytest.raises(Exception):
+            run(program, 3)
+
+    def test_allreduce_sum(self):
+        def program(bsp):
+            return allreduce(bsp, bsp.pid + 1, operator.add)
+
+        p = 6
+        assert run(program, p).results == [p * (p + 1) // 2] * p
+
+    def test_allreduce_single_superstep(self):
+        def program(bsp):
+            allreduce(bsp, 1, operator.add)
+
+        assert run(program, 4).stats.S == 2
+
+    def test_allreduce_noncommutative_associative(self):
+        """String concatenation: associative, not commutative."""
+
+        def program(bsp):
+            return allreduce(bsp, str(bsp.pid), operator.add)
+
+        assert run(program, 4).results == ["0123"] * 4
+
+
+class TestReduceScan:
+    def test_reduce_max(self):
+        def program(bsp):
+            return reduce(bsp, (bsp.pid * 7) % 5, max, root=0)
+
+        results = run(program, 5).results
+        assert results[0] == max((q * 7) % 5 for q in range(5))
+        assert results[1] is None
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 8])
+    def test_scan_inclusive_sum(self, p):
+        def program(bsp):
+            return scan(bsp, bsp.pid + 1, operator.add)
+
+        expected = [sum(range(1, q + 2)) for q in range(p)]
+        assert run(program, p).results == expected
+
+    def test_scan_concat_order(self):
+        def program(bsp):
+            return scan(bsp, str(bsp.pid), operator.add)
+
+        assert run(program, 4).results == ["0", "01", "012", "0123"]
+
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 8, 9])
+    @pytest.mark.parametrize("fanin", [2, 3])
+    def test_tree_reduce(self, p, fanin):
+        def program(bsp):
+            return tree_reduce(bsp, bsp.pid + 1, operator.add, fanin=fanin)
+
+        results = run(program, p).results
+        assert results[0] == p * (p + 1) // 2
+        assert all(r is None for r in results[1:])
+
+    def test_tree_reduce_uses_log_supersteps(self):
+        def program(bsp):
+            tree_reduce(bsp, 1, operator.add, fanin=2)
+
+        stats = run(program, 8).stats
+        assert stats.S == 4  # 3 rounds + final segment
+
+    def test_tree_reduce_bad_fanin(self):
+        def program(bsp):
+            tree_reduce(bsp, 1, operator.add, fanin=1)
+
+        with pytest.raises(Exception):
+            run(program, 2)
+
+
+class TestBarrier:
+    def test_costs_one_superstep_no_traffic(self):
+        def program(bsp):
+            barrier(bsp)
+
+        stats = run(program, 4).stats
+        assert stats.S == 2
+        assert stats.H == 0
+
+
+class TestOnConcurrentBackends:
+    """Representative spot-checks off the simulator."""
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_allreduce(self, backend):
+        def program(bsp):
+            return allreduce(bsp, bsp.pid, operator.add)
+
+        assert run(program, 4, backend=backend).results == [6] * 4
+
+    @pytest.mark.parametrize("backend", ["threads", "processes"])
+    def test_broadcast_then_gather(self, backend):
+        def program(bsp):
+            seed = broadcast(bsp, 99 if bsp.pid == 0 else None, root=0,
+                             two_phase=False)
+            return gather(bsp, seed + bsp.pid, root=0)
+
+        results = run(program, 3, backend=backend).results
+        assert results[0] == [99, 100, 101]
+
+
+class TestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        p=st.integers(min_value=1, max_value=6),
+        values=st.lists(st.integers(-1000, 1000), min_size=6, max_size=6),
+    )
+    def test_property_allreduce_equals_python_sum(self, p, values):
+        def program(bsp):
+            return allreduce(bsp, values[bsp.pid], operator.add)
+
+        assert run(program, p).results == [sum(values[:p])] * p
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        p=st.integers(min_value=1, max_value=6),
+        values=st.lists(st.integers(-1000, 1000), min_size=6, max_size=6),
+    )
+    def test_property_scan_matches_itertools(self, p, values):
+        import itertools
+
+        def program(bsp):
+            return scan(bsp, values[bsp.pid], operator.add)
+
+        expected = list(itertools.accumulate(values[:p]))
+        assert run(program, p).results == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        p=st.integers(min_value=1, max_value=5),
+        payload=st.binary(min_size=0, max_size=200),
+    )
+    def test_property_broadcast_identity(self, p, payload):
+        def program(bsp):
+            return broadcast(
+                bsp, payload if bsp.pid == 0 else None, root=0, two_phase=False
+            )
+
+        assert run(program, p).results == [payload] * p

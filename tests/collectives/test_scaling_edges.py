@@ -1,0 +1,90 @@
+"""Collective edge cases at larger processor counts and odd shapes."""
+
+import operator
+
+import pytest
+
+from repro import bsp_run
+from repro.collectives import (
+    allgather,
+    allreduce,
+    broadcast,
+    gather,
+    scan,
+    scatter,
+    tree_reduce,
+)
+
+
+class TestSixteenProcessors:
+    def test_allreduce_p16(self):
+        def program(bsp):
+            return allreduce(bsp, bsp.pid, operator.add)
+
+        assert bsp_run(program, 16).results == [120] * 16
+
+    def test_tree_reduce_p16_matches_flat(self):
+        def program(bsp):
+            flat = allreduce(bsp, bsp.pid + 1, operator.add)
+            tree = tree_reduce(bsp, bsp.pid + 1, operator.add)
+            return flat, tree
+
+        results = bsp_run(program, 16).results
+        assert results[0] == (136, 136)
+        assert all(r[1] is None for r in results[1:])
+
+    def test_scan_p16(self):
+        def program(bsp):
+            return scan(bsp, 1, operator.add)
+
+        assert bsp_run(program, 16).results == list(range(1, 17))
+
+
+class TestBroadcastFlagPath:
+    def test_auto_mode_consistent_when_root_varies_type(self):
+        """The mode flag is decided root-side and shared; non-roots must
+        not need to know the payload type."""
+
+        def program(bsp):
+            value = list(range(200)) if bsp.pid == 2 else None
+            return broadcast(bsp, value, root=2)
+
+        results = bsp_run(program, 5).results
+        assert all(r == list(range(200)) for r in results)
+
+    def test_two_phase_uneven_slices(self):
+        """Payload length not divisible by p."""
+        data = bytes(range(101))
+
+        def program(bsp):
+            return broadcast(bsp, data if bsp.pid == 0 else None, root=0,
+                             two_phase=True)
+
+        assert bsp_run(program, 7).results == [data] * 7
+
+
+class TestRootVariants:
+    @pytest.mark.parametrize("root", [0, 1, 3])
+    def test_scatter_gather_any_root(self, root):
+        def program(bsp):
+            values = (
+                [f"v{q}" for q in range(bsp.nprocs)]
+                if bsp.pid == root
+                else None
+            )
+            mine = scatter(bsp, values, root=root)
+            return gather(bsp, mine.upper(), root=root)
+
+        results = bsp_run(program, 4).results
+        assert results[root] == [f"V{q}" for q in range(4)]
+        for q in range(4):
+            if q != root:
+                assert results[q] is None
+
+    def test_allgather_payload_identity(self):
+        def program(bsp):
+            return allgather(bsp, {"pid": bsp.pid})
+
+        results = bsp_run(program, 3).results
+        assert results[0] == [{"pid": 0}, {"pid": 1}, {"pid": 2}]
+        assert results[0] == results[1] == results[2]

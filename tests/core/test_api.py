@@ -1,0 +1,173 @@
+"""Unit tests for the Bsp context (driven with a loopback channel)."""
+
+import pytest
+
+from repro.core.api import Bsp
+from repro.core.errors import BspUsageError
+from repro.core.packets import Packet
+
+
+class LoopbackChannel:
+    """Delivers every packet straight back to the single processor."""
+
+    def __init__(self):
+        self.exchanges = 0
+
+    def exchange(self, pid, step, outbox):
+        self.exchanges += 1
+        return [p for p in outbox if p.dst == pid]
+
+
+def make_bsp():
+    return Bsp(0, 1, LoopbackChannel())
+
+
+class TestIdentity:
+    def test_properties(self):
+        bsp = Bsp(2, 4, LoopbackChannel())
+        assert bsp.pid == 2
+        assert bsp.nprocs == 4
+        assert bsp.superstep == 0
+
+    def test_bad_pid(self):
+        with pytest.raises(BspUsageError):
+            Bsp(4, 4, LoopbackChannel())
+        with pytest.raises(BspUsageError):
+            Bsp(-1, 4, LoopbackChannel())
+
+
+class TestSendReceive:
+    def test_payloads_iterator(self):
+        bsp = make_bsp()
+        bsp.send(0, "a")
+        bsp.send(0, "b")
+        bsp.sync()
+        assert list(bsp.payloads()) == ["a", "b"]
+
+    def test_get_pkt_returns_packet_objects(self):
+        bsp = make_bsp()
+        bsp.send(0, 123)
+        bsp.sync()
+        pkt = bsp.get_pkt()
+        assert isinstance(pkt, Packet)
+        assert pkt.payload == 123
+        assert pkt.src == 0
+        assert bsp.get_pkt() is None
+
+    def test_superstep_counter_advances(self):
+        bsp = make_bsp()
+        assert bsp.superstep == 0
+        bsp.sync()
+        bsp.sync()
+        assert bsp.superstep == 2
+
+    def test_seq_resets_each_superstep(self):
+        bsp = make_bsp()
+        bsp.send(0, "x")
+        bsp.sync()
+        bsp.send(0, "y")
+        bsp.sync()
+        # Both packets were the first of their superstep.
+        assert bsp.get_pkt().seq == 0
+
+    def test_broadcast_send(self):
+        sent = []
+
+        class Recorder(LoopbackChannel):
+            def exchange(self, pid, step, outbox):
+                sent.extend(outbox)
+                return []
+
+        bsp = Bsp(1, 4, Recorder())
+        bsp.broadcast_send("m")
+        bsp.sync()
+        assert sorted(p.dst for p in sent) == [0, 2, 3]
+        sent.clear()
+        bsp.broadcast_send("m", include_self=True)
+        bsp.sync()
+        assert sorted(p.dst for p in sent) == [0, 1, 2, 3]
+
+    def test_send_validates_destination(self):
+        bsp = make_bsp()
+        with pytest.raises(BspUsageError):
+            bsp.send(1, "x")
+        with pytest.raises(BspUsageError):
+            bsp.send(-1, "x")
+
+    def test_send_pkt_alias(self):
+        bsp = make_bsp()
+        bsp.send_pkt(0, "via-alias")
+        bsp.synch()
+        assert [p.payload for p in bsp.packets()] == ["via-alias"]
+
+
+class TestLifecycle:
+    def test_finish_returns_ledger(self):
+        bsp = make_bsp()
+        bsp.sync()
+        ledger = bsp._finish()
+        assert ledger.nsupersteps == 2
+
+    def test_finish_twice_rejected(self):
+        bsp = make_bsp()
+        bsp._finish()
+        with pytest.raises(BspUsageError):
+            bsp._finish()
+
+    def test_use_after_finish_rejected(self):
+        bsp = make_bsp()
+        bsp._finish()
+        with pytest.raises(BspUsageError):
+            bsp.send(0, "late")
+        with pytest.raises(BspUsageError):
+            bsp.sync()
+        with pytest.raises(BspUsageError):
+            bsp.get_pkt()
+
+    def test_pending_sends_at_finish_rejected(self):
+        bsp = make_bsp()
+        bsp.send(0, "never synced")
+        with pytest.raises(BspUsageError, match="unsent"):
+            bsp._finish()
+
+
+class TestAccountingHooks:
+    def test_h_accumulates_per_superstep(self):
+        bsp = make_bsp()
+        bsp.send(0, b"x" * 32)  # 2 packets
+        bsp.send(0, b"x" * 16)  # 1 packet
+        bsp.sync()
+        ledger = bsp._finish()
+        assert ledger.samples[0].h_sent == 3
+        assert ledger.samples[0].h_recv == 3
+        assert ledger.samples[0].msgs_sent == 2
+
+    def test_charge_accumulates(self):
+        bsp = make_bsp()
+        bsp.charge(5)
+        bsp.charge(2.5)
+        bsp.sync()
+        bsp.charge(1)
+        ledger = bsp._finish()
+        assert ledger.samples[0].charged == 7.5
+        assert ledger.samples[1].charged == 1
+        assert ledger.total_charged == 8.5
+
+    def test_off_clock_excludes_block(self):
+        import time
+
+        bsp = make_bsp()
+        with bsp.off_clock():
+            time.sleep(0.03)
+        ledger = bsp._finish()
+        assert ledger.total_work_seconds < 0.03
+
+    def test_work_attributed_to_correct_superstep(self):
+        import time
+
+        bsp = make_bsp()
+        time.sleep(0.012)
+        bsp.sync()
+        ledger = bsp._finish()
+        assert ledger.samples[0].work_seconds >= 0.01
+        assert ledger.samples[1].work_seconds < 0.01

@@ -1,0 +1,142 @@
+"""Tests for the BSPlib-flavoured adapter."""
+
+import numpy as np
+import pytest
+
+from repro import BspError
+from repro.bsplib import bsp_begin
+
+BACKENDS = ["simulator", "threads", "processes"]
+
+
+class TestInquiry:
+    def test_pid_nprocs(self):
+        run = bsp_begin(lambda ctx: (ctx.pid, ctx.nprocs), 3)
+        assert run.results == [(0, 3), (1, 3), (2, 3)]
+
+    def test_time_monotone(self):
+        def program(ctx):
+            t0 = ctx.time()
+            ctx.sync()
+            return ctx.time() >= t0
+
+        assert all(bsp_begin(program, 2).results)
+
+
+class TestBsmp:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_send_move_roundtrip(self, backend):
+        def program(ctx):
+            right = (ctx.pid + 1) % ctx.nprocs
+            ctx.bsp_send(right, tag="greet", payload=f"from {ctx.pid}")
+            ctx.sync()
+            assert ctx.qsize() == 1
+            assert ctx.get_tag() == "greet"
+            msg = ctx.move()
+            assert ctx.qsize() == 0
+            assert ctx.move() is None
+            return msg
+
+        run = bsp_begin(program, 3, backend=backend)
+        assert run.results == ["from 2", "from 0", "from 1"]
+
+    def test_tags_distinguish_streams(self):
+        def program(ctx):
+            ctx.bsp_send(0, tag="a", payload=ctx.pid)
+            ctx.bsp_send(0, tag="b", payload=ctx.pid * 10)
+            ctx.sync()
+            if ctx.pid == 0:
+                by_tag = {}
+                for tag, payload in ctx.messages():
+                    by_tag.setdefault(tag, []).append(payload)
+                return by_tag
+            return None
+
+        result = bsp_begin(program, 2).results[0]
+        assert result == {"a": [0, 1], "b": [0, 10]}
+
+    def test_empty_queue_semantics(self):
+        def program(ctx):
+            ctx.sync()
+            return ctx.get_tag(), ctx.move(), ctx.qsize()
+
+        assert bsp_begin(program, 2).results == [(None, None, 0)] * 2
+
+
+class TestDrmaViaBsplib:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_put_into_neighbor(self, backend):
+        def program(ctx):
+            mine = np.zeros(3)
+            h = ctx.push_reg(mine)
+            right = (ctx.pid + 1) % ctx.nprocs
+            ctx.put(right, h, [float(ctx.pid)], offset=1)
+            ctx.sync()
+            return mine.tolist()
+
+        run = bsp_begin(program, 3, backend=backend)
+        for pid, got in enumerate(run.results):
+            assert got == [0.0, float((pid - 1) % 3), 0.0]
+
+    def test_get_from_neighbor(self):
+        def program(ctx):
+            mine = np.arange(4, dtype=float) + 10 * ctx.pid
+            h = ctx.push_reg(mine)
+            left = (ctx.pid - 1) % ctx.nprocs
+            fut = ctx.get(left, h, offset=2, length=2)
+            ctx.sync()
+            return fut.value().tolist()
+
+        run = bsp_begin(program, 4)
+        for pid, got in enumerate(run.results):
+            left = (pid - 1) % 4
+            assert got == [10.0 * left + 2, 10.0 * left + 3]
+
+    def test_hpput_aliases_put(self):
+        def program(ctx):
+            mine = np.zeros(1)
+            h = ctx.push_reg(mine)
+            ctx.hpput(ctx.pid, h, [5.0])
+            ctx.sync()
+            return mine[0]
+
+        assert bsp_begin(program, 2).results == [5.0, 5.0]
+
+    def test_pop_reg_is_noop(self):
+        def program(ctx):
+            h = ctx.push_reg(np.zeros(1))
+            ctx.pop_reg(h)
+            ctx.sync()
+
+        bsp_begin(program, 2)  # must not raise
+
+
+class TestMixedTraffic:
+    def test_bsmp_and_drma_same_superstep(self):
+        def program(ctx):
+            mine = np.zeros(1)
+            h = ctx.push_reg(mine)
+            peer = (ctx.pid + 1) % ctx.nprocs
+            ctx.put(peer, h, [7.0])
+            ctx.bsp_send(peer, tag="t", payload="hello")
+            ctx.sync()
+            return mine[0], ctx.move()
+
+        run = bsp_begin(program, 2)
+        assert run.results == [(7.0, "hello")] * 2
+
+    def test_plain_sends_across_sync_rejected(self):
+        def program(ctx):
+            ctx._bsp.send(ctx.pid, ("rogue", 1))
+            ctx.sync()
+
+        with pytest.raises(BspError):
+            bsp_begin(program, 1)
+
+    def test_superstep_cost_is_two(self):
+        def program(ctx):
+            ctx.sync()
+            ctx.sync()
+
+        run = bsp_begin(program, 2)
+        assert run.stats.S == 5  # 2 bsplib syncs x 2 + final segment

@@ -1,0 +1,141 @@
+"""Tests for the BSP cost function T = W + gH + LS."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cost import (
+    breakdown,
+    efficiency,
+    modeled_speedup,
+    predict_comm_seconds,
+    predict_seconds,
+    superstep_costs,
+    work_speedup,
+)
+from repro.core.errors import CostModelError
+from repro.core.machines import CENJU, PC_LAN, SGI, MachineProfile
+from repro.core.stats import ProgramStats, VPLedger
+
+
+def stats_for(nprocs, rows_per_pid):
+    ledgers = []
+    for pid in range(nprocs):
+        ledger = VPLedger(pid)
+        for work, h_sent, h_recv in rows_per_pid[pid]:
+            s = ledger.begin_superstep()
+            s.work_seconds, s.h_sent, s.h_recv = work, h_sent, h_recv
+        ledgers.append(ledger)
+    return ProgramStats.from_ledgers(ledgers)
+
+
+@pytest.fixture
+def simple_stats():
+    # p=2, two supersteps: W = 1.0 + 0.5, H = 10 + 4, S = 2.
+    return stats_for(
+        2,
+        [
+            [(1.0, 10, 2), (0.5, 4, 4)],
+            [(0.8, 2, 10), (0.2, 4, 4)],
+        ],
+    )
+
+
+class TestEquationOne:
+    def test_exact_formula(self, simple_stats):
+        machine = MachineProfile("m", g_us={2: 2.0}, L_us={2: 100.0})
+        g, L = 2.0e-6, 100.0e-6
+        expected = simple_stats.W + g * simple_stats.H + L * simple_stats.S
+        assert predict_seconds(simple_stats, machine) == pytest.approx(expected)
+
+    def test_breakdown_sums_to_total(self, simple_stats):
+        parts = breakdown(simple_stats, SGI)
+        assert parts.total == pytest.approx(
+            parts.work + parts.bandwidth + parts.latency
+        )
+        assert parts.comm == pytest.approx(parts.bandwidth + parts.latency)
+
+    def test_comm_prediction(self, simple_stats):
+        parts = breakdown(simple_stats, CENJU)
+        assert predict_comm_seconds(simple_stats, CENJU) == pytest.approx(parts.comm)
+
+    def test_superstep_costs_sum_to_prediction(self, simple_stats):
+        costs = superstep_costs(simple_stats, SGI)
+        assert len(costs) == simple_stats.S
+        assert sum(costs) == pytest.approx(predict_seconds(simple_stats, SGI))
+
+    def test_work_scale_applies_only_to_work(self, simple_stats):
+        base = breakdown(simple_stats, SGI, work_scale=1.0)
+        scaled = breakdown(simple_stats, SGI, work_scale=2.0)
+        assert scaled.work == pytest.approx(2 * base.work)
+        assert scaled.bandwidth == pytest.approx(base.bandwidth)
+        assert scaled.latency == pytest.approx(base.latency)
+
+    def test_machine_default_work_scale_used(self, simple_stats):
+        # PC_LAN's default scale is 0.67.
+        parts = breakdown(simple_stats, PC_LAN)
+        assert parts.work == pytest.approx(simple_stats.W * PC_LAN.work_scale)
+
+    def test_unsupported_nprocs_raises(self, simple_stats):
+        tiny = MachineProfile("tiny", g_us={1: 1.0}, L_us={1: 1.0})
+        with pytest.raises(CostModelError):
+            predict_seconds(simple_stats, tiny)
+        with pytest.raises(CostModelError):
+            superstep_costs(simple_stats, tiny)
+
+    def test_nonpositive_work_scale_raises(self, simple_stats):
+        with pytest.raises(CostModelError):
+            breakdown(simple_stats, SGI, work_scale=0.0)
+
+
+class TestSpeedups:
+    def test_modeled_speedup_basic(self):
+        seq = stats_for(1, [[(8.0, 0, 0)]])
+        par = stats_for(4, [[(2.0, 5, 5)] for _ in range(4)])
+        s = modeled_speedup(seq, par, SGI)
+        t1 = predict_seconds(seq, SGI)
+        tp = predict_seconds(par, SGI)
+        assert s == pytest.approx(t1 / tp)
+        assert 1.0 < s <= 4.0
+
+    def test_requires_sequential_baseline(self):
+        par = stats_for(2, [[(1.0, 0, 0)], [(1.0, 0, 0)]])
+        with pytest.raises(CostModelError):
+            modeled_speedup(par, par, SGI)
+
+    def test_high_latency_machine_lowers_speedup(self):
+        """Same program, higher L => lower modeled speed-up (ocean lesson)."""
+        seq = stats_for(1, [[(4.0, 0, 0)] * 50])
+        rows = [[(1.0 / 50, 20, 20)] * 50 for _ in range(4)]
+        par = stats_for(4, rows)
+        # Scale work up so the comparison is about comm terms only.
+        par = par.scaled(50.0)
+        assert modeled_speedup(seq, par, SGI) > modeled_speedup(seq, par, CENJU)
+
+    def test_work_speedup_never_exceeds_p(self):
+        par = stats_for(4, [[(1.0, 0, 0)], [(0.5, 0, 0)], [(0.1, 0, 0)], [(0.9, 0, 0)]])
+        ws = work_speedup(par)
+        assert 0 < ws <= 4.0
+        assert ws == pytest.approx(2.5 / 1.0)
+
+    def test_efficiency(self):
+        seq = stats_for(1, [[(8.0, 0, 0)]])
+        par = stats_for(4, [[(2.0, 0, 0)] for _ in range(4)])
+        assert efficiency(seq, par, SGI) == pytest.approx(
+            modeled_speedup(seq, par, SGI) / 4
+        )
+
+    @given(
+        w=st.floats(min_value=0.001, max_value=100),
+        h=st.integers(min_value=0, max_value=10**6),
+        reps=st.integers(min_value=1, max_value=20),
+    )
+    def test_property_cost_is_monotone_in_each_term(self, w, h, reps):
+        base = stats_for(1, [[(w, h, 0)] * reps])
+        more_work = stats_for(1, [[(w * 2, h, 0)] * reps])
+        more_traffic = stats_for(1, [[(w, h + 1, 0)] * reps])
+        more_steps = stats_for(1, [[(w, h, 0)] * (reps + 1)])
+        t = predict_seconds(base, CENJU)
+        assert predict_seconds(more_work, CENJU) > t
+        assert predict_seconds(more_traffic, CENJU) > t
+        assert predict_seconds(more_steps, CENJU) > t

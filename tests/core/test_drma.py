@@ -1,0 +1,214 @@
+"""Tests for the DRMA (Oxford-style one-sided access) extension layer."""
+
+import numpy as np
+import pytest
+
+from repro import BspError, bsp_run
+from repro.core.drma import Drma
+
+BACKENDS = ["simulator", "threads", "processes"]
+
+
+class TestPut:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_ring_put(self, backend):
+        def program(bsp):
+            drma = Drma(bsp)
+            mine = np.zeros(4)
+            h = drma.register(mine)
+            right = (bsp.pid + 1) % bsp.nprocs
+            drma.put(right, h, [bsp.pid * 10.0, bsp.pid * 10.0 + 1], offset=1)
+            drma.sync()
+            return mine.tolist()
+
+        run = bsp_run(program, 3, backend=backend)
+        for pid, got in enumerate(run.results):
+            left = (pid - 1) % 3
+            assert got == [0.0, left * 10.0, left * 10.0 + 1, 0.0]
+
+    def test_put_is_buffered(self):
+        """Mutating the source after put() must not change what lands."""
+
+        def program(bsp):
+            drma = Drma(bsp)
+            mine = np.zeros(2)
+            h = drma.register(mine)
+            staged = np.array([7.0, 8.0])
+            drma.put(bsp.pid, h, staged)
+            staged[:] = -1.0
+            drma.sync()
+            return mine.tolist()
+
+        run = bsp_run(program, 2)
+        assert run.results == [[7.0, 8.0]] * 2
+
+    def test_conflicting_puts_resolve_by_sender_order(self):
+        def program(bsp):
+            drma = Drma(bsp)
+            mine = np.zeros(1)
+            h = drma.register(mine)
+            drma.put(0, h, [float(bsp.pid + 1)])
+            drma.sync()
+            return mine[0]
+
+        run = bsp_run(program, 3)
+        # Deterministic delivery: highest sender pid applied last.
+        assert run.results[0] == 3.0
+
+    def test_out_of_bounds_put_raises(self):
+        def program(bsp):
+            drma = Drma(bsp)
+            h = drma.register(np.zeros(2))
+            drma.put(bsp.pid, h, [1.0, 2.0, 3.0])
+            drma.sync()
+
+        with pytest.raises(BspError):
+            bsp_run(program, 1)
+
+
+class TestGet:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_get_neighbor_slice(self, backend):
+        def program(bsp):
+            drma = Drma(bsp)
+            mine = np.arange(5, dtype=float) + 100 * bsp.pid
+            h = drma.register(mine)
+            left = (bsp.pid - 1) % bsp.nprocs
+            future = drma.get(left, h, offset=2, length=2)
+            drma.sync()
+            return future.value().tolist()
+
+        run = bsp_run(program, 3, backend=backend)
+        for pid, got in enumerate(run.results):
+            left = (pid - 1) % 3
+            assert got == [100.0 * left + 2, 100.0 * left + 3]
+
+    def test_get_before_sync_raises(self):
+        def program(bsp):
+            drma = Drma(bsp)
+            h = drma.register(np.zeros(1))
+            future = drma.get(bsp.pid, h)
+            future.value()  # too early
+
+        with pytest.raises(BspError):
+            bsp_run(program, 1)
+
+    def test_multiple_gets_same_superstep(self):
+        def program(bsp):
+            drma = Drma(bsp)
+            mine = np.array([float(bsp.pid)])
+            h = drma.register(mine)
+            futures = [
+                drma.get(q, h, 0, 1) for q in range(bsp.nprocs)
+            ]
+            drma.sync()
+            return [f.value()[0] for f in futures]
+
+        run = bsp_run(program, 4)
+        assert run.results == [[0.0, 1.0, 2.0, 3.0]] * 4
+
+    def test_put_and_get_same_superstep(self):
+        """Gets observe the array as of the superstep's *start* boundary,
+        i.e. after this superstep's puts are applied (both land at sync)."""
+
+        def program(bsp):
+            drma = Drma(bsp)
+            mine = np.zeros(1)
+            h = drma.register(mine)
+            if bsp.pid == 0:
+                drma.put(1, h, [42.0])
+            future = drma.get(1, h, 0, 1)
+            drma.sync()
+            return future.value()[0]
+
+        run = bsp_run(program, 2)
+        # Puts are applied at the first barrier, replies served after.
+        assert run.results == [42.0, 42.0]
+
+    def test_get_costs_two_supersteps(self):
+        def program(bsp):
+            drma = Drma(bsp)
+            h = drma.register(np.zeros(1))
+            drma.get(bsp.pid, h)
+            drma.sync()
+
+        run = bsp_run(program, 2)
+        assert run.stats.S == 3  # 2 for the DRMA sync + final segment
+
+
+class TestRegistration:
+    def test_handles_are_positional(self):
+        def program(bsp):
+            drma = Drma(bsp)
+            a = np.zeros(1)
+            b = np.zeros(1)
+            ha = drma.register(a)
+            hb = drma.register(b)
+            peer = (bsp.pid + 1) % bsp.nprocs
+            drma.put(peer, hb, [5.0])
+            drma.sync()
+            return a[0], b[0]
+
+        run = bsp_run(program, 2)
+        assert run.results == [(0.0, 5.0)] * 2
+
+    def test_unknown_handle(self):
+        def program(bsp):
+            drma = Drma(bsp)
+            drma.put(0, 3, [1.0])
+
+        with pytest.raises(BspError):
+            bsp_run(program, 1)
+
+    def test_non_1d_rejected(self):
+        def program(bsp):
+            Drma(bsp).register(np.zeros((2, 2)))
+
+        with pytest.raises(BspError):
+            bsp_run(program, 1)
+
+
+class TestDrmaProperties:
+    def test_property_random_put_patterns(self):
+        """Random puts across processors land exactly once each."""
+        import numpy as np
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        @settings(max_examples=15, deadline=None)
+        @given(
+            seed=st.integers(0, 500),
+            p=st.integers(1, 4),
+            nputs=st.integers(0, 10),
+        )
+        def run(seed, p, nputs):
+            rng = np.random.default_rng(seed)
+            plan = [
+                (int(rng.integers(0, p)),       # issuing pid
+                 int(rng.integers(0, p)),       # destination
+                 int(rng.integers(0, 8)),       # offset
+                 float(rng.standard_normal())) # value
+                for _ in range(nputs)
+            ]
+
+            def program(bsp):
+                drma = Drma(bsp)
+                mine = np.zeros(8)
+                h = drma.register(mine)
+                for src, dst, off, val in plan:
+                    if src == bsp.pid:
+                        drma.put(dst, h, [val], offset=off)
+                drma.sync()
+                return mine.tolist()
+
+            results = bsp_run(program, p).results
+            expected = [np.zeros(8) for _ in range(p)]
+            # Delivery order: by sender pid then issue order.
+            for src in range(p):
+                for s, dst, off, val in plan:
+                    if s == src:
+                        expected[dst][off] = val
+            for got, want in zip(results, expected):
+                assert got == want.tolist()
+
+        run()

@@ -1,0 +1,80 @@
+"""Tests for the LogP comparison model."""
+
+import pytest
+
+from repro import CENJU, SGI, bsp_run
+from repro.core.errors import CostModelError
+from repro.core.logp import (
+    LogPProfile,
+    barrier_cost,
+    from_bsp_machine,
+    model_disagreement,
+    predict_seconds_logp,
+)
+
+
+def stats_with(nmsgs, payload_packets, steps=3, p=4):
+    def program(bsp):
+        payload = b"x" * (16 * payload_packets)
+        for _ in range(steps):
+            for k in range(nmsgs):
+                bsp.send((bsp.pid + 1 + k) % bsp.nprocs, payload)
+            bsp.sync()
+            list(bsp.packets())
+
+    return bsp_run(program, p).stats
+
+
+class TestProfile:
+    def test_negative_params_rejected(self):
+        with pytest.raises(CostModelError):
+            LogPProfile("bad", latency=-1, overhead=0, gap=0)
+
+    def test_from_bsp_machine(self):
+        profile = from_bsp_machine(SGI, 4)
+        assert profile.latency == pytest.approx(SGI.L(4) / 4)
+        assert profile.gap == pytest.approx(SGI.g(4) * 4)
+        assert profile.overhead == pytest.approx(profile.gap / 2)
+
+    def test_barrier_cost_positive(self):
+        assert barrier_cost(from_bsp_machine(CENJU, 8)) > 0
+
+
+class TestPrediction:
+    def test_more_messages_cost_more(self):
+        profile = from_bsp_machine(SGI, 4)
+        # Zero out measured work so only the communication terms compare
+        # (their difference is microseconds — smaller than W noise).
+        few = predict_seconds_logp(stats_with(1, 1).scaled(0.0), profile)
+        many = predict_seconds_logp(stats_with(3, 1).scaled(0.0), profile)
+        assert many > few
+
+    def test_payload_size_is_invisible_to_logp(self):
+        """LogP's defining blind spot: message bytes don't matter."""
+        profile = from_bsp_machine(SGI, 4)
+        small = stats_with(2, 1)
+        large = stats_with(2, 1000)
+        t_small = predict_seconds_logp(small, profile)
+        t_large = predict_seconds_logp(large, profile)
+        # Only measured work differs; communication terms are identical.
+        comm_small = t_small - small.W
+        comm_large = t_large - large.W
+        assert comm_small == pytest.approx(comm_large)
+
+    def test_too_many_procs_rejected(self):
+        profile = from_bsp_machine(SGI, 16)
+        small_profile = LogPProfile("tiny", 1e-6, 1e-6, 1e-6, max_procs=2)
+        stats = stats_with(1, 1, p=4)
+        predict_seconds_logp(stats, profile)  # fine
+        with pytest.raises(CostModelError):
+            predict_seconds_logp(stats, small_profile)
+
+
+class TestDisagreement:
+    def test_block_traffic_disagrees_more_than_records(self):
+        records = stats_with(4, 1)      # 4 tiny messages
+        blocks = stats_with(1, 4096)    # 1 huge message
+        d_records = model_disagreement(records, SGI, work_scale=1.0)
+        d_blocks = model_disagreement(blocks, SGI, work_scale=1.0)
+        assert d_blocks > d_records
+        assert d_blocks > 2.0

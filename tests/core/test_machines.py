@@ -1,0 +1,139 @@
+"""Tests for machine profiles (Figure 2.1) and backend calibration."""
+
+import pytest
+
+from repro.core.errors import CostModelError
+from repro.core.machines import (
+    CENJU,
+    PAPER_MACHINES,
+    PC_LAN,
+    SGI,
+    MachineProfile,
+    calibrate_backend,
+    get_machine,
+)
+
+US = 1e-6
+
+
+class TestFigure21Values:
+    """The profiles must carry the paper's table verbatim."""
+
+    @pytest.mark.parametrize(
+        "machine,nprocs,g_us,L_us",
+        [
+            (SGI, 1, 0.77, 3), (SGI, 2, 0.82, 16), (SGI, 4, 0.88, 29),
+            (SGI, 8, 0.97, 52), (SGI, 9, 1.0, 57), (SGI, 16, 0.95, 105),
+            (CENJU, 1, 2.2, 130), (CENJU, 2, 2.2, 260), (CENJU, 4, 2.2, 470),
+            (CENJU, 8, 2.5, 1470), (CENJU, 9, 2.7, 1680), (CENJU, 16, 3.6, 2880),
+            (PC_LAN, 1, 0.92, 2), (PC_LAN, 2, 3.3, 540),
+            (PC_LAN, 4, 4.8, 1556), (PC_LAN, 8, 8.6, 3715),
+        ],
+    )
+    def test_table_entry(self, machine, nprocs, g_us, L_us):
+        assert machine.g(nprocs) == pytest.approx(g_us * US)
+        assert machine.L(nprocs) == pytest.approx(L_us * US)
+
+    def test_max_procs(self):
+        assert SGI.max_procs == 16
+        assert CENJU.max_procs == 16
+        assert PC_LAN.max_procs == 8
+
+    def test_registry(self):
+        assert set(PAPER_MACHINES) == {"SGI", "Cenju", "PC-LAN"}
+        assert get_machine("sgi") is SGI
+        assert get_machine("pc-lan") is PC_LAN
+        with pytest.raises(CostModelError):
+            get_machine("cray")
+
+
+class TestInterpolation:
+    def test_exact_values_preferred(self):
+        assert SGI.g(8) == pytest.approx(0.97 * US)
+
+    def test_between_rows_is_monotone_for_L(self):
+        # L grows with p on every paper machine; interpolation must too.
+        for machine in (SGI, CENJU):
+            l3 = machine.L(3)
+            assert machine.L(2) < l3 < machine.L(4)
+
+    def test_beyond_max_raises(self):
+        with pytest.raises(CostModelError):
+            PC_LAN.g(16)
+
+    def test_nonpositive_nprocs_raises(self):
+        with pytest.raises(CostModelError):
+            SGI.L(0)
+
+
+class TestProfileValidation:
+    def test_mismatched_tables_raise(self):
+        with pytest.raises(CostModelError):
+            MachineProfile("bad", g_us={1: 1.0}, L_us={2: 1.0})
+
+    def test_empty_table_raises(self):
+        with pytest.raises(CostModelError):
+            MachineProfile("bad", g_us={}, L_us={})
+
+    def test_with_work_scale(self):
+        fast = SGI.with_work_scale(0.5)
+        assert fast.work_scale == 0.5
+        assert fast.g(4) == SGI.g(4)
+
+
+class TestCalibration:
+    """Measure g and L of our own backends, the paper's way."""
+
+    @pytest.mark.parametrize("backend", ["threads", "simulator"])
+    def test_calibrate_returns_positive_parameters(self, backend):
+        cal = calibrate_backend(
+            backend, 2, latency_rounds=5, bandwidth_rounds=2, packets_each=50
+        )
+        assert cal.L_us > 0
+        assert cal.g_us >= 0
+        assert cal.nprocs == 2
+
+    def test_single_processor_calibration(self):
+        cal = calibrate_backend(
+            "simulator", 1, latency_rounds=5, bandwidth_rounds=2, packets_each=50
+        )
+        assert cal.L_us > 0
+
+    def test_as_profile(self):
+        cal = calibrate_backend(
+            "simulator", 2, latency_rounds=3, bandwidth_rounds=1, packets_each=20
+        )
+        profile = cal.as_profile("local")
+        assert profile.supports(2)
+        assert not profile.supports(3)
+        assert profile.L(2) == pytest.approx(cal.L_us * US)
+
+
+class TestExtrapolation:
+    """The Section 5 what-if profiles for larger machines."""
+
+    def test_keeps_measured_rows(self):
+        from repro.core.machines import extrapolated
+
+        big = extrapolated(SGI, [32, 64])
+        for p in (1, 2, 4, 8, 16):
+            assert big.g(p) == SGI.g(p)
+            assert big.L(p) == SGI.L(p)
+
+    def test_extends_monotonically(self):
+        from repro.core.machines import extrapolated
+
+        big = extrapolated(CENJU, [32, 64])
+        assert big.supports(64)
+        assert big.L(64) > big.L(32) > big.L(16)
+        assert big.g(64) >= big.g(16)
+
+    def test_no_new_points_returns_same(self):
+        from repro.core.machines import extrapolated
+
+        assert extrapolated(SGI, [8]) is SGI
+
+    def test_name_marks_extrapolation(self):
+        from repro.core.machines import extrapolated
+
+        assert extrapolated(PC_LAN, [16]).name == "PC-LAN+"

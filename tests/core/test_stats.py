@@ -1,0 +1,122 @@
+"""Tests for superstep accounting (W, H, S merging)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.errors import BspUsageError
+from repro.core.stats import ProgramStats, SuperstepSample, VPLedger
+
+
+def make_ledger(pid, rows):
+    """rows: list of (work, h_sent, h_recv) tuples."""
+    ledger = VPLedger(pid)
+    for work, h_sent, h_recv in rows:
+        sample = ledger.begin_superstep()
+        sample.work_seconds = work
+        sample.h_sent = h_sent
+        sample.h_recv = h_recv
+        sample.msgs_sent = h_sent
+        sample.msgs_recv = h_recv
+    return ledger
+
+
+class TestMerge:
+    def test_single_processor(self):
+        stats = ProgramStats.from_ledgers([make_ledger(0, [(1.0, 2, 0), (0.5, 0, 2)])])
+        assert stats.S == 2
+        assert stats.W == pytest.approx(1.5)
+        assert stats.H == 4
+        assert stats.total_work == pytest.approx(1.5)
+
+    def test_w_is_sum_of_max_work(self):
+        l0 = make_ledger(0, [(1.0, 0, 0), (0.1, 0, 0)])
+        l1 = make_ledger(1, [(0.2, 0, 0), (0.9, 0, 0)])
+        stats = ProgramStats.from_ledgers([l0, l1])
+        # w_0 = max(1.0, 0.2), w_1 = max(0.1, 0.9)
+        assert stats.W == pytest.approx(1.9)
+        assert stats.total_work == pytest.approx(2.2)
+
+    def test_h_is_max_of_sent_or_received(self):
+        # Paper: h_i is the largest number of packets sent OR received by
+        # any processor.
+        l0 = make_ledger(0, [(0, 5, 1)])
+        l1 = make_ledger(1, [(0, 1, 8)])
+        stats = ProgramStats.from_ledgers([l0, l1])
+        assert stats.H == 8
+        assert stats.supersteps[0].h_sent_max == 5
+        assert stats.supersteps[0].h_recv_max == 8
+
+    def test_mismatched_superstep_counts_raise(self):
+        l0 = make_ledger(0, [(0, 0, 0)])
+        l1 = make_ledger(1, [(0, 0, 0), (0, 0, 0)])
+        with pytest.raises(BspUsageError, match="different superstep counts"):
+            ProgramStats.from_ledgers([l0, l1])
+
+    def test_empty_raises(self):
+        with pytest.raises(BspUsageError):
+            ProgramStats.from_ledgers([])
+
+    def test_scaled(self):
+        stats = ProgramStats.from_ledgers([make_ledger(0, [(2.0, 3, 0)])])
+        doubled = stats.scaled(2.0)
+        assert doubled.W == pytest.approx(4.0)
+        assert doubled.H == 3  # traffic does not scale
+        assert doubled.S == 1
+        assert doubled.total_work == pytest.approx(4.0)
+
+    def test_summary_mentions_key_figures(self):
+        stats = ProgramStats.from_ledgers([make_ledger(0, [(1.0, 2, 0)])])
+        text = stats.summary()
+        assert "S=1" in text and "H=2" in text
+
+    @given(
+        rows=st.lists(
+            st.lists(
+                st.tuples(
+                    st.floats(min_value=0, max_value=10),
+                    st.integers(min_value=0, max_value=100),
+                    st.integers(min_value=0, max_value=100),
+                ),
+                min_size=1,
+                max_size=5,
+            ),
+            min_size=1,
+            max_size=4,
+        ).filter(lambda ls: len({len(x) for x in ls}) == 1)
+    )
+    def test_property_invariants(self, rows):
+        ledgers = [make_ledger(pid, r) for pid, r in enumerate(rows)]
+        stats = ProgramStats.from_ledgers(ledgers)
+        # W is a max-combine, so never exceeds total work but is at least
+        # total work / p.
+        assert stats.W <= stats.total_work + 1e-9
+        assert stats.W * stats.nprocs >= stats.total_work - 1e-9
+        # H bounds: at least per-superstep average, at most total traffic.
+        assert stats.H >= 0
+        assert stats.S == len(rows[0])
+
+    def test_charge_merging(self):
+        l0 = VPLedger(0)
+        s = l0.begin_superstep()
+        s.charged = 10.0
+        l1 = VPLedger(1)
+        s = l1.begin_superstep()
+        s.charged = 4.0
+        stats = ProgramStats.from_ledgers([l0, l1])
+        assert stats.charged_depth == pytest.approx(10.0)
+        assert stats.total_charged == pytest.approx(14.0)
+
+
+class TestVPLedger:
+    def test_totals(self):
+        ledger = make_ledger(0, [(1.0, 2, 3), (2.0, 0, 0)])
+        assert ledger.total_work_seconds == pytest.approx(3.0)
+        assert ledger.nsupersteps == 2
+
+    def test_begin_superstep_returns_live_sample(self):
+        ledger = VPLedger(0)
+        sample = ledger.begin_superstep()
+        sample.work_seconds = 5.0
+        assert ledger.samples[0].work_seconds == 5.0
+        assert isinstance(ledger.samples[0], SuperstepSample)

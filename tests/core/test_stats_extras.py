@@ -1,0 +1,70 @@
+"""Tests for ProgramStats extensions: M, trimmed(), per-step charges."""
+
+import pytest
+
+from repro.core.errors import BspUsageError
+from repro.core.stats import ProgramStats, VPLedger
+
+
+def ledger(pid, rows):
+    """rows: (work, charged, h_sent, h_recv, msgs_sent, msgs_recv)."""
+    led = VPLedger(pid)
+    for work, charged, hs, hr, ms, mr in rows:
+        s = led.begin_superstep()
+        s.work_seconds, s.charged = work, charged
+        s.h_sent, s.h_recv = hs, hr
+        s.msgs_sent, s.msgs_recv = ms, mr
+    return led
+
+
+@pytest.fixture
+def stats():
+    l0 = ledger(0, [(1.0, 10, 4, 0, 2, 0), (2.0, 20, 0, 4, 0, 2)])
+    l1 = ledger(1, [(0.5, 30, 0, 4, 0, 2), (3.0, 5, 4, 0, 2, 0)])
+    return ProgramStats.from_ledgers([l0, l1])
+
+
+class TestMessageCount:
+    def test_m_is_max_messages(self, stats):
+        assert stats.supersteps[0].m == 2
+        assert stats.M == 4
+
+    def test_m_differs_from_h(self, stats):
+        # 4 packets but only 2 messages per superstep.
+        assert stats.H == 8
+        assert stats.M == 4
+
+
+class TestTrimmed:
+    def test_keeps_tail(self, stats):
+        tail = stats.trimmed(1)
+        assert tail.S == 1
+        assert tail.W == pytest.approx(3.0)
+        assert tail.total_work == pytest.approx(5.0)
+        assert tail.total_charged == pytest.approx(25.0)
+        assert tail.supersteps[0].index == 0  # reindexed
+
+    def test_slice_range(self, stats):
+        window = stats.trimmed(0, 1)
+        assert window.S == 1
+        assert window.H == 4
+
+    def test_empty_trim_rejected(self, stats):
+        with pytest.raises(BspUsageError):
+            stats.trimmed(2)
+
+    def test_full_trim_is_identity(self, stats):
+        same = stats.trimmed(0)
+        assert same.S == stats.S
+        assert same.W == pytest.approx(stats.W)
+        assert same.total_charged == pytest.approx(stats.total_charged)
+
+
+class TestPerStepCharges:
+    def test_total_charged_per_superstep(self, stats):
+        assert stats.supersteps[0].total_charged == pytest.approx(40.0)
+        assert stats.supersteps[1].total_charged == pytest.approx(25.0)
+        assert stats.total_charged == pytest.approx(65.0)
+
+    def test_charged_depth_is_max_combine(self, stats):
+        assert stats.charged_depth == pytest.approx(30 + 20)

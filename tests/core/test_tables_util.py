@@ -1,0 +1,42 @@
+"""Tests for the table-rendering utility."""
+
+from repro.util import format_cell, render_table
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_float_precision_tiers(self):
+        assert format_cell(0.1234) == "0.12"
+        assert format_cell(12.34) == "12.3"
+        assert format_cell(1234.5) == "1234"
+        assert format_cell(0.0) == "0"
+
+    def test_ints_and_strings_pass_through(self):
+        assert format_cell(42) == "42"
+        assert format_cell("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment_and_title(self):
+        text = render_table(
+            ["name", "value"],
+            [["a", 1], ["bb", 22.5]],
+            title="demo",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert lines[3].endswith("1")
+        assert lines[4].endswith("22.5")
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+    def test_column_widths_fit_content(self):
+        text = render_table(["x"], [["longvalue"]])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(sep) == len(row)

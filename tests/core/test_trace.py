@@ -1,0 +1,77 @@
+"""Tests for the superstep tracing/inspection helpers."""
+
+from repro import CENJU, SGI, bsp_run
+from repro.util import compare_machines, hotspots, superstep_table, to_csv
+
+
+def make_stats():
+    def program(bsp):
+        bsp.charge(10)
+        bsp.send((bsp.pid + 1) % bsp.nprocs, b"x" * 160)  # h=10
+        bsp.sync()
+        list(bsp.packets())
+        bsp.sync()
+
+    return bsp_run(program, 4).stats
+
+
+class TestSuperstepTable:
+    def test_contains_rows_and_summary(self):
+        stats = make_stats()
+        text = superstep_table(stats)
+        assert "per-superstep profile" in text
+        assert "p=4" in text
+        assert text.count("\n") >= stats.S + 2
+
+    def test_limit_elides(self):
+        def program(bsp):
+            for _ in range(30):
+                bsp.sync()
+
+        stats = bsp_run(program, 2).stats
+        text = superstep_table(stats, limit=5)
+        assert "more supersteps" in text
+
+
+class TestCsv:
+    def test_round_trippable_floats(self):
+        stats = make_stats()
+        text = to_csv(stats)
+        lines = text.strip().splitlines()
+        assert len(lines) == stats.S + 1
+        header = lines[0].split(",")
+        first = lines[1].split(",")
+        assert len(first) == len(header)
+        row = dict(zip(header, first))
+        assert int(row["h"]) == 10
+        assert float(row["charged"]) == 10.0
+
+
+class TestHotspots:
+    def test_orders_by_cost_and_names_dominant_term(self):
+        stats = make_stats()
+        spots = hotspots(stats, CENJU, top=3)
+        assert len(spots) == 3
+        costs = [cost for _, cost, _ in spots]
+        assert costs == sorted(costs, reverse=True)
+        # On the Cenju, L = 2.9ms at p=4... dominant should be latency
+        # for the empty supersteps.
+        assert any(term == "latency" for _, _, term in spots)
+
+
+class TestCompareMachines:
+    def test_includes_all_machines(self):
+        stats = make_stats()
+        text = compare_machines(stats, [SGI, CENJU])
+        assert "SGI" in text and "Cenju" in text
+        assert "dominant" in text
+
+    def test_unsupported_machine_dashes(self):
+        from repro import PC_LAN
+
+        def program(bsp):
+            bsp.sync()
+
+        stats = bsp_run(program, 16).stats
+        text = compare_machines(stats, [PC_LAN])
+        assert "-" in text

@@ -1,0 +1,213 @@
+"""Tests for graph generators, partitioners, and the distributed layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    LocalGraph,
+    block_partition,
+    connectivity_threshold,
+    cut_edges,
+    geometric_graph,
+    grid_graph,
+    hash_partition,
+    imbalance,
+    partition_counts,
+    partition_graph,
+    random_connected_graph,
+    spatial_partition,
+)
+
+
+class TestGeometricGraph:
+    def test_connected_at_delta(self):
+        gg = geometric_graph(200, seed=1)
+        assert gg.graph.is_connected()
+
+    def test_delta_is_minimal(self):
+        """Removing all edges of length >= δ disconnects the graph."""
+        gg = geometric_graph(150, seed=3)
+        u, v, w = gg.graph.edge_list()
+        keep = w < gg.delta * (1 - 1e-9)
+        from repro.graphs import Graph
+
+        smaller = Graph.from_edges(gg.graph.n, u[keep], v[keep], w[keep])
+        assert not smaller.is_connected()
+
+    def test_weights_are_distances(self):
+        gg = geometric_graph(80, seed=5)
+        u, v, w = gg.graph.edge_list()
+        d = np.linalg.norm(gg.points[u] - gg.points[v], axis=1)
+        assert np.allclose(w, d)
+
+    def test_edges_within_radius(self):
+        gg = geometric_graph(80, seed=7)
+        _, _, w = gg.graph.edge_list()
+        assert w.max() <= gg.delta * (1 + 1e-9)
+
+    def test_deterministic(self):
+        a = geometric_graph(60, seed=11)
+        b = geometric_graph(60, seed=11)
+        assert np.array_equal(a.points, b.points)
+        assert a.delta == b.delta
+        assert np.array_equal(a.graph.indices, b.graph.indices)
+
+    def test_single_node(self):
+        gg = geometric_graph(1, seed=0)
+        assert gg.graph.n == 1
+        assert gg.delta == 0.0
+
+    def test_two_nodes(self):
+        gg = geometric_graph(2, seed=0)
+        assert gg.graph.nedges == 1
+        assert gg.delta == pytest.approx(
+            float(np.linalg.norm(gg.points[0] - gg.points[1]))
+        )
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            geometric_graph(0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(min_value=2, max_value=120),
+           seed=st.integers(0, 1000))
+    def test_property_connected_and_threshold_tight(self, n, seed):
+        gg = geometric_graph(n, seed=seed)
+        assert gg.graph.is_connected()
+        _, _, w = gg.graph.edge_list()
+        # δ itself must be realized by some edge (the MST bottleneck edge).
+        assert np.isclose(w.max(), gg.delta)
+
+
+class TestThreshold:
+    def test_collinear_points(self):
+        points = np.column_stack([np.linspace(0, 1, 5), np.zeros(5)])
+        assert connectivity_threshold(points) == pytest.approx(0.25)
+
+    def test_fewer_than_two(self):
+        assert connectivity_threshold(np.zeros((1, 2))) == 0.0
+
+
+class TestOtherGenerators:
+    def test_random_connected(self):
+        g = random_connected_graph(100, extra_edges=50, seed=2)
+        assert g.is_connected()
+        assert g.nedges >= 99
+
+    def test_grid_graph(self):
+        g = grid_graph(4, 5)
+        assert g.n == 20
+        assert g.nedges == 4 * 4 + 3 * 5  # horizontal + vertical
+        assert g.is_connected()
+
+
+class TestPartitioners:
+    @pytest.mark.parametrize("p", [1, 2, 3, 7])
+    def test_block_balanced(self, p):
+        owner = block_partition(100, p)
+        counts = partition_counts(owner, p)
+        assert counts.max() - counts.min() <= 1
+        assert imbalance(owner, p) <= 0.1
+
+    @pytest.mark.parametrize("p", [1, 4, 5])
+    def test_hash_balanced(self, p):
+        owner = hash_partition(1000, p, seed=1)
+        counts = partition_counts(owner, p)
+        assert counts.max() - counts.min() <= 1
+
+    def test_spatial_balanced_and_local(self):
+        gg = geometric_graph(400, seed=9)
+        p = 4
+        spatial = spatial_partition(gg.points, p)
+        hashed = hash_partition(gg.graph.n, p, seed=9)
+        assert partition_counts(spatial, p).max() - partition_counts(
+            spatial, p
+        ).min() <= 1
+        # Locality: strips cut far fewer edges than random assignment.
+        cut_spatial = cut_edges(gg.graph.indptr, gg.graph.indices, spatial)
+        cut_hash = cut_edges(gg.graph.indptr, gg.graph.indices, hashed)
+        assert cut_spatial < cut_hash
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            block_partition(10, 0)
+        with pytest.raises(ValueError):
+            block_partition(-1, 2)
+
+
+class TestLocalGraph:
+    def make(self, p=3, n=120, seed=4):
+        gg = geometric_graph(n, seed=seed)
+        owner = spatial_partition(gg.points, p)
+        return gg.graph, owner, partition_graph(gg.graph, owner, p)
+
+    def test_homes_partition_nodes(self):
+        graph, owner, locals_ = self.make()
+        all_home = np.concatenate([lg.home for lg in locals_])
+        assert sorted(all_home.tolist()) == list(range(graph.n))
+
+    def test_border_nodes_are_foreign_neighbors(self):
+        graph, owner, locals_ = self.make()
+        for lg in locals_:
+            for b in lg.border:
+                assert owner[b] != lg.pid
+            # Every border node neighbors some home node.
+            home_set = set(lg.home.tolist())
+            for b in lg.border.tolist():
+                nbrs, _ = graph.neighbors(b)
+                assert home_set & set(nbrs.tolist())
+
+    def test_watchers_symmetry(self):
+        """q watches u on p  <=>  u is a border node of q."""
+        graph, owner, locals_ = self.make()
+        for lg in locals_:
+            for gid in lg.home.tolist():
+                for q in lg.watchers(gid).tolist():
+                    assert gid in set(locals_[q].border.tolist())
+
+    def test_conservative_bound(self):
+        """Total watcher links == total border entries (the conservative
+        traffic bound of Section 3.3)."""
+        _, _, locals_ = self.make()
+        watcher_links = sum(len(lg.watcher_pid) for lg in locals_)
+        border_entries = sum(lg.nborder for lg in locals_)
+        assert watcher_links == border_entries
+
+    def test_neighbors_match_global(self):
+        graph, owner, locals_ = self.make()
+        lg = locals_[0]
+        gid = int(lg.home[0])
+        nbrs, w = lg.neighbors(gid)
+        gn, gw = graph.neighbors(gid)
+        assert sorted(nbrs.tolist()) == sorted(gn.tolist())
+
+    def test_home_edges_plus_cut_edges_cover(self):
+        graph, owner, locals_ = self.make()
+        total_home = sum(len(lg.home_edges()[0]) for lg in locals_)
+        total_cut = sum(len(lg.cut_edges()[0]) for lg in locals_)
+        # Cut edges are seen from both sides; home edges once per owner.
+        assert total_home + total_cut // 2 == graph.nedges
+        assert total_cut % 2 == 0
+
+    def test_non_home_queries_raise(self):
+        _, _, locals_ = self.make()
+        lg = locals_[0]
+        foreign = int(locals_[1].home[0])
+        with pytest.raises(KeyError):
+            lg.neighbors(foreign)
+        with pytest.raises(KeyError):
+            lg.watchers(foreign)
+
+    def test_owner_length_validated(self):
+        graph, owner, _ = self.make()
+        with pytest.raises(ValueError):
+            LocalGraph.build(graph, owner[:-1], 0, 3)
+
+    def test_single_processor_no_border(self):
+        gg = geometric_graph(50, seed=2)
+        lg = LocalGraph.build(gg.graph, np.zeros(50, dtype=np.int64), 0, 1)
+        assert lg.nhome == 50
+        assert lg.nborder == 0
+        assert len(lg.watcher_pid) == 0

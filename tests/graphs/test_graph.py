@@ -1,0 +1,148 @@
+"""Tests for the CSR graph and union-find substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import Graph, UnionFind
+
+
+def tri_graph():
+    return Graph.from_edges(
+        3, np.array([0, 1, 0]), np.array([1, 2, 2]), np.array([1.0, 2.0, 3.0])
+    )
+
+
+class TestGraph:
+    def test_symmetric_storage(self):
+        g = tri_graph()
+        assert g.nedges == 3
+        assert len(g.indices) == 6
+        nbrs, w = g.neighbors(0)
+        assert sorted(nbrs.tolist()) == [1, 2]
+        assert sorted(w.tolist()) == [1.0, 3.0]
+
+    def test_degree(self):
+        g = Graph.from_edges(4, np.array([0, 0, 0]), np.array([1, 2, 3]),
+                             np.ones(3))
+        assert g.degree(0) == 3
+        assert g.degree(3) == 1
+
+    def test_edge_list_each_edge_once(self):
+        g = tri_graph()
+        u, v, w = g.edge_list()
+        assert len(u) == 3
+        assert np.all(u < v)
+        assert {(a, b) for a, b in zip(u.tolist(), v.tolist())} == {
+            (0, 1), (1, 2), (0, 2)
+        }
+
+    def test_duplicate_edges_keep_lightest(self):
+        g = Graph.from_edges(
+            2, np.array([0, 1]), np.array([1, 0]), np.array([5.0, 2.0])
+        )
+        assert g.nedges == 1
+        _, _, w = g.edge_list()
+        assert w.tolist() == [2.0]
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(2, np.array([0]), np.array([0]), np.array([1.0]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.from_edges(2, np.array([0]), np.array([5]), np.array([1.0]))
+
+    def test_is_connected(self):
+        assert tri_graph().is_connected()
+        g = Graph.from_edges(4, np.array([0]), np.array([1]), np.array([1.0]))
+        assert not g.is_connected()
+
+    def test_empty_graph_connected(self):
+        g = Graph.from_edges(0, np.empty(0, int), np.empty(0, int), np.empty(0))
+        assert g.is_connected()
+
+    def test_isolated_node(self):
+        g = Graph.from_edges(2, np.empty(0, int), np.empty(0, int), np.empty(0))
+        assert not g.is_connected()
+        assert g.degree(0) == 0
+
+    def test_total_weight(self):
+        assert tri_graph().total_weight() == pytest.approx(6.0)
+
+    def test_subgraph_edges(self):
+        g = tri_graph()
+        mask = np.array([True, True, False])
+        u, v, w = g.subgraph_edges(mask)
+        assert (u.tolist(), v.tolist(), w.tolist()) == ([0], [1], [1.0])
+
+
+class TestUnionFind:
+    def test_basic(self):
+        uf = UnionFind(5)
+        assert uf.ncomponents == 5
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+        assert uf.ncomponents == 4
+
+    def test_transitive(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(1, 2)
+        assert uf.connected(0, 3)
+        assert uf.ncomponents == 1
+
+    def test_roots_consistent_with_find(self):
+        uf = UnionFind(10)
+        for a, b in [(0, 1), (2, 3), (4, 5), (1, 3), (5, 9)]:
+            uf.union(a, b)
+        roots = uf.roots()
+        for x in range(10):
+            assert roots[x] == uf.find(x)
+
+    def test_components_partition(self):
+        uf = UnionFind(6)
+        uf.union(0, 1)
+        uf.union(2, 3)
+        comps = uf.components()
+        members = sorted(m for group in comps.values() for m in group.tolist())
+        assert members == list(range(6))
+        assert len(comps) == uf.ncomponents == 4
+
+    def test_zero_elements(self):
+        uf = UnionFind(0)
+        assert uf.ncomponents == 0
+        assert len(uf) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    @settings(max_examples=50)
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        ops=st.lists(st.tuples(st.integers(0, 39), st.integers(0, 39)),
+                     max_size=60),
+    )
+    def test_property_matches_naive_partition(self, n, ops):
+        """Union-find agrees with a naive set-merging implementation."""
+        uf = UnionFind(n)
+        naive = [{i} for i in range(n)]
+        lookup = list(range(n))
+        for a, b in ops:
+            a, b = a % n, b % n
+            uf.union(a, b)
+            sa, sb = lookup[a], lookup[b]
+            if sa != sb:
+                naive[sa] |= naive[sb]
+                for x in naive[sb]:
+                    lookup[x] = sa
+                naive[sb] = set()
+        for a in range(n):
+            for b in range(a + 1, n):
+                assert uf.connected(a, b) == (lookup[a] == lookup[b])
+        assert uf.ncomponents == sum(1 for s in naive if s)

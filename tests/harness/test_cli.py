@@ -1,0 +1,33 @@
+"""Tests for the ``python -m repro.harness`` command-line entry point."""
+
+import pytest
+
+from repro.harness.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for app in ("ocean", "mst", "nbody", "matmult", "sp", "msp"):
+            assert app in out
+        assert "REPRO_FULL=1" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "ocean" in capsys.readouterr().out
+
+    def test_single_table(self, capsys):
+        assert main(["matmult", "144"]) == 0
+        out = capsys.readouterr().out
+        assert "matmult size 144" in out
+        assert "SGI pred" in out
+        assert "S paper" in out
+
+    def test_unknown_size(self, capsys):
+        assert main(["matmult", "999"]) == 2
+        assert "unknown size" in capsys.readouterr().err
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["sorting"])

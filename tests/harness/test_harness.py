@@ -1,0 +1,153 @@
+"""Tests for the experiment harness: paper data, runner, report."""
+
+import pytest
+
+from repro.harness import (
+    ALL_TABLES,
+    APP_NPROCS,
+    APP_SIZES,
+    evaluate_app,
+    machine_cpu_ratios,
+    paper_sizes,
+    rows_for,
+    run_app,
+    runnable_sizes,
+    speedup_series,
+)
+from repro.harness.report import CHARGED_WORK_APPS, work_measures
+from repro.harness.runner import HEAVY_SIZES
+
+
+class TestPaperData:
+    def test_row_counts(self):
+        assert len(ALL_TABLES["ocean"]) == 20
+        assert len(ALL_TABLES["mst"]) == 15
+        assert len(ALL_TABLES["matmult"]) == 16
+        assert len(ALL_TABLES["nbody"]) == 25
+        assert len(ALL_TABLES["sp"]) == 15
+        assert len(ALL_TABLES["msp"]) == 15
+
+    def test_spot_values(self):
+        """Headline Figure 3.1/3.2 entries, straight from the paper."""
+        (row,) = rows_for("ocean", "514", np_=16)
+        assert (row.sgi_time, row.sgi_spdp) == (2.23, 17.0)
+        assert (row.w, row.h, row.s) == (2.38, 69946, 312)
+        (row,) = rows_for("nbody", "64k", np_=16)
+        assert (row.sgi_pred, row.cenju_spdp) == (4.97, 15.6)
+        (row,) = rows_for("matmult", "576", np_=16)
+        assert (row.h, row.s) == (124416, 7)
+        (row,) = rows_for("msp", "40k", np_=16)
+        assert row.sgi_spdp == 9.4
+
+    def test_missing_entries_are_none(self):
+        (row,) = rows_for("ocean", "66", np_=16)
+        assert row.pc_time is None  # no >8-processor PC runs
+        (row,) = rows_for("ocean", "514", np_=1)
+        assert row.cenju_time is None  # too large for one Cenju node
+
+    def test_every_app_has_np1_rows(self):
+        for app, rows in ALL_TABLES.items():
+            for size in paper_sizes(app):
+                assert rows_for(app, size, np_=1), (app, size)
+
+    def test_speedup_consistency(self):
+        """Where present, paper speed-up ≈ time(1) / time(p) within
+        rounding."""
+        for app, rows in ALL_TABLES.items():
+            for size in paper_sizes(app):
+                (one,) = rows_for(app, size, np_=1)
+                if one.sgi_time is None:
+                    continue
+                for row in rows_for(app, size):
+                    if row.sgi_time and row.sgi_spdp:
+                        implied = one.sgi_time / row.sgi_time
+                        assert implied == pytest.approx(
+                            row.sgi_spdp, rel=0.12, abs=0.15
+                        ), (app, size, row.np)
+
+    def test_sizes_match_runner(self):
+        for app in ALL_TABLES:
+            assert paper_sizes(app) == list(APP_SIZES[app])
+
+
+class TestRunner:
+    def test_runnable_excludes_heavy_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FULL", raising=False)
+        assert "64k" not in runnable_sizes("nbody")
+        assert "40k" in runnable_sizes("sp")
+
+    def test_full_flag_enables_everything(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL", "1")
+        for app in APP_SIZES:
+            assert runnable_sizes(app) == list(APP_SIZES[app])
+
+    def test_heavy_sets_are_subsets(self):
+        for app, heavy in HEAVY_SIZES.items():
+            assert heavy <= set(APP_SIZES[app])
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            run_app("sorting", "1k", 2)
+
+    @pytest.mark.parametrize("app", list(APP_SIZES))
+    def test_smallest_size_runs(self, app):
+        size = runnable_sizes(app)[0]
+        p = APP_NPROCS[app][1]
+        stats = run_app(app, size, p)
+        assert stats.nprocs == p
+        assert stats.S >= 1
+
+
+class TestReport:
+    def test_machine_cpu_ratios_from_paper(self):
+        ratios = machine_cpu_ratios("nbody", "64k")
+        assert ratios["SGI"] == 1.0
+        assert ratios["Cenju"] == pytest.approx(55.56 / 74.08)
+        assert ratios["PC-LAN"] == pytest.approx(49.33 / 74.08)
+
+    def test_work_measures_metric_selection(self):
+        stats = run_app("matmult", "144", 4)
+        w, total = work_measures("matmult", stats)
+        assert "matmult" in CHARGED_WORK_APPS
+        assert w == stats.charged_depth
+        assert total == stats.total_charged
+
+    def test_work_measures_falls_back_to_seconds(self):
+        """An app with no charges must fall back to measured time."""
+        from repro import bsp_run
+
+        def program(bsp):
+            bsp.sync()
+
+        stats = bsp_run(program, 2).stats
+        w, total = work_measures("ocean", stats)  # charged app, no charges
+        assert w == stats.W
+        assert total == stats.total_work
+
+    def test_evaluate_app_basics(self):
+        table = evaluate_app("matmult", "144", nprocs_list=(1, 4))
+        assert table.host_to_sgi > 0
+        one, four = table.rows
+        assert one.np == 1 and four.np == 4
+        assert one.spdp["SGI"] == pytest.approx(1.0)
+        assert four.spdp["SGI"] > 1.0
+        # p=1 work is pinned to the paper's measurement by construction.
+        assert one.w_scaled == pytest.approx(one.paper.w, rel=1e-6)
+        assert four.paper is not None and four.paper.np == 4
+
+    def test_evaluate_requires_p1_first(self):
+        with pytest.raises(ValueError):
+            evaluate_app("matmult", "144", nprocs_list=(4, 1))
+
+    def test_speedup_series_shape(self):
+        table = evaluate_app("matmult", "144", nprocs_list=(1, 4))
+        series = speedup_series(table, "SGI")
+        assert [np_ for np_, _, _ in series] == [1, 4]
+        _, ours, paper = series[1]
+        assert ours is not None and paper == 2.8
+
+    def test_pc_lan_unsupported_above_8(self):
+        table = evaluate_app("matmult", "144", nprocs_list=(1, 16))
+        sixteen = table.rows[1]
+        assert sixteen.pred["PC-LAN"] is None
+        assert sixteen.pred["SGI"] is not None

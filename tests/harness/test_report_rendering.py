@@ -1,0 +1,54 @@
+"""Tests for appendix-table rendering and speed-up series extraction."""
+
+from repro.harness import appendix_table, evaluate_app, speedup_series
+
+
+class TestAppendixTable:
+    def setup_method(self):
+        self.table = evaluate_app("matmult", "144", nprocs_list=(1, 4, 16))
+
+    def test_header_and_rows_present(self):
+        text = appendix_table(self.table)
+        lines = text.splitlines()
+        assert "matmult size 144" in lines[0]
+        assert "host→SGI work scale" in lines[0]
+        header = lines[1]
+        for col in ("SGI pred", "Cenju spdp", "PC paper", "W paper",
+                    "H paper", "S paper"):
+            assert col in header
+        # One row per processor count.
+        assert len(lines) == 3 + 3
+
+    def test_paper_values_appear(self):
+        """The paper's H for matmult-144 at p=4 (10368) must be printed."""
+        text = appendix_table(self.table)
+        assert "10368" in text
+
+    def test_unsupported_machine_cells_are_dashes(self):
+        text = appendix_table(self.table)
+        sixteen_row = text.splitlines()[-1]
+        assert sixteen_row.strip().startswith("16")
+        assert "-" in sixteen_row  # PC-LAN has no 16-processor column
+
+    def test_columns_align(self):
+        lines = appendix_table(self.table).splitlines()
+        width = len(lines[1])
+        assert all(len(line) == width for line in lines[1:])
+
+
+class TestSpeedupSeries:
+    def test_series_matches_table_rows(self):
+        table = evaluate_app("matmult", "144", nprocs_list=(1, 4))
+        series = speedup_series(table, "Cenju")
+        assert [np_ for np_, _, _ in series] == [1, 4]
+        np4, ours, paper = series[1]
+        row4 = next(r for r in table.rows if r.np == 4)
+        assert ours == row4.spdp["Cenju"]
+        assert paper == row4.paper.cenju_spdp
+
+    def test_missing_paper_speedup_is_none(self):
+        table = evaluate_app("matmult", "144", nprocs_list=(1, 4))
+        series = speedup_series(table, "PC-LAN")
+        # Paper has PC values at 1 and 4 for matmult-144.
+        assert series[0][2] == 1.0
+        assert series[1][2] == 1.7

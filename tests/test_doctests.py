@@ -1,0 +1,24 @@
+"""Executable documentation: run every module doctest."""
+
+import doctest
+
+import pytest
+
+import repro.core.packets
+import repro.core.runtime
+import repro.graphs.unionfind
+
+MODULES = [
+    repro.core.packets,
+    repro.core.runtime,
+    repro.graphs.unionfind,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, tested = doctest.testmod(module).failed, doctest.testmod(
+        module
+    ).attempted
+    assert tested > 0, f"{module.__name__} lost its doctests"
+    assert failures == 0

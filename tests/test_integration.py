@@ -1,0 +1,183 @@
+"""Cross-module integration tests: the paper's claims as executable checks.
+
+These tests exercise whole pipelines (app → stats → cost model → paper
+comparison) rather than single modules; each one encodes a sentence from
+the paper.
+"""
+
+import numpy as np
+import pytest
+
+from repro import CENJU, PC_LAN, SGI, bsp_run, predict_seconds
+from repro.apps.msp import default_sources
+from repro.apps.mst import bsp_mst, kruskal
+from repro.apps.nbody import bsp_nbody, plummer, simulate_direct
+from repro.apps.ocean import bsp_ocean, ocean_sequential
+from repro.apps.sssp import bsp_msp, bsp_sssp, dijkstra
+from repro.apps.matmul import cannon_matmul
+from repro.graphs import geometric_graph, spatial_partition
+
+
+class TestCrossBackendAgreement:
+    """'Portability': a program's results and its (H, S) accounting are
+    identical on all three library implementations."""
+
+    def test_all_apps_one_seed(self):
+        gg = geometric_graph(120, seed=9)
+        owner = spatial_partition(gg.points, 3)
+        rng = np.random.default_rng(9)
+        a, b = rng.standard_normal((12, 12)), rng.standard_normal((12, 12))
+        bodies = plummer(40, seed=9)
+
+        reference = {}
+        for backend in ("simulator", "threads", "processes"):
+            results = {
+                "mst": round(bsp_mst(gg.graph, owner, 3,
+                                     backend=backend).weight, 9),
+                "sp": bsp_sssp(gg.graph, owner, 3, source=0,
+                               backend=backend).dist.sum().round(9),
+                "mm": cannon_matmul(a, b, 4, backend=backend).c.sum()
+                .round(9),
+                "ocean": bsp_ocean(18, 1, 2, backend=backend)
+                .state.psi.sum().round(12),
+                "nbody": bsp_nbody(bodies, 2, steps=1, theta=0.0,
+                                   dt=0.01, backend=backend)
+                .bodies.pos.sum().round(9),
+            }
+            if not reference:
+                reference = results
+            else:
+                assert results == reference, f"{backend} diverged"
+
+    def test_stats_shape_identical_across_backends(self):
+        gg = geometric_graph(100, seed=4)
+        owner = spatial_partition(gg.points, 3)
+        shapes = set()
+        for backend in ("simulator", "threads", "processes"):
+            stats = bsp_sssp(gg.graph, owner, 3, source=0,
+                             backend=backend).stats
+            shapes.add((stats.S, stats.H))
+        assert len(shapes) == 1
+
+
+class TestCostModelClaims:
+    """Section 4: 'the cost model [is] very reliable in modeling the
+    overall behavior of an application, including the prediction of
+    breakpoints'."""
+
+    def test_high_latency_hurts_many_superstep_programs_most(self):
+        gg = geometric_graph(600, seed=2)
+        owner = spatial_partition(gg.points, 8)
+        sp_stats = bsp_sssp(gg.graph, owner, 8, source=0,
+                            work_factor=5).stats
+        bodies = plummer(256, seed=2)
+        nb_stats = bsp_nbody(bodies, 8, steps=1, theta=0.9, dt=0.01).stats
+        assert sp_stats.S > 4 * nb_stats.S
+        # At equal work depth, moving SGI -> PC-LAN (L x71) hurts the
+        # many-superstep program far more (Sections 3.2.1 vs 3.4.1).
+        def penalty(stats):
+            normalized = stats.scaled(0.1 / stats.W)
+            return (
+                predict_seconds(normalized, PC_LAN, work_scale=1.0)
+                / predict_seconds(normalized, SGI, work_scale=1.0)
+            )
+
+        assert penalty(sp_stats) > penalty(nb_stats)
+
+    def test_ocean_superstep_count_drives_latency_cost(self):
+        stats = bsp_ocean(34, 1, 8).stats
+        latency_share = PC_LAN.L(8) * stats.S
+        total = predict_seconds(stats, PC_LAN, work_scale=1.0)
+        assert latency_share > 0.5 * total
+
+    def test_msp_amortizes_what_sp_cannot(self):
+        gg = geometric_graph(800, seed=5)
+        owner = spatial_partition(gg.points, 8)
+        sources = default_sources(800, nsources=10, seed=5)
+        sp = bsp_sssp(gg.graph, owner, 8, source=sources[0]).stats
+        msp = bsp_msp(gg.graph, owner, 8, sources).stats
+        # 10 computations cost nowhere near 10x the supersteps.
+        assert msp.S < 3 * sp.S
+
+
+class TestSpeedupDefinitionCaveats:
+    """Section 1.2: the parallel program may do *less* total work than
+    the sequential one; Figure 3.1's parenthesized numbers."""
+
+    def test_nbody_parallel_total_work_close_to_sequential(self):
+        bodies = plummer(200, seed=3)
+        par = bsp_nbody(bodies, 4, steps=1, theta=0.8, dt=0.01).stats
+        seq = bsp_nbody(bodies, 1, steps=1, theta=0.8, dt=0.01).stats
+        # Charged work (interactions) varies across layouts but stays
+        # within 2x of sequential in either direction.
+        ratio = par.total_charged / seq.total_charged
+        assert 0.5 < ratio < 2.0
+
+    def test_work_limited_speedup_bounded_by_p(self):
+        from repro.core.cost import work_speedup
+
+        gg = geometric_graph(400, seed=7)
+        owner = spatial_partition(gg.points, 4)
+        stats = bsp_mst(gg.graph, owner, 4).stats
+        assert work_speedup(stats) <= 4.0 + 1e-9
+
+
+class TestEndToEndVerification:
+    """Every app validated at a nontrivial scale in one place."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_graph_pipeline(self, seed):
+        gg = geometric_graph(500, seed=seed)
+        owner = spatial_partition(gg.points, 5)
+        assert np.isclose(
+            bsp_mst(gg.graph, owner, 5).weight, kruskal(gg.graph).weight
+        )
+        src = seed * 7
+        assert np.allclose(
+            bsp_sssp(gg.graph, owner, 5, source=src).dist,
+            dijkstra(gg.graph, src),
+        )
+
+    def test_ocean_pipeline(self):
+        seq = ocean_sequential(34, 3)
+        run = bsp_ocean(34, 3, 8)
+        assert np.array_equal(
+            run.state.psi[1:-1, 1:-1], seq.psi[1:-1, 1:-1]
+        )
+
+    def test_nbody_pipeline(self):
+        bodies = plummer(80, seed=11)
+        run = bsp_nbody(bodies, 4, steps=2, theta=0.0, dt=0.01)
+        direct = simulate_direct(bodies, steps=2, dt=0.01)
+        assert np.allclose(run.bodies.pos, direct.bodies.pos, atol=1e-9)
+
+    def test_matmul_pipeline(self):
+        rng = np.random.default_rng(13)
+        a, b = rng.standard_normal((24, 24)), rng.standard_normal((24, 24))
+        assert np.allclose(cannon_matmul(a, b, 9).c, a @ b)
+
+
+class TestSimulatorIsTheMeasurementInstrument:
+    """The simulator's serialized W equals total work; concurrent
+    backends' wall clock is what's bounded by W (plus overheads)."""
+
+    def test_simulator_total_work_equals_depth_at_p1(self):
+        def program(bsp):
+            acc = 0
+            for i in range(50000):
+                acc += i
+            bsp.sync()
+            return acc
+
+        run = bsp_run(program, 1)
+        assert run.stats.W == pytest.approx(run.stats.total_work)
+
+    def test_simulator_wall_at_least_total_work(self):
+        def program(bsp):
+            acc = 0
+            for i in range(20000):
+                acc += i * i
+            bsp.sync()
+
+        run = bsp_run(program, 4)
+        assert run.stats.wall_seconds >= run.stats.total_work * 0.5
