@@ -1,0 +1,235 @@
+"""Measure backend boundary-exchange throughput and process-pool amortization.
+
+Unlike the ``bench_*`` figure reproductions (which feed the cost model),
+this benchmark times the *runtime substrate itself*: how many packets and
+payload bytes per second the superstep boundary exchange moves, and how
+much fixed overhead one ``run()`` pays on the process backend.  It exists
+so communication-layer PRs can show their trajectory: run it once at the
+old code (``--label seed``), once at the new (``--label optimized``), and
+both snapshots accumulate in ``BENCH_comm.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_backend_comm.py --quick
+    PYTHONPATH=src python benchmarks/bench_backend_comm.py \
+        --label optimized --output BENCH_comm.json
+
+Scenarios
+---------
+* ``numpy-large``  — few big float64 arrays per peer (Cannon blocks).
+* ``numpy-halo``   — many medium arrays per peer (ocean ghost exchange,
+  essential trees): stresses per-packet overhead *and* copy volume.
+* ``small-objects``— many tiny int payloads: pure per-packet overhead.
+* ``pool``         — per-run fixed cost of a trivial program, fresh
+  backend per run vs. one persistent pool (skipped when running against
+  a library version without ``ProcessBackend.pool``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import sys
+import time
+
+import numpy as np
+
+from repro import bsp_run
+from repro.backends.processes import ProcessBackend
+
+# ---------------------------------------------------------------------------
+# Programs (module-level: the persistent pool ships them by pickle)
+# ---------------------------------------------------------------------------
+
+
+def exchange_program(bsp, steps: int, narrays: int, size: int) -> int:
+    """All-to-all: send ``narrays`` float64 arrays of ``size`` to each peer."""
+    with bsp.off_clock():
+        blocks = [np.random.default_rng(bsp.pid).standard_normal(size)
+                  for _ in range(narrays)]
+    received = 0
+    for _ in range(steps):
+        for q in range(bsp.nprocs):
+            if q != bsp.pid:
+                for block in blocks:
+                    bsp.send(q, block)
+        bsp.sync()
+        for pkt in bsp.packets():
+            received += pkt.payload.shape[0]
+    return received
+
+
+def small_program(bsp, steps: int, nmsgs: int) -> int:
+    """All-to-all of tiny int payloads: per-packet overhead dominates."""
+    acc = 0
+    for step in range(steps):
+        for q in range(bsp.nprocs):
+            if q != bsp.pid:
+                for k in range(nmsgs):
+                    bsp.send(q, step * nmsgs + k)
+        bsp.sync()
+        for pkt in bsp.packets():
+            acc += pkt.payload
+    return acc
+
+
+def trivial_program(bsp) -> int:
+    bsp.send((bsp.pid + 1) % bsp.nprocs, bsp.pid)
+    bsp.sync()
+    return sum(p.payload for p in bsp.packets())
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+
+def _time_run(backend, program, nprocs, args) -> float:
+    t0 = time.perf_counter()
+    backend.run(program, nprocs, args=args)
+    return time.perf_counter() - t0
+
+
+def bench_exchange(nprocs: int, steps: int, narrays: int, size: int,
+                   *, repeats: int, backend_name: str) -> dict:
+    """Steady-state throughput of the boundary exchange for one shape.
+
+    Uses the persistent pool when the library has one (a warm-up run
+    first), so the number reflects the exchange itself rather than
+    worker start-up; per-run fixed cost has its own scenario.  Library
+    versions without a pool fork fresh workers per repeat — at these
+    step counts that costs them ~1% of wall, not a skew that matters.
+    """
+    bytes_per_msg = size * 8
+    msgs = nprocs * (nprocs - 1) * narrays * steps
+    payload_bytes = msgs * bytes_per_msg
+    walls = []
+    if backend_name == "processes":
+        if hasattr(ProcessBackend, "pool"):
+            with ProcessBackend.pool(nprocs) as backend:
+                backend.run(exchange_program, nprocs,
+                            args=(2, narrays, size))  # warm workers + pools
+                for _ in range(repeats):
+                    walls.append(_time_run(backend, exchange_program, nprocs,
+                                           (steps, narrays, size)))
+        else:
+            for _ in range(repeats):
+                backend = ProcessBackend()
+                walls.append(_time_run(backend, exchange_program, nprocs,
+                                       (steps, narrays, size)))
+    else:
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            bsp_run(exchange_program, nprocs, backend=backend_name,
+                    args=(steps, narrays, size))
+            walls.append(time.perf_counter() - t0)
+    wall = min(walls)
+    return {
+        "nprocs": nprocs, "steps": steps, "narrays": narrays,
+        "array_bytes": bytes_per_msg, "messages": msgs,
+        "payload_mb": payload_bytes / 1e6,
+        "wall_s": round(wall, 4),
+        "packets_per_s": round(msgs / wall, 1),
+        "mb_per_s": round(payload_bytes / 1e6 / wall, 2),
+    }
+
+
+def bench_small(nprocs: int, steps: int, nmsgs: int, *, repeats: int) -> dict:
+    msgs = nprocs * (nprocs - 1) * nmsgs * steps
+    walls = []
+    for _ in range(repeats):
+        backend = ProcessBackend()
+        walls.append(_time_run(backend, small_program, nprocs, (steps, nmsgs)))
+    wall = min(walls)
+    return {
+        "nprocs": nprocs, "steps": steps, "messages": msgs,
+        "wall_s": round(wall, 4),
+        "packets_per_s": round(msgs / wall, 1),
+    }
+
+
+def bench_pool(nprocs: int, nruns: int) -> dict:
+    """Fixed per-run cost: fresh forks each run vs. one persistent pool."""
+    fresh = []
+    for _ in range(nruns):
+        backend = ProcessBackend()
+        fresh.append(_time_run(backend, trivial_program, nprocs, ()))
+    out = {
+        "nprocs": nprocs, "runs": nruns,
+        "fresh_ms_per_run": round(1e3 * statistics.median(fresh), 3),
+    }
+    if hasattr(ProcessBackend, "pool"):
+        with ProcessBackend.pool(nprocs) as backend:
+            backend.run(trivial_program, nprocs)  # warm the workers
+            pooled = [_time_run(backend, trivial_program, nprocs, ())
+                      for _ in range(nruns)]
+        out["pooled_ms_per_run"] = round(1e3 * statistics.median(pooled), 3)
+        out["amortization_x"] = round(
+            statistics.median(fresh) / statistics.median(pooled), 2)
+    else:
+        out["pooled_ms_per_run"] = None
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes, 1 repeat (CI smoke)")
+    parser.add_argument("--label", default=None,
+                        help="snapshot name in the output JSON")
+    parser.add_argument("--output", default=None,
+                        help="JSON file to merge this snapshot into")
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.quick else 3
+    p = 4
+    scenarios = {}
+
+    if args.quick:
+        shapes = {"numpy-large": (2, 2, 1 << 16), "numpy-halo": (2, 16, 1 << 11)}
+    else:
+        shapes = {"numpy-large": (8, 2, 1 << 19), "numpy-halo": (8, 32, 1 << 13)}
+    for name, (steps, narrays, size) in shapes.items():
+        scenarios[name] = bench_exchange(p, steps, narrays, size,
+                                         repeats=repeats,
+                                         backend_name="processes")
+        print(f"{name:14s} {scenarios[name]['mb_per_s']:10.1f} MB/s "
+              f"{scenarios[name]['packets_per_s']:12.0f} pkt/s "
+              f"({scenarios[name]['wall_s']:.3f}s wall)")
+
+    small = (2, 100) if args.quick else (4, 500)
+    scenarios["small-objects"] = bench_small(p, *small, repeats=repeats)
+    print(f"{'small-objects':14s} {'':10s} "
+          f"{scenarios['small-objects']['packets_per_s']:12.0f} pkt/s "
+          f"({scenarios['small-objects']['wall_s']:.3f}s wall)")
+
+    scenarios["pool"] = bench_pool(p, nruns=4 if args.quick else 12)
+    pooled = scenarios["pool"]["pooled_ms_per_run"]
+    print(f"{'pool':14s} fresh {scenarios['pool']['fresh_ms_per_run']:.1f} "
+          f"ms/run, pooled "
+          f"{'n/a' if pooled is None else f'{pooled:.1f} ms/run'}")
+
+    snapshot = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "scenarios": scenarios,
+    }
+    if args.output:
+        label = args.label or "snapshot"
+        try:
+            with open(args.output) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            doc = {}
+        doc[label] = snapshot
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote snapshot {label!r} to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

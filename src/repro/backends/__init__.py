@@ -18,6 +18,7 @@ from .base import (
     available_backends,
     get_backend,
     register_backend,
+    route_packet_runs,
     route_packets,
 )
 from .exchange import IDLE, exchange_schedule, peer_order, validate_schedule
@@ -25,12 +26,25 @@ from .exchange import IDLE, exchange_schedule, peer_order, validate_schedule
 __all__ = [
     "Backend",
     "BackendRun",
+    "BspPool",
     "IDLE",
     "available_backends",
     "exchange_schedule",
     "get_backend",
     "peer_order",
     "register_backend",
+    "route_packet_runs",
     "route_packets",
     "validate_schedule",
 ]
+
+
+def __getattr__(name: str):
+    # BspPool lives with the process backend; import it lazily so that
+    # ``repro.backends`` itself stays import-light (matching get_backend's
+    # lazy registration of the built-ins).
+    if name == "BspPool":
+        from .processes import BspPool
+
+        return BspPool
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
 from ..core.errors import BspConfigError, BspUsageError
-from ..core.packets import Packet
+from ..core.packets import Packet, PacketRuns
 from ..core.stats import VPLedger
 
 #: Signature of a user BSP program.
@@ -80,6 +80,34 @@ def route_packets(
                 )
             inboxes[pkt.dst].append(pkt)
     return inboxes
+
+
+def route_packet_runs(
+    outboxes: Sequence[Sequence[Packet]], nprocs: int
+) -> list[PacketRuns]:
+    """Route per-sender outboxes into per-receiver :class:`PacketRuns`.
+
+    Like :func:`route_packets`, but preserves the per-source run structure
+    so receivers get their inbox pre-ordered: each sender's packets to one
+    destination form a seq-sorted run, and :class:`PacketRuns` concatenates
+    runs in src order — the canonical delivery order without a sort.
+    """
+    per_dst: list[list[tuple[int, list[Packet]]]] = [[] for _ in range(nprocs)]
+    for outbox in outboxes:
+        if not outbox:
+            continue
+        buckets: dict[int, list[Packet]] = {}
+        for pkt in outbox:
+            if not 0 <= pkt.dst < nprocs:
+                raise BspUsageError(
+                    f"packet from pid {pkt.src} addressed to {pkt.dst}, "
+                    f"outside range({nprocs})"
+                )
+            buckets.setdefault(pkt.dst, []).append(pkt)
+        src = outbox[0].src
+        for dst, run in buckets.items():
+            per_dst[dst].append((src, run))
+    return [PacketRuns(runs) for runs in per_dst]
 
 
 # ---------------------------------------------------------------------------

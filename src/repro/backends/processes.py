@@ -4,174 +4,538 @@ One OS process per virtual processor, so compute genuinely runs in
 parallel (no GIL).  As in the paper's MPI version, communication happens
 *only at superstep boundaries*: during a superstep each processor merely
 buckets its outgoing packets per destination; at the boundary it pushes one
-message per peer (possibly empty — the all-to-all itself is the implicit
-synchronization, exactly as in B.2) and blocks until it has received the
-boundary message of every live peer.  Sends are issued in the
-:func:`~repro.backends.exchange.peer_order` of the precomputed
-total-exchange pairing schedule, the TCP version's deadlock-avoidance
-discipline (B.3); with OS pipes it is not required for safety but keeps
-the traffic pattern faithful.
+**combined frame** per peer (possibly empty — the all-to-all itself is the
+implicit synchronization, exactly as in B.2) and blocks until it has
+received the boundary frame of every live peer.  Frames are the batched
+zero-copy representation of :mod:`~repro.backends.frames`: per-bucket
+``seq``/``h`` metadata plus protocol-5 out-of-band payload buffers moved
+through a fork-shared slab ring, so a bucket of NumPy halos crosses the
+boundary with two memcpys instead of a pickle stream per packet.  Sends
+are issued in the :func:`~repro.backends.exchange.peer_order` of the
+precomputed total-exchange pairing schedule, the TCP version's
+deadlock-avoidance discipline (B.3).
 
 Like the thread backend's vanishing barrier, a processor that finishes
 sends a departure sentinel so peers stop waiting for it; mismatched
 superstep counts then surface as a stats-merge error rather than a hang.
 
-Requires a ``fork``-capable platform (Linux); with fork, programs and
-arguments need not be picklable, but packet *payloads* must be, since they
-cross process boundaries.
+Two execution modes share all of the above:
+
+* **one-shot** (plain ``ProcessBackend()``): ``run()`` forks ``p`` fresh
+  workers; with fork, programs and arguments need not be picklable, but
+  packet *payloads* must be, since they cross process boundaries.
+* **pooled** (``ProcessBackend.pool(p)`` or ``ProcessBackend(pool=...)``):
+  a persistent :class:`BspPool` keeps the ``p`` forked workers and the
+  whole transport fabric alive across runs and ships ``(program, args)``
+  per run — amortizing fork+pipe+slab setup across a harness sweep's many
+  configurations.  Pooled programs *are* pickled, so they must be
+  module-level callables.  A failed run does not poison the pool: after a
+  :class:`VirtualProcessorError` the workers drain in-flight frames behind
+  a fence barrier and the next run starts clean; only a deadlock timeout
+  forces a full worker rebuild.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import pickle
+import queue as queue_mod
 import threading
 import time
 import traceback
-from collections import defaultdict
 from typing import Any, Sequence
 
 from ..core.api import Bsp
-from ..core.errors import BspConfigError, SynchronizationError, VirtualProcessorError
-from ..core.packets import Packet
+from ..core.errors import (
+    BspConfigError,
+    BspUsageError,
+    SynchronizationError,
+    VirtualProcessorError,
+)
+from ..core.packets import Packet, PacketRuns
 from .base import Backend, BackendRun, Program
 from .exchange import peer_order
-
-#: Inter-process message tags.
-_PKT, _LEFT, _DEAD = "pkt", "left", "dead"
+from .frames import (
+    DEFAULT_SLAB_BYTES,
+    TAG_DEAD,
+    TAG_FENCE,
+    TAG_LEFT,
+    TAG_PKT,
+    FrameTransport,
+)
 
 
 class _Abort(BaseException):
     """Unwinds a worker after a peer reported failure."""
 
 
-class _ProcChannel:
-    """Superstep-boundary exchange over per-processor queues."""
+class _FrameChannel:
+    """Superstep-boundary exchange over the shared frame transport."""
 
-    def __init__(self, pid: int, nprocs: int, queues: list[Any]):
+    def __init__(self, pid: int, nprocs: int, transport: FrameTransport,
+                 run_id: int):
         self._pid = pid
         self._nprocs = nprocs
-        self._queues = queues
+        self._transport = transport
+        self._run_id = run_id
         self._peers = peer_order(nprocs, pid)
         self._departed: set[int] = set()
         #: Early arrivals from peers already one superstep ahead.
         self._stash: dict[int, dict[int, list[Packet]]] = {}
+        # Persistent sender thread, fed one request per superstep (thread
+        # start-up per sync is measurable on small machines).  Daemonic: if
+        # we abort because a peer died, an in-flight send may be stuck on a
+        # frame nobody will ever drain; the thread must not keep the
+        # process alive then.
+        self._cv = threading.Condition()
+        self._req: tuple[int, dict[int, list[Packet]]] | None = None
+        self._stop = False
+        self._push_error: list[BaseException] = []
+        self._sender: threading.Thread | None = None
 
-    def exchange(self, pid: int, step: int, outbox: list[Packet]) -> list[Packet]:
-        buckets: dict[int, list[Packet]] = defaultdict(list)
-        for pkt in outbox:
-            buckets[pkt.dst].append(pkt)
+    # -- sender thread -------------------------------------------------------
 
-        # Pipe writes block once the OS buffer fills, so two peers pushing
-        # large boundary messages at each other would deadlock — the exact
-        # hazard Appendix B.3 describes ("receivers [must] actively empty
-        # the pipe").  We play the receiver role on this thread while a
-        # helper thread performs the blocking sends in schedule order.
-        push_error: list[BaseException] = []
-
-        def push() -> None:
+    def _sender_loop(self) -> None:
+        transport, run_id = self._transport, self._run_id
+        while True:
+            with self._cv:
+                while self._req is None and not self._stop:
+                    self._cv.wait()
+                if self._req is None:
+                    return
+                step, buckets = self._req
             try:
                 for peer in self._peers:
-                    self._queues[peer].put(
-                        (_PKT, step, self._pid, buckets.get(peer, []))
-                    )
+                    transport.send_packets(
+                        peer, run_id, step, self._pid, buckets.get(peer, ()))
             except BaseException as exc:  # e.g. an unpicklable payload
-                push_error.append(exc)
+                self._push_error.append(exc)
                 # Fail fast: wake every peer (and ourselves) so nobody
-                # blocks on a message that will never arrive.
-                for peer in self._peers:
-                    self._queues[peer].put((_DEAD, self._pid))
-                self._queues[self._pid].put((_DEAD, self._pid))
+                # blocks on a frame that will never arrive.
+                try:
+                    for peer in self._peers:
+                        transport.send_control(peer, TAG_DEAD, run_id,
+                                               self._pid)
+                    transport.send_control(self._pid, TAG_DEAD, run_id,
+                                           self._pid)
+                except BaseException:  # pragma: no cover - transport gone
+                    pass
+            with self._cv:
+                self._req = None
+                self._cv.notify_all()
 
-        # Daemonic: if we abort because a peer died, our own sends may be
-        # stuck on a pipe nobody will ever drain; the thread must not keep
-        # the process alive then.
-        sender = threading.Thread(
-            target=push, name=f"bsp-send-{self._pid}", daemon=True
-        )
-        sender.start()
-        inbox: list[Packet] = list(buckets.get(self._pid, ()))
+    def _send_async(self, step: int,
+                    buckets: dict[int, list[Packet]]) -> None:
+        if self._sender is None:
+            self._sender = threading.Thread(
+                target=self._sender_loop, name=f"bsp-send-{self._pid}",
+                daemon=True)
+            self._sender.start()
+        with self._cv:
+            self._req = (step, buckets)
+            self._cv.notify_all()
 
-        got: set[int] = set()
-        stashed = self._stash.pop(step, {})
-        for src, pkts in stashed.items():
-            inbox.extend(pkts)
-            got.add(src)
+    def _send_wait(self) -> None:
+        with self._cv:
+            while self._req is not None:
+                self._cv.wait()
+
+    def close(self) -> None:
+        """Ask the sender thread to exit once its current send completes."""
+        with self._cv:
+            self._stop = True
+            self._cv.notify_all()
+
+    # -- exchange ------------------------------------------------------------
+
+    def exchange(self, pid: int, step: int, outbox: list[Packet]) -> PacketRuns:
+        buckets: dict[int, list[Packet]] = {}
+        for pkt in outbox:
+            buckets.setdefault(pkt.dst, []).append(pkt)
+
+        # Pipe writes and slab allocations block once full, so two peers
+        # pushing large boundary frames at each other would deadlock — the
+        # exact hazard Appendix B.3 describes ("receivers [must] actively
+        # empty the pipe").  We play the receiver role on this thread while
+        # the sender thread performs the blocking sends in schedule order.
+        transport = self._transport
+        run_id = self._run_id
+        self._send_async(step, buckets)
+
+        got: dict[int, list[Packet]] = {}
+        own = buckets.get(self._pid)
+        if own is not None:
+            got[self._pid] = own
+        got.update(self._stash.pop(step, {}))
         while True:
-            waiting = set(self._peers) - self._departed - got
+            waiting = set(self._peers) - self._departed - set(got)
             if not waiting:
                 break
-            msg = self._queues[self._pid].get()
-            tag = msg[0]
-            if tag == _PKT:
-                _, msg_step, src, pkts = msg
-                if msg_step == step:
-                    inbox.extend(pkts)
-                    got.add(src)
+            frame = transport.recv(self._pid)
+            if frame.run_id != run_id:
+                continue  # stale frame from an earlier run on this pool
+            if frame.tag == TAG_PKT:
+                pkts = frame.packets(self._pid)
+                if frame.step == step:
+                    got[frame.src] = pkts
                 else:
-                    self._stash.setdefault(msg_step, {})[src] = pkts
-            elif tag == _LEFT:
-                self._departed.add(msg[1])
-            elif tag == _DEAD:
-                if msg[1] == self._pid:
-                    sender.join()
-                    raise push_error[0]  # our own send failed: surface it
+                    self._stash.setdefault(frame.step, {})[frame.src] = pkts
+            elif frame.tag == TAG_LEFT:
+                self._departed.add(frame.src)
+            elif frame.tag == TAG_DEAD:
+                if frame.src == self._pid:
+                    self._send_wait()
+                    raise self._push_error[0]  # our own send failed
                 raise _Abort()
-        sender.join()
-        if push_error:
-            raise push_error[0]
-        return inbox
+        self._send_wait()
+        if self._push_error:
+            raise self._push_error[0]
+        # One frame per source, each a seq-sorted run: the inbox is
+        # already in canonical order once concatenated by src.
+        return PacketRuns(got.items())
 
     def depart(self) -> None:
         for peer in self._peers:
-            self._queues[peer].put((_LEFT, self._pid))
+            self._transport.send_control(peer, TAG_LEFT, self._run_id, self._pid)
 
     def die(self) -> None:
         for peer in self._peers:
-            self._queues[peer].put((_DEAD, self._pid))
+            self._transport.send_control(peer, TAG_DEAD, self._run_id, self._pid)
 
 
-def _worker(
-    pid: int,
-    nprocs: int,
-    program: Program,
-    args: Sequence[Any],
-    kwargs: dict[str, Any],
-    queues: list[Any],
-    result_q: Any,
-) -> None:
-    channel = _ProcChannel(pid, nprocs, queues)
+def _execute(pid: int, nprocs: int, run_id: int, transport: FrameTransport,
+             program: Program, args: Sequence[Any],
+             kwargs: dict[str, Any]) -> tuple[str, int, int, Any, Any]:
+    """Run one program instance; returns the worker's outcome tuple."""
+    channel = _FrameChannel(pid, nprocs, transport, run_id)
     bsp = Bsp(pid, nprocs, channel)
     try:
         result = program(bsp, *args, **kwargs)
         ledger = bsp._finish()
         channel.depart()
-        result_q.put(("ok", pid, result, ledger))
+        return ("ok", run_id, pid, result, ledger)
     except _Abort:
-        result_q.put(("aborted", pid, None, None))
+        return ("aborted", run_id, pid, None, None)
     except BaseException:  # noqa: BLE001 - reported to the parent
         channel.die()
-        result_q.put(("error", pid, traceback.format_exc(), None))
+        return ("error", run_id, pid, traceback.format_exc(), None)
     finally:
-        # mp.Queue.put is asynchronous (feeder thread); exiting before it
-        # flushes can silently drop the result and leave the parent to
-        # its timeout.  close() + join_thread() forces the flush.
-        result_q.close()
-        result_q.join_thread()
+        channel.close()
 
 
-class ProcessBackend(Backend):
-    """One process per virtual processor; boundary all-to-all exchange."""
+def _oneshot_worker(pid: int, nprocs: int, program: Program,
+                    args: Sequence[Any], kwargs: dict[str, Any],
+                    transport: FrameTransport, result_q: Any) -> None:
+    result_q.put(_execute(pid, nprocs, 0, transport, program, args, kwargs))
+    # mp.Queue.put is asynchronous (feeder thread); exiting before it
+    # flushes can silently drop the result and leave the parent to its
+    # timeout.  close() + join_thread() forces the flush.
+    result_q.close()
+    result_q.join_thread()
 
-    name = "processes"
 
-    def __init__(self, *, join_timeout: float = 120.0):
-        self._join_timeout = join_timeout
+def _do_fence(pid: int, nprocs: int, fence_id: int,
+              transport: FrameTransport) -> None:
+    """Drain every in-flight frame behind a one-shot fence barrier.
+
+    Each participant keeps reading its inbound pipe — discarding stale
+    frames and freeing their slab regions — until it has seen the fence
+    frame of every peer, while pushing its own fence frame to each of
+    them.  Universal draining unblocks any sender thread left mid-frame
+    by the failed run, so the transport is empty and lock-free when the
+    fence completes.
+    """
+    peers = [q for q in range(nprocs) if q != pid]
+    pending = set(peers)
+
+    def drain() -> None:
+        while pending:
+            frame = transport.recv(pid)
+            if frame.tag == TAG_FENCE and frame.step == fence_id:
+                pending.discard(frame.src)
+            # Anything else is debris from the failed run: recv() already
+            # freed its slab space; drop it.
+
+    drainer = threading.Thread(target=drain, name=f"bsp-fence-{pid}",
+                               daemon=True)
+    drainer.start()
+    for peer in peers:
+        transport.send_control(peer, TAG_FENCE, fence_id, pid, step=fence_id)
+    drainer.join()
+
+
+def _pool_worker(pid: int, transport: FrameTransport, ctrl_q: Any,
+                 result_q: Any) -> None:
+    """Persistent worker loop: execute runs shipped over the control queue."""
+    while True:
+        msg = ctrl_q.get()
+        kind = msg[0]
+        if kind == "close":
+            return
+        if kind == "fence":
+            _, fence_id, nprocs = msg
+            _do_fence(pid, nprocs, fence_id, transport)
+            result_q.put(("fenced", fence_id, pid, None, None))
+        elif kind == "run":
+            _, run_id, nprocs, blob = msg
+            try:
+                program, args, kwargs = pickle.loads(blob)
+            except BaseException:  # noqa: BLE001 - reported to the parent
+                result_q.put(("error", run_id, pid, traceback.format_exc(),
+                              None))
+                continue
+            result_q.put(_execute(pid, nprocs, run_id, transport, program,
+                                  args, kwargs))
+
+
+def _collect_outcomes(result_q: Any, nprocs: int, run_id: int,
+                      timeout: float) -> list[tuple[str, Any, Any] | None]:
+    """Gather one outcome per pid against a single wall-clock deadline.
+
+    The deadline covers the whole collection: ``p`` stragglers share one
+    budget instead of accumulating ``p`` per-worker timeouts.
+    """
+    deadline = time.monotonic() + timeout
+    outcomes: list[tuple[str, Any, Any] | None] = [None] * nprocs
+    got = 0
+    while got < nprocs:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise SynchronizationError(
+                f"timed out after {timeout}s waiting for worker results "
+                "(deadlocked BSP program?)")
+        try:
+            tag, rid, pid, a, b = result_q.get(timeout=remaining)
+        except queue_mod.Empty:
+            continue
+        if rid != run_id or tag == "fenced":
+            continue  # stray reply from an earlier, already-failed run
+        if outcomes[pid] is None:
+            got += 1
+        outcomes[pid] = (tag, a, b)
+    return outcomes
+
+
+def _raise_run_failure(outcomes: list[tuple[str, Any, Any] | None]) -> None:
+    """Translate non-ok outcomes into the backend's exceptions."""
+    for pid, outcome in enumerate(outcomes):
+        if outcome is not None and outcome[0] == "error":
+            raise VirtualProcessorError(pid, outcome[1])
+    missing = [pid for pid, o in enumerate(outcomes) if o is None or o[0] != "ok"]
+    if missing:
+        raise SynchronizationError(
+            f"workers {missing} did not complete (aborted or lost)")
+
+
+class BspPool:
+    """A persistent set of ``p`` forked BSP workers plus their transport.
+
+    Forking processes and building the pipe/slab fabric costs tens of
+    milliseconds; a harness sweep executes dozens of configurations, so
+    the pool keeps both alive and dispatches ``(program, args)`` per run.
+    Runs may use any ``nprocs <= capacity``.  Each run gets fresh
+    :class:`~repro.core.stats.VPLedger` accounting (a new ``Bsp`` context
+    per worker), and a failed run is followed by a fence that drains the
+    transport, so the pool survives :class:`VirtualProcessorError` without
+    a rebuild; only an unresponsive worker (deadlock timeout) triggers
+    re-forking.
+    """
+
+    def __init__(self, nprocs: int, *, join_timeout: float = 120.0,
+                 slab_bytes: int = DEFAULT_SLAB_BYTES):
+        Backend.check_nprocs(nprocs)
         try:
             self._ctx = mp.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX platforms
             raise BspConfigError(
                 "the process backend requires a fork-capable platform"
             ) from exc
+        self._capacity = nprocs
+        self._join_timeout = join_timeout
+        self._slab_bytes = slab_bytes
+        self._run_id = 0
+        self._closed = False
+        self._build()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _build(self) -> None:
+        ctx = self._ctx
+        self._transport = FrameTransport(
+            self._capacity, ctx, slab_bytes=self._slab_bytes,
+            spin_timeout=self._join_timeout)
+        # Fault the shared slab pages in once, here in the parent, so the
+        # pool's first exchange is as fast as its hundredth.
+        self._transport.prefault()
+        self._ctrl = [ctx.SimpleQueue() for _ in range(self._capacity)]
+        self._result = ctx.Queue()
+        self._procs = [
+            ctx.Process(
+                target=_pool_worker,
+                args=(pid, self._transport, self._ctrl[pid], self._result),
+                name=f"bsp-pool-{pid}",
+                daemon=True,
+            )
+            for pid in range(self._capacity)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    def _teardown(self, *, graceful: bool) -> None:
+        if graceful:
+            for ctrl in self._ctrl:
+                try:
+                    ctrl.put(("close",))
+                except (OSError, ValueError):  # pragma: no cover
+                    pass
+        for proc in self._procs:
+            proc.join(timeout=5.0 if graceful else 0.5)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+        self._transport.close()
+        self._result.close()
+        for ctrl in self._ctrl:
+            ctrl.close()
+
+    def _rebuild(self) -> None:
+        self._teardown(graceful=False)
+        self._build()
+
+    def close(self) -> None:
+        """Shut the workers down; the pool is unusable afterwards."""
+        if not self._closed:
+            self._closed = True
+            self._teardown(graceful=True)
+
+    def __enter__(self) -> "BspPool":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum ``nprocs`` a run on this pool may use."""
+        return self._capacity
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, program: Program, nprocs: int | None = None,
+            args: Sequence[Any] = (),
+            kwargs: dict[str, Any] | None = None) -> BackendRun:
+        if self._closed:
+            raise BspConfigError("BspPool is closed")
+        nprocs = self._capacity if nprocs is None else nprocs
+        Backend.check_nprocs(nprocs)
+        if nprocs > self._capacity:
+            raise BspConfigError(
+                f"run of {nprocs} processors on a pool of {self._capacity}")
+        try:
+            blob = pickle.dumps((program, args, kwargs or {}))
+        except Exception as exc:
+            raise BspUsageError(
+                "a persistent pool ships the program by pickle; use a "
+                "module-level function (not a lambda/closure) or a fresh "
+                "ProcessBackend(), whose fork inherits the program"
+            ) from exc
+        self._run_id += 1
+        run_id = self._run_id
+        t0 = time.perf_counter()
+        for pid in range(nprocs):
+            self._ctrl[pid].put(("run", run_id, nprocs, blob))
+        try:
+            outcomes = _collect_outcomes(self._result, nprocs, run_id,
+                                         self._join_timeout)
+        except SynchronizationError:
+            # Workers are unresponsive (deadlocked program or a hard
+            # crash): the only safe reset is a re-fork.
+            self._rebuild()
+            raise
+        wall = time.perf_counter() - t0
+        if any(o is None or o[0] != "ok" for o in outcomes):
+            self._fence(nprocs)
+            _raise_run_failure(outcomes)
+        results = [outcome[1] for outcome in outcomes]  # type: ignore[index]
+        ledgers = [outcome[2] for outcome in outcomes]  # type: ignore[index]
+        return BackendRun(results=results, ledgers=ledgers, wall_seconds=wall)
+
+    def _fence(self, nprocs: int) -> None:
+        """Drain transport debris left by a failed run."""
+        if nprocs <= 1:
+            return
+        self._run_id += 1
+        fence_id = self._run_id
+        for pid in range(nprocs):
+            self._ctrl[pid].put(("fence", fence_id, nprocs))
+        deadline = time.monotonic() + min(self._join_timeout, 30.0)
+        pending = set(range(nprocs))
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self._rebuild()  # a worker is wedged beyond fencing
+                return
+            try:
+                tag, fid, pid, _, _ = self._result.get(timeout=remaining)
+            except queue_mod.Empty:
+                continue
+            if tag == "fenced" and fid == fence_id:
+                pending.discard(pid)
+
+
+class ProcessBackend(Backend):
+    """One process per virtual processor; boundary all-to-all frame exchange."""
+
+    name = "processes"
+
+    def __init__(self, *, join_timeout: float = 120.0,
+                 pool: BspPool | None = None,
+                 slab_bytes: int = DEFAULT_SLAB_BYTES):
+        self._join_timeout = join_timeout
+        self._pool = pool
+        self._owns_pool = False
+        self._slab_bytes = slab_bytes
+        try:
+            self._ctx = mp.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise BspConfigError(
+                "the process backend requires a fork-capable platform"
+            ) from exc
+
+    @classmethod
+    def pool(cls, nprocs: int, *, join_timeout: float = 120.0,
+             slab_bytes: int = DEFAULT_SLAB_BYTES) -> "ProcessBackend":
+        """A backend bound to its own persistent :class:`BspPool`.
+
+        Usable as a context manager::
+
+            with ProcessBackend.pool(8) as backend:
+                for config in sweep:
+                    backend.run(program, 8, args=config)
+
+        The pool's workers are forked once and reused by every ``run()``;
+        exiting the ``with`` block shuts them down.
+        """
+        backend = cls(
+            join_timeout=join_timeout,
+            pool=BspPool(nprocs, join_timeout=join_timeout,
+                         slab_bytes=slab_bytes),
+            slab_bytes=slab_bytes,
+        )
+        backend._owns_pool = True
+        return backend
+
+    def __enter__(self) -> "ProcessBackend":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the owned pool, if any (no-op for one-shot backends)."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
 
     def run(
         self,
@@ -182,13 +546,16 @@ class ProcessBackend(Backend):
     ) -> BackendRun:
         self.check_nprocs(nprocs)
         kwargs = kwargs or {}
+        if self._pool is not None:
+            return self._pool.run(program, nprocs, args=args, kwargs=kwargs)
         ctx = self._ctx
-        queues = [ctx.SimpleQueue() for _ in range(nprocs)]
+        transport = FrameTransport(nprocs, ctx, slab_bytes=self._slab_bytes,
+                                   spin_timeout=self._join_timeout)
         result_q = ctx.Queue()
         procs = [
             ctx.Process(
-                target=_worker,
-                args=(pid, nprocs, program, args, kwargs, queues, result_q),
+                target=_oneshot_worker,
+                args=(pid, nprocs, program, args, kwargs, transport, result_q),
                 name=f"bsp-{pid}",
                 daemon=True,
             )
@@ -197,18 +564,9 @@ class ProcessBackend(Backend):
         t0 = time.perf_counter()
         for proc in procs:
             proc.start()
-
-        outcomes: list[tuple[str, Any, Any] | None] = [None] * nprocs
         try:
-            for _ in range(nprocs):
-                try:
-                    tag, pid, a, b = result_q.get(timeout=self._join_timeout)
-                except Exception as exc:
-                    raise SynchronizationError(
-                        f"timed out after {self._join_timeout}s waiting for "
-                        "worker results (deadlocked BSP program?)"
-                    ) from exc
-                outcomes[pid] = (tag, a, b)
+            outcomes = _collect_outcomes(result_q, nprocs, 0,
+                                         self._join_timeout)
         finally:
             for proc in procs:
                 proc.join(timeout=5.0)
@@ -216,16 +574,9 @@ class ProcessBackend(Backend):
                 if proc.is_alive():  # pragma: no cover - only on deadlock
                     proc.terminate()
                     proc.join()
+            transport.close()
         wall = time.perf_counter() - t0
-
-        for pid, outcome in enumerate(outcomes):
-            if outcome is not None and outcome[0] == "error":
-                raise VirtualProcessorError(pid, outcome[1])
-        missing = [pid for pid, o in enumerate(outcomes) if o is None or o[0] != "ok"]
-        if missing:
-            raise SynchronizationError(
-                f"workers {missing} did not complete (aborted or lost)"
-            )
+        _raise_run_failure(outcomes)
         results = [outcome[1] for outcome in outcomes]  # type: ignore[index]
         ledgers = [outcome[2] for outcome in outcomes]  # type: ignore[index]
         return BackendRun(results=results, ledgers=ledgers, wall_seconds=wall)

@@ -30,9 +30,9 @@ from typing import Any, Sequence
 
 from ..core.api import Bsp
 from ..core.errors import SynchronizationError, VirtualProcessorError
-from ..core.packets import Packet
+from ..core.packets import Packet, PacketRuns
 from ..core.stats import VPLedger
-from .base import Backend, BackendRun, Program, route_packets
+from .base import Backend, BackendRun, Program, route_packet_runs
 
 _RUNNING = "running"
 _SYNCED = "synced"
@@ -51,7 +51,7 @@ class _SimWorker:
         self.pid = pid
         self.go = threading.Event()
         self.outbox: list[Packet] = []
-        self.inbox: list[Packet] = []
+        self.inbox: PacketRuns | list[Packet] = []
         self.state = _RUNNING
         self.result: Any = None
         self.error_text = ""
@@ -68,7 +68,9 @@ class _SimChannel:
         self._done = done
         self._abort = abort
 
-    def exchange(self, pid: int, step: int, outbox: list[Packet]) -> list[Packet]:
+    def exchange(
+        self, pid: int, step: int, outbox: list[Packet]
+    ) -> PacketRuns | list[Packet]:
         worker = self._worker
         worker.outbox = outbox
         worker.state = _SYNCED
@@ -173,7 +175,7 @@ class SimulatorBackend(Backend):
                 )
             if not synced:
                 return  # all done
-            inboxes = route_packets([w.outbox for w in synced], nprocs)
+            inboxes = route_packet_runs([w.outbox for w in synced], nprocs)
             for worker in synced:
                 worker.outbox = []
                 worker.inbox = inboxes[worker.pid]

@@ -33,7 +33,7 @@ from typing import Any, Sequence
 
 from ..core.api import Bsp
 from ..core.errors import SynchronizationError, VirtualProcessorError
-from ..core.packets import Packet
+from ..core.packets import Packet, PacketRuns
 from ..core.stats import VPLedger
 from .base import Backend, BackendRun, Program
 
@@ -119,7 +119,7 @@ class _ThreadChannel:
         self._shared = shared
         self._abort = abort
 
-    def exchange(self, pid: int, step: int, outbox: list[Packet]) -> list[Packet]:
+    def exchange(self, pid: int, step: int, outbox: list[Packet]) -> PacketRuns:
         shared = self._shared
         buckets: dict[int, list[Packet]] = defaultdict(list)
         for pkt in outbox:
@@ -132,12 +132,17 @@ class _ThreadChannel:
             raise _Abort() from None
         if self._abort.is_set():
             raise _Abort()
-        inbox: list[Packet] = []
+        # Each sender's slot holds its per-destination bucket in send order,
+        # i.e. a seq-sorted run; collecting in src order yields the inbox
+        # pre-ordered (PacketRuns), so Bsp.sync skips the sort.
+        runs: list[tuple[int, list[Packet]]] = []
         for src in range(shared.nprocs):
             stamp, by_dst = shared.slots[parity][src]
             if stamp == step:
-                inbox.extend(by_dst.get(pid, ()))
-        return inbox
+                run = by_dst.get(pid)
+                if run:
+                    runs.append((src, run))
+        return PacketRuns(runs)
 
 
 class ThreadBackend(Backend):

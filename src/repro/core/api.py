@@ -32,7 +32,7 @@ from collections import deque
 from typing import Any, Callable, Iterator, Protocol
 
 from .errors import BspUsageError
-from .packets import Packet, delivery_order, h_units
+from .packets import Packet, PacketRuns, delivery_order, h_units
 from .stats import VPLedger
 
 
@@ -45,7 +45,9 @@ class ExchangeChannel(Protocol):
     processor that were sent during that superstep.
     """
 
-    def exchange(self, pid: int, step: int, outbox: list[Packet]) -> list[Packet]:
+    def exchange(
+        self, pid: int, step: int, outbox: list[Packet]
+    ) -> "list[Packet] | PacketRuns":
         ...  # pragma: no cover - protocol
 
 
@@ -136,12 +138,19 @@ class Bsp:
         """Paper-faithful alias of :meth:`send` (``bspSendPkt``)."""
         self.send(dst, payload)
 
-    def broadcast_send(self, payload: Any, *, include_self: bool = False) -> None:
+    def broadcast_send(
+        self, payload: Any, *, include_self: bool = False, h: int | None = None
+    ) -> None:
         """Send ``payload`` to every (other) processor — a convenience for
-        one-superstep broadcasts; charged ``(p-1)`` (or ``p``) times ``h``."""
+        one-superstep broadcasts; charged ``(p-1)`` (or ``p``) times ``h``.
+
+        The h-unit charge is computed once for the payload, not once per
+        destination.
+        """
+        cost = h_units(payload) if h is None else h
         for q in range(self._nprocs):
             if include_self or q != self._pid:
-                self.send(q, payload)
+                self.send(q, payload, h=cost)
 
     # -- receiving --------------------------------------------------------
 
@@ -188,9 +197,15 @@ class Bsp:
         self._sample.work_seconds += self._clock() - self._t0
         outbox, self._outbox = self._outbox, []
         inbound = self._channel.exchange(self._pid, self._step, outbox)
-        self._sample.h_recv = sum(p.h for p in inbound)
-        self._sample.msgs_recv = len(inbound)
-        self._inbox = deque(delivery_order(inbound))
+        if isinstance(inbound, PacketRuns):
+            # Per-source runs are already seq-sorted; concatenation in src
+            # order is the canonical delivery order, in O(n).
+            ordered = inbound.merged()
+        else:
+            ordered = delivery_order(inbound)
+        self._sample.h_recv = sum(p.h for p in ordered)
+        self._sample.msgs_recv = len(ordered)
+        self._inbox = deque(ordered)
         self._step += 1
         self._seq = 0
         self._sample = self._ledger.begin_superstep()

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Sequence
 
-from ..backends.base import Program, get_backend
+from ..backends.base import Backend, Program, get_backend
 from .stats import ProgramStats
 
 
@@ -51,7 +51,7 @@ def bsp_run(
     program: Program,
     nprocs: int,
     *,
-    backend: str = "simulator",
+    backend: str | Backend = "simulator",
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
 ) -> BspRunResult:
@@ -68,11 +68,13 @@ def bsp_run(
         ``"simulator"`` (deterministic, serialized — use for measuring W/H/S),
         ``"threads"`` (concurrent threads, shared-memory style), or
         ``"processes"`` (one OS process per virtual processor, true
-        parallelism).
+        parallelism).  A :class:`~repro.backends.base.Backend` *instance*
+        is also accepted — e.g. a pooled ``ProcessBackend.pool(p)`` that
+        amortizes worker startup across many runs.
     args, kwargs:
         Extra arguments forwarded to every instance of the program.
     """
-    engine = get_backend(backend)
+    engine = backend if isinstance(backend, Backend) else get_backend(backend)
     run = engine.run(program, nprocs, args=args, kwargs=kwargs)
     stats = ProgramStats.from_ledgers(run.ledgers, wall_seconds=run.wall_seconds)
-    return BspRunResult(results=run.results, stats=stats, backend=backend)
+    return BspRunResult(results=run.results, stats=stats, backend=engine.name)
