@@ -22,9 +22,13 @@ boundary as **one frame**:
   stream ever contains the payload bytes, and no pipe write is ever
   larger than the metadata.
 
-Buffers that do not fit the slab fall back to dedicated pipe messages
-(``Connection.send_bytes`` straight from the source memoryview), which is
-still copy-minimal, just slower than shared memory.
+Frames whose buffers total more than **half** the slab capacity fall back
+to dedicated pipe messages (``Connection.send_bytes`` straight from the
+source memoryview), which is still copy-minimal, just slower than shared
+memory.  Half, not all: allocations never straddle the wrap point, so a
+frame needs up to ``nbytes`` of wasted padding in the worst case — only
+``nbytes <= capacity // 2`` guarantees the ring can always satisfy the
+request once the receiver drains.
 
 The slab is a single-consumer ring: 8-byte *logical* head/tail counters
 live in the first cache line of the mapping (head advanced only by the
@@ -97,10 +101,15 @@ class _RecvPool:
     def take(self, nbytes: int) -> bytearray:
         if nbytes:
             for buf in self._bufs:
-                # pool list + loop variable + getrefcount argument == 3:
-                # nothing else (no memoryview export, no array base) holds
-                # the buffer, so its bytes may be overwritten.
-                if len(buf) == nbytes and sys.getrefcount(buf) == 3:
+                # pool list + loop variable + getrefcount argument == 3 on
+                # refcounting CPython: nothing else (no memoryview export,
+                # no array base) holds the buffer, so its bytes may be
+                # overwritten.  ``<=`` (not ``==``) so interpreters where
+                # getrefcount reports something larger — free-threaded
+                # builds, immortalization — merely disable recycling and
+                # fall through to a fresh allocation, never corrupt a
+                # buffer a consumer still holds.
+                if len(buf) == nbytes and sys.getrefcount(buf) <= 3:
                     return buf
         buf = bytearray(nbytes)
         if nbytes and len(self._bufs) < self._MAX_BUFS \
@@ -126,6 +135,11 @@ class Slab:
             capacity = _aligned(capacity) + mmap.PAGESIZE - (
                 _aligned(capacity) % mmap.PAGESIZE or mmap.PAGESIZE)
         self.capacity = capacity
+        #: Largest frame alloc() is guaranteed to eventually satisfy:
+        #: wrap padding can cost up to another ``nbytes``, so anything
+        #: over half the ring may exceed capacity depending on where the
+        #: tail sits.  Callers route bigger frames through the pipe path.
+        self.max_frame = capacity // 2
         self._spin_timeout = spin_timeout
         self._mm = mmap.mmap(-1, _DATA_OFF + capacity)
         self._view = memoryview(self._mm)
@@ -142,13 +156,19 @@ class Slab:
         frees space as it drains its pipe, which it is guaranteed to be
         doing whenever senders are pushing boundary frames.
         """
-        if nbytes > self.capacity:
-            raise ValueError(f"frame of {nbytes} bytes exceeds slab "
-                             f"capacity {self.capacity}")
         tail = self._ctrl[1]
         room_to_end = self.capacity - (tail % self.capacity)
         pad = 0 if nbytes <= room_to_end else room_to_end
         need = nbytes + pad
+        if need > self.capacity:
+            # Even a fully drained ring holds at most ``capacity`` bytes,
+            # so waiting could never succeed: fail fast instead of
+            # spinning out the whole timeout.  send_packets() keeps this
+            # unreachable by capping slab frames at ``max_frame``.
+            raise ValueError(
+                f"frame of {nbytes} bytes (+{pad} wrap padding) can never "
+                f"fit the {self.capacity}-byte slab; frames over "
+                f"max_frame={self.max_frame} bytes must use the pipe path")
         deadline = None
         spins = 0
         while self._ctrl[0] + self.capacity - tail < need:
@@ -180,16 +200,21 @@ class Slab:
 
     # -- either side ---------------------------------------------------------
 
-    def prefault(self) -> None:
-        """Touch every page so forked children only take minor faults.
+    def prefault(self, max_bytes: int | None = None) -> None:
+        """Touch pages so forked children only take minor faults.
 
         The mapping is shared anonymous memory: pages first touched here
         are the very pages every worker sees, so prefaulting in the parent
         (before forking a pool) moves the zero-fill cost out of the first
-        exchange.
+        exchange.  ``max_bytes`` bounds how much of the data region is
+        committed up-front; pages beyond it fault lazily the first time a
+        frame actually lands there, so small-message workloads never pay
+        resident memory for ring capacity they never use.
         """
-        pages = len(self._view[::mmap.PAGESIZE])
-        self._view[::mmap.PAGESIZE] = bytes(pages)
+        view = self._view if max_bytes is None else \
+            self._view[:min(len(self._view), _DATA_OFF + max_bytes)]
+        pages = len(view[::mmap.PAGESIZE])
+        view[::mmap.PAGESIZE] = bytes(pages)
 
     def free_to(self, offset: int) -> None:
         """Mark everything up to logical ``offset`` consumed."""
@@ -279,11 +304,15 @@ class FrameTransport:
             self._recv_conns.append(r)
             self._send_conns.append(w)
 
-    def prefault(self) -> None:
-        """Pre-touch all slab pages (call in the parent, before forking)."""
+    def prefault(self, max_bytes: int | None = None) -> None:
+        """Pre-touch slab pages (call in the parent, before forking).
+
+        ``max_bytes`` caps the committed prefix per slab; ``None`` faults
+        every page in.
+        """
         for slab in self._slabs:
             if slab is not None:
-                slab.prefault()
+                slab.prefault(max_bytes)
 
     # -- sending ------------------------------------------------------------
 
@@ -299,7 +328,7 @@ class FrameTransport:
         lens = tuple(mv.nbytes for mv in buffers)
         total = sum(map(_aligned, lens))
         slab = self._slabs[dst]
-        use_slab = slab is not None and 0 < total <= slab.capacity
+        use_slab = slab is not None and 0 < total <= slab.max_frame
         conn = self._send_conns[dst]
         # The header carries the (small) meta blob too: one pipe message —
         # hence one reader wake-up — per slab frame.

@@ -64,6 +64,12 @@ from .frames import (
     FrameTransport,
 )
 
+#: How much of each slab a persistent pool commits up-front (the rest of
+#: the ring faults in lazily as frames actually use it), bounding the
+#: pool's baseline resident footprint at nprocs x this, not
+#: nprocs x slab_bytes.
+_POOL_PREFAULT_BYTES = 4 << 20
+
 
 class _Abort(BaseException):
     """Unwinds a worker after a peer reported failure."""
@@ -339,6 +345,14 @@ class BspPool:
     transport, so the pool survives :class:`VirtualProcessorError` without
     a rebuild; only an unresponsive worker (deadlock timeout) triggers
     re-forking.
+
+    Memory footprint: each worker owns a ``slab_bytes`` (default 64 MiB)
+    shared ring, so the worst case is ``nprocs x slab_bytes`` of shared
+    anonymous memory — but only :data:`_POOL_PREFAULT_BYTES` per slab is
+    committed up-front; the rest stays untouched (zero resident pages)
+    until frames of that size actually flow.  Tune ``slab_bytes`` down
+    for memory-constrained hosts or up for very large halos (frames over
+    ``slab_bytes // 2`` automatically take the slower pipe path).
     """
 
     def __init__(self, nprocs: int, *, join_timeout: float = 120.0,
@@ -364,9 +378,12 @@ class BspPool:
         self._transport = FrameTransport(
             self._capacity, ctx, slab_bytes=self._slab_bytes,
             spin_timeout=self._join_timeout)
-        # Fault the shared slab pages in once, here in the parent, so the
-        # pool's first exchange is as fast as its hundredth.
-        self._transport.prefault()
+        # Fault the first slab pages in once, here in the parent, so the
+        # pool's first small exchanges are as fast as its hundredth.  Only
+        # a prefix: committing every page would pin nprocs x slab_bytes of
+        # resident memory for the pool's lifetime whether or not any frame
+        # ever needs it; the remainder faults lazily on first use.
+        self._transport.prefault(_POOL_PREFAULT_BYTES)
         self._ctrl = [ctx.SimpleQueue() for _ in range(self._capacity)]
         self._result = ctx.Queue()
         self._procs = [
@@ -516,6 +533,12 @@ class ProcessBackend(Backend):
 
         The pool's workers are forked once and reused by every ``run()``;
         exiting the ``with`` block shuts them down.
+
+        Each worker owns a ``slab_bytes`` (default 64 MiB) shared ring,
+        so worst-case shared memory is ``nprocs x slab_bytes`` — resident
+        only as frames actually use it (a few MiB per slab is committed
+        up-front).  Pass a smaller ``slab_bytes`` on memory-constrained
+        hosts; frames over ``slab_bytes // 2`` fall back to the pipe path.
         """
         backend = cls(
             join_timeout=join_timeout,

@@ -14,13 +14,21 @@ Three layers of guarantees:
 """
 
 import hashlib
+import multiprocessing as mp
+import time
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.backends.frames import _RecvPool, decode_packets, encode_packets
+from repro.backends.frames import (
+    FrameTransport,
+    Slab,
+    _RecvPool,
+    decode_packets,
+    encode_packets,
+)
 from repro.backends.processes import BspPool, ProcessBackend
 from repro.core.errors import BspConfigError, BspUsageError, VirtualProcessorError
 from repro.core.packets import Packet, PacketRuns, delivery_order
@@ -118,6 +126,71 @@ class TestRecvPool:
         assert len(b) == 200
 
 
+class TestSlabRing:
+    """The ring must never wedge on frames it cannot physically hold."""
+
+    def test_unsatisfiable_alloc_raises_immediately(self):
+        # Reviewer repro: on a 64 KiB slab, alloc(30016), drain fully,
+        # then alloc(40064).  The second alloc needs 40064 bytes plus
+        # 35520 bytes of wrap padding — more than the whole ring — so no
+        # amount of receiver draining can ever satisfy it.  It must fail
+        # fast, not spin out the timeout as "receiver not draining".
+        slab = Slab(64 << 10, spin_timeout=5.0)
+        try:
+            slab.alloc(30016)
+            slab.free_to(slab._ctrl[1])  # receiver consumed everything
+            start = time.monotonic()
+            with pytest.raises(ValueError, match="can never fit"):
+                slab.alloc(40064)
+            assert time.monotonic() - start < 1.0
+        finally:
+            slab.close()
+
+    def test_half_capacity_frames_always_satisfiable(self):
+        # Anything <= max_frame must succeed at every tail position once
+        # the ring is drained, wrap padding included.
+        slab = Slab(64 << 10, spin_timeout=5.0)
+        try:
+            for _ in range(17):  # drives the tail through several wraps
+                off = slab.alloc(slab.max_frame - 24)
+                slab.write(off, bytes(slab.max_frame - 24))
+                slab.free_to(slab._ctrl[1])
+        finally:
+            slab.close()
+
+    def test_partial_prefault_keeps_ring_usable(self):
+        slab = Slab(1 << 20, spin_timeout=5.0)
+        try:
+            slab.prefault(4096)  # commit only the first page of data
+            payload = bytes(range(256)) * 1024  # 256 KiB, beyond the prefix
+            for _ in range(6):
+                off = slab.alloc(len(payload))
+                slab.write(off, payload)
+                assert slab.read_copy(off, len(payload)) == payload
+                slab.free_to(slab._ctrl[1])
+        finally:
+            slab.close()
+
+    def test_oversized_frame_takes_pipe_path(self):
+        # A frame bigger than half the slab routes through the pipe
+        # fallback and still round-trips; the slab stays untouched.
+        ctx = mp.get_context("fork")
+        transport = FrameTransport(2, ctx, slab_bytes=64 << 10,
+                                   spin_timeout=5.0)
+        try:
+            slab = transport._slabs[1]
+            payload = np.arange(slab.max_frame // 8 + 64, dtype=np.float64)
+            pkt = _mk(0, 1, payload, h=7, seq=3)
+            transport.send_packets(1, run_id=1, step=0, src=0, packets=[pkt])
+            assert slab._ctrl[1] == 0  # nothing was allocated from the ring
+            frame = transport.recv(1)
+            (got,) = frame.packets(1)
+            assert (got.h, got.seq) == (7, 3)
+            np.testing.assert_array_equal(got.payload, payload)
+        finally:
+            transport.close()
+
+
 class TestDeliveryOrderProperty:
     """PacketRuns concatenation == the old global (src, seq) sort."""
 
@@ -166,6 +239,17 @@ def failing_program(bsp, bad_pid):
     return bsp.pid
 
 
+def sized_exchange_program(bsp, sizes):
+    """Exchange uint8 payloads of the given sizes, one per superstep."""
+    peer = (bsp.pid + 1) % bsp.nprocs
+    received = []
+    for size in sizes:
+        bsp.send(peer, np.full(size, bsp.pid, dtype=np.uint8))
+        bsp.sync()
+        received.append(sum(p.payload.nbytes for p in bsp.packets()))
+    return received
+
+
 def numpy_exchange_program(bsp, size, scale):
     for q in range(bsp.nprocs):
         if q != bsp.pid:
@@ -191,6 +275,18 @@ class TestBspPoolReuse:
                 for pid in range(3):
                     expected = sum(q * scale for q in range(3) if q != pid)
                     assert run.results[pid] == expected
+
+    def test_large_frames_on_small_slab_do_not_wedge(self):
+        # Regression: with a 64 KiB slab, a 30016-byte frame followed by
+        # a 40064-byte frame used to leave the second alloc needing more
+        # than the ring's capacity — every worker then spun out the full
+        # timeout and the run died.  Such frames must take the pipe path.
+        sizes = (30016, 40064, 40064)
+        with BspPool(2, join_timeout=20.0, slab_bytes=64 << 10) as pool:
+            start = time.monotonic()
+            run = pool.run(sized_exchange_program, args=(sizes,))
+            assert time.monotonic() - start < 15.0
+            assert run.results == [list(sizes), list(sizes)]
 
     def test_survives_failed_run(self):
         with BspPool(3) as pool:
