@@ -36,9 +36,12 @@ from .core.errors import (
     BspError,
     BspUsageError,
     CostModelError,
+    DeadlockError,
     PacketError,
+    PoolExhaustedError,
     SynchronizationError,
     VirtualProcessorError,
+    WorkerCrashError,
 )
 from .core.machines import (
     CENJU,
@@ -66,6 +69,7 @@ __all__ = [
     "CostBreakdown",
     "CostModelError",
     "CENJU",
+    "DeadlockError",
     "Drma",
     "GetFuture",
     "MachineProfile",
@@ -75,12 +79,14 @@ __all__ = [
     "Packet",
     "PacketCodec",
     "PacketError",
+    "PoolExhaustedError",
     "ProgramStats",
     "SGI",
     "SuperstepStats",
     "SynchronizationError",
     "VPLedger",
     "VirtualProcessorError",
+    "WorkerCrashError",
     "breakdown",
     "bsp_run",
     "calibrate_backend",

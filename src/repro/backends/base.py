@@ -18,16 +18,82 @@ on the simulator behaves bit-for-bit the same on the concurrent backends.
 
 from __future__ import annotations
 
+import signal as _signal
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
-from ..core.errors import BspConfigError, BspUsageError
+from ..core.errors import (
+    BspConfigError,
+    BspUsageError,
+    DeadlockError,
+    PoolExhaustedError,
+    WorkerCrashError,
+)
 from ..core.packets import Packet, PacketRuns
 from ..core.stats import VPLedger
 
+#: The supervision exception taxonomy, re-exported so backend code (and
+#: backend users) can import it from one place alongside the protocol.
+__all__ = [
+    "Backend",
+    "BackendRun",
+    "DeadlockError",
+    "PoolExhaustedError",
+    "Program",
+    "WorkerCrashError",
+    "WorkerStatus",
+    "available_backends",
+    "describe_workers",
+    "get_backend",
+    "register_backend",
+    "route_packet_runs",
+    "route_packets",
+]
+
 #: Signature of a user BSP program.
 Program = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class WorkerStatus:
+    """Liveness snapshot of one backend worker, for timeout diagnostics.
+
+    Every timeout path is required to name who is alive, who is dead (and
+    how), and who stopped making progress — a bare "deadlocked BSP
+    program?" is not attributable and therefore not actionable.
+    """
+
+    pid: int
+    alive: bool
+    os_pid: int | None = None
+    exitcode: int | None = None
+    heartbeat: int = 0
+    last_progress_age: float | None = None
+    has_result: bool = False
+
+    def describe(self) -> str:
+        if self.has_result:
+            state = "finished"
+        elif self.alive:
+            state = f"alive, {self.heartbeat} heartbeat(s)"
+            if self.last_progress_age is not None:
+                state += f", last progress {self.last_progress_age:.1f}s ago"
+        elif self.exitcode is not None and self.exitcode < 0:
+            try:
+                name = _signal.Signals(-self.exitcode).name
+            except ValueError:  # pragma: no cover - unnamed signal
+                name = f"signal {-self.exitcode}"
+            state = f"dead (killed by {name})"
+        else:
+            state = f"dead (exit code {self.exitcode})"
+        where = f" [os pid {self.os_pid}]" if self.os_pid is not None else ""
+        return f"worker {self.pid}{where}: {state}"
+
+
+def describe_workers(statuses: Iterable[WorkerStatus]) -> str:
+    """One-line per-pid liveness summary for timeout/crash messages."""
+    return "; ".join(status.describe() for status in statuses)
 
 
 @dataclass

@@ -54,6 +54,7 @@ import time
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+from .. import faults
 from ..core.errors import SynchronizationError
 from ..core.packets import Packet
 
@@ -220,6 +221,16 @@ class Slab:
         """Mark everything up to logical ``offset`` consumed."""
         self._ctrl[0] = offset
 
+    def reset(self) -> None:
+        """Drop all in-ring data (head := tail).
+
+        Only safe when the fabric is quiescent — e.g. right after a
+        pool-heal fence, when any region still "allocated" belongs to a
+        frame whose header never made it into a pipe (its sender died
+        mid-push) and would otherwise leak ring space forever.
+        """
+        self._ctrl[0] = self._ctrl[1]
+
     def close(self) -> None:
         self._ctrl.release()
         self._data.release()
@@ -299,10 +310,50 @@ class FrameTransport:
         #: Per-destination receive-buffer recycler (used post-fork, so each
         #: worker only ever touches its own pid's pool).
         self._pools = [_RecvPool() for _ in range(nprocs)]
+        #: Fork-shared heartbeat counters, one 8-byte slot per worker,
+        #: bumped by its owner at every superstep boundary.  Single writer
+        #: per slot; aligned 8-byte stores are atomic on every platform we
+        #: fork on.  Supervisors read them to tell "slow but alive" from
+        #: "dead" and "deadlocked".
+        self._hb_mm = mmap.mmap(-1, max(8 * nprocs, mmap.PAGESIZE))
+        self._hb = memoryview(self._hb_mm).cast("Q")
         for _ in range(nprocs):
             r, w = ctx.Pipe(duplex=False)
             self._recv_conns.append(r)
             self._send_conns.append(w)
+
+    # -- supervision ---------------------------------------------------------
+
+    def beat(self, pid: int) -> None:
+        """Advance ``pid``'s heartbeat (called by the owning worker only)."""
+        self._hb[pid] += 1
+
+    def heartbeat(self, pid: int) -> int:
+        """Current heartbeat count of ``pid`` (supervisor side)."""
+        return self._hb[pid]
+
+    def heartbeats(self) -> list[int]:
+        """Snapshot of every worker's heartbeat counter."""
+        return [self._hb[pid] for pid in range(self.nprocs)]
+
+    def locks_free(self, timeout: float = 0.25) -> bool:
+        """True when every per-destination writer lock is acquirable.
+
+        A lock that cannot be acquired means some sender — possibly a
+        dead one — is wedged mid-frame; partial pool healing is unsafe
+        then and the caller must rebuild the whole fabric.
+        """
+        for lock in self._locks:
+            if not lock.acquire(timeout=timeout):
+                return False
+            lock.release()
+        return True
+
+    def reset_slabs(self) -> None:
+        """Drop leaked slab regions (safe only on a quiescent fabric)."""
+        for slab in self._slabs:
+            if slab is not None:
+                slab.reset()
 
     def prefault(self, max_bytes: int | None = None) -> None:
         """Pre-touch slab pages (call in the parent, before forking).
@@ -324,6 +375,11 @@ class FrameTransport:
 
     def send_packets(self, dst: int, run_id: int, step: int, src: int,
                      packets: Sequence[Packet]) -> None:
+        # Fault-injection hook: one attribute load + None test per frame
+        # (never per packet) when disabled.
+        plan = faults._ACTIVE
+        if plan is not None and plan.drops_frame(src, step, dst):
+            return
         meta, buffers = encode_packets(packets)
         lens = tuple(mv.nbytes for mv in buffers)
         total = sum(map(_aligned, lens))
@@ -395,3 +451,8 @@ class FrameTransport:
                     slab.close()
                 except (BufferError, ValueError):  # pragma: no cover
                     pass
+        try:
+            self._hb.release()
+            self._hb_mm.close()
+        except (BufferError, ValueError):  # pragma: no cover
+            pass

@@ -33,27 +33,55 @@ Two execution modes share all of the above:
   :class:`VirtualProcessorError` the workers drain in-flight frames behind
   a fence barrier and the next run starts clean; only a deadlock timeout
   forces a full worker rebuild.
+
+Both modes are **supervised**.  While waiting for results the parent
+multiplexes the result queue with every worker's ``Process.sentinel``
+(:func:`multiprocessing.connection.wait`), so a worker that dies without
+reporting — OOM kill, segfaulting extension, ``os._exit`` — surfaces as a
+:class:`WorkerCrashError` naming the victim pid and signal within
+milliseconds, not after the full ``join_timeout``.  Per-worker heartbeat
+counters in the fork-shared transport (bumped at every superstep
+boundary) let the deadline path distinguish a genuinely deadlocked
+program (:class:`DeadlockError`) from one that is merely slow, and every
+timeout message carries a per-pid liveness/exit-code/heartbeat table.
+
+A pool **self-heals**: on a crash it re-forks only the dead workers
+(falling back to a full fabric rebuild when a dead sender wedged a
+transport lock), on a deadlock it rebuilds everything, both within a
+bounded restart budget with exponential backoff.  ``BspPool.health()``
+reports generation, restart count, and the last fault; once the budget is
+spent the pool shuts down and raises
+:class:`~repro.core.errors.PoolExhaustedError` (which
+``ProcessBackend(degrade_to_threads=True)`` converts into a fallback run
+on the thread backend).  Deterministic fault injection for all of these
+paths lives in :mod:`repro.faults`.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
+import multiprocessing.connection as mp_connection
 import pickle
 import queue as queue_mod
 import threading
 import time
 import traceback
+from dataclasses import dataclass
 from typing import Any, Sequence
 
+from .. import faults
 from ..core.api import Bsp
 from ..core.errors import (
     BspConfigError,
     BspUsageError,
+    DeadlockError,
+    PoolExhaustedError,
     SynchronizationError,
     VirtualProcessorError,
+    WorkerCrashError,
 )
 from ..core.packets import Packet, PacketRuns
-from .base import Backend, BackendRun, Program
+from .base import Backend, BackendRun, Program, WorkerStatus, describe_workers
 from .exchange import peer_order
 from .frames import (
     DEFAULT_SLAB_BYTES,
@@ -155,6 +183,14 @@ class _FrameChannel:
     # -- exchange ------------------------------------------------------------
 
     def exchange(self, pid: int, step: int, outbox: list[Packet]) -> PacketRuns:
+        # Heartbeat: one bump per superstep boundary makes "slow but
+        # alive" visible to the supervisor; a flat counter past the stall
+        # window is what distinguishes a deadlock from a long superstep.
+        self._transport.beat(self._pid)
+        # Fault-injection hook — one attribute load + None test when off.
+        plan = faults._ACTIVE
+        if plan is not None:
+            plan.at_boundary(self._pid, step, self._nprocs, outbox)
         buckets: dict[int, list[Packet]] = {}
         for pkt in outbox:
             buckets.setdefault(pkt.dst, []).append(pkt)
@@ -201,7 +237,10 @@ class _FrameChannel:
         return PacketRuns(got.items())
 
     def depart(self) -> None:
+        plan = faults._ACTIVE
         for peer in self._peers:
+            if plan is not None and plan.drops_depart(self._pid, peer):
+                continue
             self._transport.send_control(peer, TAG_LEFT, self._run_id, self._pid)
 
     def die(self) -> None:
@@ -213,6 +252,7 @@ def _execute(pid: int, nprocs: int, run_id: int, transport: FrameTransport,
              program: Program, args: Sequence[Any],
              kwargs: dict[str, Any]) -> tuple[str, int, int, Any, Any]:
     """Run one program instance; returns the worker's outcome tuple."""
+    transport.beat(pid)  # marks "the run actually started here"
     channel = _FrameChannel(pid, nprocs, transport, run_id)
     bsp = Bsp(pid, nprocs, channel)
     try:
@@ -294,31 +334,170 @@ def _pool_worker(pid: int, transport: FrameTransport, ctrl_q: Any,
                                   args, kwargs))
 
 
+#: How long a dead worker's in-flight result gets to surface from the
+#: queue's feeder pipe before the death is declared a crash.  This bounds
+#: crash-detection latency: a dead worker is attributed in about this
+#: long, versus the full ``join_timeout`` at the seed revision.  Workers
+#: that exited cleanly (code 0) get the longer window — a clean exit
+#: flushes its result before exiting, so a missing result there is a
+#: protocol anomaly worth a patient drain; a signal death or non-zero
+#: exit cannot produce a late result, so only a token window guards
+#: against an in-flight pipe write.
+_CRASH_GRACE = 0.25
+_CRASH_GRACE_ABNORMAL = 0.02
+
+
+def _worker_statuses(nprocs: int, outcomes: Sequence[Any], procs: Sequence[Any],
+                     transport: Any, hb_when: Sequence[float],
+                     now: float) -> list[WorkerStatus]:
+    statuses = []
+    for pid in range(nprocs):
+        proc = procs[pid]
+        statuses.append(WorkerStatus(
+            pid=pid,
+            alive=proc.is_alive(),
+            os_pid=proc.pid,
+            exitcode=proc.exitcode,
+            heartbeat=int(transport.heartbeat(pid)) if transport is not None
+            else 0,
+            last_progress_age=now - hb_when[pid],
+            has_result=outcomes[pid] is not None,
+        ))
+    return statuses
+
+
+def _timeout_failure(nprocs: int, outcomes: Sequence[Any],
+                     procs: Sequence[Any] | None, transport: Any,
+                     hb_when: Sequence[float],
+                     timeout: float) -> SynchronizationError:
+    """Build the right exception for an expired collection deadline.
+
+    Three fates, told apart by liveness and heartbeat progress: a dead
+    worker is a :class:`WorkerCrashError` (normally caught earlier via its
+    sentinel — this is the backstop), flat heartbeats are a
+    :class:`DeadlockError`, and still-advancing heartbeats are a plain
+    :class:`SynchronizationError` telling the caller the program is slow,
+    not stuck.  Every message carries the per-pid status table.
+    """
+    now = time.monotonic()
+    missing = [pid for pid in range(nprocs) if outcomes[pid] is None]
+    if procs is None:
+        return SynchronizationError(
+            f"timed out after {timeout}s waiting for worker results "
+            f"(workers {missing} missing; deadlocked BSP program?); no "
+            "liveness information available for this run")
+    statuses = _worker_statuses(nprocs, outcomes, procs, transport, hb_when,
+                                now)
+    detail = describe_workers(statuses)
+    dead = [pid for pid in missing if not procs[pid].is_alive()]
+    if dead:
+        proc = procs[dead[0]]
+        proc.join(timeout=1.0)
+        return WorkerCrashError(dead[0], proc.exitcode, os_pid=proc.pid)
+    stall_window = min(5.0, max(1.0, timeout / 4.0))
+    stalled = [pid for pid in missing if now - hb_when[pid] >= stall_window]
+    if not stalled:
+        return SynchronizationError(
+            f"timed out after {timeout}s, but workers {missing} are alive "
+            "and still advancing supersteps — slow, not deadlocked; raise "
+            f"join_timeout ({detail})")
+    return DeadlockError(
+        f"timed out after {timeout}s; workers {stalled} are alive but made "
+        f"no superstep progress in the last {stall_window:.1f}s — "
+        f"deadlocked BSP program? ({detail})", stalled=tuple(stalled))
+
+
 def _collect_outcomes(result_q: Any, nprocs: int, run_id: int,
-                      timeout: float) -> list[tuple[str, Any, Any] | None]:
+                      timeout: float, *, procs: Sequence[Any] | None = None,
+                      transport: Any = None,
+                      ) -> list[tuple[str, Any, Any] | None]:
     """Gather one outcome per pid against a single wall-clock deadline.
 
     The deadline covers the whole collection: ``p`` stragglers share one
     budget instead of accumulating ``p`` per-worker timeouts.
+
+    When ``procs`` is given, collection *supervises*: the result queue's
+    pipe and every outstanding worker's ``Process.sentinel`` are
+    multiplexed through :func:`multiprocessing.connection.wait`, so a
+    worker that dies without reporting raises :class:`WorkerCrashError`
+    (naming pid, os pid, and signal/exit code) within
+    :data:`_CRASH_GRACE` seconds instead of consuming the whole timeout.
+    ``transport`` supplies the heartbeat counters used by the deadline
+    path to separate deadlock from slowness.
     """
-    deadline = time.monotonic() + timeout
+    start = time.monotonic()
+    deadline = start + timeout
     outcomes: list[tuple[str, Any, Any] | None] = [None] * nprocs
     got = 0
-    while got < nprocs:
-        remaining = deadline - time.monotonic()
-        if remaining <= 0:
-            raise SynchronizationError(
-                f"timed out after {timeout}s waiting for worker results "
-                "(deadlocked BSP program?)")
-        try:
-            tag, rid, pid, a, b = result_q.get(timeout=remaining)
-        except queue_mod.Empty:
-            continue
+    hb_seen = [-1] * nprocs
+    hb_when = [start] * nprocs
+
+    def note(msg: tuple[str, int, int, Any, Any]) -> None:
+        nonlocal got
+        tag, rid, pid, a, b = msg
         if rid != run_id or tag == "fenced":
-            continue  # stray reply from an earlier, already-failed run
+            return  # stray reply from an earlier, already-failed run
         if outcomes[pid] is None:
             got += 1
         outcomes[pid] = (tag, a, b)
+
+    reader = getattr(result_q, "_reader", None)
+    supervised = procs is not None and reader is not None
+
+    while got < nprocs:
+        now = time.monotonic()
+        if transport is not None:
+            for pid in range(nprocs):
+                hb = transport.heartbeat(pid)
+                if hb != hb_seen[pid]:
+                    hb_seen[pid], hb_when[pid] = hb, now
+        remaining = deadline - now
+        if remaining <= 0:
+            raise _timeout_failure(nprocs, outcomes, procs, transport,
+                                   hb_when, timeout)
+        if not supervised:
+            try:
+                note(result_q.get(timeout=remaining))
+            except queue_mod.Empty:
+                pass
+            continue
+        pending = [pid for pid in range(nprocs) if outcomes[pid] is None]
+        # Capped at 1s so heartbeat progress keeps being sampled even
+        # while nothing is arriving.
+        mp_connection.wait(
+            [reader] + [procs[pid].sentinel for pid in pending],
+            timeout=min(remaining, 1.0))
+        while True:
+            try:
+                note(result_q.get_nowait())
+            except queue_mod.Empty:
+                break
+        crashed = [pid for pid in pending
+                   if outcomes[pid] is None and not procs[pid].is_alive()]
+        if not crashed:
+            continue
+        # The victim's result may still be in the queue's feeder pipe (a
+        # worker exiting right after reporting): one short grace window
+        # before declaring a crash.
+        for pid in crashed:
+            procs[pid].join(timeout=1.0)  # reap, so exitcode is final
+        window = _CRASH_GRACE if any(procs[pid].exitcode == 0
+                                     for pid in crashed) \
+            else _CRASH_GRACE_ABNORMAL
+        grace = time.monotonic() + window
+        while any(outcomes[pid] is None for pid in crashed):
+            wait_left = grace - time.monotonic()
+            if wait_left <= 0:
+                break
+            try:
+                note(result_q.get(timeout=wait_left))
+            except queue_mod.Empty:
+                break
+        lost = [pid for pid in crashed if outcomes[pid] is None]
+        if lost:
+            proc = procs[lost[0]]
+            proc.join(timeout=1.0)
+            raise WorkerCrashError(lost[0], proc.exitcode, os_pid=proc.pid)
     return outcomes
 
 
@@ -331,6 +510,87 @@ def _raise_run_failure(outcomes: list[tuple[str, Any, Any] | None]) -> None:
     if missing:
         raise SynchronizationError(
             f"workers {missing} did not complete (aborted or lost)")
+
+
+def _broadcast_dead(transport: FrameTransport, nprocs: int,
+                    dead: Sequence[int], run_id: int,
+                    timeout: float = 5.0) -> bool:
+    """Send TAG_DEAD to every peer *on behalf of* each dead worker.
+
+    Survivors blocked in their receive loop waiting for a frame the
+    victim will never push unwind immediately (``_Abort``) instead of
+    sitting out the join timeout.  Done from a helper thread with a
+    deadline: a pipe that cannot accept even a control frame means the
+    fabric is wedged and the caller must rebuild rather than heal.
+    """
+    dead_set = set(dead)
+
+    def push() -> None:
+        try:
+            for victim in dead:
+                for peer in range(nprocs):
+                    if peer not in dead_set:
+                        transport.send_control(peer, TAG_DEAD, run_id, victim)
+        except (OSError, ValueError):  # pragma: no cover - fabric closing
+            pass
+
+    pusher = threading.Thread(target=push, name="bsp-notify-dead",
+                              daemon=True)
+    pusher.start()
+    pusher.join(timeout=timeout)
+    return not pusher.is_alive()
+
+
+def _join_escalating(procs: Sequence[Any], *, grace: float) -> None:
+    """Join workers with terminate→kill escalation; no zombies survive.
+
+    ``grace`` bounds the initial cooperative join; processes still alive
+    are sent SIGTERM, then SIGKILL for any that ignore it, and each stage
+    is joined so every child is reaped before returning.
+    """
+    deadline = time.monotonic() + grace
+    for proc in procs:
+        proc.join(timeout=max(0.0, deadline - time.monotonic()))
+    stubborn = [proc for proc in procs if proc.is_alive()]
+    for proc in stubborn:
+        proc.terminate()
+    deadline = time.monotonic() + 2.0
+    for proc in stubborn:
+        proc.join(timeout=max(0.0, deadline - time.monotonic()))
+    for proc in stubborn:
+        if proc.is_alive():  # pragma: no cover - SIGTERM ignored/blocked
+            proc.kill()
+            proc.join()
+
+
+@dataclass(frozen=True)
+class PoolHealth:
+    """Snapshot of a :class:`BspPool`'s supervision state.
+
+    Attributes
+    ----------
+    generation:
+        Bumped every time the pool recovers from a fault (partial heal or
+        full rebuild).  Generation 0 is the original fork set.
+    restarts:
+        Total worker processes re-forked over the pool's lifetime.
+    restarts_left:
+        Remaining fault events in the restart budget; when it hits zero
+        the next fault shuts the pool down (:class:`PoolExhaustedError`).
+    last_fault:
+        ``repr``-style description of the most recent fault, or ``None``.
+    alive:
+        Number of currently live workers.
+    capacity:
+        Pool size (maximum ``nprocs`` per run).
+    """
+
+    generation: int
+    restarts: int
+    restarts_left: int
+    last_fault: str | None
+    alive: int
+    capacity: int
 
 
 class BspPool:
@@ -356,7 +616,8 @@ class BspPool:
     """
 
     def __init__(self, nprocs: int, *, join_timeout: float = 120.0,
-                 slab_bytes: int = DEFAULT_SLAB_BYTES):
+                 slab_bytes: int = DEFAULT_SLAB_BYTES,
+                 max_restarts: int = 5, backoff_base: float = 0.05):
         Backend.check_nprocs(nprocs)
         try:
             self._ctx = mp.get_context("fork")
@@ -369,6 +630,17 @@ class BspPool:
         self._slab_bytes = slab_bytes
         self._run_id = 0
         self._closed = False
+        # Supervision state: a bounded budget of fault events (crash,
+        # deadlock, wedged fence), exponential backoff between them, and
+        # the health counters surfaced by health().
+        self._max_restarts = max_restarts
+        self._backoff_base = backoff_base
+        self._restarts_left = max_restarts
+        self._generation = 0
+        self._restarts = 0
+        self._last_fault: str | None = None
+        self._faults_in_a_row = 0
+        self._broken: str | None = None
         self._build()
 
     # -- lifecycle ----------------------------------------------------------
@@ -405,12 +677,9 @@ class BspPool:
                     ctrl.put(("close",))
                 except (OSError, ValueError):  # pragma: no cover
                     pass
-        for proc in self._procs:
-            proc.join(timeout=5.0 if graceful else 0.5)
-        for proc in self._procs:
-            if proc.is_alive():
-                proc.terminate()
-                proc.join()
+        # join → terminate → kill, each stage reaped: a close() racing an
+        # in-flight (or failed) run must never leave zombie children.
+        _join_escalating(self._procs, grace=5.0 if graceful else 0.5)
         self._transport.close()
         self._result.close()
         for ctrl in self._ctrl:
@@ -426,6 +695,12 @@ class BspPool:
             self._closed = True
             self._teardown(graceful=True)
 
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
     def __enter__(self) -> "BspPool":
         return self
 
@@ -437,11 +712,90 @@ class BspPool:
         """Maximum ``nprocs`` a run on this pool may use."""
         return self._capacity
 
+    def health(self) -> PoolHealth:
+        """Supervision snapshot: generation, restarts, last fault."""
+        alive = 0 if self._closed else \
+            sum(1 for proc in self._procs if proc.is_alive())
+        return PoolHealth(
+            generation=self._generation,
+            restarts=self._restarts,
+            restarts_left=self._restarts_left,
+            last_fault=self._last_fault,
+            alive=alive,
+            capacity=self._capacity,
+        )
+
+    # -- fault recovery -----------------------------------------------------
+
+    def _recover(self, run_id: int, *, fault: BaseException,
+                 crashed: bool) -> None:
+        """Restore the pool after ``fault``, within the restart budget.
+
+        A crash tries a *partial* heal (re-fork only the dead workers,
+        wake their blocked peers, fence, reset leaked slab space); a
+        deadlock — or a crash whose fabric is wedged — rebuilds the whole
+        pool.  Each fault event consumes one unit of budget and waits an
+        exponentially growing backoff first; an exhausted budget shuts
+        the pool down and raises :class:`PoolExhaustedError`.
+        """
+        self._generation += 1
+        self._faults_in_a_row += 1
+        self._last_fault = f"{type(fault).__name__}: {fault}"
+        if self._restarts_left <= 0:
+            self._broken = (
+                f"restart budget ({self._max_restarts}) exhausted; last "
+                f"fault: {self._last_fault}")
+            self._closed = True
+            self._teardown(graceful=False)
+            raise PoolExhaustedError(
+                f"BspPool gave up: {self._broken}") from fault
+        self._restarts_left -= 1
+        time.sleep(min(self._backoff_base * 2 ** (self._faults_in_a_row - 1),
+                       2.0))
+        if not (crashed and self._try_heal(run_id)):
+            self._restarts += self._capacity
+            self._rebuild()
+
+    def _try_heal(self, run_id: int) -> bool:
+        """Re-fork only the dead workers; ``False`` means rebuild instead.
+
+        Partial healing is sound only when the transport fabric is
+        recoverable: every writer lock acquirable (a worker killed
+        mid-``send_packets`` dies holding its destination's lock, wedging
+        the pipe) and the TAG_DEAD wake-up deliverable.  The replacement
+        workers become the new single consumers of the victims' inherited
+        pipes and slabs; the fence then drains all debris, after which
+        any slab region without a delivered header is a leak from a
+        mid-push death and is reclaimed by resetting the rings.
+        """
+        dead = [pid for pid in range(self._capacity)
+                if not self._procs[pid].is_alive()]
+        if not dead or not self._transport.locks_free():
+            return False
+        if not _broadcast_dead(self._transport, self._capacity, dead, run_id):
+            return False
+        for pid in dead:
+            self._procs[pid].join(timeout=1.0)
+            proc = self._ctx.Process(
+                target=_pool_worker,
+                args=(pid, self._transport, self._ctrl[pid], self._result),
+                name=f"bsp-pool-{pid}",
+                daemon=True,
+            )
+            self._procs[pid] = proc
+            proc.start()
+        self._restarts += len(dead)
+        if self._fence(self._capacity):
+            self._transport.reset_slabs()
+        return True
+
     # -- running ------------------------------------------------------------
 
     def run(self, program: Program, nprocs: int | None = None,
             args: Sequence[Any] = (),
             kwargs: dict[str, Any] | None = None) -> BackendRun:
+        if self._broken is not None:
+            raise PoolExhaustedError(f"BspPool gave up: {self._broken}")
         if self._closed:
             raise BspConfigError("BspPool is closed")
         nprocs = self._capacity if nprocs is None else nprocs
@@ -463,13 +817,22 @@ class BspPool:
         for pid in range(nprocs):
             self._ctrl[pid].put(("run", run_id, nprocs, blob))
         try:
-            outcomes = _collect_outcomes(self._result, nprocs, run_id,
-                                         self._join_timeout)
-        except SynchronizationError:
-            # Workers are unresponsive (deadlocked program or a hard
-            # crash): the only safe reset is a re-fork.
-            self._rebuild()
+            outcomes = _collect_outcomes(
+                self._result, nprocs, run_id, self._join_timeout,
+                procs=self._procs[:nprocs], transport=self._transport)
+        except WorkerCrashError as exc:
+            # A worker died without reporting: heal the pool (re-fork the
+            # victims, or rebuild if the fabric is wedged), then surface
+            # the crash — the caller decides whether the run is
+            # idempotent enough to retry (bsp_run(retries=...)).
+            self._recover(run_id, fault=exc, crashed=True)
             raise
+        except SynchronizationError as exc:
+            # Deadlocked (or unattributably stuck) workers: the only safe
+            # reset is a full re-fork.
+            self._recover(run_id, fault=exc, crashed=False)
+            raise
+        self._faults_in_a_row = 0
         wall = time.perf_counter() - t0
         if any(o is None or o[0] != "ok" for o in outcomes):
             self._fence(nprocs)
@@ -478,10 +841,15 @@ class BspPool:
         ledgers = [outcome[2] for outcome in outcomes]  # type: ignore[index]
         return BackendRun(results=results, ledgers=ledgers, wall_seconds=wall)
 
-    def _fence(self, nprocs: int) -> None:
-        """Drain transport debris left by a failed run."""
+    def _fence(self, nprocs: int) -> bool:
+        """Drain transport debris left by a failed run.
+
+        Returns ``True`` when every worker acknowledged the fence (the
+        fabric is clean), ``False`` when a worker wedged and the pool had
+        to be rebuilt instead.
+        """
         if nprocs <= 1:
-            return
+            return True
         self._run_id += 1
         fence_id = self._run_id
         for pid in range(nprocs):
@@ -491,14 +859,16 @@ class BspPool:
         while pending:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
+                self._restarts += self._capacity
                 self._rebuild()  # a worker is wedged beyond fencing
-                return
+                return False
             try:
                 tag, fid, pid, _, _ = self._result.get(timeout=remaining)
             except queue_mod.Empty:
                 continue
             if tag == "fenced" and fid == fence_id:
                 pending.discard(pid)
+        return True
 
 
 class ProcessBackend(Backend):
@@ -508,11 +878,13 @@ class ProcessBackend(Backend):
 
     def __init__(self, *, join_timeout: float = 120.0,
                  pool: BspPool | None = None,
-                 slab_bytes: int = DEFAULT_SLAB_BYTES):
+                 slab_bytes: int = DEFAULT_SLAB_BYTES,
+                 degrade_to_threads: bool = False):
         self._join_timeout = join_timeout
         self._pool = pool
         self._owns_pool = False
         self._slab_bytes = slab_bytes
+        self._degrade_to_threads = degrade_to_threads
         try:
             self._ctx = mp.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX platforms
@@ -522,7 +894,9 @@ class ProcessBackend(Backend):
 
     @classmethod
     def pool(cls, nprocs: int, *, join_timeout: float = 120.0,
-             slab_bytes: int = DEFAULT_SLAB_BYTES) -> "ProcessBackend":
+             slab_bytes: int = DEFAULT_SLAB_BYTES,
+             max_restarts: int = 5,
+             degrade_to_threads: bool = False) -> "ProcessBackend":
         """A backend bound to its own persistent :class:`BspPool`.
 
         Usable as a context manager::
@@ -539,12 +913,18 @@ class ProcessBackend(Backend):
         only as frames actually use it (a few MiB per slab is committed
         up-front).  Pass a smaller ``slab_bytes`` on memory-constrained
         hosts; frames over ``slab_bytes // 2`` fall back to the pipe path.
+
+        ``max_restarts`` bounds the pool's fault-recovery budget (crashes
+        and deadlocks each consume one unit); ``degrade_to_threads=True``
+        converts the terminal :class:`PoolExhaustedError` into a fallback
+        run on the thread backend instead of an exception.
         """
         backend = cls(
             join_timeout=join_timeout,
             pool=BspPool(nprocs, join_timeout=join_timeout,
-                         slab_bytes=slab_bytes),
+                         slab_bytes=slab_bytes, max_restarts=max_restarts),
             slab_bytes=slab_bytes,
+            degrade_to_threads=degrade_to_threads,
         )
         backend._owns_pool = True
         return backend
@@ -560,6 +940,10 @@ class ProcessBackend(Backend):
         if self._owns_pool and self._pool is not None:
             self._pool.close()
 
+    def health(self) -> PoolHealth | None:
+        """The bound pool's supervision snapshot; ``None`` when one-shot."""
+        return None if self._pool is None else self._pool.health()
+
     def run(
         self,
         program: Program,
@@ -570,7 +954,19 @@ class ProcessBackend(Backend):
         self.check_nprocs(nprocs)
         kwargs = kwargs or {}
         if self._pool is not None:
-            return self._pool.run(program, nprocs, args=args, kwargs=kwargs)
+            try:
+                return self._pool.run(program, nprocs, args=args,
+                                      kwargs=kwargs)
+            except PoolExhaustedError:
+                if not self._degrade_to_threads:
+                    raise
+                # Opt-in degradation: the process substrate is too broken
+                # to keep restarting, but the program may still complete on
+                # threads (same routing, same deterministic delivery order
+                # — lower isolation and GIL-bound compute).
+                from .threads import ThreadBackend
+                return ThreadBackend().run(
+                    program, nprocs, args=args, kwargs=kwargs)
         ctx = self._ctx
         transport = FrameTransport(nprocs, ctx, slab_bytes=self._slab_bytes,
                                    spin_timeout=self._join_timeout)
@@ -589,15 +985,24 @@ class ProcessBackend(Backend):
             proc.start()
         try:
             outcomes = _collect_outcomes(result_q, nprocs, 0,
-                                         self._join_timeout)
+                                         self._join_timeout, procs=procs,
+                                         transport=transport)
+        except WorkerCrashError:
+            # Wake survivors blocked on the victim's never-coming frame so
+            # the escalating join below reaps them quickly and cleanly.
+            dead = [pid for pid in range(nprocs)
+                    if not procs[pid].is_alive()
+                    and procs[pid].exitcode not in (0, None)]
+            if dead:
+                _broadcast_dead(transport, nprocs, dead, 0, timeout=2.0)
+            raise
         finally:
-            for proc in procs:
-                proc.join(timeout=5.0)
-            for proc in procs:
-                if proc.is_alive():  # pragma: no cover - only on deadlock
-                    proc.terminate()
-                    proc.join()
+            # Near-instant after a clean run (workers already exited);
+            # after a failure the grace only delays SIGTERM to stuck
+            # workers, so keep it short.
+            _join_escalating(procs, grace=2.0)
             transport.close()
+            result_q.close()
         wall = time.perf_counter() - t0
         _raise_run_failure(outcomes)
         results = [outcome[1] for outcome in outcomes]  # type: ignore[index]

@@ -206,16 +206,21 @@ def bsp_begin(
     *,
     backend: str = "simulator",
     args: Sequence[Any] = (),
+    retries: int = 0,
 ) -> BsplibRun:
     """Run a BSPlib-style SPMD program: ``program(ctx, *args)``.
 
     The name mirrors BSPlib's ``bsp_begin``; Python needs no matching
     ``bsp_end`` — returning from the program ends the computation.
+    ``retries`` re-runs the program after a worker-process crash
+    (:class:`~repro.core.errors.WorkerCrashError`), as in
+    :func:`~repro.core.runtime.bsp_run`.
     """
 
     def wrapper(bsp: Bsp, *inner: Any) -> Any:
         return program(BsplibContext(bsp), *inner)
 
     return BsplibRun.from_core(
-        bsp_run(wrapper, nprocs, backend=backend, args=tuple(args))
+        bsp_run(wrapper, nprocs, backend=backend, args=tuple(args),
+                retries=retries)
     )

@@ -5,9 +5,26 @@ one type.  Backend-internal failures of a single virtual processor are
 wrapped in :class:`VirtualProcessorError`, which records the pid and the
 original traceback text so a crash inside one of ``p`` threads or processes
 surfaces as a single coherent exception in the caller.
+
+Failures of the *substrate* (rather than the program) form their own
+sub-taxonomy under :class:`SynchronizationError`, so supervision code can
+tell the three timeout-shaped fates apart:
+
+* :class:`WorkerCrashError` — a worker process died without reporting
+  (OOM kill, segfaulting extension, ``os._exit``); names the victim pid
+  and the signal or exit code.
+* :class:`DeadlockError` — workers are alive but stopped advancing
+  supersteps (heartbeat counters flat): a genuinely deadlocked program.
+* plain :class:`SynchronizationError` — everything else, including
+  "alive and still progressing, just slower than the timeout".
+
+:class:`PoolExhaustedError` is terminal: a self-healing pool burned
+through its restart budget and shut itself down.
 """
 
 from __future__ import annotations
+
+import signal as _signal
 
 
 class BspError(Exception):
@@ -32,6 +49,80 @@ class CostModelError(BspError, ValueError):
 
 class SynchronizationError(BspError, RuntimeError):
     """A superstep barrier could not complete (peer died, timeout...)."""
+
+
+class WorkerCrashError(SynchronizationError):
+    """A backend worker process died without reporting a result.
+
+    Distinct from :class:`VirtualProcessorError` (a Python exception that
+    the worker itself caught and reported) and from :class:`DeadlockError`
+    (workers alive but stuck): here the OS reaped the process — SIGKILL'd
+    by the OOM killer, a segfaulting native extension, an ``os._exit``.
+
+    Attributes
+    ----------
+    pid:
+        The virtual processor (worker slot) that died.
+    exitcode:
+        ``multiprocessing.Process.exitcode``: negative means killed by
+        signal ``-exitcode``; ``None`` means the status was unavailable.
+    os_pid:
+        The worker's operating-system pid, when known.
+    signum / signal_name:
+        The killing signal (number and name), or ``None`` for a plain
+        non-zero exit.
+    """
+
+    def __init__(self, pid: int, exitcode: int | None,
+                 os_pid: int | None = None):
+        self.pid = pid
+        self.exitcode = exitcode
+        self.os_pid = os_pid
+        self.signum = -exitcode if exitcode is not None and exitcode < 0 \
+            else None
+        self.signal_name: str | None = None
+        if self.signum is not None:
+            try:
+                self.signal_name = _signal.Signals(self.signum).name
+            except ValueError:  # pragma: no cover - unnamed signal number
+                self.signal_name = f"signal {self.signum}"
+        if self.signal_name is not None:
+            fate = f"killed by {self.signal_name}"
+        elif exitcode is None:
+            fate = "died (exit status unavailable)"
+        else:
+            fate = f"exited with code {exitcode}"
+        where = f" (os pid {os_pid})" if os_pid is not None else ""
+        super().__init__(
+            f"worker {pid}{where} {fate} without reporting a result")
+
+
+class DeadlockError(SynchronizationError):
+    """Workers are alive but made no superstep progress within the timeout.
+
+    Raised only when per-worker heartbeat counters (bumped at every
+    superstep boundary) stayed flat over the stall window — a worker that
+    is merely slow keeps beating and gets a plain
+    :class:`SynchronizationError` telling the caller to raise the timeout.
+
+    Attributes
+    ----------
+    stalled:
+        The pids that stopped advancing.
+    """
+
+    def __init__(self, message: str, *, stalled: tuple[int, ...] = ()):
+        self.stalled = tuple(stalled)
+        super().__init__(message)
+
+
+class PoolExhaustedError(BspError, RuntimeError):
+    """A self-healing worker pool spent its restart budget and shut down.
+
+    Terminal for the pool: subsequent ``run()`` calls re-raise it.  An
+    opt-in degradation policy (``ProcessBackend(degrade_to_threads=True)``)
+    converts it into a fallback run on the thread backend instead.
+    """
 
 
 class VirtualProcessorError(BspError, RuntimeError):

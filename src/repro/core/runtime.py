@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from ..backends.base import Backend, Program, get_backend
+from .errors import BspConfigError, WorkerCrashError
 from .stats import ProgramStats
 
 
@@ -54,6 +55,7 @@ def bsp_run(
     backend: str | Backend = "simulator",
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
+    retries: int = 0,
 ) -> BspRunResult:
     """Execute ``program`` on ``nprocs`` virtual processors.
 
@@ -73,8 +75,29 @@ def bsp_run(
         amortizes worker startup across many runs.
     args, kwargs:
         Extra arguments forwarded to every instance of the program.
+    retries:
+        How many times to re-run after a
+        :class:`~repro.core.errors.WorkerCrashError` — a worker process
+        dying without reporting (OOM kill, segfaulting extension).  Only
+        crashes are retried: they are substrate faults, and a pooled
+        process backend self-heals between attempts.  Program-level
+        failures (``VirtualProcessorError``) and deadlocks re-raise
+        immediately — retrying those would just repeat them.  Safe for
+        idempotent programs; side-effecting programs may observe partial
+        effects of the crashed attempt.
     """
+    if not isinstance(retries, int) or retries < 0:
+        raise BspConfigError(
+            f"retries must be a non-negative int, got {retries!r}")
     engine = backend if isinstance(backend, Backend) else get_backend(backend)
-    run = engine.run(program, nprocs, args=args, kwargs=kwargs)
+    attempts_left = retries
+    while True:
+        try:
+            run = engine.run(program, nprocs, args=args, kwargs=kwargs)
+            break
+        except WorkerCrashError:
+            if attempts_left <= 0:
+                raise
+            attempts_left -= 1
     stats = ProgramStats.from_ledgers(run.ledgers, wall_seconds=run.wall_seconds)
     return BspRunResult(results=run.results, stats=stats, backend=engine.name)

@@ -1,0 +1,219 @@
+"""Deterministic fault injection for the process backend.
+
+The paper's portability claim rests on the runtime surviving real
+machines — the TCP version on the PC-LAN had to tolerate slow and flaky
+nodes, not just the happy path.  Supervision code is only trustworthy if
+its failure paths are *provoked on purpose*: this module provides a
+seeded, fully deterministic schedule of faults (:class:`FaultPlan`) that
+the process backend consults at well-defined hook points, so every
+recovery path in :mod:`repro.backends.processes` is exercised by tests
+rather than hoped about (cf. the attributable-failure methodology of the
+experimental BSP sorting literature).
+
+Fault kinds
+-----------
+=============== ==========================================================
+``KILL``        SIGKILL to self at a superstep boundary — a crash the OS
+                sees and Python never does (OOM killer, ``kill -9``).
+``EXIT``        ``os._exit(code)`` — a native extension dying without
+                interpreter cleanup (no atexit, no queue flush).
+``RAISE``       an ordinary Python exception out of the program body —
+                the :class:`~repro.core.errors.VirtualProcessorError`
+                path.
+``POISON``      append an unpicklable payload to the outbox — fails in
+                the *sender thread*, after the program thought the send
+                succeeded.
+``DELAY``       sleep before the boundary — slow but alive, visible as
+                advancing heartbeats.
+``DROP_FRAME``  silently drop the boundary frame to one peer — a lost
+                message, producing a genuine deadlock.
+``DROP_DEPART`` suppress the departure sentinel to one peer — peers wait
+                on a processor that already returned.
+=============== ==========================================================
+
+Zero overhead when disabled
+---------------------------
+The hooks in ``processes.py``/``frames.py`` are a single module-attribute
+load and ``None`` test per superstep boundary (never per packet)::
+
+    plan = faults._ACTIVE
+    if plan is not None:
+        plan.at_boundary(pid, step, nprocs, outbox)
+
+``benchmarks/bench_backend_comm.py`` verifies the disabled-path cost is
+unmeasurable against BENCH_comm.json's optimized numbers.
+
+Plans cross the fork boundary by inheritance: install a plan (``install``
+or the ``injected`` context manager) **before** creating the backend or
+pool, and every forked worker carries it.  Clearing the plan in the
+parent afterwards does not reach already-forked pool workers — build the
+pool inside the ``injected`` block scoped to the faulty phase, or use
+one-shot backends, whose workers fork per run.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from .core.errors import BspConfigError, BspError
+from .core.packets import Packet
+
+#: Fault kinds (see module docstring).
+KILL = "kill"
+EXIT = "exit"
+RAISE = "raise"
+POISON = "poison"
+DELAY = "delay"
+DROP_FRAME = "drop-frame"
+DROP_DEPART = "drop-depart"
+
+_KINDS = frozenset({KILL, EXIT, RAISE, POISON, DELAY, DROP_FRAME,
+                    DROP_DEPART})
+
+#: Kinds the worker reports itself (program-level failures).
+REPORTED_KINDS = frozenset({RAISE, POISON})
+#: Kinds that kill the worker outright (crash detection must fire).
+CRASH_KINDS = frozenset({KILL, EXIT})
+
+
+class FaultInjectedError(BspError, RuntimeError):
+    """Raised inside a worker by an injected ``RAISE`` fault."""
+
+
+class _Unpicklable:
+    """A payload that deterministically poisons the sender's pickle pass."""
+
+    def __reduce__(self):
+        raise RuntimeError("injected pickle failure (FaultPlan POISON)")
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault: *kind* hits worker *pid* at superstep *step*.
+
+    ``arg`` is kind-specific: the exit code for ``EXIT``, the sleep
+    seconds for ``DELAY``, the destination peer for ``DROP_FRAME`` /
+    ``DROP_DEPART``; unused otherwise.
+    """
+
+    kind: str
+    pid: int
+    step: int
+    arg: float | int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise BspConfigError(f"unknown fault kind {self.kind!r}")
+        if self.kind in (DROP_FRAME, DROP_DEPART) and self.arg is None:
+            raise BspConfigError(f"{self.kind} needs arg=<destination pid>")
+
+
+class FaultPlan:
+    """A deterministic schedule of faults, consulted by backend hooks.
+
+    The plan itself is pure data — identical plans injected into identical
+    runs produce identical failures, which is what makes a failed run
+    *attributable* and a recovery test repeatable.
+    """
+
+    def __init__(self, faults: Sequence[Fault] = ()):
+        self.faults = tuple(faults)
+        self._boundary: dict[tuple[int, int], Fault] = {}
+        self._drops: set[tuple[int, int, int]] = set()
+        self._drop_departs: set[tuple[int, int]] = set()
+        for fault in self.faults:
+            if fault.kind == DROP_FRAME:
+                self._drops.add((fault.pid, fault.step, int(fault.arg)))
+            elif fault.kind == DROP_DEPART:
+                self._drop_departs.add((fault.pid, int(fault.arg)))
+            else:
+                self._boundary[(fault.pid, fault.step)] = fault
+
+    @classmethod
+    def random(cls, seed: int, nprocs: int, nsteps: int, *,
+               kinds: Sequence[str] = (KILL, EXIT, RAISE, POISON),
+               nfaults: int = 1) -> "FaultPlan":
+        """A seeded schedule of ``nfaults`` faults over a ``nprocs`` x
+        ``nsteps`` run — same seed, same schedule, forever."""
+        rng = random.Random(seed)
+        faults = []
+        for _ in range(nfaults):
+            kind = rng.choice(list(kinds))
+            pid = rng.randrange(nprocs)
+            step = rng.randrange(nsteps)
+            arg: float | int | None = None
+            if kind == EXIT:
+                arg = rng.randrange(1, 128)
+            elif kind == DELAY:
+                arg = rng.uniform(0.05, 0.2)
+            elif kind in (DROP_FRAME, DROP_DEPART):
+                if nprocs < 2:
+                    continue
+                arg = (pid + rng.randrange(1, nprocs)) % nprocs
+            faults.append(Fault(kind, pid, step, arg))
+        return cls(faults)
+
+    # -- worker-side hooks ---------------------------------------------------
+
+    def at_boundary(self, pid: int, step: int, nprocs: int,
+                    outbox: list[Packet]) -> None:
+        """Called at each superstep boundary, before any frame is pushed."""
+        fault = self._boundary.get((pid, step))
+        if fault is None:
+            return
+        if fault.kind == DELAY:
+            time.sleep(float(fault.arg) if fault.arg is not None else 0.1)
+        elif fault.kind == KILL:
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif fault.kind == EXIT:
+            os._exit(int(fault.arg) if fault.arg is not None else 42)
+        elif fault.kind == RAISE:
+            raise FaultInjectedError(
+                f"injected failure at pid {pid}, superstep {step}")
+        elif fault.kind == POISON and nprocs > 1:
+            dst = (pid + 1) % nprocs
+            outbox.append(Packet(src=pid, dst=dst, payload=_Unpicklable(),
+                                 h=1, seq=1 << 20))
+
+    def drops_frame(self, src: int, step: int, dst: int) -> bool:
+        return (src, step, dst) in self._drops
+
+    def drops_depart(self, pid: int, peer: int) -> bool:
+        return (pid, peer) in self._drop_departs
+
+
+#: The installed plan; ``None`` (the default) short-circuits every hook.
+_ACTIVE: FaultPlan | None = None
+
+
+def install(plan: FaultPlan) -> None:
+    """Install ``plan`` process-wide; forked workers inherit it."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def clear() -> None:
+    """Remove the installed plan (already-forked workers keep theirs)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> FaultPlan | None:
+    """The currently installed plan, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """``with faults.injected(plan): ...`` — install for the block only."""
+    install(plan)
+    try:
+        yield plan
+    finally:
+        clear()

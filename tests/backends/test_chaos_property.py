@@ -7,12 +7,16 @@ simulator, thread, and process backends, and require identical results
 and identical (H, S, per-superstep h) accounting.
 """
 
+import multiprocessing as mp
+import os
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import bsp_run
+from repro.core.errors import VirtualProcessorError, WorkerCrashError
 
 
 def chaos_program(bsp, seed, nsteps):
@@ -83,3 +87,58 @@ def test_silent_processors_are_fine(backend):
     run = bsp_run(program, 4, backend=backend)
     assert run.results == [0, 0, 0, 1]
     assert run.stats.S == 4
+
+
+def crash_mid_superstep(bsp, victim, hard):
+    """Exchange for one superstep, then pid ``victim`` dies mid-step 1."""
+    bsp.send((bsp.pid + 1) % bsp.nprocs, bsp.pid)
+    bsp.sync()
+    if bsp.pid == victim:
+        if hard:
+            os._exit(99)  # no interpreter cleanup, no result report
+        raise RuntimeError("chaos: mid-superstep failure")
+    bsp.send((bsp.pid + 1) % bsp.nprocs, bsp.pid)
+    bsp.sync()
+    return True
+
+
+@pytest.mark.parametrize("backend", ["simulator", "threads", "processes"])
+def test_soft_crash_mid_superstep_names_the_pid(backend):
+    """A program exception mid-superstep surfaces as a single
+    VirtualProcessorError attributing the right pid on every backend."""
+    with pytest.raises(VirtualProcessorError) as err:
+        bsp_run(crash_mid_superstep, 3, backend=backend, args=(1, False))
+    assert err.value.pid == 1
+    assert "chaos: mid-superstep failure" in err.value.traceback_text
+
+
+def test_hard_crash_mid_superstep_names_pid_and_exit_code():
+    """A worker dying without cleanup is a WorkerCrashError (processes
+    only — threads and the simulator cannot survive os._exit)."""
+    with pytest.raises(WorkerCrashError) as err:
+        bsp_run(crash_mid_superstep, 3, backend="processes", args=(2, True))
+    assert err.value.pid == 2
+    assert err.value.exitcode == 99
+    assert not [c for c in mp.active_children() if c.name.startswith("bsp-")]
+
+
+def interrupted_program(bsp):
+    bsp.send((bsp.pid + 1) % bsp.nprocs, bsp.pid)
+    bsp.sync()
+    if bsp.pid == 0:
+        raise KeyboardInterrupt
+    return True
+
+
+@pytest.mark.parametrize("backend", ["simulator", "threads", "processes"])
+def test_keyboard_interrupt_is_contained_and_cleaned_up(backend):
+    """A KeyboardInterrupt inside the program body must not wedge the
+    backend: it is reported like any program failure and (for processes)
+    every child is reaped."""
+    with pytest.raises(VirtualProcessorError) as err:
+        bsp_run(interrupted_program, 3, backend=backend)
+    assert err.value.pid == 0
+    assert "KeyboardInterrupt" in err.value.traceback_text
+    if backend == "processes":
+        assert not [c for c in mp.active_children()
+                    if c.name.startswith("bsp-")]
