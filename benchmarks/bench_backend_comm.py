@@ -39,6 +39,11 @@ import numpy as np
 from repro import bsp_run
 from repro.backends.processes import ProcessBackend
 
+try:
+    from repro.backends.tcp import TcpBackend
+except ImportError:  # older library versions have no socket backend
+    TcpBackend = None
+
 # ---------------------------------------------------------------------------
 # Programs (module-level: the persistent pool ships them by pickle)
 # ---------------------------------------------------------------------------
@@ -106,7 +111,14 @@ def bench_exchange(nprocs: int, steps: int, narrays: int, size: int,
     msgs = nprocs * (nprocs - 1) * narrays * steps
     payload_bytes = msgs * bytes_per_msg
     walls = []
-    if backend_name == "processes":
+    if backend_name == "tcp":
+        with TcpBackend.pool(nprocs) as backend:
+            backend.run(exchange_program, nprocs,
+                        args=(2, narrays, size))  # warm mesh + streams
+            for _ in range(repeats):
+                walls.append(_time_run(backend, exchange_program, nprocs,
+                                       (steps, narrays, size)))
+    elif backend_name == "processes":
         if hasattr(ProcessBackend, "pool"):
             with ProcessBackend.pool(nprocs) as backend:
                 backend.run(exchange_program, nprocs,
@@ -198,6 +210,16 @@ def main(argv=None) -> int:
         print(f"{name:14s} {scenarios[name]['mb_per_s']:10.1f} MB/s "
               f"{scenarios[name]['packets_per_s']:12.0f} pkt/s "
               f"({scenarios[name]['wall_s']:.3f}s wall)")
+
+    if TcpBackend is not None:
+        steps, narrays, size = (2, 8, 1 << 11) if args.quick \
+            else (8, 16, 1 << 13)
+        scenarios["tcp-localhost"] = bench_exchange(
+            p, steps, narrays, size, repeats=repeats, backend_name="tcp")
+        print(f"{'tcp-localhost':14s} "
+              f"{scenarios['tcp-localhost']['mb_per_s']:10.1f} MB/s "
+              f"{scenarios['tcp-localhost']['packets_per_s']:12.0f} pkt/s "
+              f"({scenarios['tcp-localhost']['wall_s']:.3f}s wall)")
 
     small = (2, 100) if args.quick else (4, 500)
     scenarios["small-objects"] = bench_small(p, *small, repeats=repeats)

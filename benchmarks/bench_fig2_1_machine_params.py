@@ -9,8 +9,11 @@ to the paper's table.
 What should hold: L grows with p on every implementation; the
 message-passing backend (processes, the MPI/TCP analogue) has far larger
 L than the shared-memory backend (threads), which is the paper's central
-SGI-vs-Cenju/PC contrast; and the simulator (which performs no real
-communication) bounds below what any real backend achieves.
+SGI-vs-Cenju/PC contrast; the socket backend (tcp, the PC-LAN analogue)
+pays the largest L of all — a kernel round-trip per mesh leg — echoing
+the PC-LAN row's order-of-magnitude latency gap; and the simulator
+(which performs no real communication) bounds below what any real
+backend achieves.
 """
 
 from __future__ import annotations
@@ -18,15 +21,27 @@ from __future__ import annotations
 from conftest import emit
 
 from repro import PAPER_MACHINES, calibrate_backend
+from repro.backends.tcp import TcpBackend
 from repro.util.tables import render_table
 
 NPROCS = (1, 2, 4, 8)
-BACKENDS = ("simulator", "threads", "processes")
+BACKENDS = ("simulator", "threads", "processes", "tcp")
 
 
 def calibrate_all():
     results = {}
     for backend in BACKENDS:
+        if backend == "tcp":
+            # One persistent mesh, sized to the largest count: this is the
+            # measurement behind the registered "tcp-localhost" profile.
+            with TcpBackend.pool(max(NPROCS)) as pooled:
+                for p in NPROCS:
+                    results[(backend, p)] = calibrate_backend(
+                        pooled, p,
+                        latency_rounds=20, bandwidth_rounds=3,
+                        packets_each=200,
+                    )
+            continue
         for p in NPROCS:
             results[(backend, p)] = calibrate_backend(
                 backend, p,
@@ -62,7 +77,9 @@ def test_fig2_1_machine_parameters(once):
                   "(ours measured; * = paper values)",
         ),
     )
-    # Shape assertions: latency grows with p; processes slower than threads.
+    # Shape assertions: latency grows with p; processes slower than threads;
+    # real sockets slower again than shared memory (the PC-LAN contrast).
     for backend in BACKENDS:
         assert results[(backend, 8)].L_us > results[(backend, 1)].L_us
     assert results[("processes", 4)].L_us > results[("threads", 4)].L_us
+    assert results[("tcp", 8)].L_us > results[("threads", 8)].L_us

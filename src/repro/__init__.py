@@ -52,10 +52,16 @@ from .core.machines import (
     MachineProfile,
     calibrate_backend,
     get_machine,
+    register_machine,
+    tcp_localhost_profile,
 )
 from .core.packets import PACKET_BYTES, Packet, PacketCodec, h_units
 from .core.runtime import BspRunResult, bsp_run
 from .core.stats import ProgramStats, SuperstepStats, VPLedger
+
+# After core: backends.base imports from repro.core, so this must follow
+# the core imports to keep package initialization acyclic.
+from .backends.base import WorkerStatus, describe_workers  # noqa: E402
 
 __version__ = "1.0.0"
 
@@ -87,7 +93,9 @@ __all__ = [
     "VPLedger",
     "VirtualProcessorError",
     "WorkerCrashError",
+    "WorkerStatus",
     "breakdown",
+    "describe_workers",
     "bsp_run",
     "calibrate_backend",
     "get_machine",
@@ -95,6 +103,8 @@ __all__ = [
     "modeled_speedup",
     "predict_comm_seconds",
     "predict_seconds",
+    "register_machine",
     "superstep_costs",
+    "tcp_localhost_profile",
     "work_speedup",
 ]

@@ -8,8 +8,12 @@ name          paper analogue                use for
 ============  ============================  =================================
 "simulator"   IPC 1-processor simulation    measuring W/H/S, debugging
 "threads"     shared-memory version (B.1)   semantics under real concurrency
-"processes"   MPI/TCP versions (B.2/B.3)    true parallel execution
+"processes"   MPI version (B.2)             true parallel execution, one host
+"tcp"         TCP/PC-LAN version (B.3)      real sockets, multi-host capable
 ============  ============================  =================================
+
+New backends register with :func:`register_backend`; unknown names raise
+a :class:`~repro.core.errors.BspConfigError` listing what is available.
 """
 
 from .base import (
@@ -28,6 +32,9 @@ __all__ = [
     "BackendRun",
     "BspPool",
     "IDLE",
+    "TcpBackend",
+    "TcpMesh",
+    "TcpSpmdBackend",
     "available_backends",
     "exchange_schedule",
     "get_backend",
@@ -40,11 +47,15 @@ __all__ = [
 
 
 def __getattr__(name: str):
-    # BspPool lives with the process backend; import it lazily so that
-    # ``repro.backends`` itself stays import-light (matching get_backend's
-    # lazy registration of the built-ins).
+    # Heavy backend classes import lazily so that ``repro.backends``
+    # itself stays import-light (matching get_backend's lazy registration
+    # of the built-ins).
     if name == "BspPool":
         from .processes import BspPool
 
         return BspPool
+    if name in ("TcpBackend", "TcpMesh", "TcpSpmdBackend"):
+        from . import tcp
+
+        return getattr(tcp, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -213,8 +213,10 @@ def available_backends() -> list[str]:
 def _register_builtins() -> None:
     from .processes import ProcessBackend
     from .simulator import SimulatorBackend
+    from .tcp import TcpBackend
     from .threads import ThreadBackend
 
     _REGISTRY.setdefault("simulator", SimulatorBackend)
     _REGISTRY.setdefault("threads", ThreadBackend)
     _REGISTRY.setdefault("processes", ProcessBackend)
+    _REGISTRY.setdefault("tcp", TcpBackend)

@@ -1,0 +1,1075 @@
+"""TCP socket backend — the paper's PC-LAN platform (Appendix B.3).
+
+One OS process per virtual processor, connected in a full TCP mesh, so
+the same Green BSP programs that run on the shared-memory and process
+backends run across *separate machines*.  Communication still happens
+only at superstep boundaries: each rank buckets its outgoing packets per
+destination during the superstep and, at the boundary, ships **one
+combined frame per peer** using the exact pickle-5 out-of-band layout of
+:mod:`~repro.backends.frames` — so ``seq``/``h`` accounting (and hence
+every ledger) is bit-identical to the other backends.
+
+``bspSynch`` is a two-phase barrier over the mesh:
+
+1. *counts exchange* — in :func:`~repro.backends.exchange.peer_order`
+   (B.3's pairing discipline), every rank sends each peer a tiny
+   ``TAG_COUNTS`` frame announcing how many data frames follow for this
+   superstep (0 or 1, since buckets are combined), then the data frame
+   itself.  A rank has "arrived" once every live peer's announced frames
+   are in hand.
+2. *release* — it then broadcasts ``TAG_RELEASE`` and may pass the
+   barrier only after receiving every live peer's release.  This bounds
+   run-ahead to one superstep (early frames are stashed by step), and
+   gives DROP_FRAME fault injection its honest semantics: a dropped
+   frame stalls phase 1 forever, which supervision reports as a
+   :class:`~repro.core.errors.DeadlockError`.
+
+All sockets are non-blocking and serviced by one
+:mod:`selectors`-based event loop per rank, so serialization, sends, and
+receives overlap — the loop *is* Appendix B.3's "receivers actively
+empty the pipe" discipline, which is what makes two peers pushing large
+boundary frames at each other deadlock-free.
+
+Supervision mirrors the process backend (whose helpers it reuses): every
+rank keeps a control connection to its supervisor carrying heartbeat
+frames per boundary and the final outcome; the supervisor multiplexes
+those sockets with each rank's ``Process.sentinel``, so a SIGKILLed rank
+surfaces as :class:`~repro.core.errors.WorkerCrashError` within
+milliseconds and flat heartbeats at the deadline become a
+:class:`~repro.core.errors.DeadlockError`.  Mesh sockets carry
+``SO_KEEPALIVE`` so a vanished *machine* (no FIN, no RST) eventually
+dies too.  Peer-death propagates in-band: EOF from a peer that never
+sent its departure sentinel aborts the survivor's exchange.
+
+Three execution modes:
+
+* **one-shot** (plain ``TcpBackend()``): ``run()`` forks ``p`` fresh
+  ranks on localhost; programs need not be picklable (fork inherits
+  them).  The parent pre-binds the rendezvous listener so rank 0 inherits
+  it — no port race.
+* **persistent** (``TcpBackend.pool(p)`` / :class:`TcpMesh`): ranks and
+  mesh stay up across runs; programs are shipped by pickle, so they must
+  be module-level callables.  Unlike :class:`~repro.backends.processes.
+  BspPool` there is no fence protocol: an aborted boundary can leave a
+  half-flushed frame in a socket stream, so **any** failed run marks the
+  mesh dirty and the next run rebuilds it.
+* **SPMD** (:class:`TcpSpmdBackend`): one already-launched rank per
+  machine (``python -m repro.harness launch-tcp --rank r ...``); every
+  invocation runs the same program and all-gathers outcomes at the end.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import multiprocessing.connection as mp_connection
+import os
+import pickle
+import selectors
+import socket
+import time
+import traceback
+from collections import deque
+from typing import Any, Sequence
+
+from .. import faults
+from ..core.api import Bsp
+from ..core.errors import (
+    BspConfigError,
+    BspUsageError,
+    SynchronizationError,
+    WorkerCrashError,
+)
+from ..core.packets import Packet, PacketRuns
+from .base import Backend, BackendRun, Program
+from .exchange import peer_order
+from .frames import TAG_DEAD, TAG_LEFT, TAG_PKT, Frame
+from .processes import (
+    _Abort,
+    _CRASH_GRACE,
+    _CRASH_GRACE_ABNORMAL,
+    _join_escalating,
+    _raise_run_failure,
+    _timeout_failure,
+)
+from . import tcp_wire as wire
+from .tcp_launch import bind_listener, rendezvous_mesh, tune_mesh_socket
+
+_TOKEN_COUNTER = itertools.count(1)
+
+
+def _next_token() -> int:
+    """A launch token no stale mesh on this host will guess."""
+    return (os.getpid() << 20) ^ next(_TOKEN_COUNTER)
+
+
+class _PeerLost(BaseException):
+    """A mesh peer's stream ended without a departure sentinel."""
+
+    def __init__(self, peer: int):
+        super().__init__(f"peer {peer} connection lost mid-run")
+        self.peer = peer
+
+
+# ---------------------------------------------------------------------------
+# Rank side: the mesh channel (event loop + two-phase barrier)
+# ---------------------------------------------------------------------------
+
+
+class _MeshChannel:
+    """Superstep-boundary exchange over a socket mesh (one rank's view)."""
+
+    def __init__(self, rank: int, nprocs: int,
+                 socks: dict[int, socket.socket], run_id: int,
+                 ctrl: "_CtrlLink | None", *,
+                 decoders: dict[int, wire.FrameDecoder] | None = None):
+        self._rank = rank
+        self._nprocs = nprocs
+        self._socks = dict(socks)
+        self._run_id = run_id
+        self._ctrl = ctrl
+        self._peers = peer_order(nprocs, rank)
+        self._sel = selectors.DefaultSelector()
+        self._dec = decoders if decoders is not None else {
+            peer: wire.FrameDecoder() for peer in self._socks}
+        self._out: dict[int, deque] = {p: deque() for p in self._socks}
+        self._mask: dict[int, int] = {}
+        self._departed: set[int] = set()
+        self._eof: set[int] = set()
+        self._gathering = False
+        #: Per-step stashes; TCP per-link ordering bounds them to one
+        #: step of run-ahead, but the dicts handle the general case.
+        self._counts: dict[int, dict[int, int]] = {}
+        self._data: dict[int, dict[int, list[Packet]]] = {}
+        self._release: dict[int, set[int]] = {}
+        self._results: dict[int, Any] = {}
+        for peer, sock in self._socks.items():
+            sock.setblocking(False)
+            self._sel.register(sock, selectors.EVENT_READ, peer)
+            self._mask[peer] = selectors.EVENT_READ
+        if ctrl is not None:
+            ctrl.beat(-1)  # marks "the run actually started here"
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _enqueue(self, peer: int, chunks: Sequence[Any]) -> None:
+        q = self._out.get(peer)
+        if q is None:  # peer connection already closed
+            return
+        for chunk in chunks:
+            mv = memoryview(chunk)
+            if mv.format != "B" or mv.ndim != 1:
+                mv = mv.cast("B")
+            if mv.nbytes:
+                q.append(mv)
+        self._update_mask(peer)
+
+    def _update_mask(self, peer: int) -> None:
+        sock = self._socks.get(peer)
+        if sock is None:
+            return
+        want = 0 if peer in self._eof else selectors.EVENT_READ
+        if self._out.get(peer):
+            want |= selectors.EVENT_WRITE
+        cur = self._mask.get(peer, 0)
+        if want == cur:
+            return
+        if cur and want:
+            self._sel.modify(sock, want, peer)
+        elif want:
+            self._sel.register(sock, want, peer)
+        else:
+            self._sel.unregister(sock)
+        self._mask[peer] = want
+
+    def _close_peer(self, peer: int) -> None:
+        self._eof.add(peer)
+        sock = self._socks.pop(peer, None)
+        if sock is not None:
+            if self._mask.get(peer):
+                try:
+                    self._sel.unregister(sock)
+                except (KeyError, ValueError):
+                    pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        self._mask[peer] = 0
+        self._out.pop(peer, None)
+
+    def _pump(self, timeout: float = 0.05) -> None:
+        if not any(self._mask.values()):
+            return
+        for key, events in self._sel.select(timeout):
+            peer = key.data
+            if events & selectors.EVENT_WRITE:
+                self._flush(peer)
+            if events & selectors.EVENT_READ:
+                self._read(peer)
+
+    def _flush(self, peer: int) -> None:
+        q = self._out.get(peer)
+        sock = self._socks.get(peer)
+        if q is None or sock is None:
+            return
+        try:
+            while q:
+                sent = sock.send(q[0])
+                if sent < len(q[0]):
+                    q[0] = q[0][sent:]
+                    break
+                q.popleft()
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            self._close_peer(peer)
+            if peer not in self._departed:
+                raise _PeerLost(peer)
+            return
+        self._update_mask(peer)
+
+    def _read(self, peer: int) -> None:
+        sock = self._socks.get(peer)
+        if sock is None:
+            return
+        try:
+            data = sock.recv(1 << 16)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            data = b""
+        if not data:
+            self._close_peer(peer)
+            if peer not in self._departed:
+                raise _PeerLost(peer)
+            return
+        for frame in self._dec[peer].feed(data):
+            self._handle(frame)
+
+    def _handle(self, frame: Frame) -> None:
+        tag = frame.tag
+        if tag == TAG_LEFT:
+            if frame.run_id == self._run_id:
+                self._departed.add(frame.src)
+            return
+        if tag == TAG_DEAD:
+            if frame.run_id == self._run_id and not self._gathering:
+                raise _Abort()
+            return
+        if frame.run_id != self._run_id:
+            return  # debris from an earlier, failed run on this mesh
+        if tag == TAG_PKT:
+            self._data.setdefault(frame.step, {})[frame.src] = \
+                frame.packets(self._rank)
+        elif tag == wire.TAG_COUNTS:
+            self._counts.setdefault(frame.step, {})[frame.src] = \
+                pickle.loads(frame.meta)
+        elif tag == wire.TAG_RELEASE:
+            self._release.setdefault(frame.step, set()).add(frame.src)
+        elif tag == wire.TAG_RESULT:
+            self._results[frame.src] = wire.frame_object(frame)
+
+    # -- the ExchangeChannel contract ---------------------------------------
+
+    def exchange(self, pid: int, step: int,
+                 outbox: list[Packet]) -> PacketRuns:
+        if self._ctrl is not None:
+            self._ctrl.beat(step)
+        # Fault-injection hook — one attribute load + None test when off.
+        plan = faults._ACTIVE
+        if plan is not None:
+            plan.at_boundary(self._rank, step, self._nprocs, outbox)
+        buckets: dict[int, list[Packet]] = {}
+        for pkt in outbox:
+            buckets.setdefault(pkt.dst, []).append(pkt)
+        run_id, rank = self._run_id, self._rank
+
+        # Phase 1 sends, in the total-exchange pairing order (B.3).
+        for peer in self._peers:
+            if peer in self._departed:
+                continue
+            if plan is not None and plan.drops_frame(rank, step, peer):
+                continue  # lost message: the peer stalls in phase 1
+            bucket = buckets.get(peer)
+            # Encode the data frame *before* enqueueing anything for this
+            # peer: a pickling failure must not leave a counts frame
+            # announcing data that will never arrive.
+            data_chunks = wire.encode_packet_frame(run_id, step, rank,
+                                                   bucket) if bucket else None
+            self._enqueue(peer, wire.encode_frame(
+                wire.TAG_COUNTS, run_id, step, rank,
+                pickle.dumps(1 if bucket else 0)))
+            if data_chunks is not None:
+                self._enqueue(peer, data_chunks)
+
+        # Event loop: flush our frames while receiving theirs.
+        sent_release = False
+        while True:
+            counts = self._counts.get(step, {})
+            data = self._data.get(step, {})
+            live = [q for q in self._peers if q not in self._departed]
+            if not sent_release and all(
+                    q in counts and (counts[q] == 0 or q in data)
+                    for q in live):
+                for peer in live:
+                    self._enqueue(peer, wire.encode_frame(
+                        wire.TAG_RELEASE, run_id, step, rank))
+                sent_release = True
+            if sent_release:
+                rel = self._release.get(step, ())
+                if all(q in rel or q in self._departed
+                       for q in self._peers) \
+                        and not any(self._out.values()):
+                    break
+            self._pump()
+        self._counts.pop(step, None)
+        self._release.pop(step, None)
+        got = self._data.pop(step, {})
+        own = buckets.get(rank)
+        if own is not None:
+            got[rank] = own
+        # One run per source, each seq-sorted: canonical order once
+        # concatenated by src.
+        return PacketRuns(got.items())
+
+    def depart(self) -> None:
+        # Note: a peer being in ``_departed`` does NOT mean it stopped
+        # reading — in SPMD mode it still pumps this link through the
+        # result all-gather, and must see our LEFT before our EOF.  Only
+        # an already-dead link is skipped.
+        plan = faults._ACTIVE
+        for peer in self._peers:
+            if peer in self._eof:
+                continue
+            if plan is not None and plan.drops_depart(self._rank, peer):
+                continue
+            self._enqueue(peer, wire.encode_frame(
+                TAG_LEFT, self._run_id, 0, self._rank))
+        self._drain(timeout=30.0)
+
+    def die(self) -> None:
+        for peer in self._peers:
+            if peer in self._eof:
+                continue
+            self._enqueue(peer, wire.encode_frame(
+                TAG_DEAD, self._run_id, 0, self._rank))
+        self._drain(timeout=5.0)
+
+    def _drain(self, timeout: float) -> None:
+        """Best-effort flush of every outbound queue."""
+        deadline = time.monotonic() + timeout
+        while any(self._out.values()) and time.monotonic() < deadline:
+            try:
+                self._pump()
+            except (_Abort, _PeerLost):
+                break  # the run is over either way
+
+    # -- SPMD result all-gather ---------------------------------------------
+
+    def broadcast_result(self, outcome: tuple) -> None:
+        chunks = wire.encode_object_frame(
+            wire.TAG_RESULT, self._run_id, 0, self._rank, outcome)
+        for peer in self._peers:
+            if peer not in self._eof:
+                self._enqueue(peer, chunks)
+        self._drain(timeout=30.0)
+
+    def gather_results(self, nprocs: int, timeout: float) -> dict[int, Any]:
+        self._gathering = True  # a peer's TAG_DEAD precedes its outcome
+        deadline = time.monotonic() + timeout
+        want = [q for q in self._peers if q < nprocs]
+        while not all(q in self._results for q in want):
+            if time.monotonic() > deadline:
+                missing = [q for q in want if q not in self._results]
+                raise SynchronizationError(
+                    f"timed out gathering outcomes from ranks {missing}")
+            self._pump(0.1)
+        return dict(self._results)
+
+    def shutdown(self, *, close: bool = True) -> None:
+        for peer, mask in list(self._mask.items()):
+            if mask and peer in self._socks:
+                try:
+                    self._sel.unregister(self._socks[peer])
+                except (KeyError, ValueError):
+                    pass
+        self._mask.clear()
+        self._sel.close()
+        if close:
+            for sock in self._socks.values():
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+
+# ---------------------------------------------------------------------------
+# Rank side: control link + rank mains
+# ---------------------------------------------------------------------------
+
+
+class _CtrlLink:
+    """A rank's blocking control connection to its supervisor."""
+
+    def __init__(self, sock: socket.socket, rank: int):
+        self._sock = sock
+        self._rank = rank
+        self._dec = wire.FrameDecoder()
+
+    def hello(self) -> None:
+        wire.send_chunks(self._sock, wire.encode_object_frame(
+            wire.TAG_HELLO, 0, 0, self._rank, self._rank))
+
+    def beat(self, step: int) -> None:
+        try:
+            wire.send_chunks(self._sock, wire.encode_frame(
+                wire.TAG_HB, 0, step, self._rank))
+        except OSError:  # supervisor gone; the run is ending anyway
+            pass
+
+    def result(self, outcome: tuple) -> None:
+        # The stream guarantees this frame precedes our EOF, so the
+        # supervisor's "EOF before result" test is exactly "crashed".
+        wire.send_chunks(self._sock, wire.encode_object_frame(
+            wire.TAG_RESULT, outcome[1], 0, self._rank, outcome))
+
+    def recv(self) -> Frame | None:
+        return wire.recv_frame(self._sock, self._dec)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def _run_program(channel: _MeshChannel, rank: int, nprocs: int, run_id: int,
+                 program: Program, args: Sequence[Any],
+                 kwargs: dict[str, Any]) -> tuple:
+    """Run one program instance; returns the rank's outcome tuple."""
+    bsp = Bsp(rank, nprocs, channel)
+    try:
+        result = program(bsp, *args, **kwargs)
+        ledger = bsp._finish()
+        channel.depart()
+        return ("ok", run_id, rank, result, ledger)
+    except (_Abort, _PeerLost):
+        return ("aborted", run_id, rank, None, None)
+    except BaseException:  # noqa: BLE001 - reported to the supervisor
+        try:
+            channel.die()
+        except BaseException:  # pragma: no cover - mesh already gone
+            pass
+        return ("error", run_id, rank, traceback.format_exc(), None)
+
+
+def _connect_ctrl(parent_addr: tuple[str, int], rank: int) -> _CtrlLink:
+    sock = socket.create_connection(parent_addr, timeout=30.0)
+    tune_mesh_socket(sock)
+    ctrl = _CtrlLink(sock, rank)
+    ctrl.hello()
+    return ctrl
+
+
+def _oneshot_rank(rank: int, nprocs: int, coord_addr: tuple[str, int],
+                  parent_addr: tuple[str, int],
+                  coord_listener: socket.socket | None, token: int,
+                  program: Program, args: Sequence[Any],
+                  kwargs: dict[str, Any]) -> None:
+    """Forked rank main for a one-shot run (program inherited via fork)."""
+    if rank != 0 and coord_listener is not None:
+        coord_listener.close()  # inherited fd; only rank 0 may own it
+    ctrl = _connect_ctrl(parent_addr, rank)
+    socks = rendezvous_mesh(
+        rank, nprocs, coord_addr, token=token,
+        coordinator_listener=coord_listener if rank == 0 else None)
+    channel = _MeshChannel(rank, nprocs, socks, 0, ctrl)
+    try:
+        outcome = _run_program(channel, rank, nprocs, 0, program, args,
+                               kwargs)
+    finally:
+        channel.shutdown()
+    ctrl.result(outcome)
+    ctrl.close()
+
+
+def _pool_rank(rank: int, capacity: int, coord_addr: tuple[str, int],
+               parent_addr: tuple[str, int],
+               coord_listener: socket.socket | None, token: int) -> None:
+    """Persistent rank loop: execute runs shipped over the control link."""
+    if rank != 0 and coord_listener is not None:
+        coord_listener.close()
+    ctrl = _connect_ctrl(parent_addr, rank)
+    socks = rendezvous_mesh(
+        rank, capacity, coord_addr, token=token,
+        coordinator_listener=coord_listener if rank == 0 else None)
+    # Decoders persist across runs: they hold per-link stream state, and
+    # leftover frames of a failed run are dropped by run_id.
+    decoders = {peer: wire.FrameDecoder() for peer in socks}
+    while True:
+        frame = ctrl.recv()
+        if frame is None or frame.tag == wire.TAG_CLOSE:
+            break
+        if frame.tag != wire.TAG_RUN:
+            continue
+        run_id, nprocs, blob = wire.frame_object(frame)
+        try:
+            program, args, kwargs = pickle.loads(blob)
+        except BaseException:  # noqa: BLE001 - reported to the supervisor
+            ctrl.result(("error", run_id, rank, traceback.format_exc(),
+                         None))
+            continue
+        sub = {q: socks[q] for q in range(nprocs) if q != rank and q in socks}
+        channel = _MeshChannel(rank, nprocs, sub, run_id, ctrl,
+                               decoders=decoders)
+        outcome = _run_program(channel, rank, nprocs, run_id, program, args,
+                               kwargs)
+        channel.shutdown(close=False)
+        ctrl.result(outcome)
+    for sock in socks.values():
+        try:
+            sock.close()
+        except OSError:
+            pass
+    ctrl.close()
+
+
+# ---------------------------------------------------------------------------
+# Supervisor side: control-plane links and supervised collection
+# ---------------------------------------------------------------------------
+
+
+class _Link:
+    """Supervisor's view of one rank's control connection."""
+
+    __slots__ = ("sock", "dec", "eof", "rank")
+
+    def __init__(self, sock: socket.socket):
+        sock.setblocking(False)
+        self.sock = sock
+        self.dec = wire.FrameDecoder()
+        self.eof = False
+        self.rank: int | None = None  # known once TAG_HELLO arrives
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class _HbTable:
+    """Adapter giving ``_timeout_failure`` its ``heartbeat(pid)`` probe."""
+
+    def __init__(self, counts: list[int]):
+        self._counts = counts
+
+    def heartbeat(self, pid: int) -> int:
+        return self._counts[pid]
+
+
+def _drain_link(link: _Link, handle) -> None:
+    """Read everything currently available on a supervisor-side link."""
+    while not link.eof:
+        try:
+            data = link.sock.recv(1 << 16)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            data = b""
+        if not data:
+            link.eof = True
+            return
+        for frame in link.dec.feed(data):
+            handle(link, frame)
+
+
+def _collect_tcp(nprocs: int, run_id: int, procs: Sequence[Any],
+                 links: dict[int, _Link], timeout: float, *,
+                 listener: socket.socket | None = None,
+                 anon: list[_Link] | None = None) -> list[tuple | None]:
+    """Supervised gather of one outcome per rank over the control plane.
+
+    Mirrors ``processes._collect_outcomes``: multiplexes every control
+    socket, the hello listener (one-shot mode, where ranks are still
+    dialing in) and each missing rank's ``Process.sentinel`` through
+    :func:`multiprocessing.connection.wait`.  A control-socket EOF plus a
+    dead process and no buffered result is a :class:`WorkerCrashError`
+    within the crash-grace window; the expired deadline goes through the
+    shared :func:`~repro.backends.processes._timeout_failure` triage
+    (crash / deadlock / merely slow).
+    """
+    start = time.monotonic()
+    deadline = start + timeout
+    outcomes: list[tuple | None] = [None] * nprocs
+    got = 0
+    hb_counts = [0] * nprocs
+    hb_when = [start] * nprocs
+    hbtable = _HbTable(hb_counts)
+    anon = anon if anon is not None else []
+
+    def handle(link: _Link, frame: Frame) -> None:
+        nonlocal got
+        if frame.tag == wire.TAG_HELLO:
+            link.rank = wire.frame_object(frame)
+            links[link.rank] = link
+            if link in anon:
+                anon.remove(link)
+            return
+        rank = link.rank
+        if rank is None or rank >= nprocs:
+            return  # idle mesh rank of a smaller run
+        if frame.tag == wire.TAG_HB:
+            hb_counts[rank] += 1
+            hb_when[rank] = time.monotonic()
+        elif frame.tag == wire.TAG_RESULT:
+            outcome = wire.frame_object(frame)
+            tag, rid = outcome[0], outcome[1]
+            if rid != run_id:
+                return  # stray reply from an earlier, failed run
+            if outcomes[rank] is None:
+                got += 1
+            outcomes[rank] = (tag, outcome[3], outcome[4])
+
+    while got < nprocs:
+        now = time.monotonic()
+        remaining = deadline - now
+        if remaining <= 0:
+            raise _timeout_failure(nprocs, outcomes, procs, hbtable,
+                                   hb_when, timeout)
+        missing = [pid for pid in range(nprocs) if outcomes[pid] is None]
+        waitables: list[Any] = []
+        if listener is not None:
+            waitables.append(listener)
+        for link in list(links.values()) + list(anon):
+            if link.eof:
+                continue
+            if link.rank is not None and (link.rank >= nprocs
+                                          or outcomes[link.rank] is not None):
+                continue
+            waitables.append(link.sock)
+        waitables += [procs[pid].sentinel for pid in missing]
+        mp_connection.wait(waitables, timeout=min(remaining, 0.25))
+        if listener is not None:
+            while True:
+                try:
+                    sock, _ = listener.accept()
+                except (BlockingIOError, socket.timeout, OSError):
+                    break
+                anon.append(_Link(sock))
+        for link in list(anon) + list(links.values()):
+            _drain_link(link, handle)
+        crashed = [pid for pid in missing
+                   if outcomes[pid] is None and not procs[pid].is_alive()]
+        if not crashed:
+            continue
+        for pid in crashed:
+            procs[pid].join(timeout=1.0)  # reap, so exitcode is final
+        # The victim's result may still be in its socket buffer (an exit
+        # right after reporting): TCP keeps buffered bytes readable after
+        # death, so one short grace drain before declaring a crash.
+        window = _CRASH_GRACE if any(procs[pid].exitcode == 0
+                                     for pid in crashed) \
+            else _CRASH_GRACE_ABNORMAL
+        grace = time.monotonic() + window
+        while any(outcomes[pid] is None for pid in crashed):
+            for pid in crashed:
+                link = links.get(pid)
+                if link is not None:
+                    _drain_link(link, handle)
+            if time.monotonic() >= grace:
+                break
+            time.sleep(0.005)
+        lost = [pid for pid in crashed if outcomes[pid] is None]
+        if lost:
+            proc = procs[lost[0]]
+            proc.join(timeout=1.0)
+            raise WorkerCrashError(lost[0], proc.exitcode, os_pid=proc.pid)
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# The backends
+# ---------------------------------------------------------------------------
+
+
+class TcpMesh:
+    """A persistent local TCP mesh: ``p`` rank processes alive across runs.
+
+    The socket analogue of :class:`~repro.backends.processes.BspPool`:
+    rendezvous + full-mesh connect cost tens of milliseconds, so a
+    harness sweep keeps the ranks and ships ``(program, args)`` per run
+    by pickle (module-level callables only).  Runs may use any
+    ``nprocs <= capacity``; idle ranks sit out.
+
+    Failure policy differs from ``BspPool``: a byte stream cannot be
+    fenced — an aborted boundary may leave a half-flushed frame that
+    desynchronizes the receiver's decoder forever — so **any** failed
+    run (error, crash, deadlock) marks the mesh dirty and the next
+    ``run()`` rebuilds ranks and sockets from scratch.
+    """
+
+    def __init__(self, nprocs: int, *, host: str = "127.0.0.1",
+                 join_timeout: float = 120.0):
+        Backend.check_nprocs(nprocs)
+        try:
+            self._ctx = mp.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise BspConfigError(
+                "the tcp backend requires a fork-capable platform") from exc
+        self._capacity = nprocs
+        self._host = host
+        self._join_timeout = join_timeout
+        self._run_id = 0
+        self._closed = False
+        self._dirty = False
+        self._links: dict[int, _Link] = {}
+        self._procs: list[Any] = []
+        self._build()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _build(self) -> None:
+        token = _next_token()
+        coord_listener = bind_listener(self._host)
+        parent_listener = bind_listener(self._host)
+        coord_addr = coord_listener.getsockname()
+        parent_addr = parent_listener.getsockname()
+        self._procs = [
+            self._ctx.Process(
+                target=_pool_rank,
+                args=(rank, self._capacity, coord_addr, parent_addr,
+                      coord_listener, token),
+                name=f"bsp-tcp-pool-{rank}",
+                daemon=True,
+            )
+            for rank in range(self._capacity)
+        ]
+        for proc in self._procs:
+            proc.start()
+        coord_listener.close()  # rank 0 inherited it; parent's copy is done
+        self._links = {}
+        deadline = time.monotonic() + 30.0
+        parent_listener.settimeout(0.2)
+        try:
+            while len(self._links) < self._capacity:
+                if time.monotonic() > deadline:
+                    raise SynchronizationError(
+                        "tcp mesh build timed out waiting for rank "
+                        "control connections")
+                dead = [r for r, p in enumerate(self._procs)
+                        if not p.is_alive()]
+                if dead:
+                    proc = self._procs[dead[0]]
+                    proc.join(timeout=1.0)
+                    raise WorkerCrashError(dead[0], proc.exitcode,
+                                           os_pid=proc.pid)
+                try:
+                    sock, _ = parent_listener.accept()
+                except socket.timeout:
+                    continue
+                link = _Link(sock)
+                hello_deadline = time.monotonic() + 5.0
+                while link.rank is None and not link.eof \
+                        and time.monotonic() < hello_deadline:
+                    _drain_link(link, self._note_hello)
+                    if link.rank is None:
+                        time.sleep(0.002)
+                if link.rank is None or not 0 <= link.rank < self._capacity:
+                    link.close()
+                    continue
+                self._links[link.rank] = link
+        finally:
+            parent_listener.close()
+        self._dirty = False
+
+    @staticmethod
+    def _note_hello(link: _Link, frame: Frame) -> None:
+        if frame.tag == wire.TAG_HELLO:
+            link.rank = wire.frame_object(frame)
+
+    def _teardown(self, *, graceful: bool) -> None:
+        if graceful:
+            for link in self._links.values():
+                try:
+                    wire.send_chunks(link.sock, wire.encode_frame(
+                        wire.TAG_CLOSE, 0, 0, -1))
+                except OSError:
+                    pass
+        _join_escalating(self._procs, grace=5.0 if graceful else 0.5)
+        for link in self._links.values():
+            link.close()
+        self._links = {}
+
+    def close(self) -> None:
+        """Shut the ranks down; the mesh is unusable afterwards."""
+        if not self._closed:
+            self._closed = True
+            self._teardown(graceful=True)
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def __enter__(self) -> "TcpMesh":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum ``nprocs`` a run on this mesh may use."""
+        return self._capacity
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, program: Program, nprocs: int | None = None,
+            args: Sequence[Any] = (),
+            kwargs: dict[str, Any] | None = None) -> BackendRun:
+        if self._closed:
+            raise BspConfigError("TcpMesh is closed")
+        nprocs = self._capacity if nprocs is None else nprocs
+        Backend.check_nprocs(nprocs)
+        if nprocs > self._capacity:
+            raise BspConfigError(
+                f"run of {nprocs} processors on a mesh of {self._capacity}")
+        try:
+            blob = pickle.dumps((program, args, kwargs or {}))
+        except Exception as exc:
+            raise BspUsageError(
+                "a persistent tcp mesh ships the program by pickle; use a "
+                "module-level function (not a lambda/closure) or a fresh "
+                "TcpBackend(), whose fork inherits the program") from exc
+        if self._dirty:
+            self._teardown(graceful=False)
+            self._build()
+        self._run_id += 1
+        run_id = self._run_id
+        t0 = time.perf_counter()
+        payload = (run_id, nprocs, blob)
+        for rank in range(nprocs):
+            self._send_ctrl(self._links[rank], wire.encode_object_frame(
+                wire.TAG_RUN, run_id, 0, -1, payload))
+        try:
+            outcomes = _collect_tcp(nprocs, run_id, self._procs[:nprocs],
+                                    self._links, self._join_timeout)
+        except (WorkerCrashError, SynchronizationError):
+            self._dirty = True
+            raise
+        wall = time.perf_counter() - t0
+        if any(o is None or o[0] != "ok" for o in outcomes):
+            self._dirty = True  # streams may hold half-flushed frames
+            _raise_run_failure(outcomes)
+        results = [o[1] for o in outcomes]  # type: ignore[index]
+        ledgers = [o[2] for o in outcomes]  # type: ignore[index]
+        return BackendRun(results=results, ledgers=ledgers, wall_seconds=wall)
+
+    @staticmethod
+    def _send_ctrl(link: _Link, chunks: Sequence[Any]) -> None:
+        # The supervisor side keeps sockets non-blocking for collection;
+        # control sends (a pickled program can be large) need blocking
+        # semantics for the moment of the write.
+        link.sock.setblocking(True)
+        try:
+            wire.send_chunks(link.sock, chunks)
+        finally:
+            link.sock.setblocking(False)
+
+
+class TcpBackend(Backend):
+    """One process per virtual processor over a real TCP mesh (B.3)."""
+
+    name = "tcp"
+
+    def __init__(self, *, join_timeout: float = 120.0,
+                 host: str = "127.0.0.1", mesh: TcpMesh | None = None):
+        self._join_timeout = join_timeout
+        self._host = host
+        self._mesh = mesh
+        self._owns_mesh = False
+        try:
+            self._ctx = mp.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX platforms
+            raise BspConfigError(
+                "the tcp backend requires a fork-capable platform") from exc
+
+    @classmethod
+    def pool(cls, nprocs: int, *, host: str = "127.0.0.1",
+             join_timeout: float = 120.0) -> "TcpBackend":
+        """A backend bound to its own persistent :class:`TcpMesh`.
+
+        Usable as a context manager::
+
+            with TcpBackend.pool(4) as backend:
+                for config in sweep:
+                    backend.run(program, 4, args=config)
+
+        Ranks rendezvous and mesh once; every ``run()`` reuses them.
+        Programs are shipped by pickle (module-level callables only).
+        """
+        backend = cls(join_timeout=join_timeout, host=host,
+                      mesh=TcpMesh(nprocs, host=host,
+                                   join_timeout=join_timeout))
+        backend._owns_mesh = True
+        return backend
+
+    def __enter__(self) -> "TcpBackend":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the owned mesh, if any (no-op for one-shot backends)."""
+        if self._owns_mesh and self._mesh is not None:
+            self._mesh.close()
+
+    def run(
+        self,
+        program: Program,
+        nprocs: int,
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> BackendRun:
+        self.check_nprocs(nprocs)
+        kwargs = kwargs or {}
+        if self._mesh is not None:
+            return self._mesh.run(program, nprocs, args=args, kwargs=kwargs)
+        ctx = self._ctx
+        token = _next_token()
+        # Pre-bind the rendezvous listener in the parent: rank 0 inherits
+        # the bound socket, so rank 1's first dial cannot race the bind.
+        coord_listener = bind_listener(self._host)
+        parent_listener = bind_listener(self._host)
+        coord_addr = coord_listener.getsockname()
+        parent_addr = parent_listener.getsockname()
+        parent_listener.setblocking(False)
+        procs = [
+            ctx.Process(
+                target=_oneshot_rank,
+                args=(rank, nprocs, coord_addr, parent_addr, coord_listener,
+                      token, program, args, kwargs),
+                name=f"bsp-tcp-{rank}",
+                daemon=True,
+            )
+            for rank in range(nprocs)
+        ]
+        t0 = time.perf_counter()
+        for proc in procs:
+            proc.start()
+        coord_listener.close()
+        links: dict[int, _Link] = {}
+        anon: list[_Link] = []
+        try:
+            outcomes = _collect_tcp(nprocs, 0, procs, links,
+                                    self._join_timeout,
+                                    listener=parent_listener, anon=anon)
+        finally:
+            # Near-instant after a clean run (ranks already exited); after
+            # a failure the grace only delays SIGTERM to stuck ranks.
+            _join_escalating(procs, grace=2.0)
+            parent_listener.close()
+            for link in list(links.values()) + anon:
+                link.close()
+        wall = time.perf_counter() - t0
+        _raise_run_failure(outcomes)
+        results = [o[1] for o in outcomes]  # type: ignore[index]
+        ledgers = [o[2] for o in outcomes]  # type: ignore[index]
+        return BackendRun(results=results, ledgers=ledgers, wall_seconds=wall)
+
+
+class TcpSpmdBackend(Backend):
+    """One *already-launched* rank of a (possibly multi-host) mesh.
+
+    Every participating invocation — one per host, started by
+    ``python -m repro.harness launch-tcp --rank r --coordinator h:p`` —
+    constructs this backend with its own rank and the shared coordinator
+    address, then calls ``bsp_run`` with the *same* program and
+    arguments.  Each rank executes its share over the mesh; outcomes are
+    all-gathered at the end, so every rank returns the complete
+    :class:`BackendRun` (rank 0's invocation typically reports).
+
+    Supervision here is in-band only (there is no common parent): a
+    vanished peer surfaces via EOF/``SO_KEEPALIVE`` as an aborted run,
+    not as an attributed :class:`WorkerCrashError`.  A failed run marks
+    the mesh broken — relaunch the ranks rather than reusing it.
+    """
+
+    name = "tcp-spmd"
+
+    def __init__(self, rank: int, nprocs: int,
+                 coordinator: tuple[str, int], *, token: int = 0,
+                 bind_host: str | None = None, timeout: float = 60.0):
+        Backend.check_nprocs(nprocs)
+        if not 0 <= rank < nprocs:
+            raise BspConfigError(f"rank {rank} out of range({nprocs})")
+        self._rank = rank
+        self._nprocs = nprocs
+        self._timeout = timeout
+        self._socks = rendezvous_mesh(rank, nprocs, coordinator,
+                                      token=token, bind_host=bind_host,
+                                      timeout=timeout)
+        self._decoders = {p: wire.FrameDecoder() for p in self._socks}
+        self._run_id = 0
+        self._dirty = False
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    def run(
+        self,
+        program: Program,
+        nprocs: int,
+        args: Sequence[Any] = (),
+        kwargs: dict[str, Any] | None = None,
+    ) -> BackendRun:
+        if nprocs != self._nprocs:
+            raise BspConfigError(
+                f"this mesh has {self._nprocs} ranks; cannot run "
+                f"nprocs={nprocs}")
+        if self._dirty:
+            raise BspConfigError(
+                "mesh streams may be corrupt after a failed run; relaunch "
+                "the ranks")
+        self._run_id += 1
+        run_id = self._run_id
+        channel = _MeshChannel(self._rank, nprocs, dict(self._socks),
+                               run_id, None, decoders=self._decoders)
+        t0 = time.perf_counter()
+        try:
+            outcome = _run_program(channel, self._rank, nprocs, run_id,
+                                   program, args, kwargs or {})
+            channel.broadcast_result(outcome)
+            try:
+                gathered = channel.gather_results(nprocs, self._timeout)
+            except (_Abort, _PeerLost) as exc:
+                self._dirty = True
+                raise SynchronizationError(
+                    f"a peer vanished while gathering outcomes: {exc!r}"
+                ) from None
+        finally:
+            channel.shutdown(close=False)
+        wall = time.perf_counter() - t0
+        gathered[self._rank] = outcome
+        outcomes: list[tuple | None] = [None] * nprocs
+        for r, oc in gathered.items():
+            if 0 <= r < nprocs:
+                outcomes[r] = (oc[0], oc[3], oc[4])
+        if any(o is None or o[0] != "ok" for o in outcomes):
+            self._dirty = True
+            _raise_run_failure(outcomes)
+        results = [o[1] for o in outcomes]  # type: ignore[index]
+        ledgers = [o[2] for o in outcomes]  # type: ignore[index]
+        return BackendRun(results=results, ledgers=ledgers, wall_seconds=wall)
+
+    def close(self) -> None:
+        for sock in self._socks.values():
+            try:
+                sock.close()
+            except OSError:
+                pass

@@ -1,0 +1,208 @@
+"""Rendezvous and mesh construction for the TCP backend (Appendix B.3).
+
+The paper's PC-LAN version connects ``p`` processes — one per machine —
+in a full TCP mesh before the program starts.  This module builds that
+mesh.  Rank 0 is the *coordinator*: every other rank dials its well-known
+address, announces the ``(host, port)`` of its own freshly bound listener,
+and receives the complete peer table back.  The rendezvous connection
+itself is kept as the mesh link ``0 <-> r`` (no reconnect), and the
+remaining links follow one fixed rule — for every pair ``i < j``, rank
+``j`` connects to rank ``i``'s listener — so each socket exists exactly
+once and the handshake cannot deadlock.
+
+Every handshake message carries a *token* chosen by whoever launched the
+mesh; a mismatch means a stray client (or a stale mesh from an earlier
+launch) dialed the port, and the connection is refused rather than
+silently woven into the wrong machine.
+
+Used two ways:
+
+* :class:`~repro.backends.tcp.TcpBackend` forks ``p`` local ranks; the
+  parent pre-binds the coordinator listener and rank 0 inherits it, so
+  there is no window in which rank 1 can dial a port nobody owns.
+* ``python -m repro.harness launch-tcp --rank r --coordinator host:port``
+  starts one rank per invocation on real, separate machines; only the
+  coordinator address must be known in advance.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from ..core.errors import BspConfigError, SynchronizationError
+from .tcp_wire import recv_msg, send_msg
+
+#: listen() backlog; must cover every peer dialing at once.
+_BACKLOG = 64
+
+#: Message kinds of the (tiny, pickled) rendezvous handshake.
+_HELLO = "hello"    # rank r -> coordinator: here is my listener address
+_PEERS = "peers"    # coordinator -> rank r: the full rank -> address table
+_LINK = "link"      # rank j -> rank i (i < j): mesh link handshake
+
+
+def bind_listener(host: str, port: int = 0) -> socket.socket:
+    """A listening TCP socket on ``(host, port)`` (``port=0``: ephemeral)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen(_BACKLOG)
+    return sock
+
+
+def tune_mesh_socket(sock: socket.socket) -> None:
+    """Apply the mesh socket options (B.3's latency/liveness knobs).
+
+    ``TCP_NODELAY`` because boundary frames are latency-critical (Nagle
+    would serialize the counts/release handshake); ``SO_KEEPALIVE`` so a
+    peer whose *machine* vanishes — no FIN, no RST — eventually surfaces
+    as a dead socket instead of an eternal stall.
+    """
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+
+
+def connect_retry(addr: tuple[str, int], deadline: float) -> socket.socket:
+    """Dial ``addr``, retrying refusals until ``deadline`` (monotonic).
+
+    Ranks come up in arbitrary order, so the first dial frequently races
+    the target's ``bind``; refusals inside the window are expected, not
+    errors.
+    """
+    delay = 0.01
+    while True:
+        try:
+            sock = socket.create_connection(addr, timeout=max(
+                0.1, deadline - time.monotonic()))
+            tune_mesh_socket(sock)
+            return sock
+        except OSError as exc:
+            if time.monotonic() + delay >= deadline:
+                raise SynchronizationError(
+                    f"could not connect to rank listener at {addr}: {exc}"
+                ) from exc
+            time.sleep(delay)
+            delay = min(delay * 2, 0.25)
+
+
+def _accept_handshake(listener: socket.socket, kind: str, token: int,
+                      deadline: float) -> tuple[socket.socket, tuple]:
+    """Accept one connection whose first message is a valid ``kind``.
+
+    Connections carrying the wrong token or message kind (port scanners,
+    stale launches) are closed and the accept loop continues.
+    """
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise SynchronizationError(
+                f"rendezvous timed out waiting for a {kind!r} connection "
+                f"on {listener.getsockname()}")
+        listener.settimeout(remaining)
+        try:
+            sock, _ = listener.accept()
+        except socket.timeout:
+            continue
+        try:
+            msg = recv_msg(sock)
+        except Exception:
+            sock.close()
+            continue
+        if not (isinstance(msg, tuple) and len(msg) >= 2
+                and msg[0] == kind and msg[1] == token):
+            sock.close()
+            continue
+        tune_mesh_socket(sock)
+        return sock, msg
+
+
+def rendezvous_mesh(
+    rank: int,
+    nprocs: int,
+    coordinator: tuple[str, int],
+    *,
+    token: int = 0,
+    bind_host: str | None = None,
+    coordinator_listener: socket.socket | None = None,
+    timeout: float = 30.0,
+) -> dict[int, socket.socket]:
+    """Build this rank's side of the full mesh; returns ``peer -> socket``.
+
+    ``coordinator`` is rank 0's well-known listener address.  Rank 0 may
+    pass an already-bound ``coordinator_listener`` (the fork launcher
+    pre-binds it in the parent); otherwise rank 0 binds it here.
+    ``bind_host`` is the address non-coordinator listeners bind — this
+    rank's own reachable interface on multi-host runs, defaulting to the
+    coordinator's host (right whenever everything is one machine).
+    """
+    if not 0 <= rank < nprocs:
+        raise BspConfigError(f"rank {rank} out of range({nprocs})")
+    deadline = time.monotonic() + timeout
+    mesh: dict[int, socket.socket] = {}
+    if nprocs == 1:
+        return mesh
+
+    if rank == 0:
+        listener = coordinator_listener or bind_listener(*coordinator)
+        try:
+            table: dict[int, tuple[str, int]] = {}
+            # Phase 1: collect every rank's hello; the connection doubles
+            # as the 0 <-> r mesh link.
+            while len(mesh) < nprocs - 1:
+                sock, msg = _accept_handshake(listener, _HELLO, token,
+                                              deadline)
+                _, _, peer, addr = msg
+                if peer in mesh or not 0 < peer < nprocs:
+                    sock.close()
+                    continue
+                mesh[peer] = sock
+                table[peer] = addr
+            # Phase 2: broadcast the complete table.
+            for peer, sock in mesh.items():
+                send_msg(sock, (_PEERS, token, table))
+        finally:
+            if coordinator_listener is None:
+                listener.close()
+        return mesh
+
+    # Ranks 1..p-1: own listener for higher ranks, hello to rank 0.
+    listener = bind_listener(bind_host if bind_host is not None
+                             else coordinator[0])
+    try:
+        coord = connect_retry(coordinator, deadline)
+        mesh[0] = coord
+        send_msg(coord, (_HELLO, token, rank, listener.getsockname()))
+        reply = recv_msg(coord)
+        if not (isinstance(reply, tuple) and reply[0] == _PEERS
+                and reply[1] == token):
+            raise SynchronizationError(
+                f"rank {rank}: malformed peer table from coordinator")
+        table = reply[2]
+        # Pair rule: for i < j, j dials i.  Dial the lower ranks...
+        for peer in range(1, rank):
+            sock = connect_retry(tuple(table[peer]), deadline)
+            send_msg(sock, (_LINK, token, rank))
+            mesh[peer] = sock
+        # ...and accept the higher ones.
+        while len(mesh) < nprocs - 1:
+            sock, msg = _accept_handshake(listener, _LINK, token, deadline)
+            peer = msg[2]
+            if peer in mesh or not rank < peer < nprocs:
+                sock.close()
+                continue
+            mesh[peer] = sock
+    finally:
+        listener.close()
+    return mesh
+
+
+def parse_hostport(spec: str, default_port: int) -> tuple[str, int]:
+    """``"host[:port]"`` -> ``(host, port)``."""
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        return spec, default_port
+    try:
+        return host, int(port)
+    except ValueError as exc:
+        raise BspConfigError(f"bad host:port spec {spec!r}") from exc

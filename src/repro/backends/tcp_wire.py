@@ -1,0 +1,262 @@
+"""Length-prefixed binary wire protocol for the TCP backend (Appendix B.3).
+
+The paper's third library version runs "on a network of PCs ... using
+TCP"; its transport moves the same combined boundary frames as the other
+versions, just over a byte stream instead of pipes or shared buffers.
+This module defines that stream format and nothing else — no sockets, no
+event loop — so it is unit-testable against partial reads, frames split
+at arbitrary byte boundaries, and corrupt or oversized headers.
+
+One wire frame is::
+
+    u32 header_len | header (pickle) | buffer bytes ...
+
+where ``header`` is the pickled tuple ``(tag, run_id, step, src, lens,
+meta)``:
+
+* ``tag`` — frame kind (:data:`~repro.backends.frames.TAG_PKT` and its
+  control siblings, plus the TCP-only tags below);
+* ``run_id`` / ``step`` / ``src`` — the same addressing the process
+  backend's frames carry, so stale frames from an aborted run are
+  filtered identically;
+* ``lens`` — sizes of the out-of-band buffers that follow the header,
+  in order; the payload bytes are **not** inside the pickle stream;
+* ``meta`` — the pickle-5 metadata blob produced by
+  :func:`repro.backends.frames.encode_packets` (for packet frames) or a
+  small pickled object (for control frames).
+
+Packet frames therefore reuse the exact per-destination combining and
+out-of-band buffer layout of :mod:`repro.backends.frames`: the ``seq``
+and ``h`` arrays ride ``meta`` byte-for-byte, which is what keeps the
+``H`` accounting bit-identical to the other backends.
+
+The decoder (:class:`FrameDecoder`) is incremental: feed it whatever
+``recv`` returned and it yields every frame completed so far, keeping
+partial bytes buffered.  It rejects frames whose header or total buffer
+size exceeds a bound (:class:`~repro.core.errors.PacketError`) so a
+corrupt or hostile length prefix cannot make a rank allocate unbounded
+memory.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Iterable, Sequence
+
+from ..core.errors import PacketError
+from ..core.packets import Packet
+from .frames import Frame, encode_packets
+
+#: TCP-only frame tags, disjoint from the pipe fabric's 0..3 range
+#: (TAG_PKT/TAG_LEFT/TAG_DEAD/TAG_FENCE in :mod:`repro.backends.frames`).
+TAG_COUNTS = 4      #: barrier phase 1 — "n data frames follow for step s"
+TAG_RELEASE = 5     #: barrier phase 2 — "I have received everything of step s"
+TAG_HB = 6          #: heartbeat, rank -> supervisor
+TAG_HELLO = 7       #: control-channel registration, rank -> supervisor
+TAG_RESULT = 8      #: final outcome tuple, rank -> supervisor / rank 0
+TAG_RUN = 9         #: persistent mode — supervisor ships one run to a rank
+TAG_CLOSE = 10      #: persistent mode — supervisor shuts a rank down
+
+#: u32 little-endian length prefix of the pickled header.
+_PREFIX = struct.Struct("<I")
+
+#: Ceiling on one pickled header (the header carries ``meta``, which for
+#: packet frames holds every payload's pickle metadata — generous, but a
+#: corrupt prefix claiming gigabytes must die here, not in bytearray()).
+MAX_HEADER_BYTES = 64 << 20
+
+#: Ceiling on the out-of-band buffer bytes of a single frame.
+DEFAULT_MAX_FRAME_BYTES = 1 << 30
+
+
+def encode_frame(tag: int, run_id: int, step: int, src: int,
+                 meta: bytes | None = None,
+                 buffers: Sequence[Any] = ()) -> list[Any]:
+    """Encode one frame as a list of wire chunks (no payload copies).
+
+    The first chunk is ``prefix + header``; each out-of-band buffer
+    follows as its own chunk (a memoryview straight over the source
+    object), so callers can hand the list to a vectored/queued send
+    without ever concatenating payload bytes.
+    """
+    lens = tuple(memoryview(b).nbytes for b in buffers)
+    header = pickle.dumps((tag, run_id, step, src, lens, meta),
+                          protocol=pickle.HIGHEST_PROTOCOL)
+    chunks: list[Any] = [_PREFIX.pack(len(header)) + header]
+    chunks.extend(buffers)
+    return chunks
+
+
+def encode_packet_frame(run_id: int, step: int, src: int,
+                        packets: Sequence[Packet]) -> list[Any]:
+    """One combined boundary frame for a per-destination packet bucket.
+
+    Reuses :func:`repro.backends.frames.encode_packets`, so the combined
+    layout (and therefore the ``seq``/``h`` accounting) is identical to
+    the process backend's slab/pipe frames.
+    """
+    from .frames import TAG_PKT
+
+    meta, buffers = encode_packets(packets)
+    return encode_frame(TAG_PKT, run_id, step, src, meta, buffers)
+
+
+def encode_object_frame(tag: int, run_id: int, step: int, src: int,
+                        obj: Any) -> list[Any]:
+    """A control frame carrying an arbitrary picklable object.
+
+    Uses protocol 5 with out-of-band buffers so a large result (a NumPy
+    array returned by a program, a ledger) crosses the socket without an
+    extra copy into the pickle stream.
+    """
+    pbufs: list[pickle.PickleBuffer] = []
+    meta = pickle.dumps(obj, protocol=5, buffer_callback=pbufs.append)
+    buffers = []
+    for pb in pbufs:
+        try:
+            buffers.append(pb.raw())
+        except BufferError:  # non-contiguous exporter: fall back to a copy
+            buffers.append(memoryview(memoryview(pb).tobytes()))
+    return encode_frame(tag, run_id, step, src, meta, buffers)
+
+
+def frame_object(frame: Frame) -> Any:
+    """Decode the object of a frame built by :func:`encode_object_frame`."""
+    assert frame.meta is not None
+    return pickle.loads(frame.meta, buffers=frame.buffers)
+
+
+class FrameDecoder:
+    """Incremental frame decoder over a TCP byte stream.
+
+    Feed it arbitrary chunks (whatever ``recv`` returned); it yields the
+    frames completed so far and buffers the remainder.  Partial reads,
+    multiple frames per chunk, and frames split anywhere — including in
+    the middle of the 4-byte length prefix — are all handled.
+    """
+
+    __slots__ = ("_buf", "_header", "_total", "_max_frame", "_ready")
+
+    def __init__(self, *, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        self._buf = bytearray()
+        #: Parsed header awaiting its buffer bytes, or None.
+        self._header: tuple | None = None
+        self._total = 0  # buffer bytes the pending header announced
+        self._max_frame = max_frame_bytes
+        #: Completed frames :func:`recv_frame` has not yet handed out.
+        self._ready: list[Frame] = []
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Consume ``data``; return every frame it completed."""
+        self._buf += data
+        frames: list[Frame] = []
+        while True:
+            frame = self._next()
+            if frame is None:
+                return frames
+            frames.append(frame)
+
+    def _next(self) -> Frame | None:
+        buf = self._buf
+        if self._header is None:
+            if len(buf) < _PREFIX.size:
+                return None
+            (hlen,) = _PREFIX.unpack_from(buf)
+            if not 0 < hlen <= MAX_HEADER_BYTES:
+                raise PacketError(
+                    f"wire frame header of {hlen} bytes exceeds the "
+                    f"{MAX_HEADER_BYTES}-byte bound (corrupt stream?)")
+            if len(buf) < _PREFIX.size + hlen:
+                return None
+            try:
+                header = pickle.loads(bytes(buf[_PREFIX.size:
+                                              _PREFIX.size + hlen]))
+                tag, run_id, step, src, lens, meta = header
+            except Exception as exc:
+                raise PacketError(
+                    f"undecodable wire frame header: {exc}") from exc
+            total = sum(lens)
+            if total > self._max_frame:
+                raise PacketError(
+                    f"wire frame of {total} payload bytes exceeds the "
+                    f"{self._max_frame}-byte bound; raise max_frame_bytes "
+                    "or split the payload")
+            del buf[:_PREFIX.size + hlen]
+            self._header, self._total = header, total
+        if len(buf) < self._total:
+            return None
+        tag, run_id, step, src, lens, meta = self._header
+        buffers: list[bytearray] = []
+        off = 0
+        for n in lens:
+            buffers.append(bytearray(buf[off:off + n]))
+            off += n
+        del buf[:self._total]
+        self._header, self._total = None, 0
+        return Frame(tag, run_id, step, src, meta, buffers)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet part of a completed frame."""
+        return len(self._buf)
+
+    @property
+    def mid_frame(self) -> bool:
+        """True while a frame is partially received (stream not at a
+        frame boundary) — used to detect truncation on EOF."""
+        return self._header is not None or len(self._buf) > 0
+
+
+# ---------------------------------------------------------------------------
+# Blocking helpers (rendezvous and control plane; the data plane uses the
+# non-blocking event loop in tcp.py)
+# ---------------------------------------------------------------------------
+
+
+def send_chunks(sock, chunks: Iterable[Any]) -> None:
+    """Write every chunk to a *blocking* socket."""
+    for chunk in chunks:
+        sock.sendall(chunk)
+
+
+def recv_frame(sock, decoder: FrameDecoder, *, bufsize: int = 1 << 16
+               ) -> Frame | None:
+    """Block until the next frame on ``sock``; ``None`` on clean EOF.
+
+    Frames already completed inside ``decoder`` are returned first, so a
+    single ``recv`` that delivered several frames never loses any.
+    """
+    pending = decoder._ready
+    while not pending:
+        data = sock.recv(bufsize)
+        if not data:
+            return None
+        pending.extend(decoder.feed(data))
+    return pending.pop(0)
+
+
+def send_msg(sock, obj: Any) -> None:
+    """Length-prefixed pickle for the rendezvous handshake (tiny messages)."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_PREFIX.pack(len(payload)) + payload)
+
+
+def recv_msg(sock) -> Any:
+    """Blocking inverse of :func:`send_msg`."""
+    prefix = _recv_exact(sock, _PREFIX.size)
+    (length,) = _PREFIX.unpack(prefix)
+    if length > MAX_HEADER_BYTES:
+        raise PacketError(f"rendezvous message of {length} bytes rejected")
+    return pickle.loads(_recv_exact(sock, length))
+
+
+def _recv_exact(sock, nbytes: int) -> bytes:
+    parts = bytearray()
+    while len(parts) < nbytes:
+        chunk = sock.recv(nbytes - len(parts))
+        if not chunk:
+            raise PacketError(
+                "connection closed mid-message during rendezvous")
+        parts += chunk
+    return bytes(parts)

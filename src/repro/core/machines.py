@@ -176,14 +176,34 @@ def extrapolated(
     )
 
 
+#: Runtime-registered profiles (calibrated backends, user machines); looked
+#: up by :func:`get_machine` alongside the paper's Figure 2.1 table.
+MACHINES: dict[str, MachineProfile] = {}
+
+
+def register_machine(profile: MachineProfile) -> MachineProfile:
+    """Make ``profile`` resolvable by :func:`get_machine` under its name.
+
+    Calibration helpers (e.g. :func:`tcp_localhost_profile`) register what
+    they measure so benchmark scripts can refer to machines uniformly by
+    name, whether the numbers came from Figure 2.1 or from this host.
+    """
+    MACHINES[profile.name] = profile
+    return profile
+
+
 def get_machine(name: str) -> MachineProfile:
-    """Look up a paper machine by name (case-insensitive)."""
-    for key, profile in PAPER_MACHINES.items():
-        if key.lower() == name.lower():
-            return profile
-    raise CostModelError(
-        f"unknown machine {name!r}; known: {sorted(PAPER_MACHINES)}"
-    )
+    """Look up a machine by name (case-insensitive).
+
+    Searches the paper's Figure 2.1 machines first, then anything added
+    with :func:`register_machine`.
+    """
+    for table in (PAPER_MACHINES, MACHINES):
+        for key, profile in table.items():
+            if key.lower() == name.lower():
+                return profile
+    known = sorted(set(PAPER_MACHINES) | set(MACHINES))
+    raise CostModelError(f"unknown machine {name!r}; known: {known}")
 
 
 # --------------------------------------------------------------------------
@@ -236,7 +256,7 @@ class CalibrationResult:
 
 
 def calibrate_backend(
-    backend: str,
+    backend,
     nprocs: int,
     *,
     latency_rounds: int = 30,
@@ -245,12 +265,20 @@ def calibrate_backend(
 ) -> CalibrationResult:
     """Measure g and L of a repro backend, following Figure 2.1's method.
 
+    ``backend`` is a registry name (``"processes"``, ``"tcp"``, ...) or a
+    :class:`~repro.backends.base.Backend` *instance* — pass a pooled
+    instance (``TcpBackend.pool(p)``, ``ProcessBackend.pool(p)``) so
+    worker startup is paid once instead of inside every measured round.
+
     ``L`` is the average wall-clock time of a superstep in which each
     processor sends one packet; ``g`` is the average per-packet time of a
     total-exchange superstep with ``(p-1) * packets_each`` packets per
     processor, after the latency share is subtracted.
     """
     from .runtime import bsp_run  # local import: runtime imports machines
+
+    backend_name = backend if isinstance(backend, str) else (
+        getattr(backend, "name", "") or type(backend).__name__)
 
     t0 = time.perf_counter()
     bsp_run(_latency_program, nprocs, backend=backend, args=(latency_rounds,))
@@ -282,7 +310,8 @@ def calibrate_backend(
         per_step = wall / bandwidth_rounds
         h = (nprocs - 1) * packets_each
         g_us = max(per_step - L_us * US, 0.0) / h / US
-    return CalibrationResult(backend=backend, nprocs=nprocs, g_us=g_us, L_us=L_us)
+    return CalibrationResult(
+        backend=backend_name, nprocs=nprocs, g_us=g_us, L_us=L_us)
 
 
 def _selfsend_program(bsp, rounds: int, packets_each: int) -> None:
@@ -293,3 +322,45 @@ def _selfsend_program(bsp, rounds: int, packets_each: int) -> None:
         bsp.sync()
         for _ in bsp.packets():
             pass
+
+
+def tcp_localhost_profile(
+    nprocs: Sequence[int] = (1, 2, 4),
+    *,
+    register: bool = True,
+    latency_rounds: int = 30,
+    bandwidth_rounds: int = 5,
+    packets_each: int = 400,
+) -> MachineProfile:
+    """Calibrate the TCP backend over loopback into a machine profile.
+
+    The counterpart of Figure 2.1's PC-LAN row for *this* host: every
+    requested processor count is measured through real sockets (one
+    persistent mesh, sized to the largest count, reused for every row) and
+    assembled into a ``MachineProfile("tcp-localhost")`` usable by the
+    prediction harness exactly like the paper's machines.  With
+    ``register=True`` (default) the profile also becomes resolvable via
+    ``get_machine("tcp-localhost")``.
+    """
+    from ..backends.tcp import TcpBackend  # lazy: backends import core
+
+    counts = sorted(set(int(p) for p in nprocs))
+    if not counts or counts[0] < 1:
+        raise CostModelError(f"bad nprocs list {nprocs!r}")
+    g_table: dict[int, float] = {}
+    l_table: dict[int, float] = {}
+    with TcpBackend.pool(counts[-1]) as backend:
+        for p in counts:
+            cal = calibrate_backend(
+                backend, p,
+                latency_rounds=latency_rounds,
+                bandwidth_rounds=bandwidth_rounds,
+                packets_each=packets_each,
+            )
+            g_table[p] = cal.g_us
+            l_table[p] = cal.L_us
+    profile = MachineProfile(
+        name="tcp-localhost", g_us=g_table, L_us=l_table)
+    if register:
+        register_machine(profile)
+    return profile

@@ -8,6 +8,20 @@ Usage::
 
 Prints the Appendix-C-style table (ours next to the paper's).  The same
 sweeps, with shape assertions, live in ``benchmarks/``.
+
+The TCP launcher (the paper's PC-LAN platform, Appendix B.3)::
+
+    # all ranks on this machine, over real loopback sockets:
+    python -m repro.harness launch-tcp --nprocs 4 ocean 66
+
+    # one rank per machine; run once per host with its own --rank:
+    python -m repro.harness launch-tcp --nprocs 4 --rank 0 \\
+        --coordinator pc0:47710 ocean 66        # on pc0
+    python -m repro.harness launch-tcp --nprocs 4 --rank 1 \\
+        --coordinator pc0:47710 ocean 66        # on pc1, ... etc.
+
+Every invocation runs the same program (SPMD); rank 0's machine prints
+the result.  See README "Running across machines".
 """
 
 from __future__ import annotations
@@ -17,10 +31,69 @@ import sys
 
 from .paperdata import ALL_TABLES
 from .report import appendix_table, evaluate_app
-from .runner import APP_SIZES, runnable_sizes
+from .runner import APP_SIZES, run_app, runnable_sizes
+
+
+def _launch_tcp(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness launch-tcp",
+        description="Run one paper app on the TCP (PC-LAN) backend.",
+    )
+    parser.add_argument("app", choices=sorted(ALL_TABLES))
+    parser.add_argument("size", help="paper size label, e.g. 66")
+    parser.add_argument("--nprocs", type=int, required=True,
+                        help="total number of BSP processors (= ranks)")
+    parser.add_argument("--rank", type=int, default=None,
+                        help="this machine's rank; omit to fork every "
+                             "rank locally over loopback")
+    parser.add_argument("--coordinator", default="127.0.0.1:47710",
+                        help="rank 0's host:port (multi-host mode)")
+    parser.add_argument("--bind-host", default=None,
+                        help="interface this rank's listener binds "
+                             "(multi-host mode; default: coordinator host)")
+    parser.add_argument("--token", type=int, default=0,
+                        help="shared launch token; reject strangers' dials")
+    parser.add_argument("--timeout", type=float, default=60.0,
+                        help="rendezvous / join timeout in seconds")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.size not in APP_SIZES[args.app]:
+        print(f"unknown size {args.size!r} for {args.app}; "
+              f"known: {list(APP_SIZES[args.app])}", file=sys.stderr)
+        return 2
+
+    from ..backends.tcp import TcpBackend, TcpSpmdBackend
+    from ..backends.tcp_launch import parse_hostport
+
+    if args.rank is None:
+        backend = TcpBackend(join_timeout=args.timeout)
+        rank = 0
+    else:
+        coordinator = parse_hostport(args.coordinator, 47710)
+        backend = TcpSpmdBackend(
+            args.rank, args.nprocs, coordinator,
+            token=args.token, bind_host=args.bind_host,
+            timeout=args.timeout,
+        )
+        rank = args.rank
+    try:
+        stats = run_app(args.app, args.size, args.nprocs,
+                        seed=args.seed, backend=backend)
+    finally:
+        close = getattr(backend, "close", None)
+        if close is not None:
+            close()
+    if rank == 0:
+        print(f"{args.app}/{args.size} on tcp, p={args.nprocs}: "
+              f"S={stats.S} H={stats.H} W={stats.W:.4f}s")
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "launch-tcp":
+        return _launch_tcp(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's Appendix C tables.",

@@ -354,3 +354,14 @@ class TestGoldenAccounting:
         digest = hashlib.sha256(series.encode()).hexdigest()[:16]
         assert (stats.S, stats.H) == (golden_s, golden_h)
         assert digest == golden_digest
+
+    @pytest.mark.parametrize("app,size", sorted(GOLDEN_SEED_ACCOUNTING))
+    def test_tcp_accounting_matches_simulator_golden(self, app, size):
+        # Real sockets are still transport only: the combined-frame layout
+        # rides the TCP stream byte-for-byte, so the golden ledgers hold.
+        golden_s, golden_h, golden_digest = GOLDEN_SEED_ACCOUNTING[(app, size)]
+        stats = run_app(app, size, 4, backend="tcp")
+        series = ",".join(str(ss.h) for ss in stats.supersteps)
+        digest = hashlib.sha256(series.encode()).hexdigest()[:16]
+        assert (stats.S, stats.H) == (golden_s, golden_h)
+        assert digest == golden_digest

@@ -1,7 +1,8 @@
 """BSP delivery semantics, identical across all backends.
 
-Every test here is parameterized over the three backends: the paper's
-portability claim starts with the library behaving the same everywhere.
+Every test here is parameterized over the four backends: the paper's
+portability claim starts with the library behaving the same everywhere —
+including over real sockets ("tcp" runs the full mesh on loopback).
 """
 
 import numpy as np
@@ -10,7 +11,7 @@ import pytest
 from repro import BspError, BspUsageError, VirtualProcessorError, bsp_run
 from repro.core.errors import SynchronizationError
 
-BACKENDS = ["simulator", "threads", "processes"]
+BACKENDS = ["simulator", "threads", "processes", "tcp"]
 
 pytestmark = pytest.mark.parametrize("backend", BACKENDS)
 
