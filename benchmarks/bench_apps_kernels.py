@@ -1,0 +1,306 @@
+"""Measure the vectorized kernels against their pure-Python references.
+
+PRs 1–3 attacked the ``gH`` and ``LS`` terms of ``T = W + gH + LS``; the
+kernel layer (``repro.kernels``) attacks ``W``.  This benchmark times
+each application's hot local phase under both kernel modes on identical
+inputs and records the seed→optimized speedups into
+``BENCH_kernels.json``, so the W-term trajectory is archived the same way
+``BENCH_comm.json`` archives the communication-layer one.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_apps_kernels.py           # full
+    PYTHONPATH=src python benchmarks/bench_apps_kernels.py --smoke   # CI
+
+The full run sizes the Barnes–Hut walk at n=4096 bodies (the paper-scale
+force phase; expected ≥5x) and the graph phases at paper-like sizes
+(expected ≥2x).  ``--smoke`` shrinks every input so the whole sweep fits
+in CI's five-minute cap while still exercising every kernel pair; smoke
+results are written under a separate label and never overwrite full
+measurements.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+import numpy as np
+
+from repro import kernels
+from repro.apps.nbody import BHTree, plummer
+from repro.graphs.distributed import LocalGraph
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.unionfind import UnionFind
+
+# ---------------------------------------------------------------------------
+# Timing
+# ---------------------------------------------------------------------------
+
+
+def best_of(fn, repeats: int) -> float:
+    """Best wall time of ``repeats`` runs (minimum filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def compare(make_call, repeats: int) -> dict:
+    """Time ``make_call(mode)()`` under both modes; return the record."""
+    times = {}
+    for mode in ("reference", "vectorized"):
+        with kernels.using(mode):
+            call = make_call(mode)
+            times[mode] = best_of(call, repeats)
+    return {
+        "ref_s": round(times["reference"], 6),
+        "vec_s": round(times["vectorized"], 6),
+        "speedup": round(times["reference"] / max(times["vectorized"], 1e-12),
+                         2),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Scenarios
+# ---------------------------------------------------------------------------
+
+
+def scenario_bh_walk(n: int, repeats: int) -> dict:
+    """The BH local force phase: one full walk over all n bodies."""
+    b = plummer(n, seed=1)
+    tree = BHTree(b.pos, b.mass)
+    kernels.get("bh_walk")(tree, b.pos, 0.8, 0.05,
+                           np.arange(n, dtype=np.int64))  # warm flat cache
+
+    def make_call(mode):
+        walk = kernels.get("bh_walk", mode)
+        skip = np.arange(n, dtype=np.int64)
+        return lambda: walk(tree, b.pos, 0.8, 0.05, skip)
+
+    rec = compare(make_call, repeats)
+    rec["n"] = n
+    return rec
+
+
+def scenario_bh_direct(n: int, repeats: int) -> dict:
+    """The O(N²) direct-sum oracle, tiled vs per-body."""
+    b = plummer(n, seed=2)
+
+    def make_call(mode):
+        direct = kernels.get("bh_direct", mode)
+        return lambda: direct(b.pos, b.mass, 0.05)
+
+    rec = compare(make_call, repeats)
+    rec["n"] = n
+    return rec
+
+
+def _mst_edge_fixture(n: int, m: int, nlabels: int, rng):
+    """Key-sorted crossing-edge arrays, as one Borůvka round sees them."""
+    eu = rng.integers(0, n, size=m)
+    ev = (eu + 1 + rng.integers(0, n - 1, size=m)) % n
+    ew = np.round(rng.random(m) * 8) / 8
+    lo, hi = np.minimum(eu, ev), np.maximum(eu, ev)
+    order = np.lexsort((hi, lo, ew))
+    ew, lo, hi = ew[order], lo[order], hi[order]
+    comp_labels = rng.integers(0, nlabels, size=n)
+    la, lb = comp_labels[lo], comp_labels[hi]
+    crossing = la != lb
+    active = np.flatnonzero(crossing)
+    return active, ew, lo, hi, la[crossing], lb[crossing]
+
+
+def scenario_mst_labels(n: int, repeats: int) -> dict:
+    """The MST labeling loop: per-home-node root gather + group minima
+    (the contraction/labeling per-node dict loop of the local phase)."""
+    rng = np.random.default_rng(3)
+    uf = UnionFind(n)
+    for a, bb in rng.integers(0, n, size=(n - n // 20, 2)).tolist():
+        uf.union(a, bb)
+    home = np.unique(rng.integers(0, n, size=n))
+
+    def make_call(mode):
+        labels = kernels.get("mst_labels", mode)
+        return lambda: labels(uf, home, n)
+
+    rec = compare(make_call, repeats)
+    rec["n"] = n
+    rec["home"] = len(home)
+    return rec
+
+
+def scenario_mst_minima(n: int, repeats: int) -> dict:
+    """Borůvka candidate selection + the phase-3 pair minima, at the
+    component counts the real rounds see (hundreds, then ≤ 4p)."""
+    rng = np.random.default_rng(3)
+    m = 6 * n
+    round_fix = _mst_edge_fixture(n, m, max(n // 64, 8), rng)
+    tail_fix = _mst_edge_fixture(n, m, 16, rng)
+
+    def make_call(mode):
+        minima = kernels.get("mst_component_minima", mode)
+        pairs = kernels.get("mst_pair_minima", mode)
+
+        def run():
+            minima(*round_fix, n)
+            pairs(*tail_fix, n)
+
+        return run
+
+    rec = compare(make_call, repeats)
+    rec["n"] = n
+    rec["edges"] = m
+    return rec
+
+
+def scenario_sssp_updates(n: int, repeats: int) -> dict:
+    """SSSP border-update application over realistic incoming batches.
+
+    The distance matrix is pre-populated with finite labels so the mix of
+    improving and stale records matches a mid-run superstep (the
+    conservative update rule makes stale records the common case).
+    """
+    g = random_connected_graph(n, 4 * n, seed=4)
+    owner = np.random.default_rng(4).integers(0, 4, size=n)
+    lg = LocalGraph.build(g, owner, 0, 4)
+    border = sorted(kernels.get("sssp_border_adjacency", "reference")(lg))
+    rng = np.random.default_rng(5)
+    nsrc = 8
+    records = [
+        (k, int(u), float(rng.random() * 3))
+        for k in range(nsrc)
+        for u in rng.choice(border, size=min(len(border), n // 8),
+                            replace=False).tolist()
+    ]
+    cut = max(1, len(records) // 3)
+    batches = [records[:cut], records[cut:2 * cut], records[2 * cut:]]
+    base = np.random.default_rng(7).random((nsrc, lg.n_global)) * 2.0
+
+    def make_call(mode):
+        adj = kernels.get("sssp_border_adjacency", mode)(lg)
+        apply_updates = kernels.get("sssp_apply_updates", mode)
+
+        def run():
+            dist = base.copy()
+            queues = [[] for _ in range(nsrc)]
+            apply_updates(adj, dist, queues, set(),
+                          [list(b) for b in batches])
+
+        return run
+
+    rec = compare(make_call, repeats)
+    rec["n"] = n
+    rec["records"] = len(records)
+    return rec
+
+
+def scenario_sort_partition(n: int, repeats: int) -> dict:
+    """Samplesort phase 3: cut a sorted block at p−1 splitters."""
+    rng = np.random.default_rng(6)
+    block = np.sort(rng.random(n))
+    splitters = np.sort(rng.random(63))
+
+    def make_call(mode):
+        part = kernels.get("sort_partition", mode)
+        return lambda: part(block, splitters)
+
+    rec = compare(make_call, repeats)
+    rec["n"] = n
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def run_suite(smoke: bool) -> dict:
+    if smoke:
+        sizes = {"bh_walk": 512, "bh_direct": 256, "mst_labels": 2000,
+                 "mst_minima": 2000, "sssp_updates": 800,
+                 "sort_partition": 20000}
+        repeats = 2
+    else:
+        sizes = {"bh_walk": 4096, "bh_direct": 2048, "mst_labels": 20000,
+                 "mst_minima": 20000, "sssp_updates": 8000,
+                 "sort_partition": 500000}
+        repeats = 3
+    scenarios = {
+        "bh_walk": scenario_bh_walk,
+        "bh_direct": scenario_bh_direct,
+        "mst_labels": scenario_mst_labels,
+        "mst_minima": scenario_mst_minima,
+        "sssp_updates": scenario_sssp_updates,
+        "sort_partition": scenario_sort_partition,
+    }
+    out = {}
+    for name, fn in scenarios.items():
+        rec = fn(sizes[name], repeats)
+        out[name] = rec
+        print(f"{name:>16}: ref {rec['ref_s']*1e3:9.2f} ms   "
+              f"vec {rec['vec_s']*1e3:9.2f} ms   {rec['speedup']:6.1f}x",
+              flush=True)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small inputs + sanity thresholds, for CI")
+    parser.add_argument("--output", default="BENCH_kernels.json",
+                        help="JSON archive to update (default: %(default)s)")
+    parser.add_argument("--label", default=None,
+                        help="snapshot label (default: full or smoke)")
+    args = parser.parse_args(argv)
+
+    label = args.label or ("smoke" if args.smoke else "full")
+    scenarios = run_suite(args.smoke)
+
+    snapshot = {
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "smoke": args.smoke,
+        "scenarios": scenarios,
+    }
+    try:
+        with open(args.output) as fh:
+            archive = json.load(fh)
+    except (FileNotFoundError, json.JSONDecodeError):
+        archive = {}
+    archive[label] = snapshot
+    with open(args.output, "w") as fh:
+        json.dump(archive, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.output} [{label}]")
+
+    # Sanity floor: the vectorized mode must never be meaningfully slower
+    # than the reference (0.8 allows for timer noise on near-parity
+    # phases).  The full run additionally enforces the acceptance
+    # thresholds: ≥5x on the BH force phase, ≥2x on a graph local phase.
+    failures = []
+    for name, rec in scenarios.items():
+        if rec["speedup"] < 0.8:
+            failures.append(f"{name}: {rec['speedup']}x (regressed)")
+    if not args.smoke:
+        if scenarios["bh_walk"]["speedup"] < 5.0:
+            failures.append(
+                f"bh_walk: {scenarios['bh_walk']['speedup']}x < 5x floor"
+            )
+        if max(scenarios["mst_labels"]["speedup"],
+               scenarios["sssp_updates"]["speedup"]) < 2.0:
+            failures.append("neither mst_labels nor sssp_updates reached 2x")
+    if failures:
+        print("FAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

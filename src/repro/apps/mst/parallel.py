@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ... import kernels
 from ...collectives import allgather, allreduce, gather
 from ...core.api import Bsp
 from ...core.runtime import bsp_run
@@ -108,13 +109,9 @@ def _local_phase(
             frozen.add(uf.find(a))
         edges.append((a, b, key[0]))
 
-    label = np.full(lg.n_global, -1, dtype=np.int64)
-    if len(lg.home):
-        roots = np.array([uf.find(int(g)) for g in lg.home], dtype=np.int64)
-        mins: dict[int, int] = {}
-        for gid, root in zip(lg.home.tolist(), roots.tolist()):
-            mins[root] = min(mins.get(root, gid), gid)
-        label[lg.home] = [mins[r] for r in roots.tolist()]
+    # Fragment labels (minimum member id per fragment) for home nodes —
+    # the kernel vectorizes the root gather and per-fragment minima.
+    label = kernels.get("mst_labels")(uf, lg.home, lg.n_global)
     return edges, label, uf
 
 
@@ -178,11 +175,14 @@ def mst_program(
     # endpoints: node labels are only known near their owners, but label
     # ids are global, so replicas can replay merges identically.
     Candidate = tuple[EdgeKey, int, int]  # (key, label_a, label_b)
+    component_minima = kernels.get("mst_component_minima")
 
     def proposals() -> dict[int, Candidate]:
         """Per-current-component minimum crossing edge, from this view.
 
-        Also compacts ``active`` down to still-crossing edges.
+        Also compacts ``active`` down to still-crossing edges.  ``active``
+        preserves key order, so the first edge seen per component id is
+        its minimum; the kernel performs that selection.
         """
         nonlocal active
         roots = comp.roots()
@@ -192,21 +192,7 @@ def mst_program(
         bsp.charge(float(len(active)))
         active = active[crossing]
         la, lb = la[crossing], lb[crossing]
-        best: dict[int, Candidate] = {}
-        # ``active`` preserves key order, so the first edge seen per
-        # component id is its minimum.
-        for side in (la, lb):
-            ids, first = np.unique(side, return_index=True)
-            for comp_id, pos in zip(ids.tolist(), first.tolist()):
-                k = int(active[pos])
-                cand = (
-                    (float(ew[k]), int(lo_id[k]), int(hi_id[k])),
-                    int(la[pos]),
-                    int(lb[pos]),
-                )
-                if comp_id not in best or cand[0] < best[comp_id][0]:
-                    best[comp_id] = cand
-        return best
+        return component_minima(active, ew, lo_id, hi_id, la, lb, lg.n_global)
 
     # -- Phase 2: exact Borůvka over components.
     while ncomp > max(1, switch_threshold):
@@ -240,20 +226,10 @@ def mst_program(
         bsp.charge(float(len(active)))
         active = active[crossing]
         la, lb = la[crossing], lb[crossing]
-        pair_best: dict[tuple[int, int], Candidate] = {}
-        pair_lo = np.minimum(la, lb)
-        pair_hi = np.maximum(la, lb)
-        pair_code = pair_lo * np.int64(lg.n_global) + pair_hi
-        _, first = np.unique(pair_code, return_index=True)
-        for pos in first.tolist():
-            k = int(active[pos])
-            key = (int(pair_lo[pos]), int(pair_hi[pos]))
-            pair_best[key] = (
-                (float(ew[k]), int(lo_id[k]), int(hi_id[k])),
-                int(la[pos]),
-                int(lb[pos]),
-            )
-        mine_tail = sorted(set(pair_best.values()))
+        # Lightest surviving edge per component pair, via the kernel.
+        mine_tail = kernels.get("mst_pair_minima")(
+            active, ew, lo_id, hi_id, la, lb, lg.n_global
+        )
         per_proc = gather(bsp, mine_tail, root=0)
         if bsp.pid == 0:
             assert per_proc is not None

@@ -25,12 +25,42 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ... import kernels
 from .bodies import box_min_distance
 
 #: Default opening angle; the SPLASH/paper-era customary value.
 DEFAULT_THETA = 1.0
 #: Default Plummer softening (fraction of the system scale).
 DEFAULT_EPS = 0.05
+
+#: Softened-distance floor: ``r² + eps²`` below this means two bodies sit
+#: at (numerically) the same point with no softening, and ``r²^{-1.5}``
+#: would overflow into ``inf``/``nan`` accelerations that silently corrupt
+#: every downstream integration step.  The floor is far below any physical
+#: separation (``1e-30`` ≈ (1e-15)², the square of double-precision noise
+#: on unit-scale coordinates) so it never triggers on healthy inputs.
+MIN_SOFTENED_R2 = 1e-30
+
+
+def softened_inv_r3(r2: np.ndarray) -> np.ndarray:
+    """``r2 ** -1.5`` with the zero-distance guard.
+
+    Raises :class:`ZeroDivisionError` when any softened squared distance
+    falls below :data:`MIN_SOFTENED_R2` — a zero-distance pair evaluated
+    with ``eps = 0`` — instead of propagating ``inf``/``nan`` into the
+    accelerations.  Evaluated under ``np.errstate`` so legitimate large
+    values never emit spurious warnings.
+    """
+    r2 = np.asarray(r2)
+    if r2.size and float(np.min(r2)) < MIN_SOFTENED_R2:
+        raise ZeroDivisionError(
+            "zero-distance body pair with eps=0: softened r^2 "
+            f"{float(np.min(r2)):.3g} is below the {MIN_SOFTENED_R2:.0e} "
+            "floor; separate the coincident bodies or use a positive "
+            "softening eps"
+        )
+    with np.errstate(divide="ignore", over="ignore"):
+        return r2 ** -1.5
 
 
 @dataclass
@@ -233,12 +263,18 @@ def pairwise_acceleration(
     positions: np.ndarray,
     eps: float,
 ) -> np.ndarray:
-    """Softened gravitational acceleration at ``point`` from point masses."""
-    if len(masses) == 0:
+    """Softened gravitational acceleration at ``point`` from point masses.
+
+    An empty force-term list (``positions.shape == (0, 3)``) yields the
+    zero vector of shape ``(3,)`` — the single body / empty tree case —
+    never a degenerate empty result.
+    """
+    masses = np.asarray(masses, dtype=np.float64)
+    if masses.size == 0:
         return np.zeros(3)
-    delta = positions - point
+    delta = np.asarray(positions, dtype=np.float64).reshape(-1, 3) - point
     r2 = (delta * delta).sum(axis=1) + eps * eps
-    inv_r3 = r2 ** -1.5
+    inv_r3 = softened_inv_r3(r2)
     return (masses * inv_r3) @ delta
 
 
@@ -259,25 +295,12 @@ def accelerations(
     if tree is None:
         tree = BHTree(pos, mass, leaf_size=leaf_size)
     n = len(mass)
-    acc = np.zeros((n, 3))
-    inter = np.zeros(n, dtype=np.int64)
-    for i in range(n):
-        m, pts, count = tree.force_terms(pos[i], theta, skip=i)
-        acc[i] = pairwise_acceleration(pos[i], m, pts, eps)
-        inter[i] = count
-    return acc, inter
+    walk = kernels.get("bh_walk")
+    return walk(tree, pos, theta, eps, np.arange(n, dtype=np.int64))
 
 
 def direct_accelerations(
     pos: np.ndarray, mass: np.ndarray, *, eps: float = DEFAULT_EPS
 ) -> np.ndarray:
     """Exact O(N²) accelerations — the accuracy oracle for tests."""
-    n = len(mass)
-    acc = np.zeros((n, 3))
-    for i in range(n):
-        delta = pos - pos[i]
-        r2 = (delta * delta).sum(axis=1) + eps * eps
-        inv_r3 = r2 ** -1.5
-        inv_r3[i] = 0.0
-        acc[i] = (mass * inv_r3) @ delta
-    return acc
+    return kernels.get("bh_direct")(pos, mass, eps)

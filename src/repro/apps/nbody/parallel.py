@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ... import kernels
 from ...collectives import allgather, barrier, gather, scatter
 from ...core.api import Bsp
 from ...core.runtime import bsp_run
@@ -39,7 +40,6 @@ from .bhtree import (
     DEFAULT_EPS,
     DEFAULT_THETA,
     BHTree,
-    pairwise_acceleration,
 )
 from .bodies import Bodies
 from .orb import load_imbalance, orb_partition
@@ -124,20 +124,22 @@ def nbody_program(
             BHTree(far_p, far_m, leaf_size=leaf_size) if len(far_m) else None
         )
 
-        # Force evaluation: local tree + merged foreign-record tree.
+        # Force evaluation: local tree + merged foreign-record tree, via
+        # the selected walk kernel (vectorized by default; the per-body
+        # reference traversal under REPRO_KERNELS=reference).
+        walk = kernels.get("bh_walk")
         n_local = len(mine)
         acc = np.zeros((n_local, 3))
         inter = np.zeros(n_local, dtype=np.int64)
-        for i in range(n_local):
-            point = mine.pos[i]
-            if tree is not None:
-                masses, points, count = tree.force_terms(point, theta, skip=i)
-                acc[i] = pairwise_acceleration(point, masses, points, eps)
-                inter[i] = count
-            if far_tree is not None:
-                masses, points, count = far_tree.force_terms(point, theta)
-                acc[i] += pairwise_acceleration(point, masses, points, eps)
-                inter[i] += count
+        if tree is not None and n_local:
+            a, c = walk(tree, mine.pos, theta, eps,
+                        np.arange(n_local, dtype=np.int64))
+            acc += a
+            inter += c
+        if far_tree is not None and n_local:
+            a, c = walk(far_tree, mine.pos, theta, eps, None)
+            acc += a
+            inter += c
         step_bodies(mine, acc, dt)
         # The dominant charge: one unit per body-cell interaction (the
         # quantity the paper's 97%-of-runtime force phase scales with).
@@ -238,14 +240,11 @@ def bsp_nbody(
     # inner processors ~2x overloaded).
     if balance and len(bodies) > 1:
         tree = BHTree(bodies.pos, bodies.mass, leaf_size=leaf_size)
-        weights = np.array(
-            [
-                tree.force_terms(bodies.pos[i], theta, skip=i)[2]
-                for i in range(len(bodies))
-            ],
-            dtype=np.float64,
+        _, counts = kernels.get("bh_walk")(
+            tree, bodies.pos, theta, eps,
+            np.arange(len(bodies), dtype=np.int64),
         )
-        weights = np.maximum(weights, 1.0)
+        weights = np.maximum(counts.astype(np.float64), 1.0)
     else:
         weights = None
     owner = orb_partition(bodies.pos, weights, nprocs)

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ... import kernels
 from ...core.api import Bsp
 from ...core.runtime import bsp_run
 from ...core.stats import ProgramStats
@@ -81,8 +82,7 @@ def sample_sort_program(bsp: Bsp, data: np.ndarray) -> np.ndarray:
     assert splitters is not None
 
     # Phase 3: route buckets to their owners (total exchange).
-    bounds = np.searchsorted(mine, splitters, side="right")
-    cuts = np.concatenate([[0], bounds, [len(mine)]])
+    cuts = kernels.get("sort_partition")(mine, splitters)
     for q in range(p):
         bucket = mine[cuts[q] : cuts[q + 1]]
         if q == me:

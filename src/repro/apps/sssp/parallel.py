@@ -39,6 +39,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ... import kernels
 from ...core.api import Bsp
 from ...core.runtime import bsp_run
 from ...core.stats import ProgramStats
@@ -56,18 +57,6 @@ H_FLAG = 1
 DEFAULT_WORK_FACTOR = 400
 
 
-def _border_adjacency(
-    lg: LocalGraph,
-) -> dict[int, list[tuple[int, float]]]:
-    """border node -> [(home neighbor, weight)] — the edges a border
-    update relaxes."""
-    adj: dict[int, list[tuple[int, float]]] = {}
-    hu, hv, hw = lg.cut_edges()  # (home, foreign, w)
-    for k in range(len(hu)):
-        adj.setdefault(int(hv[k]), []).append((int(hu[k]), float(hw[k])))
-    return adj
-
-
 def sssp_program(
     bsp: Bsp,
     lg_all: list[LocalGraph],
@@ -83,7 +72,13 @@ def sssp_program(
     with bsp.off_clock():
         lg = lg_all[bsp.pid]
     nsrc = len(sources)
-    border_adj = _border_adjacency(lg)
+    # Kernel selection: the border adjacency layout is mode-specific
+    # (dict for the reference scan, CSR for the vectorized batch), so all
+    # three kernels are resolved once, under one mode.
+    mode = kernels.current_mode()
+    border_adj = kernels.get("sssp_border_adjacency", mode)(lg)
+    apply_updates = kernels.get("sssp_apply_updates", mode)
+    relax_queues = kernels.get("sssp_relax", mode)
     # Labels for home and border nodes of every computation.
     dist = np.full((nsrc, lg.n_global), np.inf)
     queues: list[list[tuple[float, int]]] = [[] for _ in range(nsrc)]
@@ -95,36 +90,25 @@ def sssp_program(
             heapq.heappush(queues[k], (0.0, src))
             changed.add((k, src))
 
-    local_of = lg.local_of
-
-    def relax_home(k: int, v: int, nd: float) -> None:
-        if nd < dist[k, v]:
-            dist[k, v] = nd
-            heapq.heappush(queues[k], (nd, v))
-            changed.add((k, v))
-
     # True until the first superstep completes: everyone must take part in
     # at least one exchange so the source's initial work is visible.
     my_active = True
     first = True
     while True:
         # 1. Incoming border updates and peers' activity bits, both sent at
-        #    the end of the previous superstep.
+        #    the end of the previous superstep.  Update records are
+        #    batched and applied by the kernel, which returns the
+        #    border-scan work count to charge.
         peer_active = False
-        border_scans = 0
+        batches: list[list[tuple[int, int, float]]] = []
         for pkt in bsp.packets():
             tag = pkt.payload[0]
             if tag == "act":
                 peer_active = peer_active or pkt.payload[1]
             else:
-                for k, u, d in pkt.payload[1]:
-                    border_scans += 1
-                    if d < dist[k, u]:
-                        dist[k, u] = d
-                        edges = border_adj.get(u, ())
-                        border_scans += len(edges)
-                        for w_node, wt in edges:
-                            relax_home(k, w_node, d + wt)
+                batches.append(pkt.payload[1])
+        border_scans = apply_updates(border_adj, dist, queues, changed,
+                                     batches)
         bsp.charge(float(border_scans))
         # Terminate exactly when the superstep that just ended was globally
         # idle: nobody held queued work or sent updates, so nothing can be
@@ -135,24 +119,7 @@ def sssp_program(
         first = False
 
         # 2. Local relaxation, bounded by the work factor.
-        scanned = 0
-        for k in range(nsrc):
-            queue = queues[k]
-            budget = work_factor if work_factor is not None else -1
-            pops = 0
-            row = dist[k]
-            while queue and pops != budget:
-                d, u = heapq.heappop(queue)
-                pops += 1
-                if d > row[u]:
-                    continue  # stale
-                r = local_of[u]
-                lo, hi = lg.indptr[r], lg.indptr[r + 1]
-                scanned += hi - lo
-                for e in range(lo, hi):
-                    v = int(lg.indices[e])
-                    if local_of[v] >= 0:
-                        relax_home(k, v, d + float(lg.weights[e]))
+        scanned = relax_queues(lg, dist, queues, changed, work_factor)
         bsp.charge(float(scanned))
 
         # 3. Conservative outgoing updates + activity bit.

@@ -30,7 +30,7 @@ import argparse
 import sys
 
 from .paperdata import ALL_TABLES
-from .report import appendix_table, evaluate_app
+from .report import appendix_table, evaluate_app, w_profile_report
 from .runner import APP_SIZES, run_app, runnable_sizes
 
 
@@ -103,6 +103,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--list", action="store_true",
                         help="list apps and runnable sizes")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--profile-w", action="store_true",
+                        help="also print per-superstep measured local-"
+                             "compute seconds beside the predicted W")
+    parser.add_argument("--profile-limit", type=int, default=20,
+                        help="supersteps to show per --profile-w table")
     args = parser.parse_args(argv)
 
     if args.list or args.app is None:
@@ -122,6 +127,9 @@ def main(argv: list[str] | None = None) -> int:
         table = evaluate_app(args.app, size, seed=args.seed)
         print(appendix_table(table))
         print()
+        if args.profile_w:
+            print(w_profile_report(table, limit=args.profile_limit))
+            print()
     return 0
 
 

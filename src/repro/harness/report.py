@@ -72,13 +72,19 @@ class ReproducedRow:
 
 @dataclass
 class ExperimentTable:
-    """All rows of one (app, size) experiment plus its scales."""
+    """All rows of one (app, size) experiment plus its scales.
+
+    ``stats`` keeps the raw per-run statistics keyed by processor count,
+    so callers can drill from the modeled rows back down to the measured
+    per-superstep profile (``--profile-w``).
+    """
 
     app: str
     size: str
     host_to_sgi: float
     machine_ratio: dict[str, float]
     rows: list[ReproducedRow] = field(default_factory=list)
+    stats: dict[int, ProgramStats] = field(default_factory=dict)
 
 
 def machine_cpu_ratios(app: str, size: str) -> dict[str, float]:
@@ -119,7 +125,8 @@ def evaluate_app(
         m: 1.0 for m in MACHINE_ORDER
     }
     table = ExperimentTable(
-        app=app, size=size, host_to_sgi=host_to_sgi, machine_ratio=ratios
+        app=app, size=size, host_to_sgi=host_to_sgi, machine_ratio=ratios,
+        stats=stats,
     )
     preds_one: dict[str, float | None] = {}
     for p in nprocs_list:
@@ -192,6 +199,35 @@ def appendix_table(table: ExperimentTable) -> str:
         f"(paper/p.spdp); host→SGI work scale {table.host_to_sgi:.3g}"
     )
     return render_table(headers, rows, title=title)
+
+
+def w_profile_report(table: ExperimentTable, *, limit: int = 20) -> str:
+    """Per-superstep measured-vs-predicted W tables for every run.
+
+    One table per processor count: the host's measured local-compute
+    milliseconds per superstep beside the model's predicted W on the
+    paper's SGI (work depth × host→SGI scale) — the drill-down view for
+    judging where the W transplant is faithful and where interpreter
+    overhead distorts it.
+    """
+    from ..util.trace import w_profile_table
+
+    use_charged = table.app in CHARGED_WORK_APPS
+    parts = []
+    for p in sorted(table.stats):
+        st = table.stats[p]
+        parts.append(w_profile_table(
+            st,
+            host_to_sgi=table.host_to_sgi,
+            use_charged=use_charged,
+            limit=limit,
+            title=(
+                f"{table.app}/{table.size} p={p} — measured w vs "
+                f"predicted SGI W (scale {table.host_to_sgi:.3g}, "
+                f"{'charged' if use_charged else 'measured'} work model)"
+            ),
+        ))
+    return "\n\n".join(parts)
 
 
 def speedup_series(table: ExperimentTable, machine: str

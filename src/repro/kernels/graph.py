@@ -1,0 +1,401 @@
+"""Graph-application kernels: MST labeling/contraction and SSSP updates.
+
+The MST and shortest-path programs spend their local phases in per-node
+Python loops — union-find root gathering, min-member labeling, Borůvka
+candidate selection, border-update relaxation.  Each loop is reproduced
+here twice: the ``reference`` implementation is the seed code verbatim,
+and the ``vectorized`` implementation restates it with ``np.unique`` /
+``argsort`` grouping, ``np.lexsort`` keys, and CSR gathers.
+
+Exactness contract: the vectorized kernels return *identical* values —
+identical label arrays, identical candidate dictionaries (including
+tie-breaking on the total edge order), identical heap-push multisets and
+``changed`` sets for SSSP — so the message traffic and the W/H/S ledgers
+of a run are bit-identical across modes.  Where sequential semantics
+matter (several shortest-path updates landing on one node in one batch),
+the vectorized path isolates the affected group and replays it in
+arrival order.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from . import register
+
+# ---------------------------------------------------------------------------
+# MST: fragment labels (minimum member id per union-find component)
+# ---------------------------------------------------------------------------
+
+
+def _mst_labels_reference(uf, home, n_global):
+    """Seed implementation: per-node ``find`` plus a dict of minima."""
+    label = np.full(n_global, -1, dtype=np.int64)
+    if len(home):
+        roots = np.array([uf.find(int(g)) for g in home], dtype=np.int64)
+        mins: dict[int, int] = {}
+        for gid, root in zip(home.tolist(), roots.tolist()):
+            mins[root] = min(mins.get(root, gid), gid)
+        label[home] = [mins[r] for r in roots.tolist()]
+    return label
+
+
+def _mst_labels_vectorized(uf, home, n_global):
+    """Vectorized root gather + sort-based group minima."""
+    label = np.full(n_global, -1, dtype=np.int64)
+    if len(home):
+        roots = uf.roots()[home]
+        order = np.lexsort((home, roots))
+        sorted_roots = roots[order]
+        first = np.ones(len(order), dtype=bool)
+        first[1:] = sorted_roots[1:] != sorted_roots[:-1]
+        # Sorted by (root, gid): the first row of each root group holds
+        # the group's minimum member id.
+        group_min = home[order][first]
+        label[home[order]] = group_min[np.cumsum(first) - 1]
+    return label
+
+
+# ---------------------------------------------------------------------------
+# MST: per-component minimum crossing edge (Borůvka proposals)
+# ---------------------------------------------------------------------------
+#
+# Inputs: ``active`` — indices of still-crossing edges into the globally
+# key-sorted edge arrays ``ew``/``lo_id``/``hi_id``; ``la``/``lb`` — the
+# current component roots of each active edge's endpoints (aligned with
+# ``active``).  Because ``active`` preserves the (w, lo, hi) sort, the
+# first position at which a component appears is its minimum edge.
+
+
+def _mst_component_minima_reference(active, ew, lo_id, hi_id, la, lb,
+                                    n_global):
+    """Seed implementation: per-side ``np.unique`` + per-id Python scan."""
+    best: dict[int, tuple] = {}
+    for side in (la, lb):
+        ids, first = np.unique(side, return_index=True)
+        for comp_id, pos in zip(ids.tolist(), first.tolist()):
+            k = int(active[pos])
+            cand = (
+                (float(ew[k]), int(lo_id[k]), int(hi_id[k])),
+                int(la[pos]),
+                int(lb[pos]),
+            )
+            if comp_id not in best or cand[0] < best[comp_id][0]:
+                best[comp_id] = cand
+    return best
+
+
+def _mst_component_minima_vectorized(active, ew, lo_id, hi_id, la, lb,
+                                     n_global):
+    """Per-side first occurrence merged by a vectorized key comparison.
+
+    Replicates the reference tie-break exactly: the ``la``-side candidate
+    wins unless the ``lb``-side key is *strictly* smaller.
+    """
+    if not len(active):
+        return {}
+    sentinel = len(active)
+    pos_a = np.full(n_global, sentinel, dtype=np.int64)
+    pos_b = np.full(n_global, sentinel, dtype=np.int64)
+    # First occurrence per label by reversed scatter: duplicate fancy
+    # indices keep the *last* write, and reversing makes that the first
+    # position — an O(edges) replacement for the sort inside np.unique.
+    rev = np.arange(sentinel - 1, -1, -1, dtype=np.int64)
+    pos_a[la[::-1]] = rev
+    pos_b[lb[::-1]] = rev
+    comps = np.flatnonzero(
+        (pos_a < sentinel) | (pos_b < sentinel)
+    )
+    pa, pb = pos_a[comps], pos_b[comps]
+    # Gather both sides' keys (missing side: repeat the present one).
+    ka = active[np.minimum(pa, sentinel - 1)]
+    kb = active[np.minimum(pb, sentinel - 1)]
+    wa, la_lo, la_hi = ew[ka], lo_id[ka], hi_id[ka]
+    wb, lb_lo, lb_hi = ew[kb], lo_id[kb], hi_id[kb]
+    b_strictly_less = (
+        (wb < wa)
+        | ((wb == wa) & (lb_lo < la_lo))
+        | ((wb == wa) & (lb_lo == la_lo) & (lb_hi < la_hi))
+    )
+    use_b = (pa == sentinel) | ((pb < sentinel) & b_strictly_less)
+    pos = np.where(use_b, pb, pa)
+    k = active[pos]
+    keys_w = ew[k].tolist()
+    keys_lo = lo_id[k].tolist()
+    keys_hi = hi_id[k].tolist()
+    cand_a = la[pos].tolist()
+    cand_b = lb[pos].tolist()
+    return {
+        comp: ((w, lo, hi), a, b)
+        for comp, w, lo, hi, a, b in zip(
+            comps.tolist(), keys_w, keys_lo, keys_hi, cand_a, cand_b
+        )
+    }
+
+
+# ---------------------------------------------------------------------------
+# MST: lightest edge per component pair (phase-3 handoff)
+# ---------------------------------------------------------------------------
+
+
+def _mst_pair_minima_reference(active, ew, lo_id, hi_id, la, lb, n_global):
+    """Seed implementation: pair codes, ``np.unique``, per-pair scan."""
+    pair_best: dict[tuple[int, int], tuple] = {}
+    pair_lo = np.minimum(la, lb)
+    pair_hi = np.maximum(la, lb)
+    pair_code = pair_lo * np.int64(n_global) + pair_hi
+    _, first = np.unique(pair_code, return_index=True)
+    for pos in first.tolist():
+        k = int(active[pos])
+        key = (int(pair_lo[pos]), int(pair_hi[pos]))
+        pair_best[key] = (
+            (float(ew[k]), int(lo_id[k]), int(hi_id[k])),
+            int(la[pos]),
+            int(lb[pos]),
+        )
+    return sorted(set(pair_best.values()))
+
+
+def _mst_pair_minima_vectorized(active, ew, lo_id, hi_id, la, lb, n_global):
+    """Vectorized gather of each pair's first (= minimum-key) edge.
+
+    ``np.unique`` keeps the smallest index per pair code and ``active``
+    preserves key order, so the gathered edge *is* the pair minimum; one
+    batch ``tolist`` conversion replaces the per-pair Python loop.
+    """
+    if not len(active):
+        return []
+    pair_lo = np.minimum(la, lb)
+    pair_hi = np.maximum(la, lb)
+    pair_code = pair_lo * np.int64(n_global) + pair_hi
+    _, first = np.unique(pair_code, return_index=True)
+    k = active[first]
+    cands = {
+        ((w, lo, hi), a, b)
+        for w, lo, hi, a, b in zip(
+            ew[k].tolist(), lo_id[k].tolist(), hi_id[k].tolist(),
+            la[first].tolist(), lb[first].tolist(),
+        )
+    }
+    return sorted(cands)
+
+
+# ---------------------------------------------------------------------------
+# SSSP: border adjacency + batched update application
+# ---------------------------------------------------------------------------
+
+
+def _sssp_border_adjacency_reference(lg):
+    """Seed structure: border node -> [(home neighbor, weight)] dict."""
+    adj: dict[int, list[tuple[int, float]]] = {}
+    hu, hv, hw = lg.cut_edges()
+    for k in range(len(hu)):
+        adj.setdefault(int(hv[k]), []).append((int(hu[k]), float(hw[k])))
+    return adj
+
+
+class BorderCsr:
+    """CSR form of the border adjacency, preserving cut-edge list order."""
+
+    __slots__ = ("ptr", "home", "weight", "degree")
+
+    def __init__(self, lg) -> None:
+        hu, hv, hw = lg.cut_edges()
+        n = lg.n_global
+        self.degree = np.bincount(hv, minlength=n).astype(np.int64) if \
+            len(hv) else np.zeros(n, dtype=np.int64)
+        order = np.argsort(hv, kind="stable")
+        self.ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(self.degree, out=self.ptr[1:])
+        self.home = hu[order].astype(np.int64)
+        self.weight = hw[order].astype(np.float64)
+
+
+def _sssp_border_adjacency_vectorized(lg):
+    return BorderCsr(lg)
+
+
+def _sssp_apply_updates_reference(adj, dist, queues, changed, batches):
+    """Seed loop: apply (k, u, d) records in arrival order.
+
+    Returns the ``border_scans`` work count the caller charges.
+    """
+    border_scans = 0
+    for records in batches:
+        for k, u, d in records:
+            border_scans += 1
+            if d < dist[k, u]:
+                dist[k, u] = d
+                edges = adj.get(u, ())
+                border_scans += len(edges)
+                for w_node, wt in edges:
+                    nd = d + wt
+                    if nd < dist[k, w_node]:
+                        dist[k, w_node] = nd
+                        heapq.heappush(queues[k], (nd, w_node))
+                        changed.add((k, w_node))
+    return border_scans
+
+
+def _sssp_apply_updates_vectorized(adj, dist, queues, changed, batches):
+    """Array-at-a-time update application.
+
+    Each (k, u) appears at most once per superstep (only ``u``'s owner
+    sends it, once), so the border assignments are order-free; the home
+    relaxations they trigger are grouped by (k, v) and — for the rare
+    groups with several candidates — replayed in arrival order, so the
+    heap-push multiset matches the reference exactly.
+    """
+    total = sum(len(records) for records in batches)
+    if total == 0:
+        return 0
+    merged = (
+        batches[0] if len(batches) == 1
+        else [r for records in batches for r in records]
+    )
+    # Column-wise conversion (zip + fromiter) beats building a (total, 3)
+    # array from a list of tuples by ~2x.
+    col_k, col_u, col_d = zip(*merged)
+    ks = np.fromiter(col_k, dtype=np.int64, count=total)
+    us = np.fromiter(col_u, dtype=np.int64, count=total)
+    ds = np.fromiter(col_d, dtype=np.float64, count=total)
+    border_scans = total
+    improving = ds < dist[ks, us]
+    ks, us, ds = ks[improving], us[improving], ds[improving]
+    if not len(ks):
+        return border_scans
+    dist[ks, us] = ds
+    deg = adj.degree[us]
+    border_scans += int(deg.sum())
+    nexp = int(deg.sum())
+    if nexp == 0:
+        return border_scans
+    # Expand each improving border node over its home edges, preserving
+    # record order then adjacency-list order — the reference scan order.
+    starts = np.repeat(adj.ptr[us], deg)
+    offsets = np.arange(nexp, dtype=np.int64) - np.repeat(
+        np.cumsum(deg) - deg, deg
+    )
+    edge = starts + offsets
+    vk = np.repeat(ks, deg)
+    vv = adj.home[edge]
+    vnd = np.repeat(ds, deg) + adj.weight[edge]
+    cand = vnd < dist[vk, vv]
+    vk, vv, vnd = vk[cand], vv[cand], vnd[cand]
+    if not len(vk):
+        return border_scans
+    code = vk * np.int64(dist.shape[1]) + vv
+    order = np.argsort(code, kind="stable")
+    code_s = code[order]
+    boundary = np.ones(len(order), dtype=bool)
+    boundary[1:] = code_s[1:] != code_s[:-1]
+    group_size = np.diff(np.append(np.flatnonzero(boundary), len(order)))
+    singleton = np.repeat(group_size == 1, group_size)
+    # Singleton groups: the one candidate already beat dist, apply it.
+    sk = vk[order][singleton].tolist()
+    sv = vv[order][singleton].tolist()
+    snd = vnd[order][singleton].tolist()
+    for k, v, nd in zip(sk, sv, snd):
+        dist[k, v] = nd
+        heapq.heappush(queues[k], (nd, v))
+        changed.add((k, v))
+    # Multi-candidate groups: replay in arrival order (prefix minima).
+    if not np.all(singleton):
+        mk = vk[order][~singleton].tolist()
+        mv = vv[order][~singleton].tolist()
+        mnd = vnd[order][~singleton].tolist()
+        mpos = order[~singleton].tolist()
+        replay = sorted(zip(mpos, mk, mv, mnd))
+        for _, k, v, nd in replay:
+            if nd < dist[k, v]:
+                dist[k, v] = nd
+                heapq.heappush(queues[k], (nd, v))
+                changed.add((k, v))
+    return border_scans
+
+
+# ---------------------------------------------------------------------------
+# SSSP: budgeted local relaxation (the work-factor pop loop)
+# ---------------------------------------------------------------------------
+
+
+def _sssp_relax_reference(lg, dist, queues, changed, work_factor):
+    """Seed loop: pop up to ``work_factor`` entries per computation and
+    relax each popped node's edges one at a time."""
+    local_of = lg.local_of
+    scanned = 0
+    for k in range(len(queues)):
+        queue = queues[k]
+        budget = work_factor if work_factor is not None else -1
+        pops = 0
+        row = dist[k]
+        while queue and pops != budget:
+            d, u = heapq.heappop(queue)
+            pops += 1
+            if d > row[u]:
+                continue  # stale
+            r = local_of[u]
+            lo, hi = lg.indptr[r], lg.indptr[r + 1]
+            scanned += hi - lo
+            for e in range(lo, hi):
+                v = int(lg.indices[e])
+                if local_of[v] >= 0:
+                    nd = d + float(lg.weights[e])
+                    if nd < row[v]:
+                        row[v] = nd
+                        heapq.heappush(queue, (nd, v))
+                        changed.add((k, v))
+    return scanned
+
+
+def _sssp_relax_vectorized(lg, dist, queues, changed, work_factor):
+    """Same pop discipline, vectorized edge scan per popped node.
+
+    Pops must stay sequential (each relaxation can push new queue
+    entries), but the per-edge home test and distance comparison run as
+    one array op; only the improving edges reach Python.  The in-order
+    re-check ``nd < row[v]`` reproduces the reference semantics for
+    repeated targets within one edge list.
+    """
+    local_of = lg.local_of
+    indptr, indices, weights = lg.indptr, lg.indices, lg.weights
+    scanned = 0
+    for k in range(len(queues)):
+        queue = queues[k]
+        budget = work_factor if work_factor is not None else -1
+        pops = 0
+        row = dist[k]
+        while queue and pops != budget:
+            d, u = heapq.heappop(queue)
+            pops += 1
+            if d > row[u]:
+                continue  # stale
+            r = local_of[u]
+            lo, hi = indptr[r], indptr[r + 1]
+            scanned += hi - lo
+            nbrs = indices[lo:hi]
+            nd = d + weights[lo:hi]
+            improving = (local_of[nbrs] >= 0) & (nd < row[nbrs])
+            for v, x in zip(nbrs[improving].tolist(),
+                            nd[improving].tolist()):
+                if x < row[v]:
+                    row[v] = x
+                    heapq.heappush(queue, (x, v))
+                    changed.add((k, v))
+    return scanned
+
+
+register("mst_labels", "reference", _mst_labels_reference)
+register("mst_labels", "vectorized", _mst_labels_vectorized)
+register("mst_component_minima", "reference", _mst_component_minima_reference)
+register("mst_component_minima", "vectorized", _mst_component_minima_vectorized)
+register("mst_pair_minima", "reference", _mst_pair_minima_reference)
+register("mst_pair_minima", "vectorized", _mst_pair_minima_vectorized)
+register("sssp_border_adjacency", "reference", _sssp_border_adjacency_reference)
+register("sssp_border_adjacency", "vectorized", _sssp_border_adjacency_vectorized)
+register("sssp_apply_updates", "reference", _sssp_apply_updates_reference)
+register("sssp_apply_updates", "vectorized", _sssp_apply_updates_vectorized)
+register("sssp_relax", "reference", _sssp_relax_reference)
+register("sssp_relax", "vectorized", _sssp_relax_vectorized)

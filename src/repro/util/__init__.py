@@ -1,7 +1,13 @@
 """Shared utilities: paper-style tables and superstep tracing."""
 
 from .tables import format_cell, print_table, render_table
-from .trace import compare_machines, hotspots, superstep_table, to_csv
+from .trace import (
+    compare_machines,
+    hotspots,
+    superstep_table,
+    to_csv,
+    w_profile_table,
+)
 
 __all__ = [
     "compare_machines",
@@ -11,4 +17,5 @@ __all__ = [
     "render_table",
     "superstep_table",
     "to_csv",
+    "w_profile_table",
 ]

@@ -37,6 +37,47 @@ def superstep_table(
     return text
 
 
+def w_profile_table(
+    stats: ProgramStats,
+    *,
+    host_to_sgi: float = 1.0,
+    use_charged: bool = True,
+    limit: int = 20,
+    title: str | None = None,
+) -> str:
+    """Measured local-compute seconds per superstep beside predicted W.
+
+    ``measured w`` is the wall-clock local-compute time of the slowest
+    processor in each superstep — what the BSP clock actually accrued on
+    this host.  ``pred W`` maps the superstep's work depth (charged
+    operation counts when ``use_charged``, measured seconds otherwise)
+    onto paper-SGI seconds through ``host_to_sgi``, the same transplant
+    the report tables apply.  Reading the two columns side by side shows
+    which supersteps' measured compute diverges from the model — the
+    first thing to check when a predicted speed-up curve misses.
+    """
+    headers = ["step", "measured w (ms)", "charged", "pred W (ms)", "h"]
+    rows: list[list[object]] = []
+    for s in stats.supersteps[:limit]:
+        depth = s.charged if use_charged else s.w
+        rows.append([
+            s.index, s.w * 1e3, s.charged, depth * host_to_sgi * 1e3, s.h,
+        ])
+    total_depth = stats.charged_depth if use_charged else stats.W
+    rows.append([
+        "total", stats.W * 1e3, stats.charged_depth,
+        total_depth * host_to_sgi * 1e3, stats.H,
+    ])
+    text = render_table(
+        headers, rows,
+        title=title or f"W profile ({stats.summary()})",
+    )
+    hidden = stats.S - min(limit, stats.S)
+    if hidden > 0:
+        text += f"\n... {hidden} more supersteps (total row covers all)"
+    return text
+
+
 def to_csv(stats: ProgramStats) -> str:
     """Machine-readable per-superstep dump (header + one row per step)."""
     buf = io.StringIO()

@@ -22,6 +22,102 @@ from repro.apps.nbody import (
 )
 
 
+class TestSoftenedInverse:
+    """Regression tests for the ``r² ** -1.5`` zero-distance guard."""
+
+    def test_zero_distance_pair_raises_clear_error(self):
+        """Two coincident bodies with eps=0 must raise, not emit inf."""
+        from repro.apps.nbody.bhtree import pairwise_acceleration
+
+        point = np.zeros(3)
+        masses = np.array([1.0])
+        positions = np.zeros((1, 3))  # same spot as the point
+        with pytest.raises(ZeroDivisionError, match="zero-distance"):
+            pairwise_acceleration(point, masses, positions, eps=0.0)
+
+    def test_direct_accelerations_zero_distance_raises(self):
+        pos = np.zeros((2, 3))  # coincident pair
+        with pytest.raises(ZeroDivisionError, match="zero-distance"):
+            direct_accelerations(pos, np.ones(2), eps=0.0)
+
+    def test_softening_rescues_coincident_bodies(self):
+        """Any healthy eps keeps the same inputs finite in both kernels."""
+        pos = np.zeros((2, 3))
+        acc = direct_accelerations(pos, np.ones(2), eps=0.05)
+        assert np.all(np.isfinite(acc))
+        acc_bh, _ = accelerations(pos, np.ones(2), theta=0.5, eps=0.05)
+        assert np.all(np.isfinite(acc_bh))
+
+    def test_no_spurious_warnings_on_healthy_input(self):
+        import warnings
+
+        from repro.apps.nbody.bhtree import softened_inv_r3
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = softened_inv_r3(np.array([1e-20, 1.0, 1e20]))
+        assert np.all(np.isfinite(out))
+
+    def test_floor_is_documented_epsilon(self):
+        from repro.apps.nbody.bhtree import MIN_SOFTENED_R2, softened_inv_r3
+
+        just_above = np.array([MIN_SOFTENED_R2 * 1.01])
+        assert np.isfinite(softened_inv_r3(just_above)[0])
+        with pytest.raises(ZeroDivisionError):
+            softened_inv_r3(np.array([MIN_SOFTENED_R2 * 0.99]))
+
+    def test_empty_input_ok(self):
+        from repro.apps.nbody.bhtree import softened_inv_r3
+
+        assert softened_inv_r3(np.zeros(0)).shape == (0,)
+
+
+class TestPairwiseEdgeCases:
+    """Empty force-term lists and degenerate trees return clean zeros."""
+
+    def test_empty_force_terms_return_zero_vector(self):
+        from repro.apps.nbody.bhtree import pairwise_acceleration
+
+        acc = pairwise_acceleration(
+            np.zeros(3), np.zeros(0), np.zeros((0, 3)), eps=0.05
+        )
+        assert acc.shape == (3,)
+        assert np.array_equal(acc, np.zeros(3))
+
+    def test_single_body_zero_acceleration(self):
+        """A lone body has no force terms at any theta."""
+        pos = np.array([[0.3, -0.1, 0.7]])
+        acc, inter = accelerations(pos, np.ones(1), theta=0.8, eps=0.05)
+        assert np.array_equal(acc, np.zeros((1, 3)))
+        assert inter.tolist() == [0]
+
+    def test_empty_tree_no_points(self):
+        tree = BHTree(np.zeros((0, 3)), np.zeros(0))
+        masses, points, count = tree.force_terms(np.zeros(3), theta=0.8)
+        assert len(masses) == 0 and len(points) == 0 and count == 0
+        for mode in ("reference", "vectorized"):
+            from repro import kernels
+
+            acc, inter = kernels.get("bh_walk", mode)(
+                tree, np.array([[1.0, 2.0, 3.0]]), 0.8, 0.05, None
+            )
+            assert np.array_equal(acc, np.zeros((1, 3)))
+            assert inter.tolist() == [0]
+
+    def test_empty_points_against_real_tree(self):
+        from repro import kernels
+
+        b = plummer(50, seed=40)
+        tree = BHTree(b.pos, b.mass)
+        for mode in ("reference", "vectorized"):
+            acc, inter = kernels.get("bh_walk", mode)(
+                tree, np.zeros((0, 3)), 0.8, 0.05,
+                np.zeros(0, dtype=np.int64),
+            )
+            assert acc.shape == (0, 3)
+            assert inter.shape == (0,)
+
+
 class TestBodies:
     def test_create_validates(self):
         with pytest.raises(ValueError):

@@ -1,7 +1,13 @@
 """Tests for the superstep tracing/inspection helpers."""
 
 from repro import CENJU, SGI, bsp_run
-from repro.util import compare_machines, hotspots, superstep_table, to_csv
+from repro.util import (
+    compare_machines,
+    hotspots,
+    superstep_table,
+    to_csv,
+    w_profile_table,
+)
 
 
 def make_stats():
@@ -57,6 +63,38 @@ class TestHotspots:
         # On the Cenju, L = 2.9ms at p=4... dominant should be latency
         # for the empty supersteps.
         assert any(term == "latency" for _, _, term in spots)
+
+
+class TestWProfileTable:
+    def test_measured_beside_predicted(self):
+        stats = make_stats()
+        text = w_profile_table(stats, host_to_sgi=2.0, use_charged=True)
+        assert "measured w (ms)" in text
+        assert "pred W (ms)" in text
+        # Superstep 0 charged 10 units; at scale 2.0 the predicted W is
+        # 20 s = 20000 ms, rendered without decimals at that magnitude.
+        assert "20000" in text
+        assert "total" in text
+
+    def test_measured_work_model(self):
+        stats = make_stats()
+        text = w_profile_table(stats, host_to_sgi=1.0, use_charged=False)
+        # Under the measured model pred W mirrors the w column (same
+        # scale 1.0), so the total row predicts stats.W.
+        last = text.strip().splitlines()[-1].split()
+        assert last[0] == "total"
+        assert float(last[1]) == float(last[3])
+
+    def test_limit_elides_but_total_covers_all(self):
+        def program(bsp):
+            for _ in range(30):
+                bsp.charge(1)
+                bsp.sync()
+
+        stats = bsp_run(program, 2).stats
+        text = w_profile_table(stats, limit=5)
+        assert "more supersteps" in text
+        assert "total" in text
 
 
 class TestCompareMachines:

@@ -24,6 +24,16 @@ class TestCli:
         assert "SGI pred" in out
         assert "S paper" in out
 
+    def test_profile_w_prints_superstep_tables(self, capsys):
+        assert main(["matmult", "144", "--profile-w",
+                     "--profile-limit", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "measured w (ms)" in out
+        assert "pred W (ms)" in out
+        # One profile table per processor count of the sweep.
+        assert out.count("measured w vs predicted SGI W") >= 2
+        assert "charged work model" in out
+
     def test_unknown_size(self, capsys):
         assert main(["matmult", "999"]) == 2
         assert "unknown size" in capsys.readouterr().err
