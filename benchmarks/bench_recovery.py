@@ -1,0 +1,178 @@
+"""Measure what checkpoint resume buys over restart-from-zero.
+
+A paced, checkpointed ring runs ``ROUNDS`` supersteps; a worker is
+SIGKILLed in the final quarter (step ``KILL_STEP``).  Two recoveries are
+timed on the healed pool:
+
+* ``restart_s`` — the pre-checkpointing strategy: run the whole program
+  again from superstep 0 (a clean full run);
+* ``resume_s``  — load the last complete checkpoint and run only the
+  remaining supersteps.
+
+``recovery_speedup_x = restart_s / resume_s`` is the headline: for a kill
+at step k of S it should approach ``S / (S - k)`` (6x at k=20, S=24),
+minus the constant cost of loading shards and replaying the boundary.
+Both recovered runs are asserted bit-identical to the golden ledger —
+a fast resume that computed something else would be worthless.
+
+Acceptance floor (enforced, nonzero exit): ``recovery_speedup_x >= 2.0``
+for every scenario (``>= 1.2`` under ``--quick``, whose shorter pause
+leaves less pacing for the speedup to come from).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_recovery.py --quick
+    PYTHONPATH=src python benchmarks/bench_recovery.py \
+        --label checkpointing --output BENCH_recovery.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+
+from repro import CheckpointConfig, DiskCheckpointStore, bsp_run
+from repro import faults
+from repro.backends.processes import ProcessBackend
+from repro.backends.tcp import TcpBackend
+from repro.core.errors import WorkerCrashError
+
+NPROCS = 2
+ROUNDS = 24
+KILL_STEP = 20  # final quarter: most of the work predates the crash
+PAUSE = 0.05
+PAUSE_QUICK = 0.02
+
+
+def paced_ring(bsp, rounds, pause):
+    """Checkpointed ring whose supersteps cost a fixed ``pause`` each."""
+    total = 0
+    start = 0
+    restored = bsp.resume_state()
+    if restored is not None:
+        start, total = restored
+    for r in range(start, rounds):
+        bsp.checkpoint(lambda: (r, total))
+        time.sleep(pause)
+        bsp.send((bsp.pid + 1) % bsp.nprocs, (bsp.pid + 1) * (r + 1))
+        bsp.sync()
+        total += sum(pkt.payload for pkt in bsp.packets())
+    return total
+
+
+def _ledger_key(stats):
+    return (stats.S, stats.H, stats.h_series, stats.m_series)
+
+
+def bench_backend(kind: str, pause: float) -> dict:
+    golden = bsp_run(paced_ring, NPROCS, args=(ROUNDS, pause))
+    golden_key = (golden.results, _ledger_key(golden.stats))
+
+    cls = {"processes": ProcessBackend, "tcp": TcpBackend}[kind]
+    plan = faults.FaultPlan(
+        [faults.Fault(faults.KILL, pid=1, step=KILL_STEP)])
+    root = tempfile.mkdtemp(prefix=f"bench-recovery-{kind}-")
+    store = DiskCheckpointStore(root)
+    with faults.injected(plan):
+        backend = cls.pool(NPROCS)
+    with backend:
+        # Attempt 1: runs to the kill step, then crashes; the backend
+        # heals its dead rank before the error propagates, and the
+        # checkpoints written so far stay published in the store.
+        cfg = CheckpointConfig(store=store, run_key="bench")
+        t0 = time.perf_counter()
+        try:
+            bsp_run(paced_ring, NPROCS, args=(ROUNDS, pause), backend=backend,
+                    checkpoint=cfg)
+            raise RuntimeError("injected crash did not fire")
+        except WorkerCrashError:
+            crash_s = time.perf_counter() - t0
+        resumed_from = store.latest_step("bench", NPROCS)
+
+        # Recovery strategy A (the only one before this change): restart
+        # the whole program from superstep 0.
+        t0 = time.perf_counter()
+        restart = bsp_run(paced_ring, NPROCS, args=(ROUNDS, pause),
+                          backend=backend)
+        restart_s = time.perf_counter() - t0
+
+        # Recovery strategy B: resume every rank from the last barrier.
+        t0 = time.perf_counter()
+        resume = bsp_run(
+            paced_ring, NPROCS, args=(ROUNDS, pause), backend=backend,
+            checkpoint=CheckpointConfig(store=store, run_key="bench",
+                                        resume=True))
+        resume_s = time.perf_counter() - t0
+
+    for name, run in (("restart", restart), ("resume", resume)):
+        if (run.results, _ledger_key(run.stats)) != golden_key:
+            raise AssertionError(
+                f"{kind}/{name}: recovered run diverged from golden")
+    return {
+        "nprocs": NPROCS,
+        "rounds": ROUNDS,
+        "kill_step": KILL_STEP,
+        "pause_s": pause,
+        "resumed_from_step": resumed_from,
+        "time_to_crash_s": round(crash_s, 4),
+        "restart_s": round(restart_s, 4),
+        "resume_s": round(resume_s, 4),
+        "recovery_speedup_x": round(restart_s / resume_s, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter pacing (CI smoke); relaxed floor")
+    parser.add_argument("--label", default=None,
+                        help="snapshot name in the output JSON")
+    parser.add_argument("--output", default=None,
+                        help="JSON file to merge this snapshot into")
+    args = parser.parse_args(argv)
+
+    pause = PAUSE_QUICK if args.quick else PAUSE
+    floor = 1.2 if args.quick else 2.0
+    scenarios = {kind: bench_backend(kind, pause)
+                 for kind in ("processes", "tcp")}
+
+    failed = []
+    for kind, row in scenarios.items():
+        print(f"{kind:<10} crash@{row['kill_step']}/{row['rounds']}  "
+              f"resumed from step {row['resumed_from_step']}  "
+              f"restart {row['restart_s'] * 1e3:7.1f} ms  "
+              f"resume {row['resume_s'] * 1e3:7.1f} ms  "
+              f"-> {row['recovery_speedup_x']}x")
+        if row["recovery_speedup_x"] < floor:
+            failed.append(kind)
+    if failed:
+        print(f"FAIL: recovery_speedup_x below the {floor}x floor "
+              f"for: {', '.join(failed)}", file=sys.stderr)
+
+    snapshot = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "floor_x": floor,
+        "scenarios": scenarios,
+    }
+    if args.output:
+        label = args.label or "snapshot"
+        try:
+            with open(args.output) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            doc = {}
+        doc[label] = snapshot
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote snapshot {label!r} to {args.output}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,6 +35,7 @@ from .core.errors import (
     BspConfigError,
     BspError,
     BspUsageError,
+    CheckpointError,
     CostModelError,
     DeadlockError,
     PacketError,
@@ -59,9 +60,14 @@ from .core.packets import PACKET_BYTES, Packet, PacketCodec, h_units
 from .core.runtime import BspRunResult, bsp_run
 from .core.stats import ProgramStats, SuperstepStats, VPLedger
 
-# After core: backends.base imports from repro.core, so this must follow
-# the core imports to keep package initialization acyclic.
+# After core: backends.base and checkpoint import from repro.core, so
+# these must follow the core imports to keep initialization acyclic.
 from .backends.base import WorkerStatus, describe_workers  # noqa: E402
+from .checkpoint import (  # noqa: E402
+    CheckpointConfig,
+    DiskCheckpointStore,
+    MemoryCheckpointStore,
+)
 
 __version__ = "1.0.0"
 
@@ -72,13 +78,17 @@ __all__ = [
     "BspRunResult",
     "BspUsageError",
     "CalibrationResult",
+    "CheckpointConfig",
+    "CheckpointError",
     "CostBreakdown",
     "CostModelError",
     "CENJU",
     "DeadlockError",
+    "DiskCheckpointStore",
     "Drma",
     "GetFuture",
     "MachineProfile",
+    "MemoryCheckpointStore",
     "PACKET_BYTES",
     "PAPER_MACHINES",
     "PC_LAN",

@@ -28,6 +28,7 @@ fairly small problem sizes and high-latency platforms" (Section 3.2.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -75,7 +76,18 @@ def nbody_program(
     p = bsp.nprocs
     nrepartitions = 0
 
-    for step_index in range(warmup + steps):
+    start_index = 0
+    restored = bsp.resume_state()
+    if restored is not None:
+        # Bodies migrate between processors, so the snapshot carries the
+        # full local body set (not indices into the initial partition).
+        start_index, pos, vel, mass, ident, nrepartitions = restored
+        mine = Bodies(pos=pos, vel=vel, mass=mass, ident=ident)
+
+    for step_index in range(start_index, warmup + steps):
+        bsp.checkpoint(lambda: (step_index, mine.pos.copy(),
+                                mine.vel.copy(), mine.mass.copy(),
+                                mine.ident.copy(), nrepartitions))
         threshold = 0.0 if step_index < warmup else rebalance_threshold
         # -- Superstep 1: geometry exchange.
         lo, hi = mine.aabb()
@@ -221,6 +233,8 @@ def bsp_nbody(
     backend: str = "simulator",
     balance: bool = True,
     warmup_steps: int = 0,
+    checkpoint: Any = None,
+    retries: int = 0,
 ) -> NBodyRun:
     """Evolve ``bodies`` for ``steps`` BH time steps on ``nprocs`` processors.
 
@@ -263,6 +277,8 @@ def bsp_nbody(
             rebalance_threshold,
             warmup_steps,
         ),
+        checkpoint=checkpoint,
+        retries=retries,
     )
     merged = Bodies.concatenate([b for b in run.results if len(b)])
     stats = run.stats

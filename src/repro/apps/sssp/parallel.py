@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -94,7 +94,22 @@ def sssp_program(
     # at least one exchange so the source's initial work is visible.
     my_active = True
     first = True
+    restored = bsp.resume_state()
+    if restored is not None:
+        # The graph/kernels above are deterministic recomputations; the
+        # snapshot holds only the evolving state.  ``changed`` was
+        # captured sorted so set insertion order — and therefore the
+        # outgoing-record order below — replays identically.
+        dist_r, queues_r, changed_r, my_active, first = restored
+        dist = dist_r
+        queues = [list(q) for q in queues_r]
+        changed = set(changed_r)
     while True:
+        # Captured before the inbox drain: update records delivered at
+        # the barrier but not yet applied ride along in the runtime's
+        # inbox snapshot, keeping the cut consistent.
+        bsp.checkpoint(lambda: (dist.copy(), [list(q) for q in queues],
+                                sorted(changed), my_active, first))
         # 1. Incoming border updates and peers' activity bits, both sent at
         #    the end of the previous superstep.  Update records are
         #    batched and applied by the kernel, which returns the
@@ -155,6 +170,8 @@ def _run_engine(
     sources: Sequence[int],
     work_factor: int | None,
     backend: str,
+    checkpoint: Any = None,
+    retries: int = 0,
 ) -> tuple[np.ndarray, ProgramStats]:
     for src in sources:
         if not 0 <= src < graph.n:
@@ -167,6 +184,8 @@ def _run_engine(
         nprocs,
         backend=backend,
         args=(lg_all, list(sources), work_factor),
+        checkpoint=checkpoint,
+        retries=retries,
     )
     dist = np.full((len(sources), graph.n), np.inf)
     for home, rows in run.results:
@@ -183,14 +202,19 @@ def bsp_sssp(
     *,
     work_factor: int | None = DEFAULT_WORK_FACTOR,
     backend: str = "simulator",
+    checkpoint: Any = None,
+    retries: int = 0,
 ) -> SsspResult:
     """Single-source shortest paths (Section 3.4).
 
     ``work_factor=None`` selects the paper's rejected naive variant
-    (drain the queue completely each superstep).
+    (drain the queue completely each superstep).  ``checkpoint`` /
+    ``retries`` enable per-superstep snapshots and crash resume (see
+    :func:`~repro.core.runtime.bsp_run`).
     """
     dist, stats = _run_engine(
-        graph, owner, nprocs, [source], work_factor, backend
+        graph, owner, nprocs, [source], work_factor, backend,
+        checkpoint=checkpoint, retries=retries,
     )
     return SsspResult(dist=dist[0], stats=stats)
 
@@ -203,6 +227,8 @@ def bsp_msp(
     *,
     work_factor: int | None = DEFAULT_WORK_FACTOR,
     backend: str = "simulator",
+    checkpoint: Any = None,
+    retries: int = 0,
 ) -> SsspResult:
     """Multiple simultaneous shortest paths (Section 3.5).
 
@@ -213,6 +239,7 @@ def bsp_msp(
     if not sources:
         raise ValueError("msp needs at least one source")
     dist, stats = _run_engine(
-        graph, owner, nprocs, list(sources), work_factor, backend
+        graph, owner, nprocs, list(sources), work_factor, backend,
+        checkpoint=checkpoint, retries=retries,
     )
     return SsspResult(dist=dist, stats=stats)

@@ -393,7 +393,8 @@ def _timeout_failure(nprocs: int, outcomes: Sequence[Any],
     if dead:
         proc = procs[dead[0]]
         proc.join(timeout=1.0)
-        return WorkerCrashError(dead[0], proc.exitcode, os_pid=proc.pid)
+        return WorkerCrashError(dead[0], proc.exitcode, os_pid=proc.pid,
+                                detail=detail)
     stall_window = min(5.0, max(1.0, timeout / 4.0))
     stalled = [pid for pid in missing if now - hb_when[pid] >= stall_window]
     if not stalled:
@@ -497,7 +498,11 @@ def _collect_outcomes(result_q: Any, nprocs: int, run_id: int,
         if lost:
             proc = procs[lost[0]]
             proc.join(timeout=1.0)
-            raise WorkerCrashError(lost[0], proc.exitcode, os_pid=proc.pid)
+            detail = describe_workers(_worker_statuses(
+                nprocs, outcomes, procs, transport, hb_when,
+                time.monotonic()))
+            raise WorkerCrashError(lost[0], proc.exitcode, os_pid=proc.pid,
+                                   detail=detail)
     return outcomes
 
 
@@ -577,6 +582,8 @@ class PoolHealth:
     restarts_left:
         Remaining fault events in the restart budget; when it hits zero
         the next fault shuts the pool down (:class:`PoolExhaustedError`).
+        ``-1`` means unbounded — a :class:`~repro.backends.tcp.TcpMesh`
+        (which shares this snapshot type) has no restart budget.
     last_fault:
         ``repr``-style description of the most recent fault, or ``None``.
     alive:
@@ -831,6 +838,15 @@ class BspPool:
             # Deadlocked (or unattributably stuck) workers: the only safe
             # reset is a full re-fork.
             self._recover(run_id, fault=exc, crashed=False)
+            raise
+        except KeyboardInterrupt:
+            # An interactive abort must not strand workers mid-barrier:
+            # escalate terminate→kill and close the pool.  Checkpoint
+            # shards already published by the interrupted run stay on
+            # disk, so a checkpointing run remains resumable.
+            self._closed = True
+            self._last_fault = "KeyboardInterrupt"
+            self._teardown(graceful=False)
             raise
         self._faults_in_a_row = 0
         wall = time.perf_counter() - t0

@@ -81,7 +81,7 @@ from ..core.errors import (
     WorkerCrashError,
 )
 from ..core.packets import Packet, PacketRuns
-from .base import Backend, BackendRun, Program
+from .base import Backend, BackendRun, Program, describe_workers
 from .exchange import peer_order
 from .frames import TAG_DEAD, TAG_LEFT, TAG_PKT, Frame
 from .processes import (
@@ -91,9 +91,16 @@ from .processes import (
     _join_escalating,
     _raise_run_failure,
     _timeout_failure,
+    _worker_statuses,
+    PoolHealth,
 )
 from . import tcp_wire as wire
-from .tcp_launch import bind_listener, rendezvous_mesh, tune_mesh_socket
+from .tcp_launch import (
+    bind_listener,
+    connect_retry,
+    rendezvous_mesh,
+    tune_mesh_socket,
+)
 
 _TOKEN_COUNTER = itertools.count(1)
 
@@ -465,8 +472,10 @@ def _run_program(channel: _MeshChannel, rank: int, nprocs: int, run_id: int,
 
 
 def _connect_ctrl(parent_addr: tuple[str, int], rank: int) -> _CtrlLink:
-    sock = socket.create_connection(parent_addr, timeout=30.0)
-    tune_mesh_socket(sock)
+    # Retried with backoff+jitter: a freshly forked rank can dial before
+    # the supervisor's accept loop is servicing the listener backlog.
+    sock = connect_retry(parent_addr, time.monotonic() + 30.0,
+                         what="supervisor control listener")
     ctrl = _CtrlLink(sock, rank)
     ctrl.hello()
     return ctrl
@@ -685,7 +694,10 @@ def _collect_tcp(nprocs: int, run_id: int, procs: Sequence[Any],
         if lost:
             proc = procs[lost[0]]
             proc.join(timeout=1.0)
-            raise WorkerCrashError(lost[0], proc.exitcode, os_pid=proc.pid)
+            detail = describe_workers(_worker_statuses(
+                nprocs, outcomes, procs, hbtable, hb_when, time.monotonic()))
+            raise WorkerCrashError(lost[0], proc.exitcode, os_pid=proc.pid,
+                                   detail=detail)
     return outcomes
 
 
@@ -724,6 +736,12 @@ class TcpMesh:
         self._run_id = 0
         self._closed = False
         self._dirty = False
+        # Supervision counters surfaced by health(), mirroring BspPool:
+        # every dirty-rebuild re-forks the whole rank set (streams cannot
+        # be partially healed), and there is no restart budget.
+        self._generation = 0
+        self._restarts = 0
+        self._last_fault: str | None = None
         self._links: dict[int, _Link] = {}
         self._procs: list[Any] = []
         self._build()
@@ -763,8 +781,12 @@ class TcpMesh:
                 if dead:
                     proc = self._procs[dead[0]]
                     proc.join(timeout=1.0)
+                    now = time.monotonic()
+                    detail = describe_workers(_worker_statuses(
+                        self._capacity, [None] * self._capacity,
+                        self._procs, None, [now] * self._capacity, now))
                     raise WorkerCrashError(dead[0], proc.exitcode,
-                                           os_pid=proc.pid)
+                                           os_pid=proc.pid, detail=detail)
                 try:
                     sock, _ = parent_listener.accept()
                 except socket.timeout:
@@ -825,6 +847,23 @@ class TcpMesh:
         """Maximum ``nprocs`` a run on this mesh may use."""
         return self._capacity
 
+    def health(self) -> PoolHealth:
+        """Supervision snapshot (``BspPool.health`` parity).
+
+        ``restarts_left`` is ``-1``: a mesh has no restart budget — every
+        failed run is followed by a full rebuild at the next ``run()``.
+        """
+        alive = 0 if self._closed else \
+            sum(1 for proc in self._procs if proc.is_alive())
+        return PoolHealth(
+            generation=self._generation,
+            restarts=self._restarts,
+            restarts_left=-1,
+            last_fault=self._last_fault,
+            alive=alive,
+            capacity=self._capacity,
+        )
+
     # -- running ------------------------------------------------------------
 
     def run(self, program: Program, nprocs: int | None = None,
@@ -847,6 +886,8 @@ class TcpMesh:
         if self._dirty:
             self._teardown(graceful=False)
             self._build()
+            self._generation += 1
+            self._restarts += self._capacity
         self._run_id += 1
         run_id = self._run_id
         t0 = time.perf_counter()
@@ -857,8 +898,18 @@ class TcpMesh:
         try:
             outcomes = _collect_tcp(nprocs, run_id, self._procs[:nprocs],
                                     self._links, self._join_timeout)
-        except (WorkerCrashError, SynchronizationError):
+        except (WorkerCrashError, SynchronizationError) as exc:
             self._dirty = True
+            self._last_fault = f"{type(exc).__name__}: {exc}"
+            raise
+        except KeyboardInterrupt:
+            # An interactive abort must not strand rank processes behind
+            # wedged sockets: escalate terminate→kill and close the mesh.
+            # Checkpoint shards already published by the interrupted run
+            # stay on disk, so a checkpointing run remains resumable.
+            self._closed = True
+            self._last_fault = "KeyboardInterrupt"
+            self._teardown(graceful=False)
             raise
         wall = time.perf_counter() - t0
         if any(o is None or o[0] != "ok" for o in outcomes):
@@ -927,6 +978,10 @@ class TcpBackend(Backend):
         """Release the owned mesh, if any (no-op for one-shot backends)."""
         if self._owns_mesh and self._mesh is not None:
             self._mesh.close()
+
+    def health(self) -> PoolHealth | None:
+        """The bound mesh's supervision snapshot; ``None`` when one-shot."""
+        return None if self._mesh is None else self._mesh.health()
 
     def run(
         self,

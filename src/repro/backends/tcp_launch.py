@@ -27,6 +27,7 @@ Used two ways:
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 
@@ -63,14 +64,20 @@ def tune_mesh_socket(sock: socket.socket) -> None:
     sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
 
 
-def connect_retry(addr: tuple[str, int], deadline: float) -> socket.socket:
+def connect_retry(addr: tuple[str, int], deadline: float, *,
+                  what: str = "rank listener") -> socket.socket:
     """Dial ``addr``, retrying refusals until ``deadline`` (monotonic).
 
     Ranks come up in arbitrary order, so the first dial frequently races
     the target's ``bind``; refusals inside the window are expected, not
-    errors.
+    errors.  Backoff is exponential with full jitter — many ranks dial
+    one listener at startup, and without jitter their retries stay in
+    lockstep and hammer the backlog in bursts.  Past the deadline the
+    failure is a :class:`SynchronizationError` naming the unreachable
+    endpoint (``what``) and the budget that was spent waiting for it.
     """
     delay = 0.01
+    start = time.monotonic()
     while True:
         try:
             sock = socket.create_connection(addr, timeout=max(
@@ -79,10 +86,13 @@ def connect_retry(addr: tuple[str, int], deadline: float) -> socket.socket:
             return sock
         except OSError as exc:
             if time.monotonic() + delay >= deadline:
+                waited = time.monotonic() - start
                 raise SynchronizationError(
-                    f"could not connect to rank listener at {addr}: {exc}"
+                    f"could not reach {what} at {addr[0]}:{addr[1]} after "
+                    f"{waited:.1f}s of retries (rendezvous budget spent; "
+                    f"last error: {exc})"
                 ) from exc
-            time.sleep(delay)
+            time.sleep(delay * (0.5 + random.random() * 0.5))
             delay = min(delay * 2, 0.25)
 
 
@@ -170,7 +180,8 @@ def rendezvous_mesh(
     listener = bind_listener(bind_host if bind_host is not None
                              else coordinator[0])
     try:
-        coord = connect_retry(coordinator, deadline)
+        coord = connect_retry(coordinator, deadline,
+                              what="coordinator (rank 0)")
         mesh[0] = coord
         send_msg(coord, (_HELLO, token, rank, listener.getsockname()))
         reply = recv_msg(coord)
@@ -181,7 +192,8 @@ def rendezvous_mesh(
         table = reply[2]
         # Pair rule: for i < j, j dials i.  Dial the lower ranks...
         for peer in range(1, rank):
-            sock = connect_retry(tuple(table[peer]), deadline)
+            sock = connect_retry(tuple(table[peer]), deadline,
+                                 what=f"rank {peer} listener")
             send_msg(sock, (_LINK, token, rank))
             mesh[peer] = sock
         # ...and accept the higher ones.

@@ -71,6 +71,7 @@ class Bsp:
         "_t0",
         "_finished",
         "_clock",
+        "_ckpt",
     )
 
     def __init__(
@@ -94,6 +95,7 @@ class Bsp:
         self._step = 0
         self._seq = 0
         self._finished = False
+        self._ckpt = None
         self._t0 = clock()
 
     # -- identity ---------------------------------------------------------
@@ -233,6 +235,69 @@ class Bsp:
         costed — the paper's experiments likewise exclude I/O.
         """
         return _OffClock(self)
+
+    # -- checkpointing (opt-in capture/restore protocol) ---------------------
+
+    def checkpoint(self, capture: Callable[[], Any]) -> bool:
+        """Offer a snapshot of this rank at the current superstep boundary.
+
+        Programs call this at the top of their superstep loop — after a
+        ``sync()`` (or before the first one) and **before** any ``send()``
+        of the new superstep, so the snapshot sits exactly on the
+        consistent cut the barrier provides.  ``capture`` must return a
+        picklable value holding everything the program needs to restart
+        this superstep; it is only invoked when a checkpoint is actually
+        due (``checkpoint_every`` spacing), and runs off the work clock.
+
+        Returns ``True`` if a shard was written, ``False`` when the run
+        is not checkpointing or no checkpoint is due yet.  On resume,
+        :meth:`resume_state` hands back what ``capture`` returned.
+        """
+        self._check_live()
+        agent = self._ckpt
+        if agent is None or not agent.due(self._step):
+            return False
+        if self._outbox:
+            raise BspUsageError(
+                f"pid {self._pid}: checkpoint() must run at a superstep "
+                f"boundary, before any send() of superstep {self._step} "
+                f"({len(self._outbox)} packet(s) already queued)"
+            )
+        with self.off_clock():
+            agent.write(self._step, self._pid, self._nprocs, capture(),
+                        list(self._inbox), self._ledger.samples[:-1])
+        return True
+
+    def resume_state(self) -> Any:
+        """The restored ``capture`` value after a checkpoint resume.
+
+        ``None`` on a fresh (non-resumed) run, and on every call after
+        the first — the state is handed out exactly once, so programs
+        can write ``restored = bsp.resume_state()`` unconditionally.
+        """
+        if self._ckpt is None:
+            return None
+        return self._ckpt.take_state()
+
+    def _attach_checkpoint(self, agent) -> None:
+        """Bind a :class:`~repro.checkpoint.WorkerCheckpoint`; when it
+        carries a resume snapshot, fast-forward this context to the
+        snapshot's boundary: ledger samples for supersteps ``0..step-1``
+        restored verbatim, undelivered inbox re-queued, superstep counter
+        advanced.  Backend/wrapper internal."""
+        if self._step != 0 or self._outbox or len(self._ledger.samples) != 1:
+            raise BspUsageError(
+                "checkpoint restore must happen before any sync() or send()")
+        self._ckpt = agent
+        snap = agent.snapshot
+        if snap is None:
+            return
+        self._ledger.samples[:] = list(snap.samples)
+        self._sample = self._ledger.begin_superstep()
+        self._inbox = deque(snap.inbox)
+        self._step = snap.step
+        self._seq = 0
+        self._t0 = self._clock()
 
     # -- lifecycle (backend-internal) ---------------------------------------
 

@@ -71,13 +71,17 @@ class WorkerCrashError(SynchronizationError):
     signum / signal_name:
         The killing signal (number and name), or ``None`` for a plain
         non-zero exit.
+    detail:
+        Optional per-pid liveness table (``describe_workers``) appended to
+        the message so recovery-path exceptions show the whole fabric.
     """
 
     def __init__(self, pid: int, exitcode: int | None,
-                 os_pid: int | None = None):
+                 os_pid: int | None = None, detail: str | None = None):
         self.pid = pid
         self.exitcode = exitcode
         self.os_pid = os_pid
+        self.detail = detail
         self.signum = -exitcode if exitcode is not None and exitcode < 0 \
             else None
         self.signal_name: str | None = None
@@ -93,8 +97,10 @@ class WorkerCrashError(SynchronizationError):
         else:
             fate = f"exited with code {exitcode}"
         where = f" (os pid {os_pid})" if os_pid is not None else ""
-        super().__init__(
-            f"worker {pid}{where} {fate} without reporting a result")
+        message = f"worker {pid}{where} {fate} without reporting a result"
+        if detail:
+            message = f"{message} [{detail}]"
+        super().__init__(message)
 
 
 class DeadlockError(SynchronizationError):
@@ -114,6 +120,19 @@ class DeadlockError(SynchronizationError):
     def __init__(self, message: str, *, stalled: tuple[int, ...] = ()):
         self.stalled = tuple(stalled)
         super().__init__(message)
+
+
+class CheckpointError(BspError, RuntimeError):
+    """A checkpoint shard is missing, corrupt, truncated, or inconsistent.
+
+    Raised by :class:`repro.checkpoint.CheckpointStore` loads when the
+    stored checksum does not match the payload, the header is malformed,
+    or the shard's (step, pid, nprocs) identity disagrees with what the
+    resuming run expects.  Recovery code treats such shards as absent:
+    ``latest_step`` only ever names steps whose every shard validates, so
+    a bad checkpoint falls back to the previous complete one instead of
+    silently resuming from garbage.
+    """
 
 
 class PoolExhaustedError(BspError, RuntimeError):

@@ -19,8 +19,12 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from ..backends.base import Backend, Program, get_backend
-from .errors import BspConfigError, WorkerCrashError
+from .errors import BspConfigError, DeadlockError, WorkerCrashError
 from .stats import ProgramStats
+
+#: Backends whose workers are separate OS processes: a checkpoint store
+#: must be shared (on disk) to cross that boundary.
+_MULTIPROCESS_BACKENDS = frozenset({"processes", "tcp", "tcp-spmd"})
 
 
 @dataclass(frozen=True)
@@ -56,6 +60,7 @@ def bsp_run(
     args: Sequence[Any] = (),
     kwargs: dict[str, Any] | None = None,
     retries: int = 0,
+    checkpoint: Any = None,
 ) -> BspRunResult:
     """Execute ``program`` on ``nprocs`` virtual processors.
 
@@ -79,25 +84,72 @@ def bsp_run(
         How many times to re-run after a
         :class:`~repro.core.errors.WorkerCrashError` — a worker process
         dying without reporting (OOM kill, segfaulting extension).  Only
-        crashes are retried: they are substrate faults, and a pooled
-        process backend self-heals between attempts.  Program-level
-        failures (``VirtualProcessorError``) and deadlocks re-raise
-        immediately — retrying those would just repeat them.  Safe for
-        idempotent programs; side-effecting programs may observe partial
-        effects of the crashed attempt.
+        substrate faults are retried: a pooled process backend self-heals
+        between attempts.  Program-level failures
+        (``VirtualProcessorError``) re-raise immediately — retrying those
+        would just repeat them.  With ``checkpoint`` set, a
+        :class:`~repro.core.errors.DeadlockError` is retried too (the
+        pool/mesh rebuilds its fabric and the program resumes past the
+        stalled superstep); without checkpointing a deadlock would replay
+        identically, so it re-raises.  Safe for idempotent programs;
+        side-effecting programs may observe partial effects of the
+        crashed attempt.
+    checkpoint:
+        A :class:`~repro.checkpoint.CheckpointConfig`, or ``None`` (no
+        checkpointing).  The program opts in by calling
+        ``bsp.checkpoint(capture)`` at the top of its superstep loop and
+        reading ``bsp.resume_state()`` once at start.  Retried attempts
+        (and fresh runs with ``resume=True``) resume every rank from the
+        newest *complete, checksum-valid* checkpoint instead of
+        superstep 0; a damaged newest checkpoint falls back to the
+        previous one, and to a from-scratch run when none validates.
     """
     if not isinstance(retries, int) or retries < 0:
         raise BspConfigError(
             f"retries must be a non-negative int, got {retries!r}")
     engine = backend if isinstance(backend, Backend) else get_backend(backend)
+
+    cfg = checkpoint
+    if cfg is not None:
+        from ..checkpoint import CheckpointConfig, CheckpointedProgram
+        if not isinstance(cfg, CheckpointConfig):
+            raise BspConfigError(
+                f"checkpoint must be a CheckpointConfig, "
+                f"got {type(cfg).__name__}")
+        if (engine.name in _MULTIPROCESS_BACKENDS
+                and not cfg.store.shared_across_processes):
+            raise BspConfigError(
+                f"backend {engine.name!r} runs workers in separate "
+                "processes; its checkpoints need a store that crosses the "
+                "fork (use DiskCheckpointStore, not "
+                f"{type(cfg.store).__name__})")
+        if not cfg.resume:
+            # A stale complete checkpoint from a previous run under the
+            # same key must never hijack this run's crash retries.
+            cfg.store.clear(cfg.run_key)
+
     attempts_left = retries
+    resume = cfg.resume if cfg is not None else False
     while True:
+        run_program = program
+        if cfg is not None:
+            # Re-resolved each attempt: the failed attempt's own shards
+            # (written up to the crash) are what the retry resumes from.
+            resume_step = (cfg.store.latest_step(cfg.run_key, nprocs)
+                           if resume else None)
+            run_program = CheckpointedProgram(program, cfg, resume_step)
         try:
-            run = engine.run(program, nprocs, args=args, kwargs=kwargs)
+            run = engine.run(run_program, nprocs, args=args, kwargs=kwargs)
             break
         except WorkerCrashError:
             if attempts_left <= 0:
                 raise
             attempts_left -= 1
+            resume = cfg is not None
+        except DeadlockError:
+            if cfg is None or attempts_left <= 0:
+                raise
+            attempts_left -= 1
+            resume = True
     stats = ProgramStats.from_ledgers(run.ledgers, wall_seconds=run.wall_seconds)
     return BspRunResult(results=run.results, stats=stats, backend=engine.name)

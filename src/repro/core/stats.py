@@ -186,6 +186,23 @@ class ProgramStats:
         """Abstract-work analogue of :attr:`W` (user ``charge`` units)."""
         return sum(s.charged for s in self.supersteps)
 
+    @property
+    def h_series(self) -> tuple[int, ...]:
+        """Per-superstep h-relation sizes ``(h_0, ..., h_{S-1})``.
+
+        The deterministic spine of a run: together with :attr:`S` and
+        :attr:`H` this is the ledger identity that crash-then-resume
+        recovery (``repro.checkpoint``) must reproduce bit-for-bit —
+        unlike W, which is wall-clock and varies run to run.
+        """
+        return tuple(s.h for s in self.supersteps)
+
+    @property
+    def m_series(self) -> tuple[int, ...]:
+        """Per-superstep message-count maxima (the :attr:`M` analogue of
+        :attr:`h_series`); part of the same recovery identity contract."""
+        return tuple(s.m for s in self.supersteps)
+
     def scaled(self, work_scale: float) -> "ProgramStats":
         """Return a copy with all measured work times multiplied.
 

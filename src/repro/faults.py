@@ -31,6 +31,19 @@ Fault kinds
                 on a processor that already returned.
 =============== ==========================================================
 
+Checkpoint-targeted kinds (consulted by
+:meth:`repro.checkpoint.CheckpointStore.save_shard` right after a shard
+is durably written, i.e. they model storage-level damage, not a failed
+write):
+
+======================= ==================================================
+``TRUNCATE_CHECKPOINT`` cut the just-written shard to half its bytes — a
+                        crash mid-flush / torn write on a non-atomic
+                        filesystem.
+``CORRUPT_CHECKPOINT``  flip bytes of the just-written shard — silent
+                        media corruption that only a checksum catches.
+======================= ==================================================
+
 Zero overhead when disabled
 ---------------------------
 The hooks in ``processes.py``/``frames.py`` are a single module-attribute
@@ -72,9 +85,14 @@ POISON = "poison"
 DELAY = "delay"
 DROP_FRAME = "drop-frame"
 DROP_DEPART = "drop-depart"
+TRUNCATE_CHECKPOINT = "truncate-checkpoint"
+CORRUPT_CHECKPOINT = "corrupt-checkpoint"
 
 _KINDS = frozenset({KILL, EXIT, RAISE, POISON, DELAY, DROP_FRAME,
-                    DROP_DEPART})
+                    DROP_DEPART, TRUNCATE_CHECKPOINT, CORRUPT_CHECKPOINT})
+
+#: Kinds that damage a just-written checkpoint shard.
+CHECKPOINT_KINDS = frozenset({TRUNCATE_CHECKPOINT, CORRUPT_CHECKPOINT})
 
 #: Kinds the worker reports itself (program-level failures).
 REPORTED_KINDS = frozenset({RAISE, POISON})
@@ -127,11 +145,14 @@ class FaultPlan:
         self._boundary: dict[tuple[int, int], Fault] = {}
         self._drops: set[tuple[int, int, int]] = set()
         self._drop_departs: set[tuple[int, int]] = set()
+        self._ckpt_tampers: dict[tuple[int, int], str] = {}
         for fault in self.faults:
             if fault.kind == DROP_FRAME:
                 self._drops.add((fault.pid, fault.step, int(fault.arg)))
             elif fault.kind == DROP_DEPART:
                 self._drop_departs.add((fault.pid, int(fault.arg)))
+            elif fault.kind in CHECKPOINT_KINDS:
+                self._ckpt_tampers[(fault.pid, fault.step)] = fault.kind
             else:
                 self._boundary[(fault.pid, fault.step)] = fault
 
@@ -186,6 +207,10 @@ class FaultPlan:
 
     def drops_depart(self, pid: int, peer: int) -> bool:
         return (pid, peer) in self._drop_departs
+
+    def tampers_checkpoint(self, pid: int, step: int) -> str | None:
+        """The checkpoint-damage kind scheduled for (pid, step), if any."""
+        return self._ckpt_tampers.get((pid, step))
 
 
 #: The installed plan; ``None`` (the default) short-circuits every hook.

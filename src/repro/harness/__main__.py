@@ -22,6 +22,18 @@ The TCP launcher (the paper's PC-LAN platform, Appendix B.3)::
 
 Every invocation runs the same program (SPMD); rank 0's machine prints
 the result.  See README "Running across machines".
+
+Checkpointed, supervised runs (crash recovery, DESIGN "Recovery
+semantics")::
+
+    python -m repro.harness run ocean 66 --backend processes \\
+        --nprocs 4 --checkpoint-every 1 --checkpoint-dir /tmp/ckpt \\
+        --retries 2 -v
+
+    # after a crash that exhausted the retry budget, resume in place:
+    python -m repro.harness run ocean 66 --backend processes \\
+        --nprocs 4 --checkpoint-every 1 --checkpoint-dir /tmp/ckpt \\
+        --retries 2 --resume
 """
 
 from __future__ import annotations
@@ -90,10 +102,97 @@ def _launch_tcp(argv: list[str]) -> int:
     return 0
 
 
+def _run(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness run",
+        description="Run one paper app on a supervised backend, "
+                    "optionally with superstep checkpointing.",
+    )
+    parser.add_argument("app", choices=sorted(ALL_TABLES))
+    parser.add_argument("size", help="paper size label, e.g. 66")
+    parser.add_argument("--backend", default="processes",
+                        choices=["simulator", "processes", "tcp"])
+    parser.add_argument("--nprocs", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--retries", type=int, default=0,
+                        help="crash/deadlock retry budget for the run")
+    parser.add_argument("--checkpoint-every", type=int, default=None,
+                        metavar="K",
+                        help="snapshot every K supersteps (enables "
+                             "checkpointing; requires --checkpoint-dir "
+                             "on multiprocess backends)")
+    parser.add_argument("--checkpoint-dir", default=None,
+                        help="on-disk checkpoint store root")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume from the newest complete checkpoint "
+                             "instead of clearing the store first")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="log supervision state (pool generation, "
+                             "restarts, last fault) after the run")
+    args = parser.parse_args(argv)
+
+    if args.size not in APP_SIZES[args.app]:
+        print(f"unknown size {args.size!r} for {args.app}; "
+              f"known: {list(APP_SIZES[args.app])}", file=sys.stderr)
+        return 2
+
+    checkpoint = None
+    if args.checkpoint_every is not None or args.resume:
+        from ..checkpoint import (
+            CheckpointConfig,
+            DiskCheckpointStore,
+            MemoryCheckpointStore,
+        )
+        if args.checkpoint_dir is not None:
+            store = DiskCheckpointStore(args.checkpoint_dir)
+        else:
+            store = MemoryCheckpointStore()
+        checkpoint = CheckpointConfig(
+            store=store,
+            every=args.checkpoint_every or 1,
+            run_key=f"{args.app}-{args.size}-p{args.nprocs}",
+            resume=args.resume,
+        )
+
+    if args.backend == "processes":
+        from ..backends.processes import ProcessBackend
+        backend = ProcessBackend.pool(args.nprocs)
+    elif args.backend == "tcp":
+        from ..backends.tcp import TcpBackend
+        backend = TcpBackend.pool(args.nprocs)
+    else:
+        backend = "simulator"
+    try:
+        stats = run_app(args.app, args.size, args.nprocs,
+                        seed=args.seed, backend=backend,
+                        checkpoint=checkpoint, retries=args.retries)
+    finally:
+        if args.verbose and not isinstance(backend, str):
+            health = backend.health()
+            if health is not None:
+                budget = ("unbounded" if health.restarts_left < 0
+                          else health.restarts_left)
+                print(f"[supervision] generation={health.generation} "
+                      f"restarts={health.restarts} "
+                      f"restarts_left={budget} "
+                      f"alive={health.alive}/{health.capacity}",
+                      file=sys.stderr)
+                if health.last_fault:
+                    print(f"[supervision] last fault: {health.last_fault}",
+                          file=sys.stderr)
+        if not isinstance(backend, str):
+            backend.close()
+    print(f"{args.app}/{args.size} on {args.backend}, p={args.nprocs}: "
+          f"S={stats.S} H={stats.H} W={stats.W:.4f}s")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "launch-tcp":
         return _launch_tcp(argv[1:])
+    if argv and argv[0] == "run":
+        return _run(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's Appendix C tables.",

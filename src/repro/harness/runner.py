@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import os
 from functools import lru_cache
+from typing import Any
 
 import numpy as np
 
@@ -91,11 +92,25 @@ def run_app(
     *,
     seed: int = 0,
     backend: str = "simulator",
+    checkpoint: Any = None,
+    retries: int = 0,
 ) -> ProgramStats:
-    """Execute one (app, size, p) experiment and return its statistics."""
+    """Execute one (app, size, p) experiment and return its statistics.
+
+    ``checkpoint`` (a :class:`repro.checkpoint.CheckpointConfig`) and
+    ``retries`` enable per-superstep snapshots and crash resume for the
+    apps that implement the capture/restore protocol (ocean, nbody,
+    sp, msp); the others reject the combination rather than silently
+    restarting from zero.
+    """
     size = APP_SIZES[app][size_label]
+    if checkpoint is not None and app in ("mst", "matmult"):
+        raise ValueError(
+            f"{app} does not implement the checkpoint capture/restore "
+            f"protocol; run it without --checkpoint-every")
     if app == "ocean":
-        return bsp_ocean(size, OCEAN_STEPS, nprocs, backend=backend).stats
+        return bsp_ocean(size, OCEAN_STEPS, nprocs, backend=backend,
+                         checkpoint=checkpoint, retries=retries).stats
     if app == "matmult":
         rng = np.random.default_rng(seed)
         a = rng.standard_normal((size, size))
@@ -106,7 +121,8 @@ def run_app(
         # One untimed warm-up step settles the load distribution, as in
         # the paper's measurements of an ongoing simulation.
         return bsp_nbody(bodies, nprocs, steps=NBODY_STEPS,
-                         warmup_steps=1, backend=backend).stats
+                         warmup_steps=1, backend=backend,
+                         checkpoint=checkpoint, retries=retries).stats
     # Graph applications share the G(δ) input class, partitioned into 2-D
     # ORB tiles: node-count-balanced (the paper's "within about 10%"),
     # locality-preserving, and — unlike 1-D strips — engaging most
@@ -122,10 +138,12 @@ def run_app(
     work_factor = max(64, size // 40)
     if app == "sp":
         return bsp_sssp(gg.graph, owner, nprocs, source=0,
-                        work_factor=work_factor, backend=backend).stats
+                        work_factor=work_factor, backend=backend,
+                        checkpoint=checkpoint, retries=retries).stats
     if app == "msp":
         nsources = min(PAPER_NSOURCES, size)
         sources = default_sources(size, nsources=nsources, seed=seed)
         return bsp_msp(gg.graph, owner, nprocs, sources,
-                       work_factor=work_factor, backend=backend).stats
+                       work_factor=work_factor, backend=backend,
+                       checkpoint=checkpoint, retries=retries).stats
     raise ValueError(f"unknown app {app!r}")

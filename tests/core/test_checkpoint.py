@@ -1,0 +1,319 @@
+"""Checkpoint store and protocol invariants (no multi-process backends).
+
+The store contract that crash recovery stands on:
+
+* shards round-trip byte-for-byte, and ``latest_step`` only ever names a
+  step whose every shard validates (property-tested over random shard
+  sets and damage schedules);
+* retention keeps exactly the newest ``keep`` steps per rank;
+* a damaged newest checkpoint *demotes* to the previous complete one —
+  truncation and corruption are detected by checksum, never resumed from;
+* the ``Bsp.checkpoint()`` protocol enforces its boundary discipline
+  (no queued sends at capture, restore only before the first sync);
+* ``bsp_run`` rejects a process-local store on multi-process backends.
+
+Backends-level crash/resume identity lives in
+``tests/backends/test_recovery.py``.
+"""
+
+import shutil
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import bsp_run
+from repro import faults
+from repro.checkpoint import (
+    CheckpointConfig,
+    CheckpointedProgram,
+    DiskCheckpointStore,
+    MemoryCheckpointStore,
+    Snapshot,
+    decode_snapshot,
+    encode_snapshot,
+)
+from repro.core.errors import (
+    BspConfigError,
+    CheckpointError,
+    VirtualProcessorError,
+)
+
+
+def _stores(keep=3):
+    """Both store implementations, each in a fresh namespace."""
+    tmp = tempfile.mkdtemp(prefix="ckpt-store-")
+    return [
+        (MemoryCheckpointStore(keep=keep), None),
+        (DiskCheckpointStore(tmp, keep=keep), tmp),
+    ]
+
+
+def _cleanup(tmp):
+    if tmp is not None:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def ring_program(bsp, rounds=4):
+    total = 0
+    start = 0
+    restored = bsp.resume_state()
+    if restored is not None:
+        start, total = restored
+    for r in range(start, rounds):
+        bsp.checkpoint(lambda: (r, total))
+        bsp.send((bsp.pid + 1) % bsp.nprocs, bsp.pid + r)
+        bsp.sync()
+        total += sum(pkt.payload for pkt in bsp.packets())
+    return total
+
+
+def eager_send_program(bsp):
+    bsp.send((bsp.pid + 1) % bsp.nprocs, bsp.pid)
+    bsp.checkpoint(lambda: None)  # must raise: a packet is queued
+    bsp.sync()
+    return True
+
+
+class TestStoreRoundTrip:
+    @settings(max_examples=25, deadline=None)
+    @given(shards=st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 2),
+                  st.binary(min_size=0, max_size=64)),
+        min_size=1, max_size=12))
+    def test_round_trip_and_latest_step(self, shards):
+        """Whatever lands in the store, ``latest_step`` is the newest step
+        with a valid shard for *all* ranks, and those bytes round-trip."""
+        nprocs = 3
+        for store, tmp in _stores(keep=10):
+            try:
+                latest = {}  # (step, pid) -> blob, newest write wins
+                for step, pid, blob in shards:
+                    store.save_shard("rt", step, pid, nprocs, blob)
+                    latest[(step, pid)] = blob
+                by_step = {}
+                for (step, pid), blob in latest.items():
+                    by_step.setdefault(step, {})[pid] = blob
+                complete = [s for s, pids in by_step.items()
+                            if len(pids) == nprocs]
+                expected = max(complete) if complete else None
+                assert store.latest_step("rt", nprocs) == expected
+                if expected is not None:
+                    for pid in range(nprocs):
+                        got = store.load_shard("rt", expected, pid)
+                        assert got == by_step[expected][pid]
+            finally:
+                _cleanup(tmp)
+
+    @settings(max_examples=25, deadline=None)
+    @given(nsteps=st.integers(1, 8), keep=st.integers(1, 4))
+    def test_retention_keeps_newest(self, nsteps, keep):
+        for store, tmp in _stores(keep=keep):
+            try:
+                for step in range(nsteps):
+                    for pid in range(2):
+                        store.save_shard("ret", step, pid, 2, b"x%d" % step)
+                kept = store.complete_steps("ret", 2)
+                assert kept == list(range(max(0, nsteps - keep), nsteps))
+            finally:
+                _cleanup(tmp)
+
+    def test_clear_is_per_run_key(self):
+        for store, tmp in _stores():
+            try:
+                store.save_shard("a", 0, 0, 1, b"one")
+                store.save_shard("b", 0, 0, 1, b"two")
+                store.clear("a")
+                assert store.latest_step("a", 1) is None
+                assert store.load_shard("b", 0, 0) == b"two"
+            finally:
+                _cleanup(tmp)
+
+    def test_missing_shard_raises(self):
+        for store, tmp in _stores():
+            try:
+                with pytest.raises(CheckpointError):
+                    store.load_shard("none", 0, 0)
+            finally:
+                _cleanup(tmp)
+
+
+class TestDamageDetection:
+    @pytest.mark.parametrize("kind", sorted(faults.CHECKPOINT_KINDS))
+    def test_damaged_newest_demotes_to_previous(self, kind):
+        """The fallback ladder: a bad step 2 resolves to step 1."""
+        plan = faults.FaultPlan([faults.Fault(kind, pid=1, step=2)])
+        for store, tmp in _stores():
+            try:
+                with faults.injected(plan):
+                    for step in (0, 1, 2):
+                        for pid in (0, 1):
+                            store.save_shard("dmg", step, pid, 2,
+                                             b"payload-%d-%d" % (step, pid))
+                assert store.latest_step("dmg", 2) == 1
+                with pytest.raises(CheckpointError):
+                    store.load_shard("dmg", 2, 1)
+                # The undamaged sibling shard still validates.
+                assert store.load_shard("dmg", 2, 0) == b"payload-2-0"
+            finally:
+                _cleanup(tmp)
+
+    @settings(max_examples=20, deadline=None)
+    @given(damage=st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 1),
+                  st.sampled_from(sorted(faults.CHECKPOINT_KINDS))),
+        min_size=1, max_size=6, unique_by=lambda d: (d[0], d[1])))
+    def test_any_damage_schedule_never_resumes_from_garbage(self, damage):
+        """No damaged step is ever named by ``latest_step``, and whatever
+        step it does name loads cleanly for every rank."""
+        plan = faults.FaultPlan(
+            [faults.Fault(kind, pid=pid, step=step)
+             for step, pid, kind in damage])
+        damaged_steps = {step for step, _pid, _kind in damage}
+        for store, tmp in _stores():
+            try:
+                with faults.injected(plan):
+                    for step in (0, 1, 2):
+                        for pid in (0, 1):
+                            store.save_shard("prop", step, pid, 2,
+                                             b"p-%d-%d" % (step, pid))
+                latest = store.latest_step("prop", 2)
+                clean = [s for s in (0, 1, 2) if s not in damaged_steps]
+                assert latest == (max(clean) if clean else None)
+                if latest is not None:
+                    for pid in (0, 1):
+                        store.load_shard("prop", latest, pid)
+            finally:
+                _cleanup(tmp)
+
+    def test_disk_nprocs_mismatch_is_incomplete(self):
+        """Shards recorded for a different world size never complete."""
+        tmp = tempfile.mkdtemp(prefix="ckpt-nprocs-")
+        try:
+            store = DiskCheckpointStore(tmp)
+            store.save_shard("np", 0, 0, 2, b"a")
+            store.save_shard("np", 0, 1, 3, b"b")  # wrong world size
+            assert store.latest_step("np", 2) is None
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+    def test_disk_orphan_temp_swept_and_ignored(self):
+        tmp = tempfile.mkdtemp(prefix="ckpt-tmp-")
+        try:
+            store = DiskCheckpointStore(tmp)
+            store.save_shard("orphan", 0, 0, 1, b"good")
+            step_dir = store._step_dir("orphan", 0)
+            orphan = f"{step_dir}/.tmp-rank-0001-99999"
+            with open(orphan, "wb") as fh:
+                fh.write(b"half a shard")
+            assert store.latest_step("orphan", 1) == 0
+            import os
+            assert not os.path.exists(orphan)  # steps() swept it
+        finally:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+class TestSnapshotCodec:
+    def test_round_trip(self):
+        snap = Snapshot(step=3, pid=1, nprocs=4, state={"x": 1},
+                        inbox=[1, 2], samples=[object.__new__(object)])
+        out = decode_snapshot(encode_snapshot(snap))
+        assert (out.step, out.pid, out.nprocs, out.state, out.inbox) == \
+            (3, 1, 4, {"x": 1}, [1, 2])
+
+    def test_garbage_blob_raises(self):
+        with pytest.raises(CheckpointError):
+            decode_snapshot(b"\x80\x04 definitely not a pickle")
+
+    def test_wrong_type_raises(self):
+        import pickle
+        with pytest.raises(CheckpointError, match="not a Snapshot"):
+            decode_snapshot(pickle.dumps({"step": 0}))
+
+
+class TestConfigValidation:
+    def test_rejects_non_store(self):
+        with pytest.raises(BspConfigError):
+            CheckpointConfig(store={})
+
+    @pytest.mark.parametrize("every", [0, -1, 1.5, "2"])
+    def test_rejects_bad_every(self, every):
+        with pytest.raises(BspConfigError):
+            CheckpointConfig(store=MemoryCheckpointStore(), every=every)
+
+    @pytest.mark.parametrize("run_key", ["", "a/b"])
+    def test_rejects_bad_run_key(self, run_key):
+        with pytest.raises(BspConfigError):
+            CheckpointConfig(store=MemoryCheckpointStore(), run_key=run_key)
+
+    @pytest.mark.parametrize("keep", [0, -2, 1.5])
+    def test_rejects_bad_keep(self, keep):
+        with pytest.raises(BspConfigError):
+            MemoryCheckpointStore(keep=keep)
+
+    def test_memory_store_rejected_on_process_backends(self):
+        cfg = CheckpointConfig(store=MemoryCheckpointStore())
+        with pytest.raises(BspConfigError, match="crosses the fork"):
+            bsp_run(ring_program, 2, backend="processes", checkpoint=cfg)
+
+    def test_checkpoint_must_be_config(self):
+        with pytest.raises(BspConfigError, match="CheckpointConfig"):
+            bsp_run(ring_program, 2, checkpoint=MemoryCheckpointStore())
+
+
+class TestProtocol:
+    def test_checkpoint_with_queued_sends_raises(self):
+        cfg = CheckpointConfig(store=MemoryCheckpointStore())
+        with pytest.raises(VirtualProcessorError,
+                           match="superstep boundary"):
+            bsp_run(eager_send_program, 2, checkpoint=cfg)
+
+    def test_checkpoint_noop_without_config(self):
+        run = bsp_run(ring_program, 2)
+        golden = bsp_run(ring_program, 2)
+        assert run.results == golden.results
+        assert run.stats.h_series == golden.stats.h_series
+
+    def test_every_k_skips_intermediate_steps(self):
+        store = MemoryCheckpointStore(keep=10)
+        cfg = CheckpointConfig(store=store, every=2, run_key="k2")
+        bsp_run(ring_program, 2, args=(6,), checkpoint=cfg)
+        steps = store.complete_steps("k2", 2)
+        assert steps == [0, 2, 4]
+
+    def test_fresh_run_clears_stale_key(self):
+        store = MemoryCheckpointStore()
+        store.save_shard("stale", 7, 0, 2, b"old")
+        cfg = CheckpointConfig(store=store, run_key="stale")
+        bsp_run(ring_program, 2, args=(2,), checkpoint=cfg)
+        assert 7 not in store.steps("stale")
+
+    def test_simulator_resume_identity(self):
+        """Stop-and-resume on the simulator: a second process (modelled by
+        a fresh ``bsp_run`` with ``resume=True``) reproduces the golden
+        results and the (S, H, h-series, m-series) ledger exactly."""
+        golden = bsp_run(ring_program, 3, args=(5,))
+        store = MemoryCheckpointStore(keep=10)
+        cfg = CheckpointConfig(store=store, run_key="sim")
+        bsp_run(ring_program, 3, args=(5,), checkpoint=cfg)
+        resumed = bsp_run(
+            ring_program, 3, args=(5,),
+            checkpoint=CheckpointConfig(store=store, run_key="sim",
+                                        resume=True))
+        assert resumed.results == golden.results
+        assert resumed.stats.S == golden.stats.S
+        assert resumed.stats.H == golden.stats.H
+        assert resumed.stats.h_series == golden.stats.h_series
+        assert resumed.stats.m_series == golden.stats.m_series
+
+    def test_resume_shard_identity_mismatch_raises(self):
+        store = MemoryCheckpointStore()
+        cfg = CheckpointConfig(store=store, run_key="mismatch")
+        snap = Snapshot(step=9, pid=0, nprocs=2, state=(0, 0), inbox=[],
+                        samples=[])
+        store.save_shard("mismatch", 1, 0, 2, encode_snapshot(snap))
+        wrapped = CheckpointedProgram(ring_program, cfg, resume_step=1)
+        with pytest.raises(VirtualProcessorError,
+                           match="checkpoint shard mismatch"):
+            bsp_run(wrapped, 2)
