@@ -21,11 +21,14 @@ from __future__ import annotations
 from conftest import emit
 
 from repro import PAPER_MACHINES, calibrate_backend
+from repro.backends.processes import ProcessBackend
 from repro.backends.tcp import TcpBackend
 from repro.util.tables import render_table
 
 NPROCS = (1, 2, 4, 8)
 BACKENDS = ("simulator", "threads", "processes", "tcp")
+SYNC_NPROCS = (2, 4, 8)
+SYNC_MODES = ("strict", "relaxed", "elide")
 
 
 def calibrate_all():
@@ -83,3 +86,56 @@ def test_fig2_1_machine_parameters(once):
         assert results[(backend, 8)].L_us > results[(backend, 1)].L_us
     assert results[("processes", 4)].L_us > results[("threads", 4)].L_us
     assert results[("tcp", 8)].L_us > results[("threads", 8)].L_us
+
+
+def calibrate_sync_modes():
+    """L per sync mode on the two real backends (barrier-bound rounds)."""
+    results = {}
+    with ProcessBackend.pool(max(SYNC_NPROCS)) as proc_pool:
+        for p in SYNC_NPROCS:
+            for mode in SYNC_MODES:
+                results[("processes", p, mode)] = calibrate_backend(
+                    proc_pool, p,
+                    latency_rounds=40, bandwidth_rounds=2, packets_each=50,
+                    sync=mode,
+                )
+    with TcpBackend.pool(max(SYNC_NPROCS)) as tcp_pool:
+        for p in SYNC_NPROCS:
+            for mode in SYNC_MODES:
+                results[("tcp", p, mode)] = calibrate_backend(
+                    tcp_pool, p,
+                    latency_rounds=40, bandwidth_rounds=2, packets_each=50,
+                    sync=mode,
+                )
+    return results
+
+
+def test_fig2_1_sync_mode_latency(once):
+    """The relaxed-synchronization optimisation, in Figure 2.1's units.
+
+    Dropping the two-phase barrier (counts + release on tcp; the
+    release broadcast on pipes) must shrink L — the single-packet
+    superstep is pure barrier — while leaving g essentially alone.
+    """
+    results = once(calibrate_sync_modes)
+    headers = ["backend", "nprocs"] + [f"L {m}" for m in SYNC_MODES] + [
+        "relaxed speedup"]
+    rows = []
+    for backend in ("processes", "tcp"):
+        for p in SYNC_NPROCS:
+            ls = [results[(backend, p, m)].L_us for m in SYNC_MODES]
+            rows.append([backend, p] + ls + [ls[0] / ls[1]])
+    emit(
+        "fig2_1_sync_mode_latency",
+        render_table(
+            headers, rows,
+            title="Superstep latency L (µs) by synchronization mode",
+        ),
+    )
+    # Relaxed must never be slower than strict by more than noise; on
+    # the barrier-bound microbenchmark it should be clearly faster, but
+    # the hard >= 2x acceptance floor lives in bench_barrier.py.
+    for backend in ("processes", "tcp"):
+        strict = results[(backend, max(SYNC_NPROCS), "strict")].L_us
+        relaxed = results[(backend, max(SYNC_NPROCS), "relaxed")].L_us
+        assert relaxed < strict * 1.10

@@ -60,9 +60,11 @@ from .core.packets import PACKET_BYTES, Packet, PacketCodec, h_units
 from .core.runtime import BspRunResult, bsp_run
 from .core.stats import ProgramStats, SuperstepStats, VPLedger
 
-# After core: backends.base and checkpoint import from repro.core, so
-# these must follow the core imports to keep initialization acyclic.
-from .backends.base import WorkerStatus, describe_workers  # noqa: E402
+# After core: backends.base, bsplib and checkpoint import from
+# repro.core, so these must follow the core imports to keep
+# initialization acyclic.
+from .backends.base import SYNC_MODES, WorkerStatus, describe_workers  # noqa: E402
+from .bsplib import CommPattern  # noqa: E402
 from .checkpoint import (  # noqa: E402
     CheckpointConfig,
     DiskCheckpointStore,
@@ -80,6 +82,7 @@ __all__ = [
     "CalibrationResult",
     "CheckpointConfig",
     "CheckpointError",
+    "CommPattern",
     "CostBreakdown",
     "CostModelError",
     "CENJU",
@@ -98,6 +101,7 @@ __all__ = [
     "PoolExhaustedError",
     "ProgramStats",
     "SGI",
+    "SYNC_MODES",
     "SuperstepStats",
     "SynchronizationError",
     "VPLedger",

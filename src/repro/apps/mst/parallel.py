@@ -273,6 +273,7 @@ def bsp_mst(
     *,
     backend: str = "simulator",
     switch_threshold: int | None = None,
+    sync: str = "strict",
 ) -> ParallelMstResult:
     """Compute the MST of ``graph`` partitioned by ``owner`` on ``nprocs``.
 
@@ -287,7 +288,8 @@ def bsp_mst(
         switch_threshold = 4 * nprocs
     lg_all = [LocalGraph.build(graph, owner, pid, nprocs) for pid in range(nprocs)]
     run = bsp_run(
-        mst_program, nprocs, backend=backend, args=(lg_all, switch_threshold)
+        mst_program, nprocs, backend=backend,
+        args=(lg_all, switch_threshold), sync=sync,
     )
     edges: list[tuple[int, int, float]] = []
     for part in run.results:

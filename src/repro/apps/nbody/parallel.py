@@ -235,6 +235,7 @@ def bsp_nbody(
     warmup_steps: int = 0,
     checkpoint: Any = None,
     retries: int = 0,
+    sync: str = "strict",
 ) -> NBodyRun:
     """Evolve ``bodies`` for ``steps`` BH time steps on ``nprocs`` processors.
 
@@ -279,6 +280,7 @@ def bsp_nbody(
         ),
         checkpoint=checkpoint,
         retries=retries,
+        sync=sync,
     )
     merged = Bodies.concatenate([b for b in run.results if len(b)])
     stats = run.stats

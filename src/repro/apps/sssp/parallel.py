@@ -172,6 +172,7 @@ def _run_engine(
     backend: str,
     checkpoint: Any = None,
     retries: int = 0,
+    sync: str = "strict",
 ) -> tuple[np.ndarray, ProgramStats]:
     for src in sources:
         if not 0 <= src < graph.n:
@@ -186,6 +187,7 @@ def _run_engine(
         args=(lg_all, list(sources), work_factor),
         checkpoint=checkpoint,
         retries=retries,
+        sync=sync,
     )
     dist = np.full((len(sources), graph.n), np.inf)
     for home, rows in run.results:
@@ -204,6 +206,7 @@ def bsp_sssp(
     backend: str = "simulator",
     checkpoint: Any = None,
     retries: int = 0,
+    sync: str = "strict",
 ) -> SsspResult:
     """Single-source shortest paths (Section 3.4).
 
@@ -214,7 +217,7 @@ def bsp_sssp(
     """
     dist, stats = _run_engine(
         graph, owner, nprocs, [source], work_factor, backend,
-        checkpoint=checkpoint, retries=retries,
+        checkpoint=checkpoint, retries=retries, sync=sync,
     )
     return SsspResult(dist=dist[0], stats=stats)
 
@@ -229,6 +232,7 @@ def bsp_msp(
     backend: str = "simulator",
     checkpoint: Any = None,
     retries: int = 0,
+    sync: str = "strict",
 ) -> SsspResult:
     """Multiple simultaneous shortest paths (Section 3.5).
 
@@ -240,6 +244,6 @@ def bsp_msp(
         raise ValueError("msp needs at least one source")
     dist, stats = _run_engine(
         graph, owner, nprocs, list(sources), work_factor, backend,
-        checkpoint=checkpoint, retries=retries,
+        checkpoint=checkpoint, retries=retries, sync=sync,
     )
     return SsspResult(dist=dist, stats=stats)

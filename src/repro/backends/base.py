@@ -41,9 +41,12 @@ __all__ = [
     "DeadlockError",
     "PoolExhaustedError",
     "Program",
+    "SYNC_MODES",
     "WorkerCrashError",
     "WorkerStatus",
     "available_backends",
+    "check_pattern_sends",
+    "check_sync",
     "describe_workers",
     "get_backend",
     "register_backend",
@@ -53,6 +56,45 @@ __all__ = [
 
 #: Signature of a user BSP program.
 Program = Callable[..., Any]
+
+#: Synchronization modes of the exchange protocol (DESIGN
+#: "Synchronization modes").  ``strict`` is the two-phase barrier used
+#: everywhere before this layer existed and remains the accounting
+#: oracle; ``relaxed`` piggybacks completion on the data frames so a
+#: processor passes ``bspSynch`` as soon as its own inbound frames are
+#: complete; ``elide`` additionally skips the empty frames of peers
+#: outside a declared :class:`~repro.bsplib.CommPattern`.
+SYNC_MODES = ("strict", "relaxed", "elide")
+
+
+def check_sync(sync: str) -> str:
+    """Validate a synchronization-mode name; returns it unchanged."""
+    if sync not in SYNC_MODES:
+        raise BspConfigError(
+            f"unknown sync mode {sync!r}; expected one of {SYNC_MODES}")
+    return sync
+
+
+def check_pattern_sends(pid: int, step: int, buckets: Iterable[int],
+                        pattern: Any) -> None:
+    """Raise when a bucketed boundary send leaves the declared pattern.
+
+    ``buckets`` is the set of destination pids the processor is about to
+    address this superstep; self-sends are always local and therefore
+    always allowed.  Validation is bucket-granular — one check per
+    destination per boundary, never per packet — and only runs when the
+    declared pattern asked for it (``validate=True``, the default).
+    """
+    if pattern is None or not pattern.validate:
+        return
+    allowed = pattern.sends_to
+    bad = sorted(d for d in buckets if d != pid and d not in allowed)
+    if bad:
+        raise BspUsageError(
+            f"pid {pid} sent outside its declared communication pattern "
+            f"at superstep {step}: destination(s) {bad} are not in "
+            f"sends_to={sorted(allowed)}; fix the pattern declaration or "
+            "the sends (or declare the pattern with validate=False)")
 
 
 @dataclass(frozen=True)
@@ -118,8 +160,15 @@ class Backend(ABC):
         nprocs: int,
         args: Sequence[Any] = (),
         kwargs: dict[str, Any] | None = None,
+        *,
+        sync: str = "strict",
     ) -> BackendRun:
-        """Run ``program`` on ``nprocs`` virtual processors."""
+        """Run ``program`` on ``nprocs`` virtual processors.
+
+        ``sync`` selects the synchronization mode (:data:`SYNC_MODES`);
+        results and (S, H, h) ledgers are identical across modes — only
+        the barrier protocol on the wire differs.
+        """
 
     @staticmethod
     def check_nprocs(nprocs: int) -> None:

@@ -240,7 +240,13 @@ class Slab:
 
 @dataclass
 class Frame:
-    """One received boundary frame, payload still undecoded."""
+    """One received boundary frame, payload still undecoded.
+
+    ``more`` is the relaxed-sync piggyback bit: 0 marks the *final*
+    frame from ``src`` for this superstep (nothing more is coming on
+    this link), 1 means further frames follow.  Strict-mode frames all
+    carry 0 — there is exactly one data frame per link per boundary.
+    """
 
     tag: int
     run_id: int
@@ -248,6 +254,7 @@ class Frame:
     src: int
     meta: bytes | None
     buffers: list[bytearray] | None
+    more: int = 0
 
     def packets(self, dst: int) -> list[Packet]:
         """Decode into :class:`Packet` objects addressed to ``dst``."""
@@ -317,6 +324,20 @@ class FrameTransport:
         #: "dead" and "deadlocked".
         self._hb_mm = mmap.mmap(-1, max(8 * nprocs, mmap.PAGESIZE))
         self._hb = memoryview(self._hb_mm).cast("Q")
+        #: Fork-shared relaxed-sync epochs: one 8-byte slot per worker
+        #: holding ``(run_id << 32) | completed_boundaries`` — published by
+        #: its owner *after* all its boundary frames for a superstep are
+        #: in the pipes, so a peer observing the epoch can drain its pipe
+        #: non-blockingly and is guaranteed to find every frame for that
+        #: superstep.  Same single-writer atomicity argument as ``_hb``.
+        #: Strict-mode runs never touch these slots.
+        self._ep_mm = mmap.mmap(-1, max(8 * nprocs, mmap.PAGESIZE))
+        self._ep = memoryview(self._ep_mm).cast("Q")
+        #: Wakes epoch waiters without polling: publishers notify under
+        #: this fork-shared condition, so a boundary wait is a blocking
+        #: kernel wait, not a spin — essential on few-core hosts, where
+        #: spinning steals the CPU from the very peer being waited for.
+        self._ep_cond = ctx.Condition()
         for _ in range(nprocs):
             r, w = ctx.Pipe(duplex=False)
             self._recv_conns.append(r)
@@ -335,6 +356,50 @@ class FrameTransport:
     def heartbeats(self) -> list[int]:
         """Snapshot of every worker's heartbeat counter."""
         return [self._hb[pid] for pid in range(self.nprocs)]
+
+    # -- relaxed-sync epochs -------------------------------------------------
+
+    def set_epoch(self, pid: int, value: int, n: int | None = None, *,
+                  notify: bool = False) -> None:
+        """Publish ``pid``'s epoch word (owning worker only).
+
+        Must be called only after every boundary frame the worker owed
+        for the superstep has been written to the pipes — the store is
+        the release that lets peers drain without blocking.
+
+        Waiter wakeups are *completion-triggered*: with ``n`` given,
+        waiters are notified only when this store makes every worker in
+        ``range(n)`` reach ``value`` — i.e. by the last publisher of a
+        boundary — so each waiter wakes once per boundary instead of
+        once per publish (p-1 spurious scheduler wakeups per boundary
+        otherwise, which on few-core hosts costs more than the barrier
+        itself).  ``notify=True`` forces a wakeup regardless (departure
+        sentinels, which satisfy waits mid-boundary).
+        """
+        with self._ep_cond:
+            self._ep[pid] = value
+            if notify or (n is not None and all(
+                    self._ep[q] >= value for q in range(n))):
+                self._ep_cond.notify_all()
+
+    def epoch(self, pid: int) -> int:
+        """Current epoch word of ``pid`` (any reader)."""
+        return self._ep[pid]
+
+    def wait_epochs(self, pids, target: int, departed, timeout: float) -> bool:
+        """Block until every ``pid`` in ``pids`` is departed or has an
+        epoch word >= ``target``; ``False`` on timeout.
+
+        The satisfied-check runs under the same condition the publishers
+        notify, so a store between check and wait cannot be missed.  The
+        caller still needs a bounded ``timeout``: departures and aborts
+        arrive as pipe frames, which do not notify this condition.
+        """
+        with self._ep_cond:
+            if all(p in departed or self._ep[p] >= target for p in pids):
+                return True
+            self._ep_cond.wait(timeout)
+            return all(p in departed or self._ep[p] >= target for p in pids)
 
     def locks_free(self, timeout: float = 0.25) -> bool:
         """True when every per-destination writer lock is acquirable.
@@ -369,17 +434,20 @@ class FrameTransport:
 
     def send_control(self, dst: int, tag: int, run_id: int, src: int,
                      step: int = -1) -> None:
-        header = pickle.dumps((tag, run_id, step, src, _MODE_PIPE, (), 0, None))
+        header = pickle.dumps(
+            (tag, run_id, step, src, _MODE_PIPE, (), 0, None, 0))
         with self._locks[dst]:
             self._send_conns[dst].send_bytes(header)
 
     def send_packets(self, dst: int, run_id: int, step: int, src: int,
-                     packets: Sequence[Packet]) -> None:
+                     packets: Sequence[Packet], *, more: int = 0) -> None:
         # Fault-injection hook: one attribute load + None test per frame
         # (never per packet) when disabled.
         plan = faults._ACTIVE
-        if plan is not None and plan.drops_frame(src, step, dst):
-            return
+        if plan is not None:
+            if plan.drops_frame(src, step, dst):
+                return
+            plan.count_frame(src)
         meta, buffers = encode_packets(packets)
         lens = tuple(mv.nbytes for mv in buffers)
         total = sum(map(_aligned, lens))
@@ -397,14 +465,26 @@ class FrameTransport:
                     offset += _aligned(n)
                 conn.send_bytes(pickle.dumps(
                     (TAG_PKT, run_id, step, src, _MODE_SLAB, lens, start,
-                     meta)))
+                     meta, more)))
             else:
                 conn.send_bytes(pickle.dumps(
-                    (TAG_PKT, run_id, step, src, _MODE_PIPE, lens, 0, meta)))
+                    (TAG_PKT, run_id, step, src, _MODE_PIPE, lens, 0, meta,
+                     more)))
                 for mv in buffers:
                     conn.send_bytes(mv)
 
     # -- receiving ----------------------------------------------------------
+
+    def try_recv(self, pid: int) -> Frame | None:
+        """Non-blocking :meth:`recv`: ``None`` when no frame is ready.
+
+        Used by the relaxed-sync drain loop, which polls its own pipe
+        while spinning on peers' epoch words instead of blocking on
+        either.
+        """
+        if not self._recv_conns[pid].poll(0):
+            return None
+        return self.recv(pid)
 
     def recv(self, pid: int) -> Frame:
         """Block for the next frame addressed to ``pid``.
@@ -413,10 +493,10 @@ class FrameTransport:
         discarding a stale frame (old ``run_id``) cannot leak ring space.
         """
         conn = self._recv_conns[pid]
-        tag, run_id, step, src, mode, lens, start, meta = pickle.loads(
+        tag, run_id, step, src, mode, lens, start, meta, more = pickle.loads(
             conn.recv_bytes())
         if tag != TAG_PKT:
-            return Frame(tag, run_id, step, src, None, None)
+            return Frame(tag, run_id, step, src, None, None, more)
         buffers: list[bytearray] = []
         pool = self._pools[pid]
         if mode == _MODE_SLAB:
@@ -437,7 +517,7 @@ class FrameTransport:
                 else:
                     conn.recv_bytes()  # zero-length message, nothing to copy
                 buffers.append(buf)
-        return Frame(tag, run_id, step, src, meta, buffers)
+        return Frame(tag, run_id, step, src, meta, buffers, more)
 
     def close(self) -> None:
         for conn in (*self._recv_conns, *self._send_conns):
@@ -454,5 +534,10 @@ class FrameTransport:
         try:
             self._hb.release()
             self._hb_mm.close()
+        except (BufferError, ValueError):  # pragma: no cover
+            pass
+        try:
+            self._ep.release()
+            self._ep_mm.close()
         except (BufferError, ValueError):  # pragma: no cover
             pass

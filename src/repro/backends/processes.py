@@ -81,7 +81,15 @@ from ..core.errors import (
     WorkerCrashError,
 )
 from ..core.packets import Packet, PacketRuns
-from .base import Backend, BackendRun, Program, WorkerStatus, describe_workers
+from .base import (
+    Backend,
+    BackendRun,
+    Program,
+    WorkerStatus,
+    check_pattern_sends,
+    check_sync,
+    describe_workers,
+)
 from .exchange import peer_order
 from .frames import (
     DEFAULT_SLAB_BYTES,
@@ -104,14 +112,40 @@ class _Abort(BaseException):
 
 
 class _FrameChannel:
-    """Superstep-boundary exchange over the shared frame transport."""
+    """Superstep-boundary exchange over the shared frame transport.
+
+    ``sync`` selects the boundary protocol.  **strict** (default): push
+    one frame per peer (empty buckets included — the all-to-all is the
+    barrier) and block until every live peer's frame arrived.
+    **relaxed**: push frames only for non-empty buckets, then pass the
+    boundary once every live peer's *epoch word* in the fork-shared
+    transport shows it completed this boundary — the pipe ``write()``
+    returns before the owner publishes its epoch, so an observed epoch
+    guarantees that peer's frames are already drainable; empty
+    supersteps cost zero frames.  **elide**: like relaxed, but with a
+    declared :class:`~repro.bsplib.CommPattern` the wait covers only
+    ``receives_from`` neighbours, making the boundary O(degree).
+    Run-ahead is bounded to one superstep in every mode (a peer cannot
+    start superstep ``s+1`` before observing this worker's boundary-``s``
+    completion), which is what ``_stash`` absorbs.
+    """
 
     def __init__(self, pid: int, nprocs: int, transport: FrameTransport,
-                 run_id: int):
+                 run_id: int, *, sync: str = "strict"):
         self._pid = pid
         self._nprocs = nprocs
         self._transport = transport
         self._run_id = run_id
+        self._sync = sync
+        self._pattern = None
+        #: One-shot downgrade to the strict protocol (checkpoint cuts).
+        self._fence_strict = False
+        #: Sticky: once an injected DROP_FRAME fires, this worker never
+        #: publishes an epoch again — a one-time withhold would let the
+        #: victim observe a *later* epoch, pass the barrier, and silently
+        #: miss the dropped data; freezing turns the loss into the stall
+        #: (flat heartbeats → DeadlockError) that a lost message means.
+        self._epoch_frozen = False
         self._peers = peer_order(nprocs, pid)
         self._departed: set[int] = set()
         #: Early arrivals from peers already one superstep ahead.
@@ -122,10 +156,19 @@ class _FrameChannel:
         # frame nobody will ever drain; the thread must not keep the
         # process alive then.
         self._cv = threading.Condition()
-        self._req: tuple[int, dict[int, list[Packet]]] | None = None
+        self._req: tuple[int, dict[int, list[Packet]],
+                         Sequence[int], int | None] | None = None
         self._stop = False
         self._push_error: list[BaseException] = []
         self._sender: threading.Thread | None = None
+
+    def declare_pattern(self, pattern) -> None:
+        """Bind this processor's :class:`~repro.bsplib.CommPattern`."""
+        self._pattern = pattern
+
+    def fence_next_sync(self) -> None:
+        """Run the next boundary on the strict protocol (checkpoint cut)."""
+        self._fence_strict = True
 
     # -- sender thread -------------------------------------------------------
 
@@ -137,9 +180,9 @@ class _FrameChannel:
                     self._cv.wait()
                 if self._req is None:
                     return
-                step, buckets = self._req
+                step, buckets, targets, epoch = self._req
             try:
-                for peer in self._peers:
+                for peer in targets:
                     transport.send_packets(
                         peer, run_id, step, self._pid, buckets.get(peer, ()))
             except BaseException as exc:  # e.g. an unpicklable payload
@@ -154,19 +197,31 @@ class _FrameChannel:
                                            self._pid)
                 except BaseException:  # pragma: no cover - transport gone
                     pass
+            else:
+                if epoch is not None:
+                    # Relaxed boundary: the epoch is published *here*,
+                    # right after the last pipe write, so an observed
+                    # epoch guarantees the frames are drainable.
+                    plan = faults._ACTIVE
+                    if plan is not None and plan.drops_any_frame(
+                            self._pid, step):
+                        self._epoch_frozen = True
+                    if not self._epoch_frozen:
+                        transport.set_epoch(self._pid, epoch, self._nprocs)
             with self._cv:
                 self._req = None
                 self._cv.notify_all()
 
-    def _send_async(self, step: int,
-                    buckets: dict[int, list[Packet]]) -> None:
+    def _send_async(self, step: int, buckets: dict[int, list[Packet]],
+                    targets: Sequence[int], *,
+                    epoch: int | None = None) -> None:
         if self._sender is None:
             self._sender = threading.Thread(
                 target=self._sender_loop, name=f"bsp-send-{self._pid}",
                 daemon=True)
             self._sender.start()
         with self._cv:
-            self._req = (step, buckets)
+            self._req = (step, buckets, targets, epoch)
             self._cv.notify_all()
 
     def _send_wait(self) -> None:
@@ -194,6 +249,12 @@ class _FrameChannel:
         buckets: dict[int, list[Packet]] = {}
         for pkt in outbox:
             buckets.setdefault(pkt.dst, []).append(pkt)
+        if self._pattern is not None:
+            check_pattern_sends(self._pid, step, buckets, self._pattern)
+        strict = self._sync == "strict" or self._fence_strict
+        self._fence_strict = False
+        if not strict:
+            return self._exchange_relaxed(step, buckets)
 
         # Pipe writes and slab allocations block once full, so two peers
         # pushing large boundary frames at each other would deadlock — the
@@ -202,7 +263,7 @@ class _FrameChannel:
         # the sender thread performs the blocking sends in schedule order.
         transport = self._transport
         run_id = self._run_id
-        self._send_async(step, buckets)
+        self._send_async(step, buckets, self._peers)
 
         got: dict[int, list[Packet]] = {}
         own = buckets.get(self._pid)
@@ -232,16 +293,120 @@ class _FrameChannel:
         self._send_wait()
         if self._push_error:
             raise self._push_error[0]
+        # A strict boundary inside a relaxed/elide run (a checkpoint
+        # fence) must keep the epoch invariant — epoch == completed
+        # boundaries — so peers' later relaxed waits stay satisfiable.
+        if self._sync != "strict" and not self._epoch_frozen:
+            transport.set_epoch(self._pid, (run_id << 32) | (step + 1),
+                                self._nprocs)
         # One frame per source, each a seq-sorted run: the inbox is
         # already in canonical order once concatenated by src.
         return PacketRuns(got.items())
 
+    def _consume(self, frame, step: int,
+                 got: dict[int, list[Packet]]) -> None:
+        """File one drained frame: deliver, stash, or react to control."""
+        if frame.run_id != self._run_id:
+            return  # stale frame from an earlier run on this pool
+        if frame.tag == TAG_PKT:
+            pkts = frame.packets(self._pid)
+            if frame.step == step:
+                got[frame.src] = pkts
+            else:
+                self._stash.setdefault(frame.step, {})[frame.src] = pkts
+        elif frame.tag == TAG_LEFT:
+            self._departed.add(frame.src)
+        elif frame.tag == TAG_DEAD:
+            if frame.src == self._pid:
+                self._send_wait()
+                raise self._push_error[0]  # our own send failed
+            raise _Abort()
+
+    def _exchange_relaxed(self, step: int,
+                          buckets: dict[int, list[Packet]]) -> PacketRuns:
+        """Relaxed/elide boundary: frames for data, epochs for the barrier.
+
+        Only non-empty buckets become frames.  This thread drains its own
+        pipe non-blockingly (so mutual large pushes cannot deadlock),
+        publishes its epoch word once its sends completed, and passes the
+        boundary when every awaited peer's epoch shows the same — after
+        which one final drain is guaranteed to find every frame owed for
+        this superstep, because each peer's pipe writes happen before its
+        epoch store.
+        """
+        transport, run_id, pid = self._transport, self._run_id, self._pid
+        pattern = self._pattern
+        targets = [peer for peer in self._peers if buckets.get(peer)]
+        target = (run_id << 32) | (step + 1)
+        queued = bool(targets)
+        if queued:
+            # The sender thread publishes our epoch itself, right after
+            # its last pipe write — this thread never has to poll for
+            # its own send completion.
+            self._send_async(step, buckets, targets, epoch=target)
+        else:
+            # Barrier-bound fast path: nothing to write means nothing
+            # can block, so the epoch is published inline and the whole
+            # sender-thread round trip (two condvar handoffs and two
+            # thread switches per boundary) disappears.  This is what
+            # makes an empty superstep cost less than a strict one.
+            plan = faults._ACTIVE
+            if plan is not None and plan.drops_any_frame(pid, step):
+                self._epoch_frozen = True
+            if not self._epoch_frozen:
+                transport.set_epoch(pid, target, self._nprocs)
+
+        got: dict[int, list[Packet]] = {}
+        own = buckets.get(pid)
+        if own is not None:
+            got[pid] = own
+        got.update(self._stash.pop(step, {}))
+        if self._sync == "elide" and pattern is not None:
+            waitset = set(pattern.receives_from)
+        else:
+            waitset = set(self._peers)
+        while True:
+            frame = transport.try_recv(pid)
+            while frame is not None:
+                self._consume(frame, step, got)
+                frame = transport.try_recv(pid)
+            # Blocking wait with a bounded timeout: epoch publishes wake
+            # us via the shared condition; the timeout keeps us draining
+            # our pipe (which is what unsticks a peer's sender — or our
+            # own — blocked on a full pipe or slab) and lets us notice
+            # TAG_LEFT / TAG_DEAD frames, which do not notify epochs.
+            if transport.wait_epochs(waitset, target, self._departed, 0.002):
+                break
+        # Final full drain: every awaited peer's pipe writes happen
+        # before its epoch store, so all frames owed for this superstep
+        # are pollable by now.
+        frame = transport.try_recv(pid)
+        while frame is not None:
+            self._consume(frame, step, got)
+            frame = transport.try_recv(pid)
+        if queued:
+            self._send_wait()
+            if self._push_error:
+                raise self._push_error[0]
+        return PacketRuns(got.items())
+
     def depart(self) -> None:
         plan = faults._ACTIVE
+        dropped = False
         for peer in self._peers:
             if plan is not None and plan.drops_depart(self._pid, peer):
+                dropped = True
                 continue
             self._transport.send_control(peer, TAG_LEFT, self._run_id, self._pid)
+        # Relaxed/elide peers wait on our epoch word, not only on frames:
+        # publish a max-step sentinel (still below any later run's values)
+        # so every future boundary of this run sees us satisfied.  A
+        # dropped departure must keep stalling peers — that is the fault
+        # being injected — so the sentinel is withheld whenever any
+        # TAG_LEFT was dropped, or the epoch is frozen by a dropped frame.
+        if self._sync != "strict" and not self._epoch_frozen and not dropped:
+            self._transport.set_epoch(
+                self._pid, (self._run_id << 32) | 0xFFFFFFFF, notify=True)
 
     def die(self) -> None:
         for peer in self._peers:
@@ -250,10 +415,11 @@ class _FrameChannel:
 
 def _execute(pid: int, nprocs: int, run_id: int, transport: FrameTransport,
              program: Program, args: Sequence[Any],
-             kwargs: dict[str, Any]) -> tuple[str, int, int, Any, Any]:
+             kwargs: dict[str, Any],
+             sync: str = "strict") -> tuple[str, int, int, Any, Any]:
     """Run one program instance; returns the worker's outcome tuple."""
     transport.beat(pid)  # marks "the run actually started here"
-    channel = _FrameChannel(pid, nprocs, transport, run_id)
+    channel = _FrameChannel(pid, nprocs, transport, run_id, sync=sync)
     bsp = Bsp(pid, nprocs, channel)
     try:
         result = program(bsp, *args, **kwargs)
@@ -271,8 +437,10 @@ def _execute(pid: int, nprocs: int, run_id: int, transport: FrameTransport,
 
 def _oneshot_worker(pid: int, nprocs: int, program: Program,
                     args: Sequence[Any], kwargs: dict[str, Any],
-                    transport: FrameTransport, result_q: Any) -> None:
-    result_q.put(_execute(pid, nprocs, 0, transport, program, args, kwargs))
+                    transport: FrameTransport, result_q: Any,
+                    sync: str = "strict") -> None:
+    result_q.put(_execute(pid, nprocs, 0, transport, program, args, kwargs,
+                          sync))
     # mp.Queue.put is asynchronous (feeder thread); exiting before it
     # flushes can silently drop the result and leave the parent to its
     # timeout.  close() + join_thread() forces the flush.
@@ -323,7 +491,7 @@ def _pool_worker(pid: int, transport: FrameTransport, ctrl_q: Any,
             _do_fence(pid, nprocs, fence_id, transport)
             result_q.put(("fenced", fence_id, pid, None, None))
         elif kind == "run":
-            _, run_id, nprocs, blob = msg
+            _, run_id, nprocs, blob, sync = msg
             try:
                 program, args, kwargs = pickle.loads(blob)
             except BaseException:  # noqa: BLE001 - reported to the parent
@@ -331,7 +499,7 @@ def _pool_worker(pid: int, transport: FrameTransport, ctrl_q: Any,
                               None))
                 continue
             result_q.put(_execute(pid, nprocs, run_id, transport, program,
-                                  args, kwargs))
+                                  args, kwargs, sync))
 
 
 #: How long a dead worker's in-flight result gets to surface from the
@@ -800,11 +968,13 @@ class BspPool:
 
     def run(self, program: Program, nprocs: int | None = None,
             args: Sequence[Any] = (),
-            kwargs: dict[str, Any] | None = None) -> BackendRun:
+            kwargs: dict[str, Any] | None = None, *,
+            sync: str = "strict") -> BackendRun:
         if self._broken is not None:
             raise PoolExhaustedError(f"BspPool gave up: {self._broken}")
         if self._closed:
             raise BspConfigError("BspPool is closed")
+        check_sync(sync)
         nprocs = self._capacity if nprocs is None else nprocs
         Backend.check_nprocs(nprocs)
         if nprocs > self._capacity:
@@ -822,7 +992,7 @@ class BspPool:
         run_id = self._run_id
         t0 = time.perf_counter()
         for pid in range(nprocs):
-            self._ctrl[pid].put(("run", run_id, nprocs, blob))
+            self._ctrl[pid].put(("run", run_id, nprocs, blob, sync))
         try:
             outcomes = _collect_outcomes(
                 self._result, nprocs, run_id, self._join_timeout,
@@ -966,13 +1136,16 @@ class ProcessBackend(Backend):
         nprocs: int,
         args: Sequence[Any] = (),
         kwargs: dict[str, Any] | None = None,
+        *,
+        sync: str = "strict",
     ) -> BackendRun:
         self.check_nprocs(nprocs)
+        check_sync(sync)
         kwargs = kwargs or {}
         if self._pool is not None:
             try:
                 return self._pool.run(program, nprocs, args=args,
-                                      kwargs=kwargs)
+                                      kwargs=kwargs, sync=sync)
             except PoolExhaustedError:
                 if not self._degrade_to_threads:
                     raise
@@ -982,7 +1155,7 @@ class ProcessBackend(Backend):
                 # — lower isolation and GIL-bound compute).
                 from .threads import ThreadBackend
                 return ThreadBackend().run(
-                    program, nprocs, args=args, kwargs=kwargs)
+                    program, nprocs, args=args, kwargs=kwargs, sync=sync)
         ctx = self._ctx
         transport = FrameTransport(nprocs, ctx, slab_bytes=self._slab_bytes,
                                    spin_timeout=self._join_timeout)
@@ -990,7 +1163,8 @@ class ProcessBackend(Backend):
         procs = [
             ctx.Process(
                 target=_oneshot_worker,
-                args=(pid, nprocs, program, args, kwargs, transport, result_q),
+                args=(pid, nprocs, program, args, kwargs, transport, result_q,
+                      sync),
                 name=f"bsp-{pid}",
                 daemon=True,
             )

@@ -32,7 +32,14 @@ from ..core.api import Bsp
 from ..core.errors import SynchronizationError, VirtualProcessorError
 from ..core.packets import Packet, PacketRuns
 from ..core.stats import VPLedger
-from .base import Backend, BackendRun, Program, route_packet_runs
+from .base import (
+    Backend,
+    BackendRun,
+    Program,
+    check_pattern_sends,
+    check_sync,
+    route_packet_runs,
+)
 
 _RUNNING = "running"
 _SYNCED = "synced"
@@ -67,11 +74,21 @@ class _SimChannel:
         self._worker = worker
         self._done = done
         self._abort = abort
+        self._pattern = None
+
+    def declare_pattern(self, pattern) -> None:
+        """Accepted for parity with the real backends: the simulator has
+        no wire to elide, but it validates declared patterns so programs
+        debugged here fail the same way they would on processes/tcp."""
+        self._pattern = pattern
 
     def exchange(
         self, pid: int, step: int, outbox: list[Packet]
     ) -> PacketRuns | list[Packet]:
         worker = self._worker
+        if self._pattern is not None:
+            check_pattern_sends(pid, step, {pkt.dst for pkt in outbox},
+                                self._pattern)
         worker.outbox = outbox
         worker.state = _SYNCED
         worker.go.clear()
@@ -95,8 +112,15 @@ class SimulatorBackend(Backend):
         nprocs: int,
         args: Sequence[Any] = (),
         kwargs: dict[str, Any] | None = None,
+        *,
+        sync: str = "strict",
     ) -> BackendRun:
         self.check_nprocs(nprocs)
+        # Serialized execution has no barrier to relax: all modes are
+        # accounting-identical here by construction, so the mode is only
+        # validated (programs can be debugged with their production
+        # ``sync=`` argument).
+        check_sync(sync)
         kwargs = kwargs or {}
         abort = threading.Event()
         yielded = threading.Event()

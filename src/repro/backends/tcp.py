@@ -24,6 +24,17 @@ every ledger) is bit-identical to the other backends.
    frame stalls phase 1 forever, which supervision reports as a
    :class:`~repro.core.errors.DeadlockError`.
 
+That is the **strict** (default) mode.  ``run(..., sync="relaxed")``
+drops both control rounds: completion is piggybacked on the data frames
+themselves (the wire header's ``more`` bit), every live link carries
+exactly one frame per boundary (empty buckets become an empty final
+frame), and per-link TCP FIFO bounds run-ahead to one superstep.
+``sync="elide"`` additionally uses a declared
+:class:`~repro.bsplib.CommPattern` to skip non-neighbour links
+entirely.  See :class:`_MeshChannel`.  All modes deliver bit-identical
+results and ledgers; checkpoint cuts fence through the strict barrier
+in every mode.
+
 All sockets are non-blocking and serviced by one
 :mod:`selectors`-based event loop per rank, so serialization, sends, and
 receives overlap — the loop *is* Appendix B.3's "receivers actively
@@ -81,7 +92,14 @@ from ..core.errors import (
     WorkerCrashError,
 )
 from ..core.packets import Packet, PacketRuns
-from .base import Backend, BackendRun, Program, describe_workers
+from .base import (
+    Backend,
+    BackendRun,
+    Program,
+    check_pattern_sends,
+    check_sync,
+    describe_workers,
+)
 from .exchange import peer_order
 from .frames import TAG_DEAD, TAG_LEFT, TAG_PKT, Frame
 from .processes import (
@@ -124,17 +142,40 @@ class _PeerLost(BaseException):
 
 
 class _MeshChannel:
-    """Superstep-boundary exchange over a socket mesh (one rank's view)."""
+    """Superstep-boundary exchange over a socket mesh (one rank's view).
+
+    ``sync`` selects the boundary protocol.  **strict** (default): the
+    two-phase counts→release barrier described in the module docstring.
+    **relaxed**: no TAG_COUNTS round and no TAG_RELEASE broadcast — each
+    rank sends exactly one TAG_PKT frame per live link (empty buckets
+    become an empty final frame) with the header's ``more`` bit cleared,
+    and passes the barrier as soon as its own inbound final frames for
+    the step are all in and its outbound queues drained.  Per-link TCP
+    FIFO bounds run-ahead to one superstep (a peer cannot start step
+    ``s+1`` before our step-``s`` final reached it).  **elide**: like
+    relaxed, but with a declared :class:`~repro.bsplib.CommPattern` the
+    rank sends finals only along ``sends_to`` links and awaits only
+    ``receives_from`` links — non-neighbours exchange nothing at all.
+    """
 
     def __init__(self, rank: int, nprocs: int,
                  socks: dict[int, socket.socket], run_id: int,
                  ctrl: "_CtrlLink | None", *,
-                 decoders: dict[int, wire.FrameDecoder] | None = None):
+                 decoders: dict[int, wire.FrameDecoder] | None = None,
+                 sync: str = "strict"):
         self._rank = rank
         self._nprocs = nprocs
         self._socks = dict(socks)
         self._run_id = run_id
         self._ctrl = ctrl
+        self._sync = sync
+        self._pattern = None
+        #: One-shot downgrade to the strict protocol (checkpoint cuts).
+        self._fence_strict = False
+        #: Heartbeat piggybacking state (relaxed/elide): inbound data
+        #: frames since the last control beat, and when that beat was.
+        self._data_beats = 0
+        self._last_beat = time.monotonic()
         self._peers = peer_order(nprocs, rank)
         self._sel = selectors.DefaultSelector()
         self._dec = decoders if decoders is not None else {
@@ -149,6 +190,10 @@ class _MeshChannel:
         self._counts: dict[int, dict[int, int]] = {}
         self._data: dict[int, dict[int, list[Packet]]] = {}
         self._release: dict[int, set[int]] = {}
+        #: Relaxed-sync completion: peers whose final (``more == 0``)
+        #: frame for a step has arrived.  Strict-mode data frames also
+        #: land here (they carry ``more == 0`` too); both paths pop it.
+        self._final: dict[int, set[int]] = {}
         self._results: dict[int, Any] = {}
         for peer, sock in self._socks.items():
             sock.setblocking(False)
@@ -170,6 +215,40 @@ class _MeshChannel:
             if mv.nbytes:
                 q.append(mv)
         self._update_mask(peer)
+
+    def _send_now(self, peer: int, chunks: Sequence[Any]) -> None:
+        """Send eagerly on the (almost always writable) socket.
+
+        The relaxed boundary sends one small frame per link; pushing it
+        straight into the kernel skips the queue's two selector
+        re-registrations and one write-ready select round per link per
+        step.  On backpressure the unsent tail falls back to the queued
+        path, so ordering and the drain invariant are untouched.
+        """
+        q = self._out.get(peer)
+        sock = self._socks.get(peer)
+        if q is None or sock is None:
+            return
+        if q:  # earlier bytes still queued: keep the link FIFO
+            self._enqueue(peer, chunks)
+            return
+        try:
+            for i, chunk in enumerate(chunks):
+                mv = memoryview(chunk)
+                if mv.format != "B" or mv.ndim != 1:
+                    mv = mv.cast("B")
+                off = 0
+                while off < mv.nbytes:
+                    try:
+                        off += sock.send(mv[off:] if off else mv)
+                    except (BlockingIOError, InterruptedError):
+                        self._enqueue(
+                            peer, [mv[off:]] + list(chunks[i + 1:]))
+                        return
+        except OSError:
+            self._close_peer(peer)
+            if peer not in self._departed:
+                raise _PeerLost(peer)
 
     def _update_mask(self, peer: int) -> None:
         sock = self._socks.get(peer)
@@ -267,8 +346,11 @@ class _MeshChannel:
         if frame.run_id != self._run_id:
             return  # debris from an earlier, failed run on this mesh
         if tag == TAG_PKT:
+            self._data_beats += 1
             self._data.setdefault(frame.step, {})[frame.src] = \
                 frame.packets(self._rank)
+            if frame.more == 0:
+                self._final.setdefault(frame.step, set()).add(frame.src)
         elif tag == wire.TAG_COUNTS:
             self._counts.setdefault(frame.step, {})[frame.src] = \
                 pickle.loads(frame.meta)
@@ -279,10 +361,45 @@ class _MeshChannel:
 
     # -- the ExchangeChannel contract ---------------------------------------
 
+    def declare_pattern(self, pattern) -> None:
+        """Declare the static communication pattern of this rank.
+
+        In ``elide`` mode the pattern prunes the boundary to its true
+        edges; in every mode a declared pattern (with ``validate=True``)
+        turns out-of-pattern sends into a
+        :class:`~repro.core.errors.BspUsageError` at the next boundary.
+        """
+        self._pattern = pattern
+
+    def fence_next_sync(self) -> None:
+        """Force the *next* boundary through the strict two-phase
+        barrier (checkpoint cuts need a full fence in every mode)."""
+        self._fence_strict = True
+
+    def _beat(self, step: int) -> None:
+        """Heartbeat, piggybacked on data traffic in relaxed/elide.
+
+        Inbound data frames prove the fabric is moving, so a busy rank
+        may skip the control-socket beat — but never for longer than
+        0.25s, which keeps the supervisor's flat-heartbeat deadlock
+        triage valid (its stall window is >= 1s).  A deadlocked rank
+        stops reaching boundaries, stops beating either way, and still
+        goes flat.
+        """
+        if self._ctrl is None:
+            return
+        if self._sync != "strict":
+            now = time.monotonic()
+            busy = self._data_beats > 0
+            self._data_beats = 0
+            if busy and now - self._last_beat < 0.25:
+                return
+            self._last_beat = now
+        self._ctrl.beat(step)
+
     def exchange(self, pid: int, step: int,
                  outbox: list[Packet]) -> PacketRuns:
-        if self._ctrl is not None:
-            self._ctrl.beat(step)
+        self._beat(step)
         # Fault-injection hook — one attribute load + None test when off.
         plan = faults._ACTIVE
         if plan is not None:
@@ -290,6 +407,12 @@ class _MeshChannel:
         buckets: dict[int, list[Packet]] = {}
         for pkt in outbox:
             buckets.setdefault(pkt.dst, []).append(pkt)
+        if self._pattern is not None:
+            check_pattern_sends(self._rank, step, buckets, self._pattern)
+        strict = self._sync == "strict" or self._fence_strict
+        self._fence_strict = False
+        if not strict:
+            return self._exchange_relaxed(step, buckets)
         run_id, rank = self._run_id, self._rank
 
         # Phase 1 sends, in the total-exchange pairing order (B.3).
@@ -307,8 +430,12 @@ class _MeshChannel:
             self._enqueue(peer, wire.encode_frame(
                 wire.TAG_COUNTS, run_id, step, rank,
                 pickle.dumps(1 if bucket else 0)))
+            if plan is not None:
+                plan.count_frame(rank)
             if data_chunks is not None:
                 self._enqueue(peer, data_chunks)
+                if plan is not None:
+                    plan.count_frame(rank)
 
         # Event loop: flush our frames while receiving theirs.
         sent_release = False
@@ -322,6 +449,8 @@ class _MeshChannel:
                 for peer in live:
                     self._enqueue(peer, wire.encode_frame(
                         wire.TAG_RELEASE, run_id, step, rank))
+                    if plan is not None:
+                        plan.count_frame(rank)
                 sent_release = True
             if sent_release:
                 rel = self._release.get(step, ())
@@ -332,12 +461,68 @@ class _MeshChannel:
             self._pump()
         self._counts.pop(step, None)
         self._release.pop(step, None)
+        self._final.pop(step, None)
         got = self._data.pop(step, {})
         own = buckets.get(rank)
         if own is not None:
             got[rank] = own
         # One run per source, each seq-sorted: canonical order once
         # concatenated by src.
+        return PacketRuns(got.items())
+
+    def _exchange_relaxed(self, step: int,
+                          buckets: dict[int, list[Packet]]) -> PacketRuns:
+        """One-phase boundary: finals piggybacked on the data frames.
+
+        Exactly one TAG_PKT frame per out-link (an empty bucket becomes
+        an empty final frame) with ``more == 0``; the barrier passes as
+        soon as every awaited peer's final for this step is in hand and
+        our outbound queues are drained (payload memoryviews reference
+        live program arrays, so returning earlier would let the program
+        mutate bytes still queued on a socket).  Run-ahead is bounded to
+        one superstep by per-link TCP FIFO: a peer cannot pass step
+        ``s`` before our step-``s`` final, which we only send after
+        passing step ``s-1``.
+        """
+        run_id, rank = self._run_id, self._rank
+        plan = faults._ACTIVE
+        pattern = self._pattern
+        if self._sync == "elide" and pattern is not None:
+            out_targets = [q for q in self._peers if q in pattern.sends_to]
+            expect = set(pattern.receives_from)
+        else:
+            out_targets = list(self._peers)
+            expect = set(self._peers)
+        empty_final = None  # identical for every empty link: encode once
+        for peer in out_targets:
+            if peer in self._departed:
+                continue
+            if plan is not None and plan.drops_frame(rank, step, peer):
+                continue  # lost message: the peer stalls on our final
+            bucket = buckets.get(peer)
+            if bucket:
+                chunks = wire.encode_packet_frame(run_id, step, rank, bucket)
+            else:
+                if empty_final is None:
+                    empty_final = wire.encode_packet_frame(
+                        run_id, step, rank, ())
+                chunks = empty_final
+            self._send_now(peer, chunks)
+            if plan is not None:
+                plan.count_frame(rank)
+        while True:
+            final = self._final.get(step, ())
+            if all(q in final or q in self._departed for q in expect) \
+                    and not any(self._out.values()):
+                break
+            self._pump()
+        self._final.pop(step, None)
+        got = self._data.pop(step, {})
+        own = buckets.get(rank)
+        if own is not None:
+            got[rank] = own
+        # Empty finals decoded to empty runs; PacketRuns drops them, so
+        # the merged inbox (and every ledger) matches strict mode.
         return PacketRuns(got.items())
 
     def depart(self) -> None:
@@ -485,7 +670,7 @@ def _oneshot_rank(rank: int, nprocs: int, coord_addr: tuple[str, int],
                   parent_addr: tuple[str, int],
                   coord_listener: socket.socket | None, token: int,
                   program: Program, args: Sequence[Any],
-                  kwargs: dict[str, Any]) -> None:
+                  kwargs: dict[str, Any], sync: str = "strict") -> None:
     """Forked rank main for a one-shot run (program inherited via fork)."""
     if rank != 0 and coord_listener is not None:
         coord_listener.close()  # inherited fd; only rank 0 may own it
@@ -493,7 +678,7 @@ def _oneshot_rank(rank: int, nprocs: int, coord_addr: tuple[str, int],
     socks = rendezvous_mesh(
         rank, nprocs, coord_addr, token=token,
         coordinator_listener=coord_listener if rank == 0 else None)
-    channel = _MeshChannel(rank, nprocs, socks, 0, ctrl)
+    channel = _MeshChannel(rank, nprocs, socks, 0, ctrl, sync=sync)
     try:
         outcome = _run_program(channel, rank, nprocs, 0, program, args,
                                kwargs)
@@ -522,7 +707,7 @@ def _pool_rank(rank: int, capacity: int, coord_addr: tuple[str, int],
             break
         if frame.tag != wire.TAG_RUN:
             continue
-        run_id, nprocs, blob = wire.frame_object(frame)
+        run_id, nprocs, blob, sync = wire.frame_object(frame)
         try:
             program, args, kwargs = pickle.loads(blob)
         except BaseException:  # noqa: BLE001 - reported to the supervisor
@@ -531,7 +716,7 @@ def _pool_rank(rank: int, capacity: int, coord_addr: tuple[str, int],
             continue
         sub = {q: socks[q] for q in range(nprocs) if q != rank and q in socks}
         channel = _MeshChannel(rank, nprocs, sub, run_id, ctrl,
-                               decoders=decoders)
+                               decoders=decoders, sync=sync)
         outcome = _run_program(channel, rank, nprocs, run_id, program, args,
                                kwargs)
         channel.shutdown(close=False)
@@ -868,11 +1053,13 @@ class TcpMesh:
 
     def run(self, program: Program, nprocs: int | None = None,
             args: Sequence[Any] = (),
-            kwargs: dict[str, Any] | None = None) -> BackendRun:
+            kwargs: dict[str, Any] | None = None, *,
+            sync: str = "strict") -> BackendRun:
         if self._closed:
             raise BspConfigError("TcpMesh is closed")
         nprocs = self._capacity if nprocs is None else nprocs
         Backend.check_nprocs(nprocs)
+        check_sync(sync)
         if nprocs > self._capacity:
             raise BspConfigError(
                 f"run of {nprocs} processors on a mesh of {self._capacity}")
@@ -891,7 +1078,7 @@ class TcpMesh:
         self._run_id += 1
         run_id = self._run_id
         t0 = time.perf_counter()
-        payload = (run_id, nprocs, blob)
+        payload = (run_id, nprocs, blob, sync)
         for rank in range(nprocs):
             self._send_ctrl(self._links[rank], wire.encode_object_frame(
                 wire.TAG_RUN, run_id, 0, -1, payload))
@@ -989,11 +1176,15 @@ class TcpBackend(Backend):
         nprocs: int,
         args: Sequence[Any] = (),
         kwargs: dict[str, Any] | None = None,
+        *,
+        sync: str = "strict",
     ) -> BackendRun:
         self.check_nprocs(nprocs)
+        check_sync(sync)
         kwargs = kwargs or {}
         if self._mesh is not None:
-            return self._mesh.run(program, nprocs, args=args, kwargs=kwargs)
+            return self._mesh.run(program, nprocs, args=args, kwargs=kwargs,
+                                  sync=sync)
         ctx = self._ctx
         token = _next_token()
         # Pre-bind the rendezvous listener in the parent: rank 0 inherits
@@ -1007,7 +1198,7 @@ class TcpBackend(Backend):
             ctx.Process(
                 target=_oneshot_rank,
                 args=(rank, nprocs, coord_addr, parent_addr, coord_listener,
-                      token, program, args, kwargs),
+                      token, program, args, kwargs, sync),
                 name=f"bsp-tcp-{rank}",
                 daemon=True,
             )
@@ -1082,11 +1273,14 @@ class TcpSpmdBackend(Backend):
         nprocs: int,
         args: Sequence[Any] = (),
         kwargs: dict[str, Any] | None = None,
+        *,
+        sync: str = "strict",
     ) -> BackendRun:
         if nprocs != self._nprocs:
             raise BspConfigError(
                 f"this mesh has {self._nprocs} ranks; cannot run "
                 f"nprocs={nprocs}")
+        check_sync(sync)
         if self._dirty:
             raise BspConfigError(
                 "mesh streams may be corrupt after a failed run; relaunch "
@@ -1094,7 +1288,8 @@ class TcpSpmdBackend(Backend):
         self._run_id += 1
         run_id = self._run_id
         channel = _MeshChannel(self._rank, nprocs, dict(self._socks),
-                               run_id, None, decoders=self._decoders)
+                               run_id, None, decoders=self._decoders,
+                               sync=sync)
         t0 = time.perf_counter()
         try:
             outcome = _run_program(channel, self._rank, nprocs, run_id,

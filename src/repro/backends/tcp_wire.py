@@ -12,7 +12,7 @@ One wire frame is::
     u32 header_len | header (pickle) | buffer bytes ...
 
 where ``header`` is the pickled tuple ``(tag, run_id, step, src, lens,
-meta)``:
+meta, more)``:
 
 * ``tag`` — frame kind (:data:`~repro.backends.frames.TAG_PKT` and its
   control siblings, plus the TCP-only tags below);
@@ -23,7 +23,10 @@ meta)``:
   in order; the payload bytes are **not** inside the pickle stream;
 * ``meta`` — the pickle-5 metadata blob produced by
   :func:`repro.backends.frames.encode_packets` (for packet frames) or a
-  small pickled object (for control frames).
+  small pickled object (for control frames);
+* ``more`` — the relaxed-sync piggyback bit: 0 on the final frame of a
+  (src, step) link, 1 when further frames follow.  Strict-mode data
+  frames always carry 0 (one frame per link per boundary).
 
 Packet frames therefore reuse the exact per-destination combining and
 out-of-band buffer layout of :mod:`repro.backends.frames`: the ``seq``
@@ -72,16 +75,20 @@ DEFAULT_MAX_FRAME_BYTES = 1 << 30
 
 def encode_frame(tag: int, run_id: int, step: int, src: int,
                  meta: bytes | None = None,
-                 buffers: Sequence[Any] = ()) -> list[Any]:
+                 buffers: Sequence[Any] = (),
+                 more: int = 0) -> list[Any]:
     """Encode one frame as a list of wire chunks (no payload copies).
 
     The first chunk is ``prefix + header``; each out-of-band buffer
     follows as its own chunk (a memoryview straight over the source
     object), so callers can hand the list to a vectored/queued send
     without ever concatenating payload bytes.
+
+    ``more`` is the relaxed-sync piggyback bit: 0 marks the final frame
+    from ``src`` on this link for this superstep, 1 means more follow.
     """
     lens = tuple(memoryview(b).nbytes for b in buffers)
-    header = pickle.dumps((tag, run_id, step, src, lens, meta),
+    header = pickle.dumps((tag, run_id, step, src, lens, meta, more),
                           protocol=pickle.HIGHEST_PROTOCOL)
     chunks: list[Any] = [_PREFIX.pack(len(header)) + header]
     chunks.extend(buffers)
@@ -89,7 +96,8 @@ def encode_frame(tag: int, run_id: int, step: int, src: int,
 
 
 def encode_packet_frame(run_id: int, step: int, src: int,
-                        packets: Sequence[Packet]) -> list[Any]:
+                        packets: Sequence[Packet],
+                        more: int = 0) -> list[Any]:
     """One combined boundary frame for a per-destination packet bucket.
 
     Reuses :func:`repro.backends.frames.encode_packets`, so the combined
@@ -99,7 +107,7 @@ def encode_packet_frame(run_id: int, step: int, src: int,
     from .frames import TAG_PKT
 
     meta, buffers = encode_packets(packets)
-    return encode_frame(TAG_PKT, run_id, step, src, meta, buffers)
+    return encode_frame(TAG_PKT, run_id, step, src, meta, buffers, more)
 
 
 def encode_object_frame(tag: int, run_id: int, step: int, src: int,
@@ -172,7 +180,7 @@ class FrameDecoder:
             try:
                 header = pickle.loads(bytes(buf[_PREFIX.size:
                                               _PREFIX.size + hlen]))
-                tag, run_id, step, src, lens, meta = header
+                tag, run_id, step, src, lens, meta, more = header
             except Exception as exc:
                 raise PacketError(
                     f"undecodable wire frame header: {exc}") from exc
@@ -186,7 +194,7 @@ class FrameDecoder:
             self._header, self._total = header, total
         if len(buf) < self._total:
             return None
-        tag, run_id, step, src, lens, meta = self._header
+        tag, run_id, step, src, lens, meta, more = self._header
         buffers: list[bytearray] = []
         off = 0
         for n in lens:
@@ -194,7 +202,7 @@ class FrameDecoder:
             off += n
         del buf[:self._total]
         self._header, self._total = None, 0
-        return Frame(tag, run_id, step, src, meta, buffers)
+        return Frame(tag, run_id, step, src, meta, buffers, more)
 
     @property
     def pending_bytes(self) -> int:

@@ -35,7 +35,13 @@ from ..core.api import Bsp
 from ..core.errors import SynchronizationError, VirtualProcessorError
 from ..core.packets import Packet, PacketRuns
 from ..core.stats import VPLedger
-from .base import Backend, BackendRun, Program
+from .base import (
+    Backend,
+    BackendRun,
+    Program,
+    check_pattern_sends,
+    check_sync,
+)
 
 
 class _Abort(BaseException):
@@ -118,12 +124,20 @@ class _ThreadChannel:
     def __init__(self, shared: _ThreadShared, abort: threading.Event):
         self._shared = shared
         self._abort = abort
+        self._pattern = None
+
+    def declare_pattern(self, pattern) -> None:
+        """Parity with the real backends: shared memory has no frames to
+        elide, but declared patterns are validated identically."""
+        self._pattern = pattern
 
     def exchange(self, pid: int, step: int, outbox: list[Packet]) -> PacketRuns:
         shared = self._shared
         buckets: dict[int, list[Packet]] = defaultdict(list)
         for pkt in outbox:
             buckets[pkt.dst].append(pkt)
+        if self._pattern is not None:
+            check_pattern_sends(pid, step, buckets, self._pattern)
         parity = step % 2
         shared.slots[parity][pid] = (step, dict(buckets))
         try:
@@ -156,8 +170,14 @@ class ThreadBackend(Backend):
         nprocs: int,
         args: Sequence[Any] = (),
         kwargs: dict[str, Any] | None = None,
+        *,
+        sync: str = "strict",
     ) -> BackendRun:
         self.check_nprocs(nprocs)
+        # The vanishing barrier synchronizes memory, not messages; there
+        # is nothing to piggyback or elide, so all modes share one path
+        # (accounting is identical by construction).
+        check_sync(sync)
         kwargs = kwargs or {}
         shared = _ThreadShared(nprocs)
         abort = threading.Event()

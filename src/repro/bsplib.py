@@ -49,6 +49,46 @@ from .core.errors import BspUsageError
 from .core.runtime import BspRunResult, bsp_run
 
 
+@dataclass(frozen=True)
+class CommPattern:
+    """One processor's static communication graph, for barrier elision.
+
+    ``sends_to`` — the pids this processor may address; ``receives_from``
+    — the pids it may hear from.  Under ``sync="elide"`` the runtime
+    exchanges completion frames only along these links, so a processor
+    with a sparse pattern pays O(degree) per barrier instead of O(p).
+    Declarations must be mutually consistent across processors (q in p's
+    ``sends_to`` iff p in q's ``receives_from``); the library cannot
+    check this locally, and an inconsistent declaration stalls the run
+    the way a lost message would.  ``validate=True`` makes an
+    out-of-pattern send raise
+    :class:`~repro.core.errors.BspUsageError` at the boundary.
+    """
+
+    sends_to: frozenset[int]
+    receives_from: frozenset[int]
+    validate: bool = True
+
+    @classmethod
+    def build(cls, pid: int, nprocs: int, sends_to,
+              receives_from=None, *, validate: bool = True) -> "CommPattern":
+        """Normalize raw pid iterables into a pattern for ``pid``.
+
+        Drops the own pid (self-sends are always local), range-checks
+        every declared peer, and defaults ``receives_from`` to the
+        symmetric closure (receive from exactly whom you send to).
+        """
+        out = frozenset(int(q) for q in sends_to) - {pid}
+        src = (out if receives_from is None
+               else frozenset(int(q) for q in receives_from) - {pid})
+        for peer in out | src:
+            if not 0 <= peer < nprocs:
+                raise BspUsageError(
+                    f"pid {pid} declared pattern peer {peer}, outside "
+                    f"range({nprocs})")
+        return cls(sends_to=out, receives_from=src, validate=validate)
+
+
 class BsplibContext:
     """Per-processor BSPlib-style facade over a :class:`Bsp` context."""
 
@@ -74,6 +114,15 @@ class BsplibContext:
     def time(self) -> float:
         """``bsp_time()``: elapsed seconds on this processor."""
         return time.perf_counter() - self._t0
+
+    def pattern(self, sends_to, receives_from=None, *,
+                validate: bool = True) -> None:
+        """Declare this processor's static communication pattern.
+
+        Forwards to :meth:`repro.core.api.Bsp.pattern`; see
+        :class:`CommPattern` for the elision semantics.
+        """
+        self._bsp.pattern(sends_to, receives_from, validate=validate)
 
     # -- BSMP (tagged message passing) --------------------------------------
 

@@ -217,6 +217,36 @@ class Bsp:
         """Paper-faithful alias of :meth:`sync`."""
         self.sync()
 
+    def pattern(self, sends_to, receives_from=None, *,
+                validate: bool = True) -> None:
+        """Declare this processor's static communication pattern.
+
+        ``sends_to`` is the set of destination pids this processor will
+        ever address; ``receives_from`` the set of sources it will ever
+        hear from (``None`` means the symmetric closure: it receives
+        from exactly the pids it sends to).  Self-sends are always
+        local and never need declaring — the own pid is silently dropped
+        from both sets.
+
+        Under ``sync="elide"`` the declared pattern lets the runtime
+        skip even the empty completion frames of non-neighbors; every
+        processor must declare a *consistent* view (q appears in p's
+        ``sends_to`` iff p appears in q's ``receives_from``) — an
+        inconsistent declaration stalls the run like a lost message.
+        With ``validate=True`` (the default) a send outside the pattern
+        raises :class:`~repro.core.errors.BspUsageError` at the next
+        boundary.  Under strict/relaxed sync the declaration only
+        enables validation; the protocol is unchanged.
+        """
+        self._check_live()
+        from ..bsplib import CommPattern  # function-level: bsplib imports us
+
+        cp = CommPattern.build(self._pid, self._nprocs, sends_to,
+                               receives_from, validate=validate)
+        declare = getattr(self._channel, "declare_pattern", None)
+        if declare is not None:
+            declare(cp)
+
     # -- instrumentation ----------------------------------------------------
 
     def charge(self, units: float) -> None:
@@ -266,6 +296,14 @@ class Bsp:
         with self.off_clock():
             agent.write(self._step, self._pid, self._nprocs, capture(),
                         list(self._inbox), self._ledger.samples[:-1])
+        # A checkpoint cut must be a consistent global state: fence the
+        # next boundary back to the strict two-phase barrier so no peer
+        # runs ahead across the cut.  Checkpoint spacing is deterministic
+        # (same ``checkpoint_every`` on every pid), so all ranks fence
+        # the same boundary.  No-op for channels without sync modes.
+        fence = getattr(self._channel, "fence_next_sync", None)
+        if fence is not None:
+            fence()
         return True
 
     def resume_state(self) -> Any:

@@ -211,9 +211,15 @@ def get_machine(name: str) -> MachineProfile:
 # --------------------------------------------------------------------------
 
 
-def _latency_program(bsp, rounds: int) -> None:
-    """Superstep with a single packet per processor: measures L."""
+def _latency_program(bsp, rounds: int, declare: bool = False) -> None:
+    """Superstep with a single packet per processor: measures L.
+
+    With ``declare=True`` the ring pattern is declared up front, so the
+    benchmark exercises ``sync="elide"``'s pruned boundary.
+    """
     right = (bsp.pid + 1) % bsp.nprocs
+    if declare:
+        bsp.pattern({right}, {(bsp.pid - 1) % bsp.nprocs})
     for _ in range(rounds):
         bsp.send(right, 0)
         bsp.sync()
@@ -221,7 +227,8 @@ def _latency_program(bsp, rounds: int) -> None:
             pass
 
 
-def _bandwidth_program(bsp, rounds: int, packets_each: int) -> None:
+def _bandwidth_program(bsp, rounds: int, packets_each: int,
+                       declare: bool = False) -> None:
     """Total exchange with a large h-relation: measures g.
 
     Each processor sends ``packets_each`` 16-byte payloads to every other
@@ -229,6 +236,8 @@ def _bandwidth_program(bsp, rounds: int, packets_each: int) -> None:
     """
     payload = b"x" * 16
     others = [q for q in range(bsp.nprocs) if q != bsp.pid]
+    if declare:
+        bsp.pattern(others)  # complete graph: elide prunes nothing
     for _ in range(rounds):
         for q in others:
             for _ in range(packets_each):
@@ -246,10 +255,15 @@ class CalibrationResult:
     nprocs: int
     g_us: float
     L_us: float
+    #: Synchronization mode the measurement ran under; relaxed/elide
+    #: remove the barrier's control rounds, so their L is the headline
+    #: number of the relaxed-synchronization optimisation.
+    sync: str = "strict"
 
     def as_profile(self, name: str | None = None) -> MachineProfile:
+        suffix = "" if self.sync == "strict" else f"-{self.sync}"
         return MachineProfile(
-            name=name or f"{self.backend}@{self.nprocs}",
+            name=name or f"{self.backend}@{self.nprocs}{suffix}",
             g_us={self.nprocs: self.g_us},
             L_us={self.nprocs: self.L_us},
         )
@@ -262,6 +276,7 @@ def calibrate_backend(
     latency_rounds: int = 30,
     bandwidth_rounds: int = 5,
     packets_each: int = 400,
+    sync: str = "strict",
 ) -> CalibrationResult:
     """Measure g and L of a repro backend, following Figure 2.1's method.
 
@@ -274,6 +289,12 @@ def calibrate_backend(
     processor sends one packet; ``g`` is the average per-packet time of a
     total-exchange superstep with ``(p-1) * packets_each`` packets per
     processor, after the latency share is subtracted.
+
+    ``sync`` selects the barrier protocol under measurement (the
+    latency microbenchmark is barrier-bound, so its L directly shows
+    what relaxed/elide buy).  In ``"elide"`` mode the latency program
+    declares its ring pattern, so the measured boundary carries a single
+    frame per processor.
     """
     from .runtime import bsp_run  # local import: runtime imports machines
 
@@ -281,7 +302,8 @@ def calibrate_backend(
         getattr(backend, "name", "") or type(backend).__name__)
 
     t0 = time.perf_counter()
-    bsp_run(_latency_program, nprocs, backend=backend, args=(latency_rounds,))
+    bsp_run(_latency_program, nprocs, backend=backend,
+            args=(latency_rounds, sync == "elide"), sync=sync)
     latency_wall = time.perf_counter() - t0
     L_us = latency_wall / latency_rounds / US
 
@@ -294,6 +316,7 @@ def calibrate_backend(
             1,
             backend=backend,
             args=(bandwidth_rounds, packets_each),
+            sync=sync,
         )
         wall = time.perf_counter() - t0
         per_step = wall / bandwidth_rounds
@@ -304,14 +327,15 @@ def calibrate_backend(
             _bandwidth_program,
             nprocs,
             backend=backend,
-            args=(bandwidth_rounds, packets_each),
+            args=(bandwidth_rounds, packets_each, sync == "elide"),
+            sync=sync,
         )
         wall = time.perf_counter() - t0
         per_step = wall / bandwidth_rounds
         h = (nprocs - 1) * packets_each
         g_us = max(per_step - L_us * US, 0.0) / h / US
     return CalibrationResult(
-        backend=backend_name, nprocs=nprocs, g_us=g_us, L_us=L_us)
+        backend=backend_name, nprocs=nprocs, g_us=g_us, L_us=L_us, sync=sync)
 
 
 def _selfsend_program(bsp, rounds: int, packets_each: int) -> None:
@@ -331,6 +355,7 @@ def tcp_localhost_profile(
     latency_rounds: int = 30,
     bandwidth_rounds: int = 5,
     packets_each: int = 400,
+    sync: str = "strict",
 ) -> MachineProfile:
     """Calibrate the TCP backend over loopback into a machine profile.
 
@@ -341,6 +366,10 @@ def tcp_localhost_profile(
     prediction harness exactly like the paper's machines.  With
     ``register=True`` (default) the profile also becomes resolvable via
     ``get_machine("tcp-localhost")``.
+
+    ``sync`` selects the barrier protocol; non-strict profiles register
+    under ``"tcp-localhost-relaxed"`` / ``"tcp-localhost-elide"`` so
+    prediction sweeps can compare the modes by name.
     """
     from ..backends.tcp import TcpBackend  # lazy: backends import core
 
@@ -356,11 +385,12 @@ def tcp_localhost_profile(
                 latency_rounds=latency_rounds,
                 bandwidth_rounds=bandwidth_rounds,
                 packets_each=packets_each,
+                sync=sync,
             )
             g_table[p] = cal.g_us
             l_table[p] = cal.L_us
-    profile = MachineProfile(
-        name="tcp-localhost", g_us=g_table, L_us=l_table)
+    name = "tcp-localhost" if sync == "strict" else f"tcp-localhost-{sync}"
+    profile = MachineProfile(name=name, g_us=g_table, L_us=l_table)
     if register:
         register_machine(profile)
     return profile

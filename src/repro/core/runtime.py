@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Sequence
 
-from ..backends.base import Backend, Program, get_backend
+from ..backends.base import Backend, Program, check_sync, get_backend
 from .errors import BspConfigError, DeadlockError, WorkerCrashError
 from .stats import ProgramStats
 
@@ -61,6 +61,7 @@ def bsp_run(
     kwargs: dict[str, Any] | None = None,
     retries: int = 0,
     checkpoint: Any = None,
+    sync: str = "strict",
 ) -> BspRunResult:
     """Execute ``program`` on ``nprocs`` virtual processors.
 
@@ -94,6 +95,14 @@ def bsp_run(
         identically, so it re-raises.  Safe for idempotent programs;
         side-effecting programs may observe partial effects of the
         crashed attempt.
+    sync:
+        Synchronization mode of the exchange protocol — ``"strict"``
+        (the default two-phase barrier), ``"relaxed"`` (per-link
+        completion piggybacked on the data frames, run-ahead bounded to
+        one superstep), or ``"elide"`` (relaxed plus skipping the empty
+        frames of peers outside a pattern declared with
+        ``bsp.pattern(...)``).  Results and (S, H, h) ledgers are
+        bit-identical across modes; only the barrier cost differs.
     checkpoint:
         A :class:`~repro.checkpoint.CheckpointConfig`, or ``None`` (no
         checkpointing).  The program opts in by calling
@@ -107,6 +116,7 @@ def bsp_run(
     if not isinstance(retries, int) or retries < 0:
         raise BspConfigError(
             f"retries must be a non-negative int, got {retries!r}")
+    check_sync(sync)
     engine = backend if isinstance(backend, Backend) else get_backend(backend)
 
     cfg = checkpoint
@@ -139,7 +149,13 @@ def bsp_run(
                            if resume else None)
             run_program = CheckpointedProgram(program, cfg, resume_step)
         try:
-            run = engine.run(run_program, nprocs, args=args, kwargs=kwargs)
+            if sync == "strict":
+                # Keep the legacy call shape: custom Backend subclasses
+                # registered before the sync layer existed stay valid.
+                run = engine.run(run_program, nprocs, args=args, kwargs=kwargs)
+            else:
+                run = engine.run(run_program, nprocs, args=args,
+                                 kwargs=kwargs, sync=sync)
             break
         except WorkerCrashError:
             if attempts_left <= 0:

@@ -66,6 +66,7 @@ one-shot backends, whose workers fork per run.
 
 from __future__ import annotations
 
+import mmap
 import os
 import random
 import signal
@@ -111,6 +112,53 @@ class _Unpicklable:
         raise RuntimeError("injected pickle failure (FaultPlan POISON)")
 
 
+class FrameCounter:
+    """Fork-shared per-sender counters of wire frames actually pushed.
+
+    One 8-byte slot per sending pid in an anonymous ``mmap``, so counts
+    survive the fork boundary and each slot has exactly one writer (the
+    owning worker) — aligned 8-byte stores are atomic on every platform
+    we fork on, and single-writer slots need no cross-process locking.
+
+    Attach one to a :class:`FaultPlan` (``frame_counter=``) to measure
+    how many frames a run put on the wire: backends call
+    :meth:`FaultPlan.count_frame` at every point a boundary frame is
+    actually sent (after any injected drop).  Used by the
+    empty-superstep regression tests to assert the per-mode frame
+    budgets of the synchronization layer.
+    """
+
+    def __init__(self, nprocs: int):
+        if nprocs < 1:
+            raise BspConfigError(f"nprocs must be >= 1, got {nprocs}")
+        self._nprocs = nprocs
+        self._mm = mmap.mmap(-1, max(8 * nprocs, mmap.PAGESIZE))
+        self._v = memoryview(self._mm).cast("Q")
+
+    def add(self, src: int, n: int = 1) -> None:
+        """Credit ``n`` frames to sender ``src`` (worker side)."""
+        self._v[src] += n
+
+    def per_sender(self) -> list[int]:
+        """Snapshot of each pid's frame count."""
+        return [int(self._v[pid]) for pid in range(self._nprocs)]
+
+    def total(self) -> int:
+        """Total frames counted across all senders."""
+        return sum(self.per_sender())
+
+    def reset(self) -> None:
+        for pid in range(self._nprocs):
+            self._v[pid] = 0
+
+    def close(self) -> None:
+        try:
+            self._v.release()
+            self._mm.close()
+        except (BufferError, ValueError):  # pragma: no cover
+            pass
+
+
 @dataclass(frozen=True)
 class Fault:
     """One scheduled fault: *kind* hits worker *pid* at superstep *step*.
@@ -140,15 +188,20 @@ class FaultPlan:
     *attributable* and a recovery test repeatable.
     """
 
-    def __init__(self, faults: Sequence[Fault] = ()):
+    def __init__(self, faults: Sequence[Fault] = (), *,
+                 frame_counter: FrameCounter | None = None):
         self.faults = tuple(faults)
+        #: Optional fork-shared wire-frame counter (see :class:`FrameCounter`).
+        self.frame_counter = frame_counter
         self._boundary: dict[tuple[int, int], Fault] = {}
         self._drops: set[tuple[int, int, int]] = set()
+        self._drop_steps: set[tuple[int, int]] = set()
         self._drop_departs: set[tuple[int, int]] = set()
         self._ckpt_tampers: dict[tuple[int, int], str] = {}
         for fault in self.faults:
             if fault.kind == DROP_FRAME:
                 self._drops.add((fault.pid, fault.step, int(fault.arg)))
+                self._drop_steps.add((fault.pid, fault.step))
             elif fault.kind == DROP_DEPART:
                 self._drop_departs.add((fault.pid, int(fault.arg)))
             elif fault.kind in CHECKPOINT_KINDS:
@@ -205,8 +258,29 @@ class FaultPlan:
     def drops_frame(self, src: int, step: int, dst: int) -> bool:
         return (src, step, dst) in self._drops
 
+    def drops_any_frame(self, src: int, step: int) -> bool:
+        """True when ``src`` is scheduled to drop *some* frame at ``step``.
+
+        The relaxed pipe protocol has no per-destination frame for empty
+        buckets to drop, so a scheduled loss is modeled by withholding the
+        sender's epoch publication instead — this is the hook that tells
+        it a loss is scheduled for the boundary.
+        """
+        return (src, step) in self._drop_steps
+
     def drops_depart(self, pid: int, peer: int) -> bool:
         return (pid, peer) in self._drop_departs
+
+    def count_frame(self, src: int, n: int = 1) -> None:
+        """Credit ``n`` wire frames to ``src`` on the attached counter.
+
+        Called by backends at every point a boundary frame is actually
+        pushed (after any injected drop); a plan without a counter makes
+        this a no-op.
+        """
+        counter = self.frame_counter
+        if counter is not None:
+            counter.add(src, n)
 
     def tampers_checkpoint(self, pid: int, step: int) -> str | None:
         """The checkpoint-damage kind scheduled for (pid, step), if any."""

@@ -68,6 +68,10 @@ def _launch_tcp(argv: list[str]) -> int:
     parser.add_argument("--timeout", type=float, default=60.0,
                         help="rendezvous / join timeout in seconds")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sync", default="strict",
+                        choices=["strict", "relaxed", "elide"],
+                        help="synchronization mode (identical results "
+                             "and ledgers; cheaper barriers)")
     args = parser.parse_args(argv)
 
     if args.size not in APP_SIZES[args.app]:
@@ -91,7 +95,7 @@ def _launch_tcp(argv: list[str]) -> int:
         rank = args.rank
     try:
         stats = run_app(args.app, args.size, args.nprocs,
-                        seed=args.seed, backend=backend)
+                        seed=args.seed, backend=backend, sync=args.sync)
     finally:
         close = getattr(backend, "close", None)
         if close is not None:
@@ -126,6 +130,10 @@ def _run(argv: list[str]) -> int:
     parser.add_argument("--resume", action="store_true",
                         help="resume from the newest complete checkpoint "
                              "instead of clearing the store first")
+    parser.add_argument("--sync", default="strict",
+                        choices=["strict", "relaxed", "elide"],
+                        help="synchronization mode (identical results "
+                             "and ledgers; cheaper barriers)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="log supervision state (pool generation, "
                              "restarts, last fault) after the run")
@@ -165,7 +173,8 @@ def _run(argv: list[str]) -> int:
     try:
         stats = run_app(args.app, args.size, args.nprocs,
                         seed=args.seed, backend=backend,
-                        checkpoint=checkpoint, retries=args.retries)
+                        checkpoint=checkpoint, retries=args.retries,
+                        sync=args.sync)
     finally:
         if args.verbose and not isinstance(backend, str):
             health = backend.health()

@@ -94,6 +94,7 @@ def run_app(
     backend: str = "simulator",
     checkpoint: Any = None,
     retries: int = 0,
+    sync: str = "strict",
 ) -> ProgramStats:
     """Execute one (app, size, p) experiment and return its statistics.
 
@@ -101,7 +102,10 @@ def run_app(
     ``retries`` enable per-superstep snapshots and crash resume for the
     apps that implement the capture/restore protocol (ocean, nbody,
     sp, msp); the others reject the combination rather than silently
-    restarting from zero.
+    restarting from zero.  ``sync`` selects the synchronization mode
+    (every app runs in all three; ocean and matmult also declare their
+    communication pattern, so ``elide`` prunes their barriers); results
+    and (S, H, h-series) ledgers are identical in every mode.
     """
     size = APP_SIZES[app][size_label]
     if checkpoint is not None and app in ("mst", "matmult"):
@@ -110,19 +114,22 @@ def run_app(
             f"protocol; run it without --checkpoint-every")
     if app == "ocean":
         return bsp_ocean(size, OCEAN_STEPS, nprocs, backend=backend,
-                         checkpoint=checkpoint, retries=retries).stats
+                         checkpoint=checkpoint, retries=retries,
+                         sync=sync).stats
     if app == "matmult":
         rng = np.random.default_rng(seed)
         a = rng.standard_normal((size, size))
         b = rng.standard_normal((size, size))
-        return cannon_matmul(a, b, nprocs, backend=backend).stats
+        return cannon_matmul(a, b, nprocs, backend=backend,
+                             sync=sync).stats
     if app == "nbody":
         bodies = plummer(size, seed=seed)
         # One untimed warm-up step settles the load distribution, as in
         # the paper's measurements of an ongoing simulation.
         return bsp_nbody(bodies, nprocs, steps=NBODY_STEPS,
                          warmup_steps=1, backend=backend,
-                         checkpoint=checkpoint, retries=retries).stats
+                         checkpoint=checkpoint, retries=retries,
+                         sync=sync).stats
     # Graph applications share the G(δ) input class, partitioned into 2-D
     # ORB tiles: node-count-balanced (the paper's "within about 10%"),
     # locality-preserving, and — unlike 1-D strips — engaging most
@@ -130,7 +137,8 @@ def run_app(
     gg = _graph_instance(size, seed)
     owner = orb_partition(gg.points, None, nprocs)
     if app == "mst":
-        return bsp_mst(gg.graph, owner, nprocs, backend=backend).stats
+        return bsp_mst(gg.graph, owner, nprocs, backend=backend,
+                       sync=sync).stats
     # The paper's work factor is a fixed *time period*; ours is the
     # equivalent relaxation budget, scaled to the input and chosen (one
     # value per input, "for the exact same program and input on all of
@@ -139,11 +147,13 @@ def run_app(
     if app == "sp":
         return bsp_sssp(gg.graph, owner, nprocs, source=0,
                         work_factor=work_factor, backend=backend,
-                        checkpoint=checkpoint, retries=retries).stats
+                        checkpoint=checkpoint, retries=retries,
+                        sync=sync).stats
     if app == "msp":
         nsources = min(PAPER_NSOURCES, size)
         sources = default_sources(size, nsources=nsources, seed=seed)
         return bsp_msp(gg.graph, owner, nprocs, sources,
                        work_factor=work_factor, backend=backend,
-                       checkpoint=checkpoint, retries=retries).stats
+                       checkpoint=checkpoint, retries=retries,
+                       sync=sync).stats
     raise ValueError(f"unknown app {app!r}")
