@@ -1,0 +1,218 @@
+"""Measure what the survivable mesh buys — and what it costs.
+
+Two questions, one number each:
+
+* **MTTR** — a rank is SIGKILLed in the final quarter of a paced,
+  checkpointed run.  Recovery A (the only option before in-run rank
+  replacement): tear the whole mesh down, re-fork every rank,
+  re-rendezvous, resume from the last checkpoint.  Recovery B: heal in
+  place — re-fork only the dead rank, re-rendezvous the survivors at
+  the next mesh generation, resume.  ``heal_speedup_x`` is mean time to
+  repair A over B, with the (identical) crash-detection latency factored
+  out of both.
+* **Integrity overhead** — the steady-state cost of the protection layer
+  itself (CRC32 trailers, per-link sequencing, journal retention) on the
+  ``numpy-large`` bandwidth row of ``bench_backend_comm``: the same
+  pooled all-to-all timed with ``integrity=True`` vs ``integrity=False``,
+  interleaved to cancel machine drift.
+
+Acceptance floors (enforced, nonzero exit): ``heal_speedup_x >= 2.0``
+(``>= 1.3`` under ``--quick``) and ``integrity_overhead_pct <= 5.0``
+(``<= 8.0`` under ``--quick``, whose tiny frames leave the fixed costs
+nothing to amortize against).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resilience.py --quick
+    PYTHONPATH=src python benchmarks/bench_resilience.py \
+        --label survivable-mesh --output BENCH_resilience.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import tempfile
+import time
+
+from repro import CheckpointConfig, DiskCheckpointStore, bsp_run
+from repro import faults
+from repro.backends.tcp import TcpBackend
+from repro.core.errors import WorkerCrashError
+
+from bench_backend_comm import exchange_program
+from bench_recovery import paced_ring
+
+ROUNDS = 24
+KILL_STEP = 20
+
+
+def _ledger_key(stats):
+    return (stats.S, stats.H, stats.h_series, stats.m_series)
+
+
+def _crash_and_resume(nprocs: int, heal_in_place: bool,
+                      golden_key) -> tuple[float, float]:
+    """One kill-recover-resume cycle; returns (crash_s, resume_s).
+
+    ``crash_s`` is the time for the killed run to surface its
+    :class:`WorkerCrashError` — for the healing pool that includes the
+    in-place heal (it runs eagerly, before the error propagates); for
+    the rebuild pool it is pure detection (the rebuild is lazy).
+    ``resume_s`` is the follow-up resumed run: on the healed pool the
+    mesh is already live; on the dirty pool it pays teardown + full
+    re-fork + re-rendezvous first.
+    """
+    plan = faults.FaultPlan(
+        [faults.Fault(faults.KILL, pid=1, step=KILL_STEP)])
+    root = tempfile.mkdtemp(prefix="bench-resilience-")
+    store = DiskCheckpointStore(root)
+    with faults.injected(plan):
+        backend = TcpBackend.pool(nprocs, heal_in_place=heal_in_place)
+    with backend:
+        cfg = CheckpointConfig(store=store, run_key="bench")
+        t0 = time.perf_counter()
+        try:
+            bsp_run(paced_ring, nprocs, args=(ROUNDS, 0.0), backend=backend,
+                    checkpoint=cfg)
+            raise RuntimeError("injected crash did not fire")
+        except WorkerCrashError:
+            crash_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        resumed = bsp_run(
+            paced_ring, nprocs, args=(ROUNDS, 0.0), backend=backend,
+            checkpoint=CheckpointConfig(store=store, run_key="bench",
+                                        resume=True))
+        resume_s = time.perf_counter() - t0
+        health = backend.health()
+    expected = "re-fork" if heal_in_place else "rebuild"
+    if expected not in health.heal_kinds:
+        raise AssertionError(
+            f"expected a {expected!r} heal, got {health.heal_kinds}")
+    if (resumed.results, _ledger_key(resumed.stats)) != golden_key:
+        raise AssertionError("recovered run diverged from golden")
+    return crash_s, resume_s
+
+
+def bench_mttr(nprocs: int, repeats: int) -> dict:
+    golden = bsp_run(paced_ring, nprocs, args=(ROUNDS, 0.0))
+    golden_key = (golden.results, _ledger_key(golden.stats))
+
+    heal = [_crash_and_resume(nprocs, True, golden_key)
+            for _ in range(repeats)]
+    rebuild = [_crash_and_resume(nprocs, False, golden_key)
+               for _ in range(repeats)]
+    heal_crash = min(c for c, _ in heal)
+    heal_resume = min(r for _, r in heal)
+    detect_s = min(c for c, _ in rebuild)  # rebuild defers all repair
+    rebuild_resume = min(r for _, r in rebuild)
+    # MTTR = repair machinery + resumed run, detection excluded (it is
+    # the same supervisor poll in both strategies).
+    heal_mttr = max(heal_crash - detect_s, 0.0) + heal_resume
+    rebuild_mttr = rebuild_resume
+    return {
+        "nprocs": nprocs,
+        "rounds": ROUNDS,
+        "kill_step": KILL_STEP,
+        "detect_s": round(detect_s, 4),
+        "heal_and_resume_s": round(heal_mttr, 4),
+        "teardown_restart_resume_s": round(rebuild_mttr, 4),
+        "heal_speedup_x": round(rebuild_mttr / heal_mttr, 2),
+    }
+
+
+def bench_integrity_overhead(nprocs: int, steps: int, narrays: int,
+                             size: int, rounds: int,
+                             repeats: int) -> dict:
+    """numpy-large all-to-all, integrity on vs off, interleaved."""
+    walls: dict[bool, list[float]] = {True: [], False: []}
+    for _ in range(rounds):
+        for integrity in (False, True):
+            with TcpBackend.pool(nprocs, integrity=integrity) as backend:
+                backend.run(exchange_program, nprocs,
+                            args=(2, narrays, size))  # warm mesh + streams
+                for _ in range(repeats):
+                    t0 = time.perf_counter()
+                    backend.run(exchange_program, nprocs,
+                                args=(steps, narrays, size))
+                    walls[integrity].append(time.perf_counter() - t0)
+    off, on = min(walls[False]), min(walls[True])
+    payload_mb = nprocs * (nprocs - 1) * narrays * steps * size * 8 / 1e6
+    return {
+        "nprocs": nprocs, "steps": steps, "narrays": narrays,
+        "array_bytes": size * 8, "payload_mb": round(payload_mb, 1),
+        "integrity_off_s": round(off, 4),
+        "integrity_on_s": round(on, 4),
+        "mb_per_s_protected": round(payload_mb / on, 2),
+        "integrity_overhead_pct": round(100.0 * (on - off) / off, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller mesh and frames (CI smoke); "
+                             "relaxed floors")
+    parser.add_argument("--label", default=None,
+                        help="snapshot name in the output JSON")
+    parser.add_argument("--output", default=None,
+                        help="JSON file to merge this snapshot into")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        mttr = bench_mttr(nprocs=4, repeats=1)
+        overhead = bench_integrity_overhead(4, 2, 2, 1 << 16,
+                                            rounds=2, repeats=1)
+        heal_floor, overhead_ceil = 1.3, 8.0
+    else:
+        mttr = bench_mttr(nprocs=6, repeats=2)
+        overhead = bench_integrity_overhead(4, 8, 2, 1 << 19,
+                                            rounds=3, repeats=2)
+        heal_floor, overhead_ceil = 2.0, 5.0
+
+    print(f"mttr        heal+resume {mttr['heal_and_resume_s'] * 1e3:7.1f} ms"
+          f"  teardown+restart+resume "
+          f"{mttr['teardown_restart_resume_s'] * 1e3:7.1f} ms"
+          f"  -> {mttr['heal_speedup_x']}x")
+    print(f"integrity   off {overhead['integrity_off_s']:.3f}s  "
+          f"on {overhead['integrity_on_s']:.3f}s  "
+          f"({overhead['mb_per_s_protected']} MB/s protected)  "
+          f"-> {overhead['integrity_overhead_pct']:+.1f}%")
+
+    failed = []
+    if mttr["heal_speedup_x"] < heal_floor:
+        failed.append(f"heal_speedup_x {mttr['heal_speedup_x']} "
+                      f"< {heal_floor} floor")
+    if overhead["integrity_overhead_pct"] > overhead_ceil:
+        failed.append(f"integrity_overhead_pct "
+                      f"{overhead['integrity_overhead_pct']} "
+                      f"> {overhead_ceil} ceiling")
+    for reason in failed:
+        print(f"FAIL: {reason}", file=sys.stderr)
+
+    snapshot = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "heal_floor_x": heal_floor,
+        "overhead_ceiling_pct": overhead_ceil,
+        "scenarios": {"mttr": mttr, "integrity-overhead": overhead},
+    }
+    if args.output:
+        label = args.label or "snapshot"
+        try:
+            with open(args.output) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            doc = {}
+        doc[label] = snapshot
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote snapshot {label!r} to {args.output}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,7 @@ from .core.errors import (
     DeadlockError,
     PacketError,
     PoolExhaustedError,
+    RemeshError,
     SynchronizationError,
     VirtualProcessorError,
     WorkerCrashError,
@@ -100,6 +101,7 @@ __all__ = [
     "PacketError",
     "PoolExhaustedError",
     "ProgramStats",
+    "RemeshError",
     "SGI",
     "SYNC_MODES",
     "SuperstepStats",

@@ -170,6 +170,17 @@ class Backend(ABC):
         the barrier protocol on the wire differs.
         """
 
+    def health(self):
+        """Supervision snapshot for backends that supervise workers.
+
+        Returns a :class:`~repro.backends.processes.PoolHealth` (pool
+        generation, restarts, heal kinds, per-link retransmit/reconnect
+        counters) for pooled/mesh backends, or ``None`` for backends
+        with nothing to supervise (simulator, one-shot forks).  Harness
+        ``-v`` output and the resilience benchmarks read this uniformly.
+        """
+        return None
+
     @staticmethod
     def check_nprocs(nprocs: int) -> None:
         if not isinstance(nprocs, int) or nprocs < 1:

@@ -246,6 +246,12 @@ class Frame:
     frame from ``src`` for this superstep (nothing more is coming on
     this link), 1 means further frames follow.  Strict-mode frames all
     carry 0 — there is exactly one data frame per link per boundary.
+
+    ``seq``/``ack`` are the TCP wire envelope's link-sequencing fields
+    (see :mod:`repro.backends.tcp_wire`): ``seq`` is this frame's
+    per-link sequence number, ``ack`` the sender's cumulative receive
+    position on the reverse direction.  Pipe-fabric frames never set
+    them; ``-1`` means "unsequenced".
     """
 
     tag: int
@@ -255,6 +261,8 @@ class Frame:
     meta: bytes | None
     buffers: list[bytearray] | None
     more: int = 0
+    seq: int = -1
+    ack: int = -1
 
     def packets(self, dst: int) -> list[Packet]:
         """Decode into :class:`Packet` objects addressed to ``dst``."""

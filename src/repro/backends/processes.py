@@ -758,6 +758,19 @@ class PoolHealth:
         Number of currently live workers.
     capacity:
         Pool size (maximum ``nprocs`` per run).
+    heal_kinds:
+        How each recovery was performed, oldest first: ``"re-fork"``
+        (dead workers replaced in place), ``"rebuild"`` (whole fabric
+        torn down and re-forked), ``"re-admit"`` (an SPMD rank rejoined
+        through a re-rendezvous epoch).  Link-level reconnects do not
+        appear here — they never lose a worker; see ``reconnects``.
+    retransmits:
+        Frames re-sent from per-link send journals after a CRC NACK
+        (TCP mesh only; telemetry for flaky links).
+    reconnects:
+        Mesh links transparently re-established mid-run after a drop or
+        reset (TCP mesh only).  High ``reconnects`` with zero
+        ``heal_kinds`` entries means link flaps, not rank deaths.
     """
 
     generation: int
@@ -766,6 +779,9 @@ class PoolHealth:
     last_fault: str | None
     alive: int
     capacity: int
+    heal_kinds: tuple[str, ...] = ()
+    retransmits: int = 0
+    reconnects: int = 0
 
 
 class BspPool:
@@ -816,6 +832,7 @@ class BspPool:
         self._last_fault: str | None = None
         self._faults_in_a_row = 0
         self._broken: str | None = None
+        self._heal_kinds: list[str] = []
         self._build()
 
     # -- lifecycle ----------------------------------------------------------
@@ -898,6 +915,7 @@ class BspPool:
             last_fault=self._last_fault,
             alive=alive,
             capacity=self._capacity,
+            heal_kinds=tuple(self._heal_kinds),
         )
 
     # -- fault recovery -----------------------------------------------------
@@ -927,9 +945,12 @@ class BspPool:
         self._restarts_left -= 1
         time.sleep(min(self._backoff_base * 2 ** (self._faults_in_a_row - 1),
                        2.0))
-        if not (crashed and self._try_heal(run_id)):
+        if crashed and self._try_heal(run_id):
+            self._heal_kinds.append("re-fork")
+        else:
             self._restarts += self._capacity
             self._rebuild()
+            self._heal_kinds.append("rebuild")
 
     def _try_heal(self, run_id: int) -> bool:
         """Re-fork only the dead workers; ``False`` means rebuild instead.

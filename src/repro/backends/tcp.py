@@ -52,6 +52,21 @@ milliseconds and flat heartbeats at the deadline become a
 dies too.  Peer-death propagates in-band: EOF from a peer that never
 sent its departure sentinel aborts the survivor's exchange.
 
+The transport is *survivable* (DESIGN "Failure-mode matrix").  Every
+mesh frame carries a sequenced, CRC-protected envelope; each link keeps
+a retransmit journal of unacked frames, so a CRC-damaged frame is
+NACKed and resent surgically, while structural stream damage, a dropped
+connection, or an injected RST resets just that link: the pair's higher
+rank re-dials the lower rank's still-bound listener (session epoch =
+launch token folded with the mesh generation) and replays the journal
+from the peer's receive cursor.  Ledgers and results stay bit-identical
+through all of it.  A *dead rank* is healed one level up: the mesh
+supervisor aborts the run on the survivors, forks a replacement, and
+re-rendezvouses everyone at the next generation (``TAG_REMESH``), so a
+checkpointed run resumes on the healed mesh without tearing down the
+surviving processes.  ``integrity=False`` switches all of it off for
+overhead measurement.
+
 Three execution modes:
 
 * **one-shot** (plain ``TcpBackend()``): ``run()`` forks ``p`` fresh
@@ -62,11 +77,14 @@ Three execution modes:
   mesh stay up across runs; programs are shipped by pickle, so they must
   be module-level callables.  Unlike :class:`~repro.backends.processes.
   BspPool` there is no fence protocol: an aborted boundary can leave a
-  half-flushed frame in a socket stream, so **any** failed run marks the
-  mesh dirty and the next run rebuilds it.
+  half-flushed frame in a socket stream, so a failed run marks the mesh
+  dirty and the next run rebuilds it — except a worker *crash*, which
+  ``TcpMesh`` heals in place by re-forking only the dead ranks.
 * **SPMD** (:class:`TcpSpmdBackend`): one already-launched rank per
   machine (``python -m repro.harness launch-tcp --rank r ...``); every
   invocation runs the same program and all-gathers outcomes at the end.
+  After a failed run, ``remesh()`` re-admits the surviving ranks (and a
+  relaunched replacement) at the next generation.
 """
 
 from __future__ import annotations
@@ -78,6 +96,7 @@ import os
 import pickle
 import selectors
 import socket
+import struct
 import time
 import traceback
 from collections import deque
@@ -88,6 +107,8 @@ from ..core.api import Bsp
 from ..core.errors import (
     BspConfigError,
     BspUsageError,
+    PacketError,
+    RemeshError,
     SynchronizationError,
     WorkerCrashError,
 )
@@ -114,13 +135,25 @@ from .processes import (
 )
 from . import tcp_wire as wire
 from .tcp_launch import (
+    MeshFabric,
     bind_listener,
     connect_retry,
-    rendezvous_mesh,
-    tune_mesh_socket,
+    relink_accept,
+    relink_dial,
+    rendezvous_fabric,
 )
 
 _TOKEN_COUNTER = itertools.count(1)
+
+#: NACK-driven resends of one sequence number before the channel gives
+#: up on surgical repair and resets the whole link (journal replay).
+_MAX_RETRANSMITS = 4
+
+#: Selector data sentinels for the two non-peer waitables a channel may
+#: multiplex: the fabric's own listener (inbound relink dials) and the
+#: control link (supervisor aborts during a run).
+_LISTENER = "listener"
+_CTRL = "ctrl"
 
 
 def _next_token() -> int:
@@ -134,6 +167,42 @@ class _PeerLost(BaseException):
     def __init__(self, peer: int):
         super().__init__(f"peer {peer} connection lost mid-run")
         self.peer = peer
+
+
+class _LinkState:
+    """Durable per-link transport state, outliving any one connection.
+
+    Sequence numbers, the retransmit journal, and the receive cursor are
+    properties of the *link* (the rank pair), not of the socket: a
+    reconnected socket resumes exactly where the dead one stopped, and
+    in pool mode the numbering continues across runs on the same mesh.
+
+    ``journal`` maps ``seq -> encoded chunks`` for every sent frame the
+    peer has not yet cumulatively acked; ``volatile`` marks journal
+    entries whose payload memoryviews alias live program arrays (strict
+    mode sends) — those are force-trimmed at barrier exit, where the
+    peer's release proves receipt, so they are never replayed with
+    mutated bytes.  ``stash`` is the receive-side reorder buffer that
+    makes a NACK resend of one frame sufficient.
+    """
+
+    __slots__ = ("dec", "tx_seq", "rx_next", "peer_ack", "journal",
+                 "volatile", "attempts", "stash", "retransmits",
+                 "reconnects", "dups", "corrupts")
+
+    def __init__(self) -> None:
+        self.dec = wire.FrameDecoder()
+        self.tx_seq = 0          # next sequence number to assign
+        self.rx_next = 0         # next sequence number expected inbound
+        self.peer_ack = 0        # highest cumulative ack seen from peer
+        self.journal: dict[int, list] = {}
+        self.volatile: set[int] = set()
+        self.attempts: dict[int, int] = {}
+        self.stash: dict[int, Frame] = {}
+        self.retransmits = 0
+        self.reconnects = 0
+        self.dups = 0
+        self.corrupts = 0
 
 
 # ---------------------------------------------------------------------------
@@ -161,14 +230,22 @@ class _MeshChannel:
     def __init__(self, rank: int, nprocs: int,
                  socks: dict[int, socket.socket], run_id: int,
                  ctrl: "_CtrlLink | None", *,
-                 decoders: dict[int, wire.FrameDecoder] | None = None,
-                 sync: str = "strict"):
+                 links: dict[int, _LinkState] | None = None,
+                 sync: str = "strict",
+                 fabric: MeshFabric | None = None,
+                 integrity: bool = True,
+                 heartbeat_interval: float = 0.25,
+                 reconnect_timeout: float = 5.0,
+                 watch_ctrl: bool = False):
         self._rank = rank
         self._nprocs = nprocs
         self._socks = dict(socks)
         self._run_id = run_id
         self._ctrl = ctrl
         self._sync = sync
+        self._fabric = fabric
+        self._integrity = integrity
+        self._reconnect_timeout = reconnect_timeout
         self._pattern = None
         #: One-shot downgrade to the strict protocol (checkpoint cuts).
         self._fence_strict = False
@@ -176,14 +253,19 @@ class _MeshChannel:
         #: frames since the last control beat, and when that beat was.
         self._data_beats = 0
         self._last_beat = time.monotonic()
+        self._hb_interval = heartbeat_interval
+        self._hb_sent = (0, 0)
         self._peers = peer_order(nprocs, rank)
         self._sel = selectors.DefaultSelector()
-        self._dec = decoders if decoders is not None else {
-            peer: wire.FrameDecoder() for peer in self._socks}
+        self._link = links if links is not None else {
+            peer: _LinkState() for peer in self._socks}
         self._out: dict[int, deque] = {p: deque() for p in self._socks}
         self._mask: dict[int, int] = {}
         self._departed: set[int] = set()
         self._eof: set[int] = set()
+        #: Peers whose reconnect we are passively awaiting (they dial
+        #: us, per the pair rule) -> monotonic deadline.
+        self._waiting: dict[int, float] = {}
         self._gathering = False
         #: Per-step stashes; TCP per-link ordering bounds them to one
         #: step of run-ahead, but the dicts handle the general case.
@@ -199,6 +281,21 @@ class _MeshChannel:
             sock.setblocking(False)
             self._sel.register(sock, selectors.EVENT_READ, peer)
             self._mask[peer] = selectors.EVENT_READ
+        self._listening = False
+        if fabric is not None and integrity and fabric.listener is not None:
+            fabric.listener.setblocking(False)
+            self._sel.register(fabric.listener, selectors.EVENT_READ,
+                               _LISTENER)
+            self._listening = True
+        self._ctrl_watched = False
+        if watch_ctrl and ctrl is not None:
+            # Watch the control socket inside the mesh event loop so a
+            # supervisor TAG_ABORT interrupts a rank stalled mid-barrier
+            # (its peers are dead; no in-band frame is coming).
+            ctrl._sock.setblocking(False)
+            ctrl.watched = True
+            self._sel.register(ctrl._sock, selectors.EVENT_READ, _CTRL)
+            self._ctrl_watched = True
         if ctrl is not None:
             ctrl.beat(-1)  # marks "the run actually started here"
 
@@ -215,6 +312,46 @@ class _MeshChannel:
             if mv.nbytes:
                 q.append(mv)
         self._update_mask(peer)
+
+    def _post(self, peer: int, chunks: Sequence[Any], *,
+              volatile: bool = False, copy: bool = False,
+              eager: bool = False, corrupt: bool = False,
+              dup: bool = False) -> None:
+        """Sequence, journal, and transmit one encoded frame to ``peer``.
+
+        With integrity on, the frame gets the link's next sequence number
+        (plus a piggybacked cumulative ack) via :func:`wire.reenvelope`
+        and a journal entry retained until the peer acks past it.
+        ``copy=True`` snapshots the payload bytes into the journal —
+        required whenever the chunks alias live program arrays *and* the
+        barrier does not prove delivery before they may mutate (relaxed
+        run-ahead); strict-mode boundary frames use ``volatile=True``
+        instead, which marks the entry for force-trim at barrier exit.
+        ``corrupt``/``dup`` are fault-injection knobs: the journal always
+        keeps the clean single copy, so recovery repairs the damage.
+        """
+        link = self._link.get(peer)
+        if self._integrity and link is not None:
+            seq = link.tx_seq
+            link.tx_seq += 1
+            out = wire.reenvelope(chunks, seq, link.rx_next)
+            link.journal[seq] = [
+                c if isinstance(c, bytes) else bytes(c) for c in out
+            ] if copy else list(out)
+            if volatile:
+                link.volatile.add(seq)
+            if corrupt:
+                trailer = bytes(out[-1])
+                out = list(out)
+                out[-1] = bytes((trailer[0] ^ 0xFF,)) + trailer[1:]
+        else:
+            out = list(chunks)
+        if eager and not dup:
+            self._send_now(peer, out)
+        else:
+            self._enqueue(peer, out)
+            if dup:
+                self._enqueue(peer, out)
 
     def _send_now(self, peer: int, chunks: Sequence[Any]) -> None:
         """Send eagerly on the (almost always writable) socket.
@@ -246,9 +383,9 @@ class _MeshChannel:
                             peer, [mv[off:]] + list(chunks[i + 1:]))
                         return
         except OSError:
-            self._close_peer(peer)
-            if peer not in self._departed:
-                raise _PeerLost(peer)
+            # The frame (if sequenced) is journaled: abandon this send
+            # and let reconnect-replay deliver it.
+            self._link_down(peer)
 
     def _update_mask(self, peer: int) -> None:
         sock = self._socks.get(peer)
@@ -268,8 +405,8 @@ class _MeshChannel:
             self._sel.unregister(sock)
         self._mask[peer] = want
 
-    def _close_peer(self, peer: int) -> None:
-        self._eof.add(peer)
+    def _drop_sock(self, peer: int) -> None:
+        """Discard ``peer``'s socket and queue, keeping the link state."""
         sock = self._socks.pop(peer, None)
         if sock is not None:
             if self._mask.get(peer):
@@ -284,11 +421,168 @@ class _MeshChannel:
         self._mask[peer] = 0
         self._out.pop(peer, None)
 
+    def _close_peer(self, peer: int) -> None:
+        self._eof.add(peer)
+        self._waiting.pop(peer, None)
+        self._drop_sock(peer)
+
+    def _can_heal(self, peer: int) -> bool:
+        return self._fabric is not None and self._integrity
+
+    def _link_down(self, peer: int) -> None:
+        """A peer's connection died: heal it or abort the run.
+
+        With a fabric (and integrity on), the link is re-established
+        under the rendezvous pair rule — the higher rank of the pair
+        re-dials the lower's still-bound listener; the lower waits for
+        the dial (serviced by ``_pump`` via the listener registration),
+        with a deadline.  Everything unacked replays from the journal.
+        """
+        if peer in self._departed or peer in self._eof:
+            self._close_peer(peer)
+            return
+        if not self._can_heal(peer):
+            self._close_peer(peer)
+            raise _PeerLost(peer)
+        self._drop_sock(peer)
+        fabric = self._fabric
+        link = self._link[peer]
+        if fabric.dials(peer):
+            # Dial in short slices, draining the watched control socket
+            # between them: when the peer is dead (not merely dropped)
+            # the supervisor's abort must be able to interrupt this
+            # wait, or every surviving dialer stalls out the full
+            # reconnect window before the heal can begin.
+            deadline = time.monotonic() + self._reconnect_timeout
+            while True:
+                if self._ctrl_watched:
+                    self._read_ctrl()  # raises _Abort on supervisor abort
+                now = time.monotonic()
+                if now >= deadline:
+                    self._close_peer(peer)
+                    raise _PeerLost(peer)
+                try:
+                    sock, peer_rx = relink_dial(
+                        fabric, peer, link.rx_next,
+                        min(deadline, now + 0.25))
+                    break
+                except (SynchronizationError, OSError):
+                    continue
+            self._resume_link(peer, sock, peer_rx)
+        else:
+            self._waiting[peer] = time.monotonic() + self._reconnect_timeout
+
+    def _resume_link(self, peer: int, sock: socket.socket,
+                     peer_rx: int) -> None:
+        """Splice a fresh connection into the link, replaying the journal."""
+        link = self._link[peer]
+        if any(s not in link.journal for s in range(peer_rx, link.tx_seq)):
+            # A frame the peer never received was already trimmed (it was
+            # volatile and its barrier completed — impossible unless the
+            # peer lies) — the link cannot be made whole.
+            try:
+                sock.close()
+            except OSError:
+                pass
+            self._close_peer(peer)
+            raise _PeerLost(peer)
+        sock.setblocking(False)
+        self._waiting.pop(peer, None)
+        self._eof.discard(peer)
+        self._socks[peer] = sock
+        if self._fabric is not None:
+            self._fabric.socks[peer] = sock
+        self._out[peer] = deque()
+        link.dec = wire.FrameDecoder()  # mid-frame debris died with the sock
+        link.attempts.clear()
+        link.reconnects += 1
+        self._sel.register(sock, selectors.EVENT_READ, peer)
+        self._mask[peer] = selectors.EVENT_READ
+        for s in range(peer_rx, link.tx_seq):
+            self._enqueue(peer, wire.reenvelope(link.journal[s], s,
+                                                link.rx_next))
+
+    def _accept_relinks(self) -> None:
+        """Service inbound reconnect dials on the fabric listener."""
+        fabric = self._fabric
+        while True:
+            try:
+                sock, _ = fabric.listener.accept()
+            except (BlockingIOError, InterruptedError, OSError):
+                return
+            got = relink_accept(fabric, sock,
+                                lambda p: self._link[p].rx_next)
+            if got is None:
+                continue
+            peer, peer_rx = got
+            if not (0 <= peer < self._nprocs and peer != self._rank
+                    and peer in self._link) or peer in self._departed:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+                continue
+            if peer in self._socks:  # stale half-open socket superseded
+                self._drop_sock(peer)
+            self._resume_link(peer, sock, peer_rx)
+
+    def _read_ctrl(self) -> None:
+        """Drain the watched control socket; supervisor aborts raise."""
+        ctrl = self._ctrl
+        try:
+            data = ctrl._sock.recv(1 << 16)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            data = b""
+        if not data:
+            try:
+                self._sel.unregister(ctrl._sock)
+            except (KeyError, ValueError):
+                pass
+            self._ctrl_watched = False
+            return
+        abort = False
+        for frame in ctrl._dec.feed(data):
+            if frame.tag == wire.TAG_ABORT:
+                if frame.run_id == self._run_id and not self._gathering:
+                    abort = True
+                continue  # stale abort of an earlier run: drop
+            # Not ours (TAG_REMESH, TAG_RUN...): leave it for the rank
+            # loop's blocking recv, which drains _ready first.
+            ctrl._dec._ready.append(frame)
+        if abort:
+            raise _Abort()
+
+    def _inject_reset(self, peer: int) -> None:
+        """Fault injection: abort the TCP connection (RST, not FIN)."""
+        sock = self._socks.get(peer)
+        if sock is not None:
+            try:
+                sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                                struct.pack("ii", 1, 0))
+            except OSError:
+                pass
+        self._link_down(peer)
+
     def _pump(self, timeout: float = 0.05) -> None:
-        if not any(self._mask.values()):
+        if self._waiting:
+            now = time.monotonic()
+            for peer, deadline in list(self._waiting.items()):
+                if now > deadline:
+                    self._close_peer(peer)
+                    raise _PeerLost(peer)
+        if not any(self._mask.values()) and not self._listening \
+                and not self._ctrl_watched:
             return
         for key, events in self._sel.select(timeout):
             peer = key.data
+            if peer == _LISTENER:
+                self._accept_relinks()
+                continue
+            if peer == _CTRL:
+                self._read_ctrl()
+                continue
             if events & selectors.EVENT_WRITE:
                 self._flush(peer)
             if events & selectors.EVENT_READ:
@@ -309,9 +603,7 @@ class _MeshChannel:
         except (BlockingIOError, InterruptedError):
             pass
         except OSError:
-            self._close_peer(peer)
-            if peer not in self._departed:
-                raise _PeerLost(peer)
+            self._link_down(peer)
             return
         self._update_mask(peer)
 
@@ -326,12 +618,79 @@ class _MeshChannel:
         except OSError:
             data = b""
         if not data:
-            self._close_peer(peer)
-            if peer not in self._departed:
-                raise _PeerLost(peer)
+            self._link_down(peer)
             return
-        for frame in self._dec[peer].feed(data):
+        link = self._link.get(peer)
+        if link is None:
+            return
+        try:
+            frames = link.dec.feed(data)
+        except PacketError:
+            # Structural stream damage: the framing itself cannot be
+            # trusted, so surgical NACK repair is impossible — reset the
+            # connection and replay the journal.
+            link.corrupts += 1
+            if self._can_heal(peer) and peer not in self._departed:
+                self._link_down(peer)
+                return
+            raise
+        for frame in frames:
+            self._ingest(peer, frame)
+
+    def _ingest(self, peer: int, frame: Frame) -> None:
+        """Link-level filter: NACK/dup/reorder handling before dispatch."""
+        link = self._link.get(peer)
+        if frame.tag == wire.TAG_CORRUPT:
+            # CRC mismatch, framing intact: ask for exactly that frame.
+            if link is not None:
+                link.corrupts += 1
+            if frame.seq < 0 or not self._integrity:
+                self._link_down(peer)  # unsequenced: cannot NACK
+                return
+            self._enqueue(peer, wire.encode_frame(
+                wire.TAG_NACK, self._run_id, frame.seq, self._rank,
+                crc=self._integrity))
+            return
+        if frame.tag == wire.TAG_NACK:
+            self._retransmit(peer, frame.step)
+            return
+        if link is not None and frame.seq >= 0:
+            if frame.ack > link.peer_ack:
+                for s in range(link.peer_ack, frame.ack):
+                    link.journal.pop(s, None)
+                    link.attempts.pop(s, None)
+                    link.volatile.discard(s)
+                link.peer_ack = frame.ack
+            if frame.seq < link.rx_next:
+                link.dups += 1  # retransmit overlap or injected duplicate
+                return
+            if frame.seq > link.rx_next:
+                link.stash[frame.seq] = frame  # reorder (post-NACK) gap
+                return
+            link.rx_next += 1
             self._handle(frame)
+            while link.rx_next in link.stash:
+                nxt = link.stash.pop(link.rx_next)
+                link.rx_next += 1
+                self._handle(nxt)
+            return
+        self._handle(frame)
+
+    def _retransmit(self, peer: int, seq: int) -> None:
+        """Resend journal entry ``seq`` in answer to a peer NACK."""
+        link = self._link.get(peer)
+        if link is None:
+            return
+        n = link.attempts.get(seq, 0) + 1
+        link.attempts[seq] = n
+        entry = link.journal.get(seq)
+        if entry is None or n > _MAX_RETRANSMITS:
+            # Either the damage outlived the retry budget or the entry is
+            # gone (trimmed volatile): escalate to a full link reset.
+            self._link_down(peer)
+            return
+        link.retransmits += 1
+        self._enqueue(peer, wire.reenvelope(entry, seq, link.rx_next))
 
     def _handle(self, frame: Frame) -> None:
         tag = frame.tag
@@ -380,11 +739,16 @@ class _MeshChannel:
         """Heartbeat, piggybacked on data traffic in relaxed/elide.
 
         Inbound data frames prove the fabric is moving, so a busy rank
-        may skip the control-socket beat — but never for longer than
-        0.25s, which keeps the supervisor's flat-heartbeat deadlock
-        triage valid (its stall window is >= 1s).  A deadlocked rank
-        stops reaching boundaries, stops beating either way, and still
-        goes flat.
+        may skip the control-socket beat — but never for longer than the
+        configured ``heartbeat_interval`` (default 0.25s), which keeps
+        the supervisor's flat-heartbeat deadlock triage valid (its stall
+        window is >= 1s, so keep the interval well under that).  A
+        deadlocked rank stops reaching boundaries, stops beating either
+        way, and still goes flat.
+
+        Beats also piggyback this rank's cumulative (retransmits,
+        reconnects) counters whenever they changed, so the supervisor's
+        ``health()`` sees link-level repair activity live.
         """
         if self._ctrl is None:
             return
@@ -392,10 +756,16 @@ class _MeshChannel:
             now = time.monotonic()
             busy = self._data_beats > 0
             self._data_beats = 0
-            if busy and now - self._last_beat < 0.25:
+            if busy and now - self._last_beat < self._hb_interval:
                 return
             self._last_beat = now
-        self._ctrl.beat(step)
+        totals = (sum(l.retransmits for l in self._link.values()),
+                  sum(l.reconnects for l in self._link.values()))
+        meta = None
+        if totals != self._hb_sent:
+            self._hb_sent = totals
+            meta = pickle.dumps(totals)
+        self._ctrl.beat(step, meta)
 
     def exchange(self, pid: int, step: int,
                  outbox: list[Packet]) -> PacketRuns:
@@ -404,6 +774,11 @@ class _MeshChannel:
         plan = faults._ACTIVE
         if plan is not None:
             plan.at_boundary(self._rank, step, self._nprocs, outbox)
+            if plan.has_network_faults():
+                for peer in plan.reset_peers(
+                        self._rank, step,
+                        [q for q in self._peers if q in self._socks]):
+                    self._inject_reset(peer)
         buckets: dict[int, list[Packet]] = {}
         for pkt in outbox:
             buckets.setdefault(pkt.dst, []).append(pkt)
@@ -419,21 +794,32 @@ class _MeshChannel:
         for peer in self._peers:
             if peer in self._departed:
                 continue
-            if plan is not None and plan.drops_frame(rank, step, peer):
-                continue  # lost message: the peer stalls in phase 1
+            corrupt = dup = False
+            if plan is not None:
+                if plan.drops_frame(rank, step, peer):
+                    continue  # lost message: the peer stalls in phase 1
+                delay = plan.slow_link(rank, step, peer)
+                if delay:
+                    time.sleep(delay)
+                corrupt = plan.corrupts_frame(rank, step, peer)
+                dup = plan.duplicates_frame(rank, step, peer)
             bucket = buckets.get(peer)
             # Encode the data frame *before* enqueueing anything for this
             # peer: a pickling failure must not leave a counts frame
             # announcing data that will never arrive.
-            data_chunks = wire.encode_packet_frame(run_id, step, rank,
-                                                   bucket) if bucket else None
-            self._enqueue(peer, wire.encode_frame(
+            data_chunks = wire.encode_packet_frame(
+                run_id, step, rank, bucket,
+                crc=self._integrity) if bucket else None
+            self._post(peer, wire.encode_frame(
                 wire.TAG_COUNTS, run_id, step, rank,
-                pickle.dumps(1 if bucket else 0)))
+                pickle.dumps(1 if bucket else 0), crc=self._integrity),
+                volatile=True, corrupt=corrupt and data_chunks is None,
+                dup=dup)
             if plan is not None:
                 plan.count_frame(rank)
             if data_chunks is not None:
-                self._enqueue(peer, data_chunks)
+                self._post(peer, data_chunks, volatile=True,
+                           corrupt=corrupt, dup=dup)
                 if plan is not None:
                     plan.count_frame(rank)
 
@@ -447,8 +833,9 @@ class _MeshChannel:
                     q in counts and (counts[q] == 0 or q in data)
                     for q in live):
                 for peer in live:
-                    self._enqueue(peer, wire.encode_frame(
-                        wire.TAG_RELEASE, run_id, step, rank))
+                    self._post(peer, wire.encode_frame(
+                        wire.TAG_RELEASE, run_id, step, rank,
+                        crc=self._integrity))
                     if plan is not None:
                         plan.count_frame(rank)
                 sent_release = True
@@ -459,6 +846,19 @@ class _MeshChannel:
                         and not any(self._out.values()):
                     break
             self._pump()
+        if self._integrity:
+            # A peer's release proves it received every phase-1 frame we
+            # sent it, so the volatile journal entries (whose payload
+            # memoryviews alias live program arrays about to mutate) can
+            # never be NACKed or replayed — trim them now.
+            for q in self._release.get(step, ()):
+                link = self._link.get(q)
+                if link is None:
+                    continue
+                for s in link.volatile:
+                    link.journal.pop(s, None)
+                    link.attempts.pop(s, None)
+                link.volatile.clear()
         self._counts.pop(step, None)
         self._release.pop(step, None)
         self._final.pop(step, None)
@@ -497,17 +897,31 @@ class _MeshChannel:
         for peer in out_targets:
             if peer in self._departed:
                 continue
-            if plan is not None and plan.drops_frame(rank, step, peer):
-                continue  # lost message: the peer stalls on our final
+            corrupt = dup = False
+            if plan is not None:
+                if plan.drops_frame(rank, step, peer):
+                    continue  # lost message: the peer stalls on our final
+                delay = plan.slow_link(rank, step, peer)
+                if delay:
+                    time.sleep(delay)
+                corrupt = plan.corrupts_frame(rank, step, peer)
+                dup = plan.duplicates_frame(rank, step, peer)
             bucket = buckets.get(peer)
             if bucket:
-                chunks = wire.encode_packet_frame(run_id, step, rank, bucket)
+                chunks = wire.encode_packet_frame(run_id, step, rank,
+                                                  bucket,
+                                                  crc=self._integrity)
             else:
                 if empty_final is None:
                     empty_final = wire.encode_packet_frame(
-                        run_id, step, rank, ())
+                        run_id, step, rank, (), crc=self._integrity)
                 chunks = empty_final
-            self._send_now(peer, chunks)
+            # copy=True: relaxed run-ahead means the program may mutate
+            # the payload arrays before any ack arrives, so the journal
+            # snapshots the bytes (reenvelope inside _post re-addresses
+            # the shared empty final per peer).
+            self._post(peer, chunks, copy=True, eager=True,
+                       corrupt=corrupt, dup=dup)
             if plan is not None:
                 plan.count_frame(rank)
         while True:
@@ -536,16 +950,18 @@ class _MeshChannel:
                 continue
             if plan is not None and plan.drops_depart(self._rank, peer):
                 continue
-            self._enqueue(peer, wire.encode_frame(
-                TAG_LEFT, self._run_id, 0, self._rank))
+            self._post(peer, wire.encode_frame(
+                TAG_LEFT, self._run_id, 0, self._rank,
+                crc=self._integrity))
         self._drain(timeout=30.0)
 
     def die(self) -> None:
         for peer in self._peers:
             if peer in self._eof:
                 continue
-            self._enqueue(peer, wire.encode_frame(
-                TAG_DEAD, self._run_id, 0, self._rank))
+            self._post(peer, wire.encode_frame(
+                TAG_DEAD, self._run_id, 0, self._rank,
+                crc=self._integrity))
         self._drain(timeout=5.0)
 
     def _drain(self, timeout: float) -> None:
@@ -554,17 +970,26 @@ class _MeshChannel:
         while any(self._out.values()) and time.monotonic() < deadline:
             try:
                 self._pump()
-            except (_Abort, _PeerLost):
+            except _Abort:
                 break  # the run is over either way
+            except _PeerLost:
+                # That link's queue died with it (_close_peer popped it);
+                # the other peers still need their frames — a departing
+                # rank that stops flushing LEFTs here turns one lost link
+                # into a cascade of peers seeing EOF with no LEFT.
+                continue
 
     # -- SPMD result all-gather ---------------------------------------------
 
     def broadcast_result(self, outcome: tuple) -> None:
         chunks = wire.encode_object_frame(
-            wire.TAG_RESULT, self._run_id, 0, self._rank, outcome)
+            wire.TAG_RESULT, self._run_id, 0, self._rank, outcome,
+            crc=self._integrity)
         for peer in self._peers:
             if peer not in self._eof:
-                self._enqueue(peer, chunks)
+                # copy: the shared encode is re-sequenced per peer and
+                # may be replayed after the gather already began.
+                self._post(peer, chunks, copy=True)
         self._drain(timeout=30.0)
 
     def gather_results(self, nprocs: int, timeout: float) -> dict[int, Any]:
@@ -580,6 +1005,16 @@ class _MeshChannel:
         return dict(self._results)
 
     def shutdown(self, *, close: bool = True) -> None:
+        # Final counter flush: relaxed-mode beats are throttled while data
+        # traffic proves liveness, so a short run can finish with repair
+        # counters the supervisor never saw.  One unconditional beat here
+        # closes that gap (strict mode already beat at every boundary).
+        if self._ctrl is not None:
+            totals = (sum(l.retransmits for l in self._link.values()),
+                      sum(l.reconnects for l in self._link.values()))
+            if totals != self._hb_sent:
+                self._hb_sent = totals
+                self._ctrl.beat(-1, pickle.dumps(totals))
         for peer, mask in list(self._mask.items()):
             if mask and peer in self._socks:
                 try:
@@ -587,9 +1022,34 @@ class _MeshChannel:
                 except (KeyError, ValueError):
                     pass
         self._mask.clear()
+        if self._listening and self._fabric is not None \
+                and self._fabric.listener is not None:
+            try:
+                self._sel.unregister(self._fabric.listener)
+            except (KeyError, ValueError):
+                pass
+            self._listening = False
+        if self._ctrl_watched and self._ctrl is not None:
+            try:
+                self._sel.unregister(self._ctrl._sock)
+            except (KeyError, ValueError):
+                pass
+            self._ctrl._sock.setblocking(True)
+            self._ctrl.watched = False
+            self._ctrl_watched = False
         self._sel.close()
         if close:
             for sock in self._socks.values():
+                # Consume anything still unread (a peer's crossing LEFT,
+                # typically): closing with pending inbound makes the
+                # kernel send RST instead of FIN, and the RST discards
+                # our own final frames still buffered at the peer.
+                try:
+                    sock.setblocking(False)
+                    while sock.recv(1 << 16):
+                        pass
+                except OSError:
+                    pass
                 try:
                     sock.close()
                 except OSError:
@@ -608,22 +1068,36 @@ class _CtrlLink:
         self._sock = sock
         self._rank = rank
         self._dec = wire.FrameDecoder()
+        #: True while a mesh channel has this socket registered
+        #: non-blocking in its selector (abort watching); sends then
+        #: toggle blocking mode around the write.
+        self.watched = False
+
+    def _send(self, chunks: Sequence[Any]) -> None:
+        if self.watched:
+            self._sock.setblocking(True)
+            try:
+                wire.send_chunks(self._sock, chunks)
+            finally:
+                self._sock.setblocking(False)
+        else:
+            wire.send_chunks(self._sock, chunks)
 
     def hello(self) -> None:
-        wire.send_chunks(self._sock, wire.encode_object_frame(
+        self._send(wire.encode_object_frame(
             wire.TAG_HELLO, 0, 0, self._rank, self._rank))
 
-    def beat(self, step: int) -> None:
+    def beat(self, step: int, meta: bytes | None = None) -> None:
         try:
-            wire.send_chunks(self._sock, wire.encode_frame(
-                wire.TAG_HB, 0, step, self._rank))
+            self._send(wire.encode_frame(
+                wire.TAG_HB, 0, step, self._rank, meta))
         except OSError:  # supervisor gone; the run is ending anyway
             pass
 
     def result(self, outcome: tuple) -> None:
         # The stream guarantees this frame precedes our EOF, so the
         # supervisor's "EOF before result" test is exactly "crashed".
-        wire.send_chunks(self._sock, wire.encode_object_frame(
+        self._send(wire.encode_object_frame(
             wire.TAG_RESULT, outcome[1], 0, self._rank, outcome))
 
     def recv(self) -> Frame | None:
@@ -670,43 +1144,85 @@ def _oneshot_rank(rank: int, nprocs: int, coord_addr: tuple[str, int],
                   parent_addr: tuple[str, int],
                   coord_listener: socket.socket | None, token: int,
                   program: Program, args: Sequence[Any],
-                  kwargs: dict[str, Any], sync: str = "strict") -> None:
+                  kwargs: dict[str, Any], sync: str = "strict",
+                  heartbeat_interval: float = 0.25,
+                  integrity: bool = True,
+                  reconnect_timeout: float = 5.0) -> None:
     """Forked rank main for a one-shot run (program inherited via fork)."""
     if rank != 0 and coord_listener is not None:
         coord_listener.close()  # inherited fd; only rank 0 may own it
     ctrl = _connect_ctrl(parent_addr, rank)
-    socks = rendezvous_mesh(
+    fabric = rendezvous_fabric(
         rank, nprocs, coord_addr, token=token,
         coordinator_listener=coord_listener if rank == 0 else None)
-    channel = _MeshChannel(rank, nprocs, socks, 0, ctrl, sync=sync)
+    # No fabric is handed to the channel: a one-shot run has no
+    # supervisor abort path, so waiting out a reconnect window on a
+    # *dead* peer would only delay the teardown — frame integrity
+    # (CRC + NACK retransmit) stays on, link loss aborts as before.
+    channel = _MeshChannel(rank, nprocs, fabric.socks, 0, ctrl, sync=sync,
+                           integrity=integrity,
+                           heartbeat_interval=heartbeat_interval,
+                           reconnect_timeout=reconnect_timeout)
     try:
         outcome = _run_program(channel, rank, nprocs, 0, program, args,
                                kwargs)
     finally:
         channel.shutdown()
     ctrl.result(outcome)
+    fabric.close()
     ctrl.close()
 
 
 def _pool_rank(rank: int, capacity: int, coord_addr: tuple[str, int],
                parent_addr: tuple[str, int],
-               coord_listener: socket.socket | None, token: int) -> None:
+               coord_listener: socket.socket | None, token: int,
+               heartbeat_interval: float = 0.25, integrity: bool = True,
+               reconnect_timeout: float = 5.0,
+               generation: int = 0) -> None:
     """Persistent rank loop: execute runs shipped over the control link."""
     if rank != 0 and coord_listener is not None:
         coord_listener.close()
     ctrl = _connect_ctrl(parent_addr, rank)
-    socks = rendezvous_mesh(
-        rank, capacity, coord_addr, token=token,
+    fabric = rendezvous_fabric(
+        rank, capacity, coord_addr, token=token, generation=generation,
         coordinator_listener=coord_listener if rank == 0 else None)
-    # Decoders persist across runs: they hold per-link stream state, and
-    # leftover frames of a failed run are dropped by run_id.
-    decoders = {peer: wire.FrameDecoder() for peer in socks}
+    # Link state (decoder, sequence numbers, journal) persists across
+    # runs: numbering is a property of the connection, and leftover
+    # frames of a failed run are dropped by run_id.
+    links = {peer: _LinkState() for peer in fabric.socks}
+    if generation > 0:
+        # A replacement rank forked mid-heal: report that the remesh
+        # epoch reached us so the supervisor can finish the heal.
+        ctrl.result(("remeshed", generation, rank, None, None))
     while True:
         frame = ctrl.recv()
         if frame is None or frame.tag == wire.TAG_CLOSE:
             break
-        if frame.tag != wire.TAG_RUN:
+        if frame.tag == wire.TAG_REMESH:
+            gen, coord = wire.frame_object(frame)
+            keep = None
+            try:
+                if rank == 0:
+                    # Keep our well-known listener: survivors re-dial it.
+                    keep, fabric.listener = fabric.listener, None
+                fabric.close()
+                fabric = rendezvous_fabric(
+                    rank, capacity, tuple(coord), token=token,
+                    generation=gen, coordinator_listener=keep)
+            except BaseException:  # noqa: BLE001 - reported upward
+                if keep is not None:
+                    try:
+                        keep.close()
+                    except OSError:
+                        pass
+                ctrl.result(("error", gen, rank, traceback.format_exc(),
+                             None))
+                break
+            links = {peer: _LinkState() for peer in fabric.socks}
+            ctrl.result(("remeshed", gen, rank, None, None))
             continue
+        if frame.tag != wire.TAG_RUN:
+            continue  # e.g. a stale TAG_ABORT that raced our outcome
         run_id, nprocs, blob, sync = wire.frame_object(frame)
         try:
             program, args, kwargs = pickle.loads(blob)
@@ -714,18 +1230,20 @@ def _pool_rank(rank: int, capacity: int, coord_addr: tuple[str, int],
             ctrl.result(("error", run_id, rank, traceback.format_exc(),
                          None))
             continue
-        sub = {q: socks[q] for q in range(nprocs) if q != rank and q in socks}
+        sub = {q: fabric.socks[q] for q in range(nprocs)
+               if q != rank and q in fabric.socks}
         channel = _MeshChannel(rank, nprocs, sub, run_id, ctrl,
-                               decoders=decoders, sync=sync)
+                               links=links, sync=sync,
+                               fabric=fabric if integrity else None,
+                               integrity=integrity,
+                               heartbeat_interval=heartbeat_interval,
+                               reconnect_timeout=reconnect_timeout,
+                               watch_ctrl=True)
         outcome = _run_program(channel, rank, nprocs, run_id, program, args,
                                kwargs)
         channel.shutdown(close=False)
         ctrl.result(outcome)
-    for sock in socks.values():
-        try:
-            sock.close()
-        except OSError:
-            pass
+    fabric.close()
     ctrl.close()
 
 
@@ -782,7 +1300,9 @@ def _drain_link(link: _Link, handle) -> None:
 def _collect_tcp(nprocs: int, run_id: int, procs: Sequence[Any],
                  links: dict[int, _Link], timeout: float, *,
                  listener: socket.socket | None = None,
-                 anon: list[_Link] | None = None) -> list[tuple | None]:
+                 anon: list[_Link] | None = None,
+                 stats: dict[int, tuple] | None = None
+                 ) -> list[tuple | None]:
     """Supervised gather of one outcome per rank over the control plane.
 
     Mirrors ``processes._collect_outcomes``: multiplexes every control
@@ -817,11 +1337,16 @@ def _collect_tcp(nprocs: int, run_id: int, procs: Sequence[Any],
         if frame.tag == wire.TAG_HB:
             hb_counts[rank] += 1
             hb_when[rank] = time.monotonic()
+            if frame.meta is not None and stats is not None:
+                try:
+                    stats[rank] = pickle.loads(frame.meta)
+                except Exception:
+                    pass  # malformed piggyback: the beat still counts
         elif frame.tag == wire.TAG_RESULT:
             outcome = wire.frame_object(frame)
             tag, rid = outcome[0], outcome[1]
-            if rid != run_id:
-                return  # stray reply from an earlier, failed run
+            if rid != run_id or tag == "remeshed":
+                return  # stray reply from an earlier run / late heal ack
             if outcomes[rank] is None:
                 got += 1
             outcomes[rank] = (tag, outcome[3], outcome[4])
@@ -902,13 +1427,20 @@ class TcpMesh:
 
     Failure policy differs from ``BspPool``: a byte stream cannot be
     fenced — an aborted boundary may leave a half-flushed frame that
-    desynchronizes the receiver's decoder forever — so **any** failed
-    run (error, crash, deadlock) marks the mesh dirty and the next
-    ``run()`` rebuilds ranks and sockets from scratch.
+    desynchronizes the receiver's decoder forever — so a failed run
+    (error, deadlock) marks the mesh dirty and the next ``run()``
+    rebuilds ranks and sockets from scratch.  A worker *crash* is
+    instead healed in place when ``heal_in_place`` is on: only the dead
+    ranks are re-forked and every rank re-rendezvouses at the next mesh
+    generation, which is what lets a checkpointed ``bsp_run(...,
+    retries=...)`` resume on the same mesh within milliseconds instead
+    of rebuilding the world.
     """
 
     def __init__(self, nprocs: int, *, host: str = "127.0.0.1",
-                 join_timeout: float = 120.0):
+                 join_timeout: float = 120.0, heal_in_place: bool = True,
+                 max_heals: int = 8, heartbeat_interval: float = 0.25,
+                 integrity: bool = True, reconnect_timeout: float = 5.0):
         Backend.check_nprocs(nprocs)
         try:
             self._ctx = mp.get_context("fork")
@@ -918,15 +1450,32 @@ class TcpMesh:
         self._capacity = nprocs
         self._host = host
         self._join_timeout = join_timeout
+        self._heal_in_place = heal_in_place
+        self._max_heals = max_heals
+        self._heartbeat_interval = heartbeat_interval
+        self._integrity = integrity
+        self._reconnect_timeout = reconnect_timeout
         self._run_id = 0
         self._closed = False
         self._dirty = False
-        # Supervision counters surfaced by health(), mirroring BspPool:
-        # every dirty-rebuild re-forks the whole rank set (streams cannot
-        # be partially healed), and there is no restart budget.
+        # Supervision counters surfaced by health(), mirroring BspPool.
+        # A WorkerCrashError first tries an in-place heal ("re-fork"):
+        # only the dead ranks are re-forked and the mesh re-rendezvouses
+        # at a new generation; any other failed run (or a failed heal)
+        # still re-forks the whole rank set at the next run ("rebuild").
         self._generation = 0
         self._restarts = 0
+        self._heals = 0
+        self._heal_kinds: list[str] = []
         self._last_fault: str | None = None
+        #: Per-rank (retransmits, reconnects) piggybacked on heartbeats,
+        #: plus the folded totals of ranks that no longer exist.
+        self._stats: dict[int, tuple] = {}
+        self._stats_base = (0, 0)
+        self._token = 0
+        self._coord_addr: tuple[str, int] | None = None
+        self._parent_addr: tuple[str, int] | None = None
+        self._parent_listener: socket.socket | None = None
         self._links: dict[int, _Link] = {}
         self._procs: list[Any] = []
         self._build()
@@ -934,16 +1483,20 @@ class TcpMesh:
     # -- lifecycle ----------------------------------------------------------
 
     def _build(self) -> None:
-        token = _next_token()
+        self._token = _next_token()
         coord_listener = bind_listener(self._host)
-        parent_listener = bind_listener(self._host)
-        coord_addr = coord_listener.getsockname()
-        parent_addr = parent_listener.getsockname()
+        # The parent listener stays bound for the life of the mesh:
+        # replacement ranks forked by a heal dial it to register.
+        self._parent_listener = bind_listener(self._host)
+        self._coord_addr = coord_listener.getsockname()
+        self._parent_addr = self._parent_listener.getsockname()
         self._procs = [
             self._ctx.Process(
                 target=_pool_rank,
-                args=(rank, self._capacity, coord_addr, parent_addr,
-                      coord_listener, token),
+                args=(rank, self._capacity, self._coord_addr,
+                      self._parent_addr, coord_listener, self._token,
+                      self._heartbeat_interval, self._integrity,
+                      self._reconnect_timeout, 0),
                 name=f"bsp-tcp-pool-{rank}",
                 daemon=True,
             )
@@ -954,7 +1507,7 @@ class TcpMesh:
         coord_listener.close()  # rank 0 inherited it; parent's copy is done
         self._links = {}
         deadline = time.monotonic() + 30.0
-        parent_listener.settimeout(0.2)
+        self._parent_listener.settimeout(0.2)
         try:
             while len(self._links) < self._capacity:
                 if time.monotonic() > deadline:
@@ -973,7 +1526,7 @@ class TcpMesh:
                     raise WorkerCrashError(dead[0], proc.exitcode,
                                            os_pid=proc.pid, detail=detail)
                 try:
-                    sock, _ = parent_listener.accept()
+                    sock, _ = self._parent_listener.accept()
                 except socket.timeout:
                     continue
                 link = _Link(sock)
@@ -987,8 +1540,10 @@ class TcpMesh:
                     link.close()
                     continue
                 self._links[link.rank] = link
-        finally:
-            parent_listener.close()
+        except BaseException:
+            self._parent_listener.close()
+            self._parent_listener = None
+            raise
         self._dirty = False
 
     @staticmethod
@@ -1008,6 +1563,25 @@ class TcpMesh:
         for link in self._links.values():
             link.close()
         self._links = {}
+        if self._parent_listener is not None:
+            try:
+                self._parent_listener.close()
+            except OSError:
+                pass
+            self._parent_listener = None
+
+    def _fold_stats(self, ranks: Sequence[int] | None = None) -> None:
+        """Fold (a subset of) per-rank link counters into the base.
+
+        Called before a rank process is replaced or the mesh is rebuilt,
+        so ``health()`` totals survive the process that produced them.
+        """
+        base_rt, base_rc = self._stats_base
+        for rank in list(self._stats) if ranks is None else ranks:
+            rt, rc = self._stats.pop(rank, (0, 0))
+            base_rt += rt
+            base_rc += rc
+        self._stats_base = (base_rt, base_rc)
 
     def close(self) -> None:
         """Shut the ranks down; the mesh is unusable afterwards."""
@@ -1035,11 +1609,15 @@ class TcpMesh:
     def health(self) -> PoolHealth:
         """Supervision snapshot (``BspPool.health`` parity).
 
-        ``restarts_left`` is ``-1``: a mesh has no restart budget — every
-        failed run is followed by a full rebuild at the next ``run()``.
+        ``restarts_left`` is ``-1``: a mesh has no restart budget — a
+        crash is healed in place when possible, and every other failed
+        run is followed by a full rebuild at the next ``run()``.
+        ``retransmits``/``reconnects`` aggregate the link-repair
+        counters every rank piggybacks on its heartbeats.
         """
         alive = 0 if self._closed else \
             sum(1 for proc in self._procs if proc.is_alive())
+        base_rt, base_rc = self._stats_base
         return PoolHealth(
             generation=self._generation,
             restarts=self._restarts,
@@ -1047,6 +1625,9 @@ class TcpMesh:
             last_fault=self._last_fault,
             alive=alive,
             capacity=self._capacity,
+            heal_kinds=tuple(self._heal_kinds),
+            retransmits=base_rt + sum(v[0] for v in self._stats.values()),
+            reconnects=base_rc + sum(v[1] for v in self._stats.values()),
         )
 
     # -- running ------------------------------------------------------------
@@ -1071,10 +1652,12 @@ class TcpMesh:
                 "module-level function (not a lambda/closure) or a fresh "
                 "TcpBackend(), whose fork inherits the program") from exc
         if self._dirty:
+            self._fold_stats()
             self._teardown(graceful=False)
             self._build()
             self._generation += 1
             self._restarts += self._capacity
+            self._heal_kinds.append("rebuild")
         self._run_id += 1
         run_id = self._run_id
         t0 = time.perf_counter()
@@ -1084,8 +1667,20 @@ class TcpMesh:
                 wire.TAG_RUN, run_id, 0, -1, payload))
         try:
             outcomes = _collect_tcp(nprocs, run_id, self._procs[:nprocs],
-                                    self._links, self._join_timeout)
-        except (WorkerCrashError, SynchronizationError) as exc:
+                                    self._links, self._join_timeout,
+                                    stats=self._stats)
+        except WorkerCrashError as exc:
+            self._last_fault = f"{type(exc).__name__}: {exc}"
+            healed = False
+            if self._heal_in_place and self._heals < self._max_heals:
+                try:
+                    healed = self._heal(run_id)
+                except Exception:  # pragma: no cover - heal is best-effort
+                    healed = False
+            if not healed:
+                self._dirty = True
+            raise
+        except SynchronizationError as exc:
             self._dirty = True
             self._last_fault = f"{type(exc).__name__}: {exc}"
             raise
@@ -1106,6 +1701,143 @@ class TcpMesh:
         ledgers = [o[2] for o in outcomes]  # type: ignore[index]
         return BackendRun(results=results, ledgers=ledgers, wall_seconds=wall)
 
+    # -- in-run rank replacement --------------------------------------------
+
+    def _heal(self, run_id: int) -> bool:
+        """Replace dead ranks in place; survivors re-rendezvous.
+
+        The sequence: abort the wedged run on every survivor (their
+        channels watch the control socket, so a rank stalled mid-barrier
+        on a dead peer wakes promptly), fork replacements for the dead
+        ranks at the next mesh generation, ship ``TAG_REMESH`` with the
+        new epoch to the survivors, and wait for every rank — survivor
+        and replacement — to ack the new generation.  Returns ``True``
+        when the mesh is whole again; any failure leaves the mesh dirty
+        for the usual full rebuild.
+        """
+        dead = [r for r, p in enumerate(self._procs) if not p.is_alive()]
+        if not dead or len(dead) >= self._capacity:
+            return False
+        gen = self._generation + 1
+        self._fold_stats(dead)
+        abort = wire.encode_frame(wire.TAG_ABORT, run_id, 0, -1)
+        for rank in list(self._links):
+            if rank in dead:
+                self._links.pop(rank).close()
+                continue
+            try:
+                self._send_ctrl(self._links[rank], abort)
+            except OSError:
+                return False
+        for rank in dead:
+            self._procs[rank].join(timeout=1.0)  # reap the corpse
+        # If rank 0 died, its well-known coordinator listener died with
+        # it: bind a fresh one for the replacement to inherit.
+        coord_listener = None
+        if 0 in dead:
+            coord_listener = bind_listener(self._host)
+            self._coord_addr = coord_listener.getsockname()
+        try:
+            for rank in dead:
+                proc = self._ctx.Process(
+                    target=_pool_rank,
+                    args=(rank, self._capacity, self._coord_addr,
+                          self._parent_addr, coord_listener, self._token,
+                          self._heartbeat_interval, self._integrity,
+                          self._reconnect_timeout, gen),
+                    name=f"bsp-tcp-pool-{rank}",
+                    daemon=True,
+                )
+                proc.start()
+                self._procs[rank] = proc
+        finally:
+            if coord_listener is not None:
+                coord_listener.close()  # the replacement inherited it
+        remesh = wire.encode_object_frame(
+            wire.TAG_REMESH, gen, 0, -1, (gen, tuple(self._coord_addr)))
+        for rank, link in self._links.items():
+            try:
+                self._send_ctrl(link, remesh)
+            except OSError:
+                return False
+        if not self._await_remesh(gen):
+            return False
+        self._generation = gen
+        self._restarts += len(dead)
+        self._heals += 1
+        self._heal_kinds.append("re-fork")
+        self._dirty = False
+        return True
+
+    def _await_remesh(self, gen: int) -> bool:
+        """Collect one ``remeshed`` ack per rank for generation ``gen``,
+        registering the replacement ranks' fresh control connections."""
+        acked: set[int] = set()
+        failed = False
+        anon: list[_Link] = []
+        listener = self._parent_listener
+        if listener is None:  # pragma: no cover - build failed earlier
+            return False
+        listener.settimeout(0.0)
+        deadline = time.monotonic() + 30.0
+
+        def handle(link: _Link, frame: Frame) -> None:
+            nonlocal failed
+            if frame.tag == wire.TAG_HELLO:
+                link.rank = wire.frame_object(frame)
+                self._links[link.rank] = link
+                if link in anon:
+                    anon.remove(link)
+            elif frame.tag == wire.TAG_RESULT:
+                outcome = wire.frame_object(frame)
+                if outcome[0] == "remeshed" and outcome[1] == gen \
+                        and link.rank is not None:
+                    acked.add(link.rank)
+                elif outcome[0] == "error" and outcome[1] == gen:
+                    failed = True
+
+        # One selector over the listener and every control link: acks
+        # arrive the moment they are readable, with no fixed accept
+        # timeout padding each loop round (MTTR is the product here).
+        sel = selectors.DefaultSelector()
+        try:
+            sel.register(listener, selectors.EVENT_READ)
+            registered = set()
+            while len(acked) < self._capacity:
+                if failed or time.monotonic() > deadline:
+                    return False
+                if any(not p.is_alive() for p in self._procs):
+                    return False
+                for link in list(anon) + list(self._links.values()):
+                    if id(link) not in registered and not link.eof:
+                        try:
+                            sel.register(link.sock, selectors.EVENT_READ)
+                        except (KeyError, ValueError, OSError):
+                            pass
+                        registered.add(id(link))
+                ready = {key.fileobj for key, _ in sel.select(timeout=0.05)}
+                if listener in ready:
+                    try:
+                        sock, _ = listener.accept()
+                    except (BlockingIOError, socket.timeout, OSError):
+                        pass
+                    else:
+                        anon.append(_Link(sock))
+                for link in list(anon) + list(self._links.values()):
+                    _drain_link(link, handle)
+                    if link.eof and link.rank is not None \
+                            and link.rank not in acked:
+                        return False
+                    if link.eof:
+                        try:
+                            sel.unregister(link.sock)
+                        except (KeyError, ValueError):
+                            pass
+                anon = [link for link in anon if not link.eof]
+            return True
+        finally:
+            sel.close()
+
     @staticmethod
     def _send_ctrl(link: _Link, chunks: Sequence[Any]) -> None:
         # The supervisor side keeps sockets non-blocking for collection;
@@ -1124,11 +1856,16 @@ class TcpBackend(Backend):
     name = "tcp"
 
     def __init__(self, *, join_timeout: float = 120.0,
-                 host: str = "127.0.0.1", mesh: TcpMesh | None = None):
+                 host: str = "127.0.0.1", mesh: TcpMesh | None = None,
+                 heartbeat_interval: float = 0.25, integrity: bool = True,
+                 reconnect_timeout: float = 5.0):
         self._join_timeout = join_timeout
         self._host = host
         self._mesh = mesh
         self._owns_mesh = False
+        self._heartbeat_interval = heartbeat_interval
+        self._integrity = integrity
+        self._reconnect_timeout = reconnect_timeout
         try:
             self._ctx = mp.get_context("fork")
         except ValueError as exc:  # pragma: no cover - non-POSIX platforms
@@ -1137,7 +1874,10 @@ class TcpBackend(Backend):
 
     @classmethod
     def pool(cls, nprocs: int, *, host: str = "127.0.0.1",
-             join_timeout: float = 120.0) -> "TcpBackend":
+             join_timeout: float = 120.0, heal_in_place: bool = True,
+             max_heals: int = 8, heartbeat_interval: float = 0.25,
+             integrity: bool = True,
+             reconnect_timeout: float = 5.0) -> "TcpBackend":
         """A backend bound to its own persistent :class:`TcpMesh`.
 
         Usable as a context manager::
@@ -1150,8 +1890,16 @@ class TcpBackend(Backend):
         Programs are shipped by pickle (module-level callables only).
         """
         backend = cls(join_timeout=join_timeout, host=host,
+                      heartbeat_interval=heartbeat_interval,
+                      integrity=integrity,
+                      reconnect_timeout=reconnect_timeout,
                       mesh=TcpMesh(nprocs, host=host,
-                                   join_timeout=join_timeout))
+                                   join_timeout=join_timeout,
+                                   heal_in_place=heal_in_place,
+                                   max_heals=max_heals,
+                                   heartbeat_interval=heartbeat_interval,
+                                   integrity=integrity,
+                                   reconnect_timeout=reconnect_timeout))
         backend._owns_mesh = True
         return backend
 
@@ -1198,7 +1946,9 @@ class TcpBackend(Backend):
             ctx.Process(
                 target=_oneshot_rank,
                 args=(rank, nprocs, coord_addr, parent_addr, coord_listener,
-                      token, program, args, kwargs, sync),
+                      token, program, args, kwargs, sync,
+                      self._heartbeat_interval, self._integrity,
+                      self._reconnect_timeout),
                 name=f"bsp-tcp-{rank}",
                 daemon=True,
             )
@@ -1249,23 +1999,86 @@ class TcpSpmdBackend(Backend):
 
     def __init__(self, rank: int, nprocs: int,
                  coordinator: tuple[str, int], *, token: int = 0,
-                 bind_host: str | None = None, timeout: float = 60.0):
+                 bind_host: str | None = None, timeout: float = 60.0,
+                 generation: int = 0, integrity: bool = True,
+                 reconnect_timeout: float = 5.0):
         Backend.check_nprocs(nprocs)
         if not 0 <= rank < nprocs:
             raise BspConfigError(f"rank {rank} out of range({nprocs})")
         self._rank = rank
         self._nprocs = nprocs
         self._timeout = timeout
-        self._socks = rendezvous_mesh(rank, nprocs, coordinator,
-                                      token=token, bind_host=bind_host,
-                                      timeout=timeout)
-        self._decoders = {p: wire.FrameDecoder() for p in self._socks}
+        self._integrity = integrity
+        self._reconnect_timeout = reconnect_timeout
+        self._fabric = rendezvous_fabric(
+            rank, nprocs, coordinator, token=token,
+            generation=generation, bind_host=bind_host, timeout=timeout)
+        self._links = {p: _LinkState() for p in self._fabric.socks}
         self._run_id = 0
         self._dirty = False
+        self._last_fault: str | None = None
+        self._heal_kinds: list[str] = []
 
     @property
     def rank(self) -> int:
         return self._rank
+
+    @property
+    def generation(self) -> int:
+        return self._fabric.generation
+
+    def remesh(self) -> int:
+        """Re-admit this rank to the mesh at the next generation.
+
+        Called by *every* participating rank after a failed run (the
+        harness ``launch-tcp --max-heals`` retry loop does this): each
+        rank tears its links down and re-rendezvouses under
+        ``fold_token(token, generation + 1)``, so survivors and a
+        relaunched replacement rank meet in a fresh epoch while stale
+        sockets from the old one are refused.  Returns the new
+        generation; failure raises :class:`RemeshError` (relaunch all
+        ranks then).
+        """
+        fabric = self._fabric
+        gen = fabric.generation + 1
+        keep = None
+        if self._rank == 0:
+            # The well-known coordinator listener must survive the epoch.
+            keep, fabric.listener = fabric.listener, None
+        fabric.close()
+        try:
+            self._fabric = rendezvous_fabric(
+                self._rank, self._nprocs, fabric.coordinator,
+                token=fabric.token, generation=gen,
+                bind_host=fabric.bind_host, coordinator_listener=keep,
+                timeout=self._timeout)
+        except BaseException as exc:
+            if keep is not None:
+                try:
+                    keep.close()
+                except OSError:
+                    pass
+            raise RemeshError(
+                f"rank {self._rank}: remesh to generation {gen} failed: "
+                f"{exc}") from exc
+        self._links = {p: _LinkState() for p in self._fabric.socks}
+        self._dirty = False
+        self._heal_kinds.append("re-admit")
+        return gen
+
+    def health(self) -> PoolHealth:
+        """In-band supervision snapshot (no parent: alive == nprocs)."""
+        return PoolHealth(
+            generation=self._fabric.generation,
+            restarts=0,
+            restarts_left=-1,
+            last_fault=self._last_fault,
+            alive=self._nprocs,
+            capacity=self._nprocs,
+            heal_kinds=tuple(self._heal_kinds),
+            retransmits=sum(l.retransmits for l in self._links.values()),
+            reconnects=sum(l.reconnects for l in self._links.values()),
+        )
 
     def run(
         self,
@@ -1283,13 +2096,16 @@ class TcpSpmdBackend(Backend):
         check_sync(sync)
         if self._dirty:
             raise BspConfigError(
-                "mesh streams may be corrupt after a failed run; relaunch "
-                "the ranks")
+                "mesh streams may be corrupt after a failed run; call "
+                "remesh() on every rank (or relaunch them)")
         self._run_id += 1
         run_id = self._run_id
-        channel = _MeshChannel(self._rank, nprocs, dict(self._socks),
-                               run_id, None, decoders=self._decoders,
-                               sync=sync)
+        channel = _MeshChannel(
+            self._rank, nprocs, dict(self._fabric.socks), run_id, None,
+            links=self._links, sync=sync,
+            fabric=self._fabric if self._integrity else None,
+            integrity=self._integrity,
+            reconnect_timeout=self._reconnect_timeout)
         t0 = time.perf_counter()
         try:
             outcome = _run_program(channel, self._rank, nprocs, run_id,
@@ -1299,6 +2115,7 @@ class TcpSpmdBackend(Backend):
                 gathered = channel.gather_results(nprocs, self._timeout)
             except (_Abort, _PeerLost) as exc:
                 self._dirty = True
+                self._last_fault = f"{type(exc).__name__}: {exc}"
                 raise SynchronizationError(
                     f"a peer vanished while gathering outcomes: {exc!r}"
                 ) from None
@@ -1312,14 +2129,11 @@ class TcpSpmdBackend(Backend):
                 outcomes[r] = (oc[0], oc[3], oc[4])
         if any(o is None or o[0] != "ok" for o in outcomes):
             self._dirty = True
+            self._last_fault = "run failure (see raised error)"
             _raise_run_failure(outcomes)
         results = [o[1] for o in outcomes]  # type: ignore[index]
         ledgers = [o[2] for o in outcomes]  # type: ignore[index]
         return BackendRun(results=results, ledgers=ledgers, wall_seconds=wall)
 
     def close(self) -> None:
-        for sock in self._socks.values():
-            try:
-                sock.close()
-            except OSError:
-                pass
+        self._fabric.close()

@@ -178,6 +178,25 @@ class CheckpointStore:
         steps = self.complete_steps(run_key, nprocs)
         return steps[-1] if steps else None
 
+    def rollback(self, run_key: str, step: int) -> list[int]:
+        """Drop every shard *newer* than ``step`` (the resume cut).
+
+        A healed mesh rolls survivors back to the last complete
+        checkpoint and replays forward; shards the crashed attempt wrote
+        past that cut are from an epoch that no longer exists.  Leaving
+        them would let the retry's own writes interleave with stale
+        ones — a later ``latest_step`` could then name a step whose
+        shards mix two attempts.  Returns the dropped steps, ascending.
+        """
+        dropped = [s for s in self.steps(run_key) if s > step]
+        for stale in dropped:
+            self._drop_step(run_key, stale)
+        return dropped
+
+    def _drop_step(self, run_key: str, step: int) -> None:
+        """Remove every shard stored at ``step``."""
+        raise NotImplementedError
+
 
 class MemoryCheckpointStore(CheckpointStore):
     """In-memory store for the simulator/thread backends (and unit tests).
@@ -243,6 +262,12 @@ class MemoryCheckpointStore(CheckpointStore):
         return {p: n for p, n, blob, sha in entries
                 if hashlib.sha256(blob).hexdigest() == sha}
 
+    def _drop_step(self, run_key, step):
+        with self._lock:
+            for key in [k for k in self._shards
+                        if k[0] == run_key and k[1] == step]:
+                del self._shards[key]
+
     def clear(self, run_key):
         with self._lock:
             for key in [k for k in self._shards if k[0] == run_key]:
@@ -298,7 +323,15 @@ class DiskCheckpointStore(CheckpointStore):
         tmp = os.path.join(
             step_dir, f"{_TMP_PREFIX}{_RANK_PREFIX}{pid:04d}-{os.getpid()}")
         try:
-            with open(tmp, "wb") as fh:
+            try:
+                fh = open(tmp, "wb")
+            except FileNotFoundError:
+                # A peer's retention pass (or a driver rollback) removed
+                # the step directory between our makedirs and the open;
+                # re-create it — this rank's shard is current either way.
+                os.makedirs(step_dir, exist_ok=True)
+                fh = open(tmp, "wb")
+            with fh:
                 fh.write(header)
                 fh.write(b"\n")
                 fh.write(blob)
@@ -437,6 +470,9 @@ class DiskCheckpointStore(CheckpointStore):
                     and isinstance(header.get("nprocs"), int):
                 out[pid] = header["nprocs"]
         return out
+
+    def _drop_step(self, run_key, step):
+        shutil.rmtree(self._step_dir(run_key, step), ignore_errors=True)
 
     def clear(self, run_key):
         shutil.rmtree(self._run_dir(run_key), ignore_errors=True)

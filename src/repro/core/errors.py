@@ -122,6 +122,13 @@ class DeadlockError(SynchronizationError):
         super().__init__(message)
 
 
+class RemeshError(SynchronizationError):
+    """An in-run heal of a mesh failed: the replacement rank never joined,
+    the re-rendezvous epoch timed out, or a survivor could not rebuild its
+    links.  The mesh is unusable; callers fall back to a full rebuild
+    (:class:`~repro.backends.tcp.TcpMesh`) or a relaunch (SPMD)."""
+
+
 class CheckpointError(BspError, RuntimeError):
     """A checkpoint shard is missing, corrupt, truncated, or inconsistent.
 

@@ -147,6 +147,18 @@ def bsp_run(
             # (written up to the crash) are what the retry resumes from.
             resume_step = (cfg.store.latest_step(cfg.run_key, nprocs)
                            if resume else None)
+            if resume and resume_step is not None:
+                # Checkpoint-coupled rollback: shards the failed attempt
+                # wrote past the resume cut belong to a dead epoch; drop
+                # them so this attempt's writes can never interleave
+                # with stale ones at the same step.
+                cfg.store.rollback(cfg.run_key, resume_step)
+            elif resume and resume_step is None:
+                # Restart from zero with nothing worth keeping: the dead
+                # attempt's (all-damaged) shards would otherwise inflate
+                # each rank's retention count and get fresh step-0 shards
+                # pruned out from under a slower rank mid-write.
+                cfg.store.clear(cfg.run_key)
             run_program = CheckpointedProgram(program, cfg, resume_step)
         try:
             if sync == "strict":

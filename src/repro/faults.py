@@ -31,6 +31,28 @@ Fault kinds
                 on a processor that already returned.
 =============== ==========================================================
 
+Network-targeted kinds (consulted by the TCP mesh channel at superstep
+boundaries; they model a flaky PC-LAN fabric rather than a dying
+program, and a resilient transport must absorb all of them without
+changing results or ledgers):
+
+================= ========================================================
+``CORRUPT_FRAME`` flip a bit in the wire bytes of the boundary frame to
+                  one peer — the receiver's CRC must reject it and the
+                  link-level NACK/retransmit path must repair it from
+                  the send journal.
+``DUP_FRAME``     transmit the boundary frame to one peer twice — the
+                  receiver must drop the duplicate by sequence number.
+``RESET_CONN``    abort the TCP connection to one peer (RST, via
+                  SO_LINGER 0) right before the boundary — both ends
+                  must reconnect transparently and replay their
+                  journals.
+``PARTITION``     ``RESET_CONN`` on *every* live link of the rank at
+                  once — a switch rebooting under one machine.
+``SLOW_LINK``     sleep before sending to one peer — a congested path,
+                  visible as latency, never as an error.
+================= ========================================================
+
 Checkpoint-targeted kinds (consulted by
 :meth:`repro.checkpoint.CheckpointStore.save_shard` right after a shard
 is durably written, i.e. they model storage-level damage, not a failed
@@ -88,12 +110,24 @@ DROP_FRAME = "drop-frame"
 DROP_DEPART = "drop-depart"
 TRUNCATE_CHECKPOINT = "truncate-checkpoint"
 CORRUPT_CHECKPOINT = "corrupt-checkpoint"
+CORRUPT_FRAME = "corrupt-frame"
+DUP_FRAME = "dup-frame"
+RESET_CONN = "reset-conn"
+PARTITION = "partition"
+SLOW_LINK = "slow-link"
 
 _KINDS = frozenset({KILL, EXIT, RAISE, POISON, DELAY, DROP_FRAME,
-                    DROP_DEPART, TRUNCATE_CHECKPOINT, CORRUPT_CHECKPOINT})
+                    DROP_DEPART, TRUNCATE_CHECKPOINT, CORRUPT_CHECKPOINT,
+                    CORRUPT_FRAME, DUP_FRAME, RESET_CONN, PARTITION,
+                    SLOW_LINK})
 
 #: Kinds that damage a just-written checkpoint shard.
 CHECKPOINT_KINDS = frozenset({TRUNCATE_CHECKPOINT, CORRUPT_CHECKPOINT})
+
+#: Kinds that damage the network fabric, not the program: a resilient
+#: transport absorbs them with identical results and ledgers.
+NETWORK_KINDS = frozenset({CORRUPT_FRAME, DUP_FRAME, RESET_CONN,
+                           PARTITION, SLOW_LINK})
 
 #: Kinds the worker reports itself (program-level failures).
 REPORTED_KINDS = frozenset({RAISE, POISON})
@@ -165,19 +199,26 @@ class Fault:
 
     ``arg`` is kind-specific: the exit code for ``EXIT``, the sleep
     seconds for ``DELAY``, the destination peer for ``DROP_FRAME`` /
-    ``DROP_DEPART``; unused otherwise.
+    ``DROP_DEPART`` / ``CORRUPT_FRAME`` / ``DUP_FRAME`` / ``RESET_CONN``,
+    a ``(peer, seconds)`` pair for ``SLOW_LINK``; unused otherwise
+    (``PARTITION`` always hits every link of ``pid``).
     """
 
     kind: str
     pid: int
     step: int
-    arg: float | int | None = None
+    arg: object = None
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise BspConfigError(f"unknown fault kind {self.kind!r}")
-        if self.kind in (DROP_FRAME, DROP_DEPART) and self.arg is None:
+        if self.kind in (DROP_FRAME, DROP_DEPART, CORRUPT_FRAME, DUP_FRAME,
+                         RESET_CONN) and self.arg is None:
             raise BspConfigError(f"{self.kind} needs arg=<destination pid>")
+        if self.kind == SLOW_LINK and (
+                not isinstance(self.arg, tuple) or len(self.arg) != 2):
+            raise BspConfigError(
+                f"{SLOW_LINK} needs arg=(destination pid, seconds)")
 
 
 class FaultPlan:
@@ -198,6 +239,11 @@ class FaultPlan:
         self._drop_steps: set[tuple[int, int]] = set()
         self._drop_departs: set[tuple[int, int]] = set()
         self._ckpt_tampers: dict[tuple[int, int], str] = {}
+        self._corrupts: set[tuple[int, int, int]] = set()
+        self._dups: set[tuple[int, int, int]] = set()
+        #: (pid, step) -> peer to reset, or None meaning "every link".
+        self._resets: dict[tuple[int, int], int | None] = {}
+        self._slow: dict[tuple[int, int, int], float] = {}
         for fault in self.faults:
             if fault.kind == DROP_FRAME:
                 self._drops.add((fault.pid, fault.step, int(fault.arg)))
@@ -206,6 +252,18 @@ class FaultPlan:
                 self._drop_departs.add((fault.pid, int(fault.arg)))
             elif fault.kind in CHECKPOINT_KINDS:
                 self._ckpt_tampers[(fault.pid, fault.step)] = fault.kind
+            elif fault.kind == CORRUPT_FRAME:
+                self._corrupts.add((fault.pid, fault.step, int(fault.arg)))
+            elif fault.kind == DUP_FRAME:
+                self._dups.add((fault.pid, fault.step, int(fault.arg)))
+            elif fault.kind == RESET_CONN:
+                self._resets[(fault.pid, fault.step)] = int(fault.arg)
+            elif fault.kind == PARTITION:
+                self._resets[(fault.pid, fault.step)] = None
+            elif fault.kind == SLOW_LINK:
+                peer, seconds = fault.arg
+                self._slow[(fault.pid, fault.step, int(peer))] = \
+                    float(seconds)
             else:
                 self._boundary[(fault.pid, fault.step)] = fault
 
@@ -221,15 +279,21 @@ class FaultPlan:
             kind = rng.choice(list(kinds))
             pid = rng.randrange(nprocs)
             step = rng.randrange(nsteps)
-            arg: float | int | None = None
+            arg: object = None
             if kind == EXIT:
                 arg = rng.randrange(1, 128)
             elif kind == DELAY:
                 arg = rng.uniform(0.05, 0.2)
-            elif kind in (DROP_FRAME, DROP_DEPART):
+            elif kind in (DROP_FRAME, DROP_DEPART, CORRUPT_FRAME,
+                          DUP_FRAME, RESET_CONN):
                 if nprocs < 2:
                     continue
                 arg = (pid + rng.randrange(1, nprocs)) % nprocs
+            elif kind == SLOW_LINK:
+                if nprocs < 2:
+                    continue
+                arg = ((pid + rng.randrange(1, nprocs)) % nprocs,
+                       rng.uniform(0.01, 0.1))
             faults.append(Fault(kind, pid, step, arg))
         return cls(faults)
 
@@ -270,6 +334,39 @@ class FaultPlan:
 
     def drops_depart(self, pid: int, peer: int) -> bool:
         return (pid, peer) in self._drop_departs
+
+    # -- network-fabric hooks (TCP mesh channel) -----------------------------
+
+    def corrupts_frame(self, src: int, step: int, dst: int) -> bool:
+        """True when ``src`` must damage its wire frame to ``dst``."""
+        return (src, step, dst) in self._corrupts
+
+    def duplicates_frame(self, src: int, step: int, dst: int) -> bool:
+        """True when ``src`` must transmit its frame to ``dst`` twice."""
+        return (src, step, dst) in self._dups
+
+    def reset_peers(self, pid: int, step: int,
+                    peers: Sequence[int]) -> tuple[int, ...]:
+        """The links of ``pid`` to abort (RST) at this boundary.
+
+        ``RESET_CONN`` names one peer; ``PARTITION`` expands to every
+        peer in ``peers``.  Empty tuple when nothing is scheduled.
+        """
+        target = self._resets.get((pid, step), -1)
+        if target == -1:
+            return ()
+        if target is None:
+            return tuple(peers)
+        return (target,) if target in peers else ()
+
+    def slow_link(self, src: int, step: int, dst: int) -> float:
+        """Injected delay in seconds before sending to ``dst`` (0 = none)."""
+        return self._slow.get((src, step, dst), 0.0)
+
+    def has_network_faults(self) -> bool:
+        """True when any network-fabric fault is scheduled at all."""
+        return bool(self._corrupts or self._dups or self._resets
+                    or self._slow)
 
     def count_frame(self, src: int, n: int = 1) -> None:
         """Credit ``n`` wire frames to ``src`` on the attached counter.

@@ -72,6 +72,13 @@ def _launch_tcp(argv: list[str]) -> int:
                         choices=["strict", "relaxed", "elide"],
                         help="synchronization mode (identical results "
                              "and ledgers; cheaper barriers)")
+    parser.add_argument("--generation", type=int, default=0,
+                        help="mesh generation to rendezvous at; a rank "
+                             "relaunched after a remesh must name the "
+                             "epoch the survivors advanced to")
+    parser.add_argument("--max-heals", type=int, default=8,
+                        help="remesh attempts after a peer loss before "
+                             "giving up (multi-host mode)")
     args = parser.parse_args(argv)
 
     if args.size not in APP_SIZES[args.app]:
@@ -81,6 +88,7 @@ def _launch_tcp(argv: list[str]) -> int:
 
     from ..backends.tcp import TcpBackend, TcpSpmdBackend
     from ..backends.tcp_launch import parse_hostport
+    from ..core.errors import RemeshError, SynchronizationError
 
     if args.rank is None:
         backend = TcpBackend(join_timeout=args.timeout)
@@ -90,12 +98,33 @@ def _launch_tcp(argv: list[str]) -> int:
         backend = TcpSpmdBackend(
             args.rank, args.nprocs, coordinator,
             token=args.token, bind_host=args.bind_host,
-            timeout=args.timeout,
+            timeout=args.timeout, generation=args.generation,
         )
         rank = args.rank
     try:
-        stats = run_app(args.app, args.size, args.nprocs,
-                        seed=args.seed, backend=backend, sync=args.sync)
+        heals_left = args.max_heals if args.rank is not None else 0
+        while True:
+            try:
+                stats = run_app(args.app, args.size, args.nprocs,
+                                seed=args.seed, backend=backend,
+                                sync=args.sync)
+                break
+            except SynchronizationError as exc:
+                # Multi-host heal loop: a lost peer dirties the mesh;
+                # every surviving rank re-rendezvouses at the next
+                # generation and the operator relaunches the dead rank
+                # with --generation <new epoch>.
+                if heals_left <= 0:
+                    raise
+                heals_left -= 1
+                print(f"[rank {rank}] peer lost ({exc}); remeshing "
+                      f"({heals_left} heal(s) left)", file=sys.stderr)
+                try:
+                    gen = backend.remesh()
+                except RemeshError:
+                    raise exc from None
+                print(f"[rank {rank}] remeshed at generation {gen}",
+                      file=sys.stderr)
     finally:
         close = getattr(backend, "close", None)
         if close is not None:
@@ -136,7 +165,24 @@ def _run(argv: list[str]) -> int:
                              "and ledgers; cheaper barriers)")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="log supervision state (pool generation, "
-                             "restarts, last fault) after the run")
+                             "restarts, heal kinds, link repair "
+                             "counters, last fault) after the run")
+    parser.add_argument("--heal-in-place", dest="heal_in_place",
+                        action="store_true", default=True,
+                        help="heal a crashed TCP mesh in place: re-fork "
+                             "only the dead ranks and re-rendezvous the "
+                             "survivors (default)")
+    parser.add_argument("--no-heal-in-place", dest="heal_in_place",
+                        action="store_false",
+                        help="tear down and rebuild the whole mesh on "
+                             "every crash instead of healing in place")
+    parser.add_argument("--max-heals", type=int, default=8,
+                        help="in-place heals before falling back to "
+                             "full rebuilds (tcp backend)")
+    parser.add_argument("--heartbeat-interval", type=float, default=0.25,
+                        metavar="SECONDS",
+                        help="supervision heartbeat period (tcp backend; "
+                             "keep well under the 1s stall window)")
     args = parser.parse_args(argv)
 
     if args.size not in APP_SIZES[args.app]:
@@ -167,7 +213,12 @@ def _run(argv: list[str]) -> int:
         backend = ProcessBackend.pool(args.nprocs)
     elif args.backend == "tcp":
         from ..backends.tcp import TcpBackend
-        backend = TcpBackend.pool(args.nprocs)
+        backend = TcpBackend.pool(
+            args.nprocs,
+            heal_in_place=args.heal_in_place,
+            max_heals=args.max_heals,
+            heartbeat_interval=args.heartbeat_interval,
+        )
     else:
         backend = "simulator"
     try:
@@ -186,6 +237,14 @@ def _run(argv: list[str]) -> int:
                       f"restarts_left={budget} "
                       f"alive={health.alive}/{health.capacity}",
                       file=sys.stderr)
+                if health.heal_kinds:
+                    print("[supervision] heals: "
+                          + ", ".join(health.heal_kinds), file=sys.stderr)
+                if health.retransmits or health.reconnects:
+                    print(f"[supervision] link repair: "
+                          f"retransmits={health.retransmits} "
+                          f"reconnects={health.reconnects}",
+                          file=sys.stderr)
                 if health.last_fault:
                     print(f"[supervision] last fault: {health.last_fault}",
                           file=sys.stderr)

@@ -131,11 +131,10 @@ class TestFrameDecoder:
         assert [f.tag for f in second] == [TAG_PKT]
 
     def test_oversized_header_rejected(self):
-        import struct
-
         dec = wire.FrameDecoder()
+        env = wire.pack_envelope(0, -1, -1, wire.MAX_HEADER_BYTES + 1)
         with pytest.raises(PacketError, match="header"):
-            dec.feed(struct.pack("<I", wire.MAX_HEADER_BYTES + 1))
+            dec.feed(env)
 
     def test_oversized_frame_rejected(self):
         chunks = wire.encode_frame(TAG_PKT, 0, 0, 0, b"", [b"y" * 64])
@@ -144,11 +143,33 @@ class TestFrameDecoder:
             dec.feed(_flatten(chunks))
 
     def test_garbage_header_rejected(self):
-        import struct
-
-        blob = struct.pack("<I", 8) + b"notapkl!"
+        blob = wire.pack_envelope(0, -1, -1, 8) + b"notapkl!"
         with pytest.raises(PacketError, match="undecodable"):
             wire.FrameDecoder().feed(blob)
+
+    def test_wrong_version_rejected(self):
+        # A consistent envelope (valid check byte) from a future protocol.
+        body = wire._ENV_BODY.pack(wire.WIRE_VERSION + 1, 0, -1, -1, 8)
+        echk = 0
+        for byte in body:
+            echk ^= byte
+        with pytest.raises(PacketError, match="version"):
+            wire.FrameDecoder().feed(body + bytes((echk,)))
+
+    def test_flipped_envelope_bit_rejected(self):
+        good = _flatten(wire.encode_frame(wire.TAG_RELEASE, 1, 0, 0))
+        bad = bytes([good[0] ^ 0x40]) + good[1:]
+        with pytest.raises(PacketError, match="envelope"):
+            wire.FrameDecoder().feed(bad)
+
+    def test_corrupt_payload_yields_marker_not_frame(self):
+        blob = bytearray(
+            _flatten(wire.encode_packet_frame(1, 0, 2, _sample_packets(),
+                                              seq=7)))
+        blob[-1] ^= 0xFF  # smash the crc trailer
+        (frame,) = wire.FrameDecoder().feed(bytes(blob))
+        assert frame.tag == wire.TAG_CORRUPT
+        assert frame.seq == 7
 
     def test_object_frame_roundtrip(self):
         obj = ("ok", 3, 1, [b"payload" * 100], None)
