@@ -32,6 +32,7 @@ from .core.cost import (
     work_speedup,
 )
 from .core.errors import (
+    AdmissionError,
     BspConfigError,
     BspError,
     BspUsageError,
@@ -75,6 +76,7 @@ from .checkpoint import (  # noqa: E402
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionError",
     "Bsp",
     "BspConfigError",
     "BspError",

@@ -783,6 +783,32 @@ class PoolHealth:
     retransmits: int = 0
     reconnects: int = 0
 
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data view of this snapshot, safe for ``json.dumps``.
+
+        Service telemetry and CLI ``status`` output ship health over the
+        wire; a live snapshot must never be pickled for that, so every
+        field here is a JSON scalar or a list of strings.
+        """
+        return {
+            "generation": self.generation,
+            "restarts": self.restarts,
+            "restarts_left": self.restarts_left,
+            "last_fault": self.last_fault,
+            "alive": self.alive,
+            "capacity": self.capacity,
+            "heal_kinds": list(self.heal_kinds),
+            "retransmits": self.retransmits,
+            "reconnects": self.reconnects,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "PoolHealth":
+        """Inverse of :meth:`to_dict` (used by service clients)."""
+        fields = dict(data)
+        fields["heal_kinds"] = tuple(fields.get("heal_kinds", ()))
+        return cls(**fields)
+
 
 class BspPool:
     """A persistent set of ``p`` forked BSP workers plus their transport.
@@ -833,6 +859,11 @@ class BspPool:
         self._faults_in_a_row = 0
         self._broken: str | None = None
         self._heal_kinds: list[str] = []
+        # One run at a time: the fence/epoch discipline assumes a single
+        # in-flight run per fabric, so a second concurrent run() would
+        # corrupt it.  Guarded, not serialized — the service scheduler
+        # leases one job per pool and anything else is a caller bug.
+        self._run_lock = threading.Lock()
         self._build()
 
     # -- lifecycle ----------------------------------------------------------
@@ -1009,6 +1040,18 @@ class BspPool:
                 "module-level function (not a lambda/closure) or a fresh "
                 "ProcessBackend(), whose fork inherits the program"
             ) from exc
+        if not self._run_lock.acquire(blocking=False):
+            raise BspUsageError(
+                "BspPool.run() called while another run is in flight on "
+                "this pool; a pool executes one job at a time — lease one "
+                "pool per concurrent job (repro.service keeps a warm "
+                "fleet for exactly this) or create another BspPool")
+        try:
+            return self._run_locked(nprocs, blob, sync)
+        finally:
+            self._run_lock.release()
+
+    def _run_locked(self, nprocs: int, blob: bytes, sync: str) -> BackendRun:
         self._run_id += 1
         run_id = self._run_id
         t0 = time.perf_counter()

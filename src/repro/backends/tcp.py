@@ -97,6 +97,7 @@ import pickle
 import selectors
 import socket
 import struct
+import threading
 import time
 import traceback
 from collections import deque
@@ -1472,6 +1473,9 @@ class TcpMesh:
         #: plus the folded totals of ranks that no longer exist.
         self._stats: dict[int, tuple] = {}
         self._stats_base = (0, 0)
+        # One run at a time per mesh (BspPool.run parity): the barrier
+        # and stream-dirtying discipline assume a single in-flight run.
+        self._run_lock = threading.Lock()
         self._token = 0
         self._coord_addr: tuple[str, int] | None = None
         self._parent_addr: tuple[str, int] | None = None
@@ -1651,6 +1655,18 @@ class TcpMesh:
                 "a persistent tcp mesh ships the program by pickle; use a "
                 "module-level function (not a lambda/closure) or a fresh "
                 "TcpBackend(), whose fork inherits the program") from exc
+        if not self._run_lock.acquire(blocking=False):
+            raise BspUsageError(
+                "TcpMesh.run() called while another run is in flight on "
+                "this mesh; a mesh executes one job at a time — lease one "
+                "mesh per concurrent job (repro.service keeps a warm "
+                "fleet for exactly this) or create another TcpMesh")
+        try:
+            return self._run_locked(nprocs, blob, sync)
+        finally:
+            self._run_lock.release()
+
+    def _run_locked(self, nprocs: int, blob: bytes, sync: str) -> BackendRun:
         if self._dirty:
             self._fold_stats()
             self._teardown(graceful=False)

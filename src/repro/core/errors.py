@@ -142,6 +142,18 @@ class CheckpointError(BspError, RuntimeError):
     """
 
 
+class AdmissionError(BspError, RuntimeError):
+    """A job submission was rejected at the service admission boundary.
+
+    Raised (and reported to clients as a typed ``rejected`` frame) by the
+    :mod:`repro.service` scheduler when the bounded admission queue is
+    full, a tenant exceeded its ``max_queued`` allowance, or the job names
+    a fleet key no warm pool serves.  Admission errors are *load* errors:
+    the job was never queued, nothing ran, and an identical resubmission
+    later may succeed.
+    """
+
+
 class PoolExhaustedError(BspError, RuntimeError):
     """A self-healing worker pool spent its restart budget and shut down.
 

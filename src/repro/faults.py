@@ -413,3 +413,52 @@ def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
         yield plan
     finally:
         clear()
+
+
+# -- fleet-level faults (repro.service chaos) --------------------------------
+#
+# The kinds above fire *inside* a worker, driven by an inherited plan.
+# A serving fleet has two further failure surfaces that no worker-local
+# hook can reach: a whole pool losing a worker mid-job (the OOM killer
+# does not consult fault plans), and one tenant flooding the admission
+# queue.  These helpers inject exactly those, from the outside, against
+# live pools — used by the service chaos tests and ``bench_service.py``.
+
+def pool_worker_os_pids(pool) -> list[int]:
+    """The OS pids of a live :class:`~repro.backends.processes.BspPool`
+    or :class:`~repro.backends.tcp.TcpMesh`'s worker processes."""
+    return [proc.pid for proc in pool._procs if proc.is_alive()]
+
+
+def kill_pool_worker(pool, rank: int = 0, sig: int = signal.SIGKILL) -> int:
+    """SIGKILL one worker of a live pool/mesh, mid-job, from outside.
+
+    Returns the OS pid that was signalled.  The pool's own supervision
+    turns this into a :class:`~repro.core.errors.WorkerCrashError` and a
+    self-heal; a service job running on the pool either retries from its
+    last checkpoint or fails cleanly — the chaos tests assert both.
+    """
+    proc = pool._procs[rank]
+    if proc.pid is None:  # pragma: no cover - never started
+        raise BspConfigError(f"pool worker {rank} has no OS process")
+    os.kill(proc.pid, sig)
+    return proc.pid
+
+
+def flood_tenant(submit, count: int) -> tuple[list, list]:
+    """Drive one tenant's ``submit`` callable to (past) admission limits.
+
+    ``submit`` is called ``count`` times; returns ``(accepted, rejected)``
+    where rejections are the :class:`~repro.core.errors.AdmissionError`
+    instances raised.  The service's bounded queue and per-tenant caps
+    must convert the flood into typed rejections, not latency for the
+    other tenants — which is what the chaos tests assert.
+    """
+    from .core.errors import AdmissionError
+    accepted, rejected = [], []
+    for _ in range(count):
+        try:
+            accepted.append(submit())
+        except AdmissionError as exc:
+            rejected.append(exc)
+    return accepted, rejected

@@ -34,6 +34,14 @@ semantics")::
     python -m repro.harness run ocean 66 --backend processes \\
         --nprocs 4 --checkpoint-every 1 --checkpoint-dir /tmp/ckpt \\
         --retries 2 --resume
+
+Serving BSP jobs (the ``repro.service`` gateway; README "Serving BSP
+jobs")::
+
+    python -m repro.harness serve --fleet processes:4x2   # terminal 1
+    python -m repro.harness submit ocean 66 --nprocs 4    # terminal 2
+    python -m repro.harness status                        # all jobs
+    python -m repro.harness cancel j7                     # if still queued
 """
 
 from __future__ import annotations
@@ -163,6 +171,13 @@ def _run(argv: list[str]) -> int:
                         choices=["strict", "relaxed", "elide"],
                         help="synchronization mode (identical results "
                              "and ledgers; cheaper barriers)")
+    parser.add_argument("--json", action="store_true",
+                        help="machine-readable output: one JSON object "
+                             "with the (S, H, W) ledger, its digest, "
+                             "wall time, and ok/error — exit 0 on "
+                             "success, 1 on a failed run; scripted "
+                             "clients parse this instead of scraping "
+                             "the human line")
     parser.add_argument("-v", "--verbose", action="store_true",
                         help="log supervision state (pool generation, "
                              "restarts, heal kinds, link repair "
@@ -221,11 +236,29 @@ def _run(argv: list[str]) -> int:
         )
     else:
         backend = "simulator"
+    import time as _time
+
+    from ..core.errors import BspError
+    t0 = _time.perf_counter()
     try:
         stats = run_app(args.app, args.size, args.nprocs,
                         seed=args.seed, backend=backend,
                         checkpoint=checkpoint, retries=args.retries,
                         sync=args.sync)
+    except BspError as exc:
+        if not args.json:
+            raise
+        # Machine-readable failure: same shape as success, ok=false,
+        # typed error, exit code 1 — scripted callers branch on either.
+        import json as _json
+        print(_json.dumps({
+            "ok": False,
+            "app": args.app, "size": args.size, "backend": args.backend,
+            "nprocs": args.nprocs, "sync": args.sync,
+            "error": {"error": type(exc).__name__, "message": str(exc)},
+            "wall_seconds": _time.perf_counter() - t0,
+        }, indent=2))
+        return 1
     finally:
         if args.verbose and not isinstance(backend, str):
             health = backend.health()
@@ -250,8 +283,188 @@ def _run(argv: list[str]) -> int:
                           file=sys.stderr)
         if not isinstance(backend, str):
             backend.close()
+    if args.json:
+        import json as _json
+
+        from ..service.jobs import stats_payload
+        payload = stats_payload(stats, _time.perf_counter() - t0)
+        payload.update({"ok": True, "app": args.app, "size": args.size,
+                        "backend": args.backend, "nprocs": args.nprocs,
+                        "sync": args.sync})
+        print(_json.dumps(payload, indent=2))
+        return 0
     print(f"{args.app}/{args.size} on {args.backend}, p={args.nprocs}: "
           f"S={stats.S} H={stats.H} W={stats.W:.4f}s")
+    return 0
+
+
+def _serve(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness serve",
+        description="Serve BSP jobs over TCP from a warm pool fleet.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=47780,
+                        help="listen port (0 = pick a free one)")
+    parser.add_argument("--fleet", action="append", default=None,
+                        metavar="BACKEND:P[xN]",
+                        help="warm N pools of P workers on BACKEND, e.g. "
+                             "processes:4x2; repeatable, default "
+                             "processes:4x2")
+    parser.add_argument("--max-queued", type=int, default=256,
+                        help="admission queue bound; overflow is a typed "
+                             "rejection, not latency")
+    parser.add_argument("--max-in-flight", type=int, default=None,
+                        help="per-tenant cap on simultaneously running "
+                             "jobs")
+    parser.add_argument("--weight", action="append", default=[],
+                        metavar="TENANT=W",
+                        help="fair-share weight for a tenant (default 1)")
+    parser.add_argument("--checkpoint-root", default=None,
+                        help="service-managed on-disk checkpoint store "
+                             "(default: private tempdir)")
+    args = parser.parse_args(argv)
+
+    import asyncio
+
+    from ..service import (
+        FleetSpec,
+        GatewayConfig,
+        SchedulerConfig,
+        ServiceGateway,
+        parse_fleet_spec,
+    )
+    weights = {}
+    for item in args.weight:
+        tenant, sep, weight = item.partition("=")
+        if not sep:
+            print(f"--weight takes TENANT=W, got {item!r}", file=sys.stderr)
+            return 2
+        weights[tenant] = float(weight)
+    fleet = tuple(parse_fleet_spec(text)
+                  for text in (args.fleet or ["processes:4x2"]))
+    config = GatewayConfig(
+        host=args.host, port=args.port, fleet=fleet,
+        scheduler=SchedulerConfig(max_queued=args.max_queued,
+                                  max_in_flight=args.max_in_flight,
+                                  weights=weights),
+        checkpoint_root=args.checkpoint_root,
+    )
+
+    async def body() -> None:
+        gateway = ServiceGateway(config)
+        await gateway.start()
+        fleet_desc = ", ".join(
+            f"{spec.backend}:{spec.nprocs}x{spec.pools}" for spec in fleet)
+        print(f"[serve] listening on {gateway.host}:{gateway.port} "
+              f"fleet=[{fleet_desc}]", file=sys.stderr)
+        await gateway.serve_forever()
+
+    try:
+        asyncio.run(body())
+    except KeyboardInterrupt:
+        print("[serve] interrupted; fleet shut down", file=sys.stderr)
+    return 0
+
+
+def _client_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=47780)
+    parser.add_argument("--tenant", default="default")
+
+
+def _submit(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness submit",
+        description="Submit one job to a running gateway and stream its "
+                    "lifecycle.",
+    )
+    parser.add_argument("app", help="paper app (ocean, mst, ...) or a "
+                                    "builtin micro job (noop, spin)")
+    parser.add_argument("size", help="paper size label (or superstep "
+                                     "count for builtins)")
+    _client_args(parser)
+    parser.add_argument("--nprocs", type=int, default=4)
+    parser.add_argument("--backend", default="processes")
+    parser.add_argument("--sync", default="strict",
+                        choices=["strict", "relaxed", "elide"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--retries", type=int, default=0)
+    parser.add_argument("--checkpoint-every", type=int, default=None)
+    parser.add_argument("--no-wait", action="store_true",
+                        help="print the accepted record and return "
+                             "without waiting for completion")
+    args = parser.parse_args(argv)
+
+    import json
+
+    from ..core.errors import BspError
+    from ..service import ServiceClient
+    client = ServiceClient(args.host, args.port, tenant=args.tenant)
+    try:
+        outcome = client.submit(
+            app=args.app, size=args.size, nprocs=args.nprocs,
+            backend=args.backend, sync=args.sync, seed=args.seed,
+            retries=args.retries, checkpoint_every=args.checkpoint_every,
+            wait=False)
+        if args.no_wait:
+            outcome.close()
+            print(json.dumps(outcome.job, indent=2))
+            return 0
+        final = outcome.wait(
+            on_state=lambda job: print(f"[{job['job_id']}] {job['state']}",
+                                       file=sys.stderr))
+    except (BspError, ConnectionError) as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(final, indent=2))
+    return 0 if final["state"] == "DONE" else 1
+
+
+def _status(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness status",
+        description="Query a running gateway: one job, or service health.",
+    )
+    parser.add_argument("job_id", nargs="?", default=None)
+    _client_args(parser)
+    args = parser.parse_args(argv)
+
+    import json
+
+    from ..core.errors import BspError
+    from ..service import ServiceClient
+    client = ServiceClient(args.host, args.port, tenant=args.tenant)
+    try:
+        if args.job_id is not None:
+            print(json.dumps(client.status(args.job_id), indent=2))
+        else:
+            print(json.dumps(client.health(), indent=2))
+    except (BspError, ConnectionError) as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cancel(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness cancel",
+        description="Cancel a QUEUED job on a running gateway.",
+    )
+    parser.add_argument("job_id")
+    _client_args(parser)
+    args = parser.parse_args(argv)
+
+    import json
+
+    from ..core.errors import BspError
+    from ..service import ServiceClient
+    client = ServiceClient(args.host, args.port, tenant=args.tenant)
+    try:
+        print(json.dumps(client.cancel(args.job_id), indent=2))
+    except (BspError, ConnectionError) as exc:
+        print(f"cancel failed: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -261,6 +474,14 @@ def main(argv: list[str] | None = None) -> int:
         return _launch_tcp(argv[1:])
     if argv and argv[0] == "run":
         return _run(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve(argv[1:])
+    if argv and argv[0] == "submit":
+        return _submit(argv[1:])
+    if argv and argv[0] == "status":
+        return _status(argv[1:])
+    if argv and argv[0] == "cancel":
+        return _cancel(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.harness",
         description="Regenerate the paper's Appendix C tables.",

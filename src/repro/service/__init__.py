@@ -1,0 +1,57 @@
+"""BSP-as-a-service: a multi-tenant job gateway over warm pool fleets.
+
+The library layers below this one execute *one* run for *one* caller:
+a :class:`~repro.backends.processes.BspPool` or
+:class:`~repro.backends.tcp.TcpMesh` is a single-tenant object.  This
+package turns them into a serving system:
+
+``protocol``
+    The local TCP wire format — versioned, length-prefixed JSON frames
+    (the framing discipline of :mod:`repro.backends.tcp_wire`, with JSON
+    instead of pickle so any client can speak it).
+``jobs``
+    Job specifications, the QUEUED → RUNNING → DONE/FAILED/CANCELLED
+    lifecycle, and job execution against a leased backend.
+``scheduler``
+    Pure-logic admission control and per-tenant weighted fair queuing;
+    testable with no pools at all.
+``fleet``
+    The warm pools: pre-forked ``BspPool``/``TcpMesh`` instances keyed
+    by ``(backend, nprocs)``, leased one job at a time and recycled
+    through the existing self-heal machinery when they break.
+``gateway``
+    The asyncio server gluing the above together and streaming job
+    state + telemetry to clients.
+``client``
+    ``ServiceClient``, the blocking Python client the CLI subcommands
+    (``python -m repro.harness serve | submit | status | cancel``) and
+    the benchmarks use.
+
+See DESIGN.md "Service architecture" for the state machine and the
+fleet-recycling rules, and README "Serving BSP jobs" for a transcript.
+"""
+
+from .client import ServiceClient, SubmitHandle
+from .fleet import FleetSpec, WarmFleet, parse_fleet_spec
+from .gateway import GatewayConfig, ServiceGateway, serve_in_background
+from .jobs import JOB_STATES, JobRecord, JobSpec
+from .protocol import PROTOCOL_VERSION, ProtocolError
+from .scheduler import Scheduler, SchedulerConfig
+
+__all__ = [
+    "FleetSpec",
+    "GatewayConfig",
+    "JOB_STATES",
+    "JobRecord",
+    "JobSpec",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Scheduler",
+    "SchedulerConfig",
+    "ServiceClient",
+    "ServiceGateway",
+    "SubmitHandle",
+    "WarmFleet",
+    "parse_fleet_spec",
+    "serve_in_background",
+]

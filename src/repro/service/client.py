@@ -1,0 +1,183 @@
+"""``ServiceClient`` — the blocking Python client of the job gateway.
+
+One connection per request keeps the client trivially robust (no
+multiplexing, no reconnect state machine): ``submit`` holds its
+connection open only while streaming the job's lifecycle; ``status`` /
+``cancel`` / ``health`` are single round trips.  On loopback a connect
+costs tens of microseconds — measured as part of the gateway-overhead
+row in ``BENCH_service.json``.
+
+>>> client = ServiceClient("127.0.0.1", port)          # doctest: +SKIP
+>>> job = client.submit(app="noop", size="1", nprocs=4)  # doctest: +SKIP
+>>> job["state"], job["result"]["S"]                   # doctest: +SKIP
+('DONE', 2)
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Callable
+
+from ..core.errors import (
+    AdmissionError,
+    BspConfigError,
+    BspError,
+    BspUsageError,
+)
+from . import protocol
+from .protocol import ProtocolError
+
+#: Error code → exception raised client-side.  Unknown codes raise the
+#: base ``BspError`` so new server-side types degrade gracefully.
+_ERROR_TYPES: dict[str, type[BspError]] = {
+    "AdmissionError": AdmissionError,
+    "BspConfigError": BspConfigError,
+    "BspUsageError": BspUsageError,
+    "ProtocolError": ProtocolError,
+}
+
+
+def _raise_error(frame: dict[str, Any]) -> None:
+    code = frame.get("error", "BspError")
+    exc_type = _ERROR_TYPES.get(code, BspError)
+    raise exc_type(f"{code}: {frame.get('message', '(no message)')}"
+                   if exc_type is BspError else frame.get("message", code))
+
+
+class SubmitHandle:
+    """A streaming submission in flight: iterate states, or ``wait()``."""
+
+    def __init__(self, sock: socket.socket, job: dict[str, Any]):
+        self._sock = sock
+        self.job = job
+
+    @property
+    def job_id(self) -> str:
+        return self.job["job_id"]
+
+    def events(self):
+        """Yield job snapshots until the terminal one (inclusive)."""
+        try:
+            while True:
+                frame = protocol.recv_frame(self._sock)
+                if frame is None:
+                    raise ProtocolError(
+                        f"gateway closed the stream for {self.job_id} "
+                        "before a terminal state")
+                if frame.get("type") == "error":
+                    _raise_error(frame)
+                snapshot = frame["job"]
+                self.job = snapshot
+                yield snapshot
+                if snapshot["state"] in ("DONE", "FAILED", "CANCELLED"):
+                    return
+        finally:
+            self._sock.close()
+
+    def wait(self, on_state: Callable[[dict[str, Any]], None] | None = None,
+             ) -> dict[str, Any]:
+        """Block until terminal; returns the final job snapshot."""
+        last = self.job
+        for snapshot in self.events():
+            last = snapshot
+            if on_state is not None:
+                on_state(snapshot)
+        return last
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+class ServiceClient:
+    """Blocking client for one gateway (host, port)."""
+
+    def __init__(self, host: str, port: int, *,
+                 tenant: str = "default", timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.tenant = tenant
+        self.timeout = timeout
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+    def _roundtrip(self, request: dict[str, Any]) -> dict[str, Any]:
+        with self._connect() as sock:
+            protocol.send_frame(sock, request)
+            frame = protocol.recv_frame(sock)
+        if frame is None:
+            raise ProtocolError("gateway closed the connection mid-request")
+        if frame.get("type") == "error":
+            _raise_error(frame)
+        return frame
+
+    # -- requests -----------------------------------------------------------
+
+    def submit(self, *, app: str, size: str, nprocs: int,
+               backend: str = "processes", sync: str = "strict",
+               seed: int = 0, retries: int = 0,
+               checkpoint_every: int | None = None,
+               params: dict[str, Any] | None = None,
+               tenant: str | None = None,
+               wait: bool = True,
+               on_state: Callable[[dict[str, Any]], None] | None = None,
+               ) -> dict[str, Any] | SubmitHandle:
+        """Submit one job.
+
+        With ``wait=True`` (default) blocks until the job is terminal and
+        returns the final record dict (``on_state`` sees every transition
+        on the way).  With ``wait=False`` returns a :class:`SubmitHandle`
+        whose ``events()``/``wait()`` the caller drives — or closes, to
+        stop watching a job that keeps running server-side.
+
+        Raises :class:`~repro.core.errors.AdmissionError` when the
+        gateway sheds the job at admission (queue full, unknown fleet
+        key, tenant over its allowance) — nothing was queued.
+        """
+        job: dict[str, Any] = {"app": app, "size": str(size),
+                               "nprocs": nprocs, "backend": backend,
+                               "sync": sync, "seed": seed,
+                               "retries": retries,
+                               "checkpoint_every": checkpoint_every,
+                               "params": params or {}}
+        request = {"type": "submit", "tenant": tenant or self.tenant,
+                   "stream": True, "job": job}
+        sock = self._connect()
+        try:
+            protocol.send_frame(sock, request)
+            frame = protocol.recv_frame(sock)
+            if frame is None:
+                raise ProtocolError(
+                    "gateway closed the connection mid-submit")
+            if frame.get("type") == "error":
+                _raise_error(frame)
+        except BaseException:
+            sock.close()
+            raise
+        handle = SubmitHandle(sock, frame["job"])
+        if not wait:
+            return handle
+        return handle.wait(on_state)
+
+    def status(self, job_id: str | None = None) -> dict[str, Any]:
+        """One job record, or ``{"jobs": [...], "total": n}`` for all."""
+        request: dict[str, Any] = {"type": "status"}
+        if job_id is not None:
+            request["job_id"] = job_id
+        frame = self._roundtrip(request)
+        return frame["job"] if job_id is not None else frame
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        """Cancel a QUEUED job; raises when it already runs or finished."""
+        return self._roundtrip({"type": "cancel", "job_id": job_id})["job"]
+
+    def health(self) -> dict[str, Any]:
+        """Fleet + scheduler + throughput telemetry (plain JSON data)."""
+        return self._roundtrip({"type": "health"})
+
+    def shutdown(self) -> None:
+        """Stop the gateway (when it allows remote shutdown)."""
+        self._roundtrip({"type": "shutdown"})

@@ -1,0 +1,182 @@
+"""Warm pool fleets: pre-forked backends, leased one job at a time.
+
+Forking a :class:`~repro.backends.processes.BspPool` or rendezvousing a
+:class:`~repro.backends.tcp.TcpMesh` costs tens to hundreds of
+milliseconds — far more than a small job.  The fleet pays that cost once
+at startup ("warm") and amortizes it over every job the gateway serves,
+exactly as the pooled modes amortize it over a harness sweep.
+
+A fleet is a set of *slots* keyed by ``(backend, nprocs)``.  Each slot
+owns one pooled backend instance and runs **one job at a time** (the
+pools themselves enforce this: a concurrent ``run()`` raises
+``BspUsageError``).  Slot failure handling leans entirely on the layers
+below: a worker crash mid-job is healed by the pool itself (re-fork /
+rebuild within its ``max_restarts`` budget), and only a pool that
+declares itself terminal (:class:`~repro.core.errors.PoolExhaustedError`)
+or whose backend object broke is **recycled** — torn down and replaced
+by a freshly forked pool, so the fleet returns to full capacity while
+the failed job's error surfaces to its client.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.errors import BspConfigError
+from .jobs import FLEET_BACKENDS, JobRecord, execute_job
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """``pools`` warm instances of one ``(backend, nprocs)`` shape."""
+
+    backend: str = "processes"
+    nprocs: int = 4
+    pools: int = 1
+    #: Forwarded to the pool constructor (join_timeout, slab_bytes,
+    #: max_restarts, ...); must stay picklable/plain.
+    options: tuple[tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.backend not in FLEET_BACKENDS:
+            raise BspConfigError(
+                f"unknown fleet backend {self.backend!r}; "
+                f"expected one of {FLEET_BACKENDS}")
+        if self.nprocs < 1 or self.pools < 1:
+            raise BspConfigError(
+                f"fleet spec needs nprocs >= 1 and pools >= 1, got "
+                f"p={self.nprocs} pools={self.pools}")
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.backend, self.nprocs)
+
+
+def parse_fleet_spec(text: str) -> FleetSpec:
+    """Parse the CLI shape ``backend:nprocs[xPools]``, e.g. ``processes:4x2``.
+
+    >>> parse_fleet_spec("processes:4x2")
+    FleetSpec(backend='processes', nprocs=4, pools=2, options=())
+    >>> parse_fleet_spec("threads:8").key
+    ('threads', 8)
+    """
+    backend, sep, shape = text.partition(":")
+    if not sep or not shape:
+        raise BspConfigError(
+            f"fleet spec {text!r} must look like backend:nprocs[xPools]")
+    nprocs, sep, pools = shape.partition("x")
+    try:
+        return FleetSpec(backend=backend, nprocs=int(nprocs),
+                         pools=int(pools) if sep else 1)
+    except ValueError:
+        raise BspConfigError(
+            f"fleet spec {text!r} must look like backend:nprocs[xPools]"
+        ) from None
+
+
+def _build_backend(spec: FleetSpec) -> Any:
+    """Fork/rendezvous one warm pooled backend for ``spec``."""
+    options = dict(spec.options)
+    if spec.backend == "processes":
+        from ..backends.processes import ProcessBackend
+        return ProcessBackend.pool(spec.nprocs, **options)
+    if spec.backend == "tcp":
+        from ..backends.tcp import TcpBackend
+        return TcpBackend.pool(spec.nprocs, **options)
+    # In-process backends: nothing to warm, but the slot discipline (one
+    # job at a time per slot) still applies.
+    from ..backends.base import get_backend
+    return get_backend(spec.backend)
+
+
+class FleetSlot:
+    """One warm pooled backend plus its recycle bookkeeping."""
+
+    def __init__(self, slot_id: str, spec: FleetSpec):
+        self.slot_id = slot_id
+        self.spec = spec
+        self.key = spec.key
+        self.recycles = 0
+        self.jobs_run = 0
+        self.busy_job: str | None = None
+        self._backend = _build_backend(spec)
+        self._lock = threading.Lock()
+
+    def run_job(self, record: JobRecord, *,
+                checkpoint_root: str | None = None) -> dict[str, Any]:
+        """Execute one job on this slot's backend (blocking)."""
+        self.busy_job = record.job_id
+        try:
+            self.jobs_run += 1
+            return execute_job(record, self._backend,
+                               checkpoint_root=checkpoint_root)
+        finally:
+            self.busy_job = None
+
+    def recycle(self) -> None:
+        """Replace a broken backend with a freshly forked one."""
+        with self._lock:
+            try:
+                close = getattr(self._backend, "close", None)
+                if close is not None:
+                    close()
+            except Exception:  # pragma: no cover - already-broken pool
+                pass
+            self._backend = _build_backend(self.spec)
+            self.recycles += 1
+
+    def close(self) -> None:
+        close = getattr(self._backend, "close", None)
+        if close is not None:
+            close()
+
+    def pool(self) -> Any:
+        """The live pool/mesh behind the backend (chaos-test hook)."""
+        return (getattr(self._backend, "_pool", None)
+                or getattr(self._backend, "_mesh", None))
+
+    def health(self) -> dict[str, Any]:
+        """JSON-safe slot telemetry, including the pool's own snapshot."""
+        pool_health = None
+        health = getattr(self._backend, "health", None)
+        if health is not None:
+            snap = health()
+            pool_health = None if snap is None else snap.to_dict()
+        return {
+            "slot": self.slot_id,
+            "backend": self.spec.backend,
+            "nprocs": self.spec.nprocs,
+            "busy_job": self.busy_job,
+            "jobs_run": self.jobs_run,
+            "recycles": self.recycles,
+            "pool": pool_health,
+        }
+
+
+class WarmFleet:
+    """Every slot of every :class:`FleetSpec`, keyed for the scheduler."""
+
+    def __init__(self, specs: list[FleetSpec] | tuple[FleetSpec, ...]):
+        if not specs:
+            raise BspConfigError("a fleet needs at least one FleetSpec")
+        self.slots: list[FleetSlot] = []
+        by_key: dict[tuple[str, int], int] = {}
+        for spec in specs:
+            for _ in range(spec.pools):
+                index = by_key.get(spec.key, 0)
+                by_key[spec.key] = index + 1
+                self.slots.append(FleetSlot(
+                    f"{spec.backend}-p{spec.nprocs}-{index}", spec))
+
+    @property
+    def keys(self) -> set[tuple[str, int]]:
+        return {slot.key for slot in self.slots}
+
+    def close(self) -> None:
+        for slot in self.slots:
+            slot.close()
+
+    def health(self) -> list[dict[str, Any]]:
+        return [slot.health() for slot in self.slots]

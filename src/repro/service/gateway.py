@@ -1,0 +1,447 @@
+"""The asyncio job gateway: many clients, one warm fleet.
+
+One process runs three kinds of coroutine:
+
+* **connection handlers** (one per client socket) parse protocol frames
+  and answer submit / status / cancel / health;
+* **dispatchers** (one per fleet slot) lease jobs from the scheduler —
+  weighted-fair across tenants, keyed by the slot's ``(backend, p)`` —
+  and execute them on the slot's warm pool via a thread executor (a
+  pooled ``run()`` blocks in ``connection.wait``, which must not block
+  the event loop);
+* the **server** accept loop.
+
+Job state transitions are *published*: every streaming submitter of a
+job holds an ``asyncio.Queue`` that receives the record after each
+transition, so clients watch QUEUED → RUNNING → DONE/FAILED/CANCELLED
+live instead of polling.  All telemetry crossing the wire is plain JSON
+(``PoolHealth.to_dict`` and friends) — live objects never leave the
+process.
+
+Failure containment (see DESIGN.md "Service architecture"):
+
+* a worker crash mid-job stays *inside* the leased pool — it self-heals
+  and the job's own ``retries``/``checkpoint_every`` budget decides
+  whether the run resumes (from the last barrier) or the job FAILs;
+* a pool that declares itself terminal (``PoolExhaustedError``) fails
+  the job and is **recycled**: the dispatcher forks a fresh pool for the
+  slot, so fleet capacity returns to nominal without operator action;
+* a client that disconnects mid-stream loses only its subscription; the
+  job keeps running and remains queryable by id.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+import tempfile
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any
+
+from ..core.errors import AdmissionError, BspConfigError, BspError, \
+    BspUsageError, PoolExhaustedError
+from . import protocol
+from .fleet import FleetSpec, WarmFleet
+from .jobs import JobRecord, JobSpec
+from .protocol import error_frame
+from .scheduler import Scheduler, SchedulerConfig
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Everything a gateway needs: where to listen, what to warm."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  #: 0 = pick a free port; read it back after start().
+    fleet: tuple[FleetSpec, ...] = (FleetSpec(),)
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    #: Root of the service-managed on-disk checkpoint store; ``None``
+    #: means a private temporary directory, removed on shutdown.
+    checkpoint_root: str | None = None
+    #: Honour ``shutdown`` frames (tests, benchmarks, local dev).
+    allow_shutdown: bool = True
+
+
+class ServiceGateway:
+    """The serving system: scheduler + warm fleet + protocol server."""
+
+    def __init__(self, config: GatewayConfig | None = None):
+        self.config = config or GatewayConfig()
+        self.scheduler = Scheduler(self.config.scheduler)
+        self.fleet: WarmFleet | None = None
+        self.host = self.config.host
+        self.port: int | None = None
+        self.started_at: float | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._dispatchers: list[asyncio.Task] = []
+        self._wake: asyncio.Condition | None = None
+        self._stopping = asyncio.Event()
+        self._job_counter = 0
+        self._subscribers: dict[str, list[asyncio.Queue]] = {}
+        self._checkpoint_root: str | None = None
+        self._owns_checkpoint_root = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Warm the fleet and start listening; returns once bound."""
+        cfg = self.config
+        self._checkpoint_root = cfg.checkpoint_root
+        if self._checkpoint_root is None:
+            self._checkpoint_root = tempfile.mkdtemp(
+                prefix="repro-service-ckpt-")
+            self._owns_checkpoint_root = True
+        # Forking the warm pools can take hundreds of ms per pool; do it
+        # off the loop so a supervisor probing the port isn't blocked.
+        loop = asyncio.get_running_loop()
+        self.fleet = await loop.run_in_executor(
+            None, WarmFleet, list(cfg.fleet))
+        self._executor = ThreadPoolExecutor(
+            max_workers=len(self.fleet.slots),
+            thread_name_prefix="bsp-svc")
+        self._wake = asyncio.Condition()
+        self._server = await asyncio.start_server(
+            self._handle_connection, cfg.host, cfg.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = time.time()
+        self._dispatchers = [
+            asyncio.create_task(self._dispatch(slot),
+                                name=f"dispatch-{slot.slot_id}")
+            for slot in self.fleet.slots
+        ]
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`stop` (or a ``shutdown`` frame)."""
+        if self._server is None:
+            await self.start()
+        await self._stopping.wait()
+        await self._shutdown()
+
+    async def stop(self) -> None:
+        self._stopping.set()
+        if self._wake is not None:
+            async with self._wake:
+                self._wake.notify_all()
+
+    async def _shutdown(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._dispatchers:
+            task.cancel()
+        await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        if self.fleet is not None:
+            # Pool close() joins worker processes; off the loop.
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.fleet.close)
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+        if self._owns_checkpoint_root and self._checkpoint_root:
+            shutil.rmtree(self._checkpoint_root, ignore_errors=True)
+
+    # -- dispatch -----------------------------------------------------------
+
+    async def _dispatch(self, slot) -> None:
+        """One slot's loop: lease → run on the warm pool → publish."""
+        assert self._wake is not None
+        loop = asyncio.get_running_loop()
+        while not self._stopping.is_set():
+            # Lease under the condition lock: a submit's notify_all also
+            # holds it, so "checked empty, then missed the wakeup" cannot
+            # happen (the timeout is only a liveness backstop for stop()).
+            async with self._wake:
+                record = self.scheduler.next_job(slot.key)
+                if record is None:
+                    try:
+                        await asyncio.wait_for(self._wake.wait(), timeout=0.5)
+                    except asyncio.TimeoutError:
+                        pass
+            if record is None:
+                continue
+            record.started_at = time.time()
+            record.attempts += 1
+            self._publish(record)
+            recycle = False
+            try:
+                result = await loop.run_in_executor(
+                    self._executor,
+                    partial(slot.run_job, record,
+                            checkpoint_root=self._checkpoint_root))
+            except PoolExhaustedError as exc:
+                # The pool burned its whole restart budget: terminal for
+                # the pool, so the slot re-forks a fresh one (capacity
+                # returns to nominal), and FAILED for the job.
+                record.error = _error_payload(exc)
+                recycle = True
+            except asyncio.CancelledError:
+                raise
+            except BaseException as exc:  # noqa: BLE001 - typed to client
+                record.error = _error_payload(exc)
+            else:
+                record.result = result
+            record.finished_at = time.time()
+            self.scheduler.finish(
+                record, "FAILED" if record.error is not None else "DONE")
+            self._publish(record)
+            if recycle:
+                await loop.run_in_executor(self._executor, slot.recycle)
+            # A pool just came free: wake sibling dispatchers whose keys
+            # may have queued work gated by in-flight caps.
+            async with self._wake:
+                self._wake.notify_all()
+
+    def _publish(self, record: JobRecord) -> None:
+        """Push a state transition to every subscriber of the job."""
+        queues = self._subscribers.get(record.job_id)
+        if not queues:
+            if record.terminal:
+                self._subscribers.pop(record.job_id, None)
+            return
+        snapshot = record.to_dict()
+        for queue in queues:
+            queue.put_nowait(snapshot)
+        if record.terminal:
+            del self._subscribers[record.job_id]
+
+    async def _notify_submitted(self) -> None:
+        assert self._wake is not None
+        async with self._wake:
+            self._wake.notify_all()
+
+    # -- connections --------------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    frame = await protocol.read_frame(reader)
+                except protocol.ProtocolError as exc:
+                    await protocol.write_frame(
+                        writer, error_frame("ProtocolError", str(exc)))
+                    return
+                if frame is None:
+                    return
+                kind = frame.get("type")
+                if kind == "submit":
+                    await self._on_submit(frame, writer)
+                elif kind == "status":
+                    await self._on_status(frame, writer)
+                elif kind == "cancel":
+                    await self._on_cancel(frame, writer)
+                elif kind == "health":
+                    await protocol.write_frame(writer, self._health_frame())
+                elif kind == "shutdown":
+                    await protocol.write_frame(
+                        writer, {"type": "bye"} if self.config.allow_shutdown
+                        else error_frame("BspUsageError",
+                                         "shutdown disabled on this gateway"))
+                    if self.config.allow_shutdown:
+                        await self.stop()
+                        return
+                else:
+                    await protocol.write_frame(writer, error_frame(
+                        "ProtocolError", f"unknown request type {kind!r}"))
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away; its job (if any) keeps running
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _on_submit(self, frame: dict[str, Any],
+                         writer: asyncio.StreamWriter) -> None:
+        tenant = frame.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            await protocol.write_frame(writer, error_frame(
+                "BspConfigError", f"tenant must be a non-empty string, "
+                                  f"got {tenant!r}"))
+            return
+        try:
+            spec = JobSpec.from_dict(frame.get("job"))
+        except BspError as exc:
+            await protocol.write_frame(
+                writer, error_frame(type(exc).__name__, str(exc)))
+            return
+        assert self.fleet is not None
+        if spec.key not in self.fleet.keys:
+            await protocol.write_frame(writer, error_frame(
+                "AdmissionError",
+                f"no warm pool serves (backend={spec.backend!r}, "
+                f"nprocs={spec.nprocs}); fleet keys: "
+                f"{sorted(self.fleet.keys)}"))
+            return
+        self._job_counter += 1
+        record = JobRecord(job_id=f"j{self._job_counter}", tenant=tenant,
+                           spec=spec)
+        stream = bool(frame.get("stream", True))
+        queue: asyncio.Queue | None = None
+        if stream:
+            # Subscribe *before* admission so no transition can race past.
+            queue = asyncio.Queue()
+            self._subscribers.setdefault(record.job_id, []).append(queue)
+        try:
+            self.scheduler.submit(record)
+        except AdmissionError as exc:
+            if queue is not None:
+                self._unsubscribe(record.job_id, queue)
+            await protocol.write_frame(
+                writer, error_frame("AdmissionError", str(exc),
+                                    job_id=record.job_id))
+            return
+        await protocol.write_frame(
+            writer, {"type": "accepted", "job": record.to_dict()})
+        await self._notify_submitted()
+        if queue is None:
+            return
+        try:
+            while True:
+                snapshot = await queue.get()
+                await protocol.write_frame(
+                    writer, {"type": "state", "job": snapshot})
+                if snapshot["state"] in ("DONE", "FAILED", "CANCELLED"):
+                    return
+        finally:
+            self._unsubscribe(record.job_id, queue)
+
+    def _unsubscribe(self, job_id: str, queue: asyncio.Queue) -> None:
+        queues = self._subscribers.get(job_id)
+        if queues is None:
+            return
+        try:
+            queues.remove(queue)
+        except ValueError:
+            pass
+        if not queues:
+            del self._subscribers[job_id]
+
+    async def _on_status(self, frame: dict[str, Any],
+                         writer: asyncio.StreamWriter) -> None:
+        job_id = frame.get("job_id")
+        if job_id is None:
+            jobs = self.scheduler.jobs()
+            await protocol.write_frame(writer, {
+                "type": "jobs",
+                "jobs": [record.to_dict() for record in jobs[-100:]],
+                "total": len(jobs),
+            })
+            return
+        record = self.scheduler.get(job_id)
+        if record is None:
+            await protocol.write_frame(writer, error_frame(
+                "BspUsageError", f"unknown job id {job_id!r}"))
+            return
+        await protocol.write_frame(
+            writer, {"type": "job", "job": record.to_dict()})
+
+    async def _on_cancel(self, frame: dict[str, Any],
+                         writer: asyncio.StreamWriter) -> None:
+        job_id = frame.get("job_id")
+        try:
+            record = self.scheduler.cancel(job_id)
+        except BspUsageError as exc:
+            await protocol.write_frame(
+                writer, error_frame("BspUsageError", str(exc)))
+            return
+        if record is None:
+            current = self.scheduler.get(job_id)
+            await protocol.write_frame(writer, error_frame(
+                "BspUsageError",
+                f"job {job_id!r} is {current.state} and cannot be "
+                "cancelled (a RUNNING BSP job is not interruptible)",
+                job_id=job_id))
+            return
+        record.finished_at = time.time()
+        self._publish(record)
+        await protocol.write_frame(
+            writer, {"type": "cancelled", "job": record.to_dict()})
+
+    def _health_frame(self) -> dict[str, Any]:
+        assert self.fleet is not None and self.started_at is not None
+        uptime = max(time.time() - self.started_at, 1e-9)
+        completed = self.scheduler.completed
+        return {
+            "type": "health",
+            "uptime_seconds": uptime,
+            "jobs_per_second": completed / uptime,
+            "scheduler": self.scheduler.snapshot(),
+            "fleet": self.fleet.health(),
+        }
+
+
+def _error_payload(exc: BaseException) -> dict[str, Any]:
+    return {"error": type(exc).__name__, "message": str(exc)}
+
+
+class RunningService:
+    """A gateway running on its own thread + event loop (tests, bench, CLI
+    clients in the same process).  Use as a context manager::
+
+        with serve_in_background(config) as svc:
+            client = ServiceClient(svc.host, svc.port)
+    """
+
+    def __init__(self, gateway: ServiceGateway, thread: threading.Thread,
+                 loop: asyncio.AbstractEventLoop):
+        self.gateway = gateway
+        self._thread = thread
+        self._loop = loop
+
+    @property
+    def host(self) -> str:
+        return self.gateway.host
+
+    @property
+    def port(self) -> int:
+        assert self.gateway.port is not None
+        return self.gateway.port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(
+                lambda: asyncio.ensure_future(self.gateway.stop()))
+            self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "RunningService":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+def serve_in_background(config: GatewayConfig | None = None,
+                        *, start_timeout: float = 120.0) -> RunningService:
+    """Start a gateway on a daemon thread; returns once it is listening."""
+    gateway = ServiceGateway(config)
+    started = threading.Event()
+    failure: list[BaseException] = []
+    loop_holder: list[asyncio.AbstractEventLoop] = []
+
+    def main() -> None:
+        async def body() -> None:
+            loop_holder.append(asyncio.get_running_loop())
+            try:
+                await gateway.start()
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                failure.append(exc)
+                started.set()
+                return
+            started.set()
+            await gateway.serve_forever()
+
+        asyncio.run(body())
+
+    thread = threading.Thread(target=main, name="bsp-service", daemon=True)
+    thread.start()
+    if not started.wait(timeout=start_timeout):
+        raise BspConfigError("service gateway did not start in time")
+    if failure:
+        raise failure[0]
+    return RunningService(gateway, thread, loop_holder[0])

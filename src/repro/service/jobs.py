@@ -1,0 +1,262 @@
+"""Job specifications, lifecycle records, and job execution.
+
+A *job* is one BSP run requested over the service protocol: either a
+paper application (``app`` ∈ the harness's :data:`APP_SIZES` — what the
+README calls "run ocean 130 for me") or one of the built-in micro
+programs (``noop``, ``spin``) that the benchmarks and chaos tests use as
+load.  The spec is pure JSON-able data; execution happens on whichever
+warm pool the scheduler leases.
+
+Lifecycle::
+
+    QUEUED ──────► RUNNING ──────► DONE
+       │              │
+       │              └──────────► FAILED      (typed error payload)
+       └─────────────────────────► CANCELLED   (never launched)
+
+Transitions only ever move rightwards; a RUNNING job is *not*
+interruptible (a BSP superstep holds real OS processes mid-barrier), so
+``cancel`` of a RUNNING job is refused rather than pretended.  A worker
+crash mid-run does not by itself fail the job: the leased pool self-heals
+and, within the job's ``retries`` budget, the run resumes from its last
+checkpoint (``checkpoint_every``) or restarts — only an exhausted budget
+surfaces as FAILED.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.errors import BspConfigError
+from ..core.stats import ProgramStats
+
+JOB_STATES = ("QUEUED", "RUNNING", "DONE", "FAILED", "CANCELLED")
+TERMINAL_STATES = frozenset({"DONE", "FAILED", "CANCELLED"})
+
+#: Backends a fleet can warm.  ``threads``/``simulator`` run in the
+#: gateway process (useful for tests and measurement jobs); the process
+#: and tcp fleets are the real parallel substrate.
+FLEET_BACKENDS = ("processes", "tcp", "threads", "simulator")
+
+#: Built-in micro jobs: ``size`` is the superstep count.
+BUILTIN_APPS = ("noop", "spin")
+
+
+def noop_program(bsp):
+    """The cheapest real job: one barrier, return the pid."""
+    bsp.sync()
+    return bsp.pid
+
+
+def spin_program(bsp, supersteps: int = 8, spin_seconds: float = 0.0):
+    """A checkpointable ring program burning ``spin_seconds`` per step.
+
+    Implements the capture/restore protocol, so a service job running it
+    with ``checkpoint_every`` survives a SIGKILLed pool worker by
+    resuming from the last barrier — the chaos tests' workhorse.
+    """
+    restored = bsp.resume_state()
+    start = 0 if restored is None else restored
+    for step in range(start, supersteps):
+        bsp.checkpoint(lambda: step)
+        if spin_seconds > 0.0:
+            end = time.perf_counter() + spin_seconds
+            while time.perf_counter() < end:
+                pass
+        bsp.send((bsp.pid + 1) % bsp.nprocs, step)
+        bsp.sync()
+    return bsp.pid
+
+
+_BUILTIN_PROGRAMS = {"noop": noop_program, "spin": spin_program}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What to run: pure data, JSON round-trippable, validated on build."""
+
+    app: str
+    size: str
+    nprocs: int
+    backend: str = "processes"
+    sync: str = "strict"
+    seed: int = 0
+    retries: int = 0
+    checkpoint_every: int | None = None
+    #: Extra parameters for built-in apps (e.g. ``spin_seconds``).
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        from ..backends.base import check_sync
+        from ..harness.runner import APP_SIZES
+
+        if self.app not in APP_SIZES and self.app not in BUILTIN_APPS:
+            raise BspConfigError(
+                f"unknown app {self.app!r}; runnable: "
+                f"{sorted(APP_SIZES) + list(BUILTIN_APPS)}")
+        if self.app in BUILTIN_APPS:
+            try:
+                steps = int(self.size)
+            except (TypeError, ValueError):
+                raise BspConfigError(
+                    f"builtin app {self.app!r} takes a superstep count as "
+                    f"its size, got {self.size!r}") from None
+            if steps < 1:
+                raise BspConfigError(
+                    f"builtin app size must be >= 1, got {steps}")
+        elif self.size not in APP_SIZES[self.app]:
+            raise BspConfigError(
+                f"unknown size {self.size!r} for {self.app}; known: "
+                f"{list(APP_SIZES[self.app])}")
+        if not isinstance(self.nprocs, int) or self.nprocs < 1:
+            raise BspConfigError(
+                f"nprocs must be a positive int, got {self.nprocs!r}")
+        if self.backend not in FLEET_BACKENDS:
+            raise BspConfigError(
+                f"unknown fleet backend {self.backend!r}; "
+                f"expected one of {FLEET_BACKENDS}")
+        check_sync(self.sync)
+        if not isinstance(self.retries, int) or self.retries < 0:
+            raise BspConfigError(
+                f"retries must be a non-negative int, got {self.retries!r}")
+        if self.checkpoint_every is not None and (
+                not isinstance(self.checkpoint_every, int)
+                or self.checkpoint_every < 1):
+            raise BspConfigError(
+                f"checkpoint_every must be a positive int or None, "
+                f"got {self.checkpoint_every!r}")
+        if not isinstance(self.params, dict):
+            raise BspConfigError(
+                f"params must be a JSON object, got {self.params!r}")
+
+    @property
+    def key(self) -> tuple[str, int]:
+        """The fleet key this job gang-schedules onto."""
+        return (self.backend, self.nprocs)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "app": self.app, "size": self.size, "nprocs": self.nprocs,
+            "backend": self.backend, "sync": self.sync, "seed": self.seed,
+            "retries": self.retries, "checkpoint_every": self.checkpoint_every,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "JobSpec":
+        if not isinstance(data, dict):
+            raise BspConfigError(
+                f"job must be a JSON object, got {type(data).__name__}")
+        known = {"app", "size", "nprocs", "backend", "sync", "seed",
+                 "retries", "checkpoint_every", "params"}
+        unknown = set(data) - known
+        if unknown:
+            raise BspConfigError(f"unknown job fields: {sorted(unknown)}")
+        if "app" not in data or "size" not in data or "nprocs" not in data:
+            raise BspConfigError("a job needs at least app, size, nprocs")
+        return cls(**{k: data[k] for k in known if k in data})
+
+
+@dataclass
+class JobRecord:
+    """One job's full lifecycle state, as the gateway tracks it."""
+
+    job_id: str
+    tenant: str
+    spec: JobSpec
+    state: str = "QUEUED"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    attempts: int = 0
+    result: dict[str, Any] | None = None
+    error: dict[str, Any] | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "attempts": self.attempts,
+            "result": self.result,
+            "error": self.error,
+        }
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+
+def stats_payload(stats: ProgramStats, wall_seconds: float) -> dict[str, Any]:
+    """The JSON result payload of a completed job: ledger + digest.
+
+    The digest covers the accounting ledger (S, H, per-step h and m
+    series) — the quantities the repo's golden tests hold bit-identical
+    across backends and sync modes — so two runs of the same job can be
+    compared for identity from the service's output alone.
+    """
+    ledger = {"S": stats.S, "H": stats.H,
+              "h_series": list(stats.h_series),
+              "m_series": list(stats.m_series)}
+    blob = json.dumps(ledger, separators=(",", ":"), sort_keys=True)
+    return {
+        "S": stats.S,
+        "H": stats.H,
+        "W": stats.W,
+        "wall_seconds": wall_seconds,
+        "digest": hashlib.sha256(blob.encode()).hexdigest(),
+    }
+
+
+def execute_job(record: JobRecord, backend: Any, *,
+                checkpoint_root: str | None = None) -> dict[str, Any]:
+    """Run one job on a leased backend instance; returns the result payload.
+
+    Raises whatever the run raises — classification into FAILED (and the
+    decision to recycle the pool) is the gateway's business, not ours.
+    ``checkpoint_root`` is the service-managed on-disk store; each job
+    checkpoints under its own ``job_id`` run key, so concurrent jobs
+    sharing the root never collide and a crash retry resumes the right
+    shards.
+    """
+    spec = record.spec
+    checkpoint = None
+    if spec.checkpoint_every is not None:
+        from ..checkpoint import (
+            CheckpointConfig,
+            DiskCheckpointStore,
+            MemoryCheckpointStore,
+        )
+        if checkpoint_root is not None:
+            store = DiskCheckpointStore(checkpoint_root)
+        else:
+            store = MemoryCheckpointStore()
+        checkpoint = CheckpointConfig(store=store, every=spec.checkpoint_every,
+                                      run_key=record.job_id, resume=False)
+    t0 = time.perf_counter()
+    if spec.app in BUILTIN_APPS:
+        from ..core.runtime import bsp_run
+        kwargs = {"supersteps": int(spec.size)} if spec.app == "spin" else {}
+        if spec.app == "spin":
+            kwargs["spin_seconds"] = float(
+                spec.params.get("spin_seconds", 0.0))
+        run = bsp_run(_BUILTIN_PROGRAMS[spec.app], spec.nprocs,
+                      backend=backend, kwargs=kwargs,
+                      retries=spec.retries,
+                      checkpoint=checkpoint if spec.app == "spin" else None,
+                      sync=spec.sync)
+        stats = run.stats
+    else:
+        from ..harness.runner import run_app
+        stats = run_app(spec.app, spec.size, spec.nprocs, seed=spec.seed,
+                        backend=backend, checkpoint=checkpoint,
+                        retries=spec.retries, sync=spec.sync)
+    return stats_payload(stats, time.perf_counter() - t0)

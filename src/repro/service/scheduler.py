@@ -1,0 +1,276 @@
+"""Admission control and per-tenant weighted fair queuing.
+
+Pure logic over :class:`~repro.service.jobs.JobRecord` objects — no
+pools, no sockets, no event loop — so the scheduling policy is testable
+in isolation (and is: ``tests/service/test_scheduler.py`` drives it with
+fake jobs only).
+
+Admission
+---------
+The queue is **bounded**: ``max_queued`` jobs total across all tenants,
+plus an optional per-tenant ``max_queued_per_tenant``.  Overflow raises
+the typed :class:`~repro.core.errors.AdmissionError` immediately — a
+loaded service sheds load at the front door with a clear signal rather
+than growing an unbounded queue whose jobs it will complete hours late.
+
+Fairness
+--------
+Dispatch order among tenants is stride-scheduled weighted fair queuing:
+each tenant carries a virtual *pass* value; picking one of its jobs
+advances the pass by ``1 / weight``.  The runnable tenant with the
+smallest pass goes next, so over any saturated window tenant throughput
+is proportional to weight regardless of submission bursts — a tenant
+that floods the queue only queues behind its own pass.  A tenant joining
+mid-run starts at the current minimum pass (it gets its fair share from
+now on, no retroactive credit), and ``max_in_flight`` per tenant caps
+how many of its jobs may hold pools at once.
+
+Within a tenant, jobs dispatch FIFO.  Jobs are keyed by their fleet key
+``(backend, nprocs)``: a dispatcher slot asks for the next job *its*
+pools can run, so a queue full of p=8 jobs never blocks a p=4 slot.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..core.errors import AdmissionError, BspUsageError
+from .jobs import JobRecord
+
+#: Dispatch cost of one job in virtual time, scaled by 1/weight.
+_STRIDE = 1.0
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Admission and fairness knobs.
+
+    ``weights`` maps tenant name → relative share (default 1.0 each);
+    ``max_in_flight`` caps one tenant's simultaneously RUNNING jobs
+    (``None`` = unlimited); ``max_queued`` bounds the whole admission
+    queue and ``max_queued_per_tenant`` one tenant's slice of it.
+    """
+
+    max_queued: int = 256
+    max_queued_per_tenant: int | None = None
+    max_in_flight: int | None = None
+    weights: dict[str, float] = field(default_factory=dict)
+    #: Terminal job records kept for ``status`` queries; the oldest are
+    #: pruned past this, bounding the registry of a long-lived gateway.
+    max_records: int = 10000
+
+    def __post_init__(self) -> None:
+        if self.max_queued < 1:
+            raise AdmissionError(
+                f"max_queued must be >= 1, got {self.max_queued}")
+        for tenant, weight in self.weights.items():
+            if weight <= 0:
+                raise AdmissionError(
+                    f"tenant {tenant!r} weight must be > 0, got {weight}")
+
+
+class _TenantState:
+    __slots__ = ("weight", "pass_", "queued", "in_flight")
+
+    def __init__(self, weight: float, pass_: float):
+        self.weight = weight
+        self.pass_ = pass_
+        self.queued = 0
+        self.in_flight = 0
+
+
+class Scheduler:
+    """Bounded, weighted-fair, fleet-keyed job queue.
+
+    Thread-safe: the gateway calls it from its event loop while the
+    benchmark and tests may drive it from plain threads.
+    """
+
+    def __init__(self, config: SchedulerConfig | None = None):
+        self._config = config or SchedulerConfig()
+        self._lock = threading.Lock()
+        #: (key, tenant) → FIFO of queued records.
+        self._queues: dict[tuple[Any, str], deque[JobRecord]] = {}
+        self._tenants: dict[str, _TenantState] = {}
+        self._jobs: dict[str, JobRecord] = {}
+        self._queued_total = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+
+    # -- admission ----------------------------------------------------------
+
+    def submit(self, record: JobRecord) -> None:
+        """Admit one QUEUED record or raise :class:`AdmissionError`."""
+        cfg = self._config
+        with self._lock:
+            if record.job_id in self._jobs:
+                raise BspUsageError(
+                    f"job id {record.job_id!r} already submitted")
+            if self._queued_total >= cfg.max_queued:
+                raise AdmissionError(
+                    f"admission queue full ({cfg.max_queued} jobs); "
+                    "retry later or raise max_queued")
+            tenant = self._tenant(record.tenant)
+            if (cfg.max_queued_per_tenant is not None
+                    and tenant.queued >= cfg.max_queued_per_tenant):
+                raise AdmissionError(
+                    f"tenant {record.tenant!r} already has "
+                    f"{tenant.queued} queued jobs "
+                    f"(max_queued_per_tenant={cfg.max_queued_per_tenant})")
+            record.state = "QUEUED"
+            if len(self._jobs) >= cfg.max_records:
+                # Prune the oldest terminal records (dicts iterate in
+                # insertion order); live jobs are never dropped.
+                for jid in [jid for jid, r in self._jobs.items()
+                            if r.terminal][:len(self._jobs) // 10 + 1]:
+                    del self._jobs[jid]
+            self._jobs[record.job_id] = record
+            self._queues.setdefault(
+                (record.spec.key, record.tenant), deque()).append(record)
+            tenant.queued += 1
+            self._queued_total += 1
+
+    def _tenant(self, name: str) -> _TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            # Join at the current minimum pass: fair share from now on,
+            # no retroactive credit for time spent not submitting.
+            floor = min((t.pass_ for t in self._tenants.values()),
+                        default=0.0)
+            state = _TenantState(self._config.weights.get(name, 1.0), floor)
+            self._tenants[name] = state
+        return state
+
+    # -- dispatch -----------------------------------------------------------
+
+    def next_job(self, key: tuple[Any, ...]) -> JobRecord | None:
+        """Lease the next runnable job for fleet ``key``, marking it RUNNING.
+
+        Returns ``None`` when no tenant has a queued job for this key (or
+        every such tenant is at its in-flight cap).
+        """
+        cfg = self._config
+        with self._lock:
+            best: str | None = None
+            best_pass = float("inf")
+            for (qkey, tenant_name), queue in self._queues.items():
+                if qkey != key or not queue:
+                    continue
+                tenant = self._tenants[tenant_name]
+                if (cfg.max_in_flight is not None
+                        and tenant.in_flight >= cfg.max_in_flight):
+                    continue
+                if tenant.pass_ < best_pass:
+                    best, best_pass = tenant_name, tenant.pass_
+            if best is None:
+                return None
+            tenant = self._tenants[best]
+            record = self._queues[(key, best)].popleft()
+            tenant.pass_ += _STRIDE / tenant.weight
+            tenant.queued -= 1
+            tenant.in_flight += 1
+            self._queued_total -= 1
+            record.state = "RUNNING"
+            return record
+
+    def finish(self, record: JobRecord, state: str) -> None:
+        """Move a RUNNING job to DONE or FAILED and release its slots."""
+        if state not in ("DONE", "FAILED"):
+            raise BspUsageError(f"finish() takes DONE or FAILED, got {state}")
+        with self._lock:
+            if record.state != "RUNNING":
+                raise BspUsageError(
+                    f"finish() on a {record.state} job ({record.job_id})")
+            record.state = state
+            self._tenants[record.tenant].in_flight -= 1
+            if state == "DONE":
+                self.completed += 1
+            else:
+                self.failed += 1
+
+    # -- cancellation -------------------------------------------------------
+
+    def cancel(self, job_id: str) -> JobRecord | None:
+        """Cancel a QUEUED job; it will never launch.
+
+        Returns the record (now CANCELLED) on success, ``None`` when the
+        job is RUNNING or already terminal — a BSP run mid-barrier holds
+        real processes and is not interruptible, so cancellation of a
+        RUNNING job is refused, not faked.  Unknown ids raise
+        :class:`BspUsageError`.
+        """
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None:
+                raise BspUsageError(f"unknown job id {job_id!r}")
+            if record.state != "QUEUED":
+                return None
+            queue = self._queues.get((record.spec.key, record.tenant))
+            if queue is not None:
+                try:
+                    queue.remove(record)
+                except ValueError:  # pragma: no cover - state guard above
+                    pass
+            self._tenants[record.tenant].queued -= 1
+            self._queued_total -= 1
+            record.state = "CANCELLED"
+            self.cancelled += 1
+            return record
+
+    # -- introspection ------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRecord | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> list[JobRecord]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    @property
+    def queued_total(self) -> int:
+        with self._lock:
+            return self._queued_total
+
+    def has_queued(self, key: tuple[Any, ...] | None = None) -> bool:
+        """Any dispatchable job (for ``key``, or at all)?"""
+        with self._lock:
+            for (qkey, _), queue in self._queues.items():
+                if queue and (key is None or qkey == key):
+                    return True
+            return False
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe telemetry: depths, per-tenant shares, counters."""
+        with self._lock:
+            return {
+                "queued": self._queued_total,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "tenants": {
+                    name: {"weight": t.weight, "queued": t.queued,
+                           "in_flight": t.in_flight,
+                           "pass": t.pass_}
+                    for name, t in self._tenants.items()
+                },
+            }
+
+
+def drain_order(scheduler: Scheduler, key: tuple[Any, ...],
+                ) -> Iterable[JobRecord]:
+    """Test helper: lease jobs for ``key`` until the queue runs dry.
+
+    Each leased job is immediately finished as DONE, so in-flight caps
+    never bite; what remains is the pure WFQ dispatch order.
+    """
+    while True:
+        record = scheduler.next_job(key)
+        if record is None:
+            return
+        scheduler.finish(record, "DONE")
+        yield record

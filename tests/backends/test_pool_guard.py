@@ -1,0 +1,92 @@
+"""The pool's single-run discipline and its JSON-safe health snapshot.
+
+A warm pool executes one job at a time — the service fleet leans on the
+pool itself to enforce that (a concurrent ``run()`` is a typed usage
+error, not silent corruption).  And ``PoolHealth`` must round-trip
+through plain JSON, because the service ships it over the wire.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.backends.processes import BspPool, PoolHealth
+from repro.core.errors import BspUsageError
+
+
+def slow_program(bsp, seconds):
+    if bsp.pid == 0:
+        time.sleep(seconds)
+    bsp.sync()
+    return bsp.pid
+
+
+class TestConcurrentRunGuard:
+    def test_concurrent_run_is_typed_error(self):
+        with BspPool(2) as pool:
+            started = threading.Event()
+            outcome = {}
+
+            def first_run():
+                started.set()
+                outcome["run"] = pool.run(slow_program, 2, args=(0.6,))
+
+            thread = threading.Thread(target=first_run)
+            thread.start()
+            started.wait()
+            time.sleep(0.2)  # let the first run reach the pool
+            with pytest.raises(BspUsageError, match="one job at a time"):
+                pool.run(slow_program, 2, args=(0.0,))
+            thread.join()
+            assert outcome["run"].results == [0, 1]
+            # The pool is reusable once the first run finished.
+            again = pool.run(slow_program, 2, args=(0.0,))
+            assert again.results == [0, 1]
+
+
+class TestConcurrentMeshGuard:
+    def test_concurrent_mesh_run_is_typed_error(self):
+        from repro.backends.tcp import TcpBackend
+
+        with TcpBackend.pool(2) as backend:
+            mesh = backend._mesh
+            started = threading.Event()
+            outcome = {}
+
+            def first_run():
+                started.set()
+                outcome["run"] = mesh.run(slow_program, 2, args=(0.6,))
+
+            thread = threading.Thread(target=first_run)
+            thread.start()
+            started.wait()
+            time.sleep(0.2)
+            with pytest.raises(BspUsageError, match="one job at a time"):
+                mesh.run(slow_program, 2, args=(0.0,))
+            thread.join()
+            assert outcome["run"].results == [0, 1]
+
+
+class TestPoolHealthSerialization:
+    def test_round_trips_through_json(self):
+        health = PoolHealth(generation=2, restarts=3, restarts_left=2,
+                            last_fault="WorkerCrashError('rank 1')",
+                            alive=4, capacity=4,
+                            heal_kinds=("re-fork", "rebuild"),
+                            retransmits=5, reconnects=1)
+        wire = json.dumps(health.to_dict())
+        back = PoolHealth.from_dict(json.loads(wire))
+        assert back == health
+        assert back.heal_kinds == ("re-fork", "rebuild")
+
+    def test_live_pool_snapshot_is_json_safe(self):
+        with BspPool(2) as pool:
+            pool.run(slow_program, 2, args=(0.0,))
+            snapshot = pool.health().to_dict()
+            parsed = json.loads(json.dumps(snapshot))
+            assert parsed["alive"] == 2
+            assert parsed["capacity"] == 2
+            assert parsed["generation"] == 0
+            assert parsed["heal_kinds"] == []

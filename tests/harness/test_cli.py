@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro.harness`` command-line entry point."""
 
+import json
+
 import pytest
 
 from repro.harness.__main__ import main
@@ -41,3 +43,58 @@ class TestCli:
     def test_unknown_app_rejected(self):
         with pytest.raises(SystemExit):
             main(["sorting"])
+
+
+class TestRunJson:
+    """``run --json``: machine-readable output and exit-code discipline."""
+
+    def test_success_payload(self, capsys):
+        assert main(["run", "matmult", "144", "--backend", "simulator",
+                     "--nprocs", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["app"] == "matmult"
+        assert payload["size"] == "144"
+        assert payload["backend"] == "simulator"
+        assert payload["nprocs"] == 4
+        assert payload["S"] > 0
+        assert payload["H"] >= 0
+        assert payload["wall_seconds"] > 0
+        assert len(payload["digest"]) == 64
+
+    def test_digest_is_deterministic(self, capsys):
+        assert main(["run", "matmult", "144", "--backend", "simulator",
+                     "--nprocs", "4", "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["run", "matmult", "144", "--backend", "simulator",
+                     "--nprocs", "4", "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["digest"] == second["digest"]
+
+    def test_failure_payload_and_exit_code(self, capsys):
+        # Checkpointing on a multiprocess backend without an on-disk
+        # store is a typed config error; --json turns it into data.
+        assert main(["run", "ocean", "66", "--backend", "processes",
+                     "--checkpoint-every", "2", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["error"]["error"] == "BspConfigError"
+        assert "store" in payload["error"]["message"]
+
+
+class TestServiceCliClients:
+    """The client subcommands fail cleanly when no gateway listens."""
+
+    def test_submit_refused_connection(self, capsys):
+        code = main(["submit", "ocean", "66", "--port", "1",
+                     "--host", "127.0.0.1"])
+        assert code == 1
+        assert "submit failed" in capsys.readouterr().err
+
+    def test_status_refused_connection(self, capsys):
+        assert main(["status", "--port", "1"]) == 1
+        assert "status failed" in capsys.readouterr().err
+
+    def test_cancel_refused_connection(self, capsys):
+        assert main(["cancel", "j1", "--port", "1"]) == 1
+        assert "cancel failed" in capsys.readouterr().err

@@ -1,0 +1,192 @@
+"""Scheduler policy tests — pure logic, no pools, no sockets.
+
+The satellite contract: admission overflow is a *typed* error, two
+equal-weight tenants each get 50±10% of dispatches under saturation, and
+a cancelled QUEUED job is never launched.
+"""
+
+import json
+
+import pytest
+
+from repro.core.errors import AdmissionError, BspUsageError
+from repro.service.jobs import JobRecord, JobSpec
+from repro.service.scheduler import Scheduler, SchedulerConfig, drain_order
+
+KEY = ("threads", 4)
+
+
+def record(job_id, tenant="default", nprocs=4, backend="threads"):
+    return JobRecord(job_id=job_id, tenant=tenant,
+                     spec=JobSpec(app="noop", size="1", nprocs=nprocs,
+                                  backend=backend))
+
+
+def submit_n(scheduler, tenant, count, start=0):
+    for index in range(start, start + count):
+        scheduler.submit(record(f"{tenant}-{index}", tenant=tenant))
+
+
+class TestAdmission:
+    def test_overflow_is_typed(self):
+        scheduler = Scheduler(SchedulerConfig(max_queued=4))
+        submit_n(scheduler, "a", 4)
+        with pytest.raises(AdmissionError, match="admission queue full"):
+            scheduler.submit(record("a-overflow", tenant="a"))
+        # Nothing was queued for the rejected job.
+        assert scheduler.queued_total == 4
+        assert scheduler.get("a-overflow") is None
+
+    def test_per_tenant_cap(self):
+        scheduler = Scheduler(
+            SchedulerConfig(max_queued=100, max_queued_per_tenant=2))
+        submit_n(scheduler, "greedy", 2)
+        with pytest.raises(AdmissionError, match="greedy"):
+            scheduler.submit(record("greedy-2", tenant="greedy"))
+        # Another tenant is unaffected by the greedy one's cap.
+        scheduler.submit(record("polite-0", tenant="polite"))
+
+    def test_duplicate_id_rejected(self):
+        scheduler = Scheduler()
+        scheduler.submit(record("j1"))
+        with pytest.raises(BspUsageError, match="already submitted"):
+            scheduler.submit(record("j1"))
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(AdmissionError):
+            SchedulerConfig(max_queued=0)
+        with pytest.raises(AdmissionError):
+            SchedulerConfig(weights={"a": 0.0})
+
+
+class TestFairness:
+    def test_equal_weights_equal_shares(self):
+        """Two saturating tenants each get 50±10% of any drain window."""
+        scheduler = Scheduler(SchedulerConfig(max_queued=100))
+        # Tenant a bursts its whole load first; fairness must not reward
+        # the burst with a head start.
+        submit_n(scheduler, "a", 40)
+        submit_n(scheduler, "b", 40)
+        first_half = [r.tenant for r in drain_order(scheduler, KEY)][:40]
+        share_a = first_half.count("a") / 40
+        assert 0.4 <= share_a <= 0.6, first_half
+
+    def test_weighted_shares(self):
+        """weight 2:1 → dispatch ratio 2:1 over a saturated window."""
+        scheduler = Scheduler(
+            SchedulerConfig(max_queued=100,
+                            weights={"heavy": 2.0, "light": 1.0}))
+        submit_n(scheduler, "heavy", 40)
+        submit_n(scheduler, "light", 40)
+        window = [r.tenant for r in drain_order(scheduler, KEY)][:30]
+        heavy = window.count("heavy")
+        assert 17 <= heavy <= 23, window
+
+    def test_late_joiner_gets_fair_share_now(self):
+        """A tenant joining mid-run starts at the pass floor — it gets
+        its share from now on, not a retroactive backlog of credit."""
+        scheduler = Scheduler(SchedulerConfig(max_queued=100))
+        submit_n(scheduler, "a", 20)
+        drained = 0
+        for _ in drain_order(scheduler, KEY):
+            drained += 1
+            if drained == 10:
+                break
+        submit_n(scheduler, "b", 20)
+        window = [r.tenant for r in drain_order(scheduler, KEY)][:10]
+        share_b = window.count("b") / 10
+        assert 0.4 <= share_b <= 0.6, window
+
+    def test_fifo_within_tenant(self):
+        scheduler = Scheduler()
+        submit_n(scheduler, "a", 5)
+        order = [r.job_id for r in drain_order(scheduler, KEY)]
+        assert order == [f"a-{i}" for i in range(5)]
+
+    def test_in_flight_cap(self):
+        scheduler = Scheduler(SchedulerConfig(max_in_flight=1))
+        submit_n(scheduler, "a", 2)
+        first = scheduler.next_job(KEY)
+        assert first is not None and first.state == "RUNNING"
+        # The tenant is at its cap: nothing else dispatches until finish.
+        assert scheduler.next_job(KEY) is None
+        scheduler.finish(first, "DONE")
+        second = scheduler.next_job(KEY)
+        assert second is not None and second.job_id == "a-1"
+
+    def test_fleet_key_isolation(self):
+        """A queue full of p=8 jobs never blocks a p=4 slot."""
+        scheduler = Scheduler()
+        scheduler.submit(record("big-0", nprocs=8))
+        scheduler.submit(record("small-0", nprocs=4))
+        got = scheduler.next_job(("threads", 4))
+        assert got is not None and got.job_id == "small-0"
+        got = scheduler.next_job(("threads", 4))
+        assert got is None
+        got = scheduler.next_job(("threads", 8))
+        assert got is not None and got.job_id == "big-0"
+
+
+class TestCancel:
+    def test_cancel_queued_never_launches(self):
+        scheduler = Scheduler()
+        submit_n(scheduler, "a", 3)
+        cancelled = scheduler.cancel("a-1")
+        assert cancelled is not None and cancelled.state == "CANCELLED"
+        launched = [r.job_id for r in drain_order(scheduler, KEY)]
+        assert "a-1" not in launched
+        assert launched == ["a-0", "a-2"]
+        assert scheduler.cancelled == 1
+        assert scheduler.get("a-1").state == "CANCELLED"
+        # attempts is the gateway's counter; the scheduler never ran it.
+        assert scheduler.get("a-1").attempts == 0
+
+    def test_cancel_running_refused(self):
+        scheduler = Scheduler()
+        submit_n(scheduler, "a", 1)
+        leased = scheduler.next_job(KEY)
+        assert scheduler.cancel(leased.job_id) is None
+        assert leased.state == "RUNNING"
+        scheduler.finish(leased, "DONE")
+        # Terminal jobs cannot be cancelled either.
+        assert scheduler.cancel(leased.job_id) is None
+
+    def test_cancel_unknown_raises(self):
+        with pytest.raises(BspUsageError, match="unknown job id"):
+            Scheduler().cancel("nope")
+
+
+class TestLifecycleGuards:
+    def test_finish_takes_done_or_failed_only(self):
+        scheduler = Scheduler()
+        submit_n(scheduler, "a", 1)
+        leased = scheduler.next_job(KEY)
+        with pytest.raises(BspUsageError):
+            scheduler.finish(leased, "CANCELLED")
+        scheduler.finish(leased, "FAILED")
+        assert scheduler.failed == 1
+        with pytest.raises(BspUsageError, match="FAILED"):
+            scheduler.finish(leased, "DONE")
+
+    def test_record_registry_is_bounded(self):
+        scheduler = Scheduler(SchedulerConfig(max_queued=500, max_records=20))
+        for index in range(30):
+            scheduler.submit(record(f"a-{index}", tenant="a"))
+            leased = scheduler.next_job(KEY)
+            scheduler.finish(leased, "DONE")
+        assert len(scheduler.jobs()) <= 21
+        # The newest records survive pruning.
+        assert scheduler.get("a-29") is not None
+
+
+class TestSnapshot:
+    def test_snapshot_is_json_safe(self):
+        scheduler = Scheduler(SchedulerConfig(weights={"a": 2.0}))
+        submit_n(scheduler, "a", 2)
+        leased = scheduler.next_job(KEY)
+        scheduler.finish(leased, "DONE")
+        snap = json.loads(json.dumps(scheduler.snapshot()))
+        assert snap["queued"] == 1
+        assert snap["completed"] == 1
+        assert snap["tenants"]["a"]["weight"] == 2.0
+        assert snap["tenants"]["a"]["queued"] == 1

@@ -7,11 +7,13 @@ import pytest
 import repro.core.packets
 import repro.core.runtime
 import repro.graphs.unionfind
+import repro.service.fleet
 
 MODULES = [
     repro.core.packets,
     repro.core.runtime,
     repro.graphs.unionfind,
+    repro.service.fleet,
 ]
 
 
