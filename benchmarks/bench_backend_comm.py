@@ -23,6 +23,15 @@ Scenarios
 * ``pool``         — per-run fixed cost of a trivial program, fresh
   backend per run vs. one persistent pool (skipped when running against
   a library version without ``ProcessBackend.pool``).
+* ``memcpy-baseline`` — single-process ``np.copyto`` bandwidth over the
+  ``numpy-large`` buffer size: the hardware ceiling one payload copy can
+  reach on this host.  ``numpy-large`` additionally reports
+  ``memcpy_fraction`` — what share of that ceiling the full
+  fork-crossing exchange achieves.
+
+CI enforcement: ``--floor SCENARIO=MBPS`` (repeatable) exits non-zero
+when a scenario lands below its floor, and ``--check-leaks`` exits
+non-zero if the run leaves new ``repro-zc-*`` segments in ``/dev/shm``.
 """
 
 from __future__ import annotations
@@ -44,16 +53,31 @@ try:
 except ImportError:  # older library versions have no socket backend
     TcpBackend = None
 
+try:
+    from repro.backends.shm import scan_orphans
+except ImportError:  # older library versions have no zero-copy plane
+    scan_orphans = None
+
 # ---------------------------------------------------------------------------
 # Programs (module-level: the persistent pool ships them by pickle)
 # ---------------------------------------------------------------------------
 
 
+#: Per-worker block cache, keyed by shape.  Pooled workers persist across
+#: repeats, so block generation (~77 ms of RNG for the full shape on this
+#: host — a third of the wall it used to pollute) is paid once in the
+#: warm-up run; the timed repeats measure the exchange, not the RNG.
+_blocks: dict = {}
+
+
 def exchange_program(bsp, steps: int, narrays: int, size: int) -> int:
     """All-to-all: send ``narrays`` float64 arrays of ``size`` to each peer."""
     with bsp.off_clock():
-        blocks = [np.random.default_rng(bsp.pid).standard_normal(size)
-                  for _ in range(narrays)]
+        blocks = _blocks.get((narrays, size))
+        if blocks is None:
+            blocks = _blocks[(narrays, size)] = [
+                np.random.default_rng(bsp.pid).standard_normal(size)
+                for _ in range(narrays)]
     received = 0
     for _ in range(steps):
         for q in range(bsp.nprocs):
@@ -162,6 +186,32 @@ def bench_small(nprocs: int, steps: int, nmsgs: int, *, repeats: int) -> dict:
     }
 
 
+def bench_memcpy(array_bytes: int, *, repeats: int) -> dict:
+    """Single-process copy bandwidth over one ``numpy-large`` buffer.
+
+    This is the fastest any delivery path could possibly move the
+    payload (one memcpy, no pickling, no process boundary) — the number
+    the zero-copy data plane is chasing.  Reported in the same payload
+    MB/s units as the exchange scenarios.
+    """
+    src = np.random.default_rng(0).standard_normal(array_bytes // 8)
+    dst = np.empty_like(src)
+    np.copyto(dst, src)  # pre-fault both buffers
+    iters = max(4, min(512, (256 << 20) // array_bytes))
+    walls = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            np.copyto(dst, src)
+        walls.append(time.perf_counter() - t0)
+    wall = min(walls)
+    return {
+        "array_bytes": array_bytes, "iters": iters,
+        "wall_s": round(wall, 4),
+        "mb_per_s": round(array_bytes * iters / 1e6 / wall, 2),
+    }
+
+
 def bench_pool(nprocs: int, nruns: int) -> dict:
     """Fixed per-run cost: fresh forks each run vs. one persistent pool."""
     fresh = []
@@ -193,14 +243,32 @@ def main(argv=None) -> int:
                         help="snapshot name in the output JSON")
     parser.add_argument("--output", default=None,
                         help="JSON file to merge this snapshot into")
+    parser.add_argument("--floor", action="append", default=[],
+                        metavar="SCENARIO=MBPS",
+                        help="fail (exit 1) when SCENARIO lands below MBPS "
+                             "mb_per_s; repeatable")
+    parser.add_argument("--check-leaks", action="store_true",
+                        help="fail (exit 1) when the run leaves new "
+                             "repro-zc-* segments in /dev/shm")
     args = parser.parse_args(argv)
 
-    repeats = 1 if args.quick else 3
+    leaks_before = set(scan_orphans()) if (
+        args.check_leaks and scan_orphans is not None) else set()
+
+    # Two repeats even in quick mode: min() then reports a warm run.  A
+    # single repeat measures the first post-warm-up run, which on a
+    # shared CI box still pays page-fault and frequency-ramp noise worth
+    # 2x and more — useless under a bandwidth floor.
+    repeats = 2 if args.quick else 3
     p = 4
     scenarios = {}
 
     if args.quick:
-        shapes = {"numpy-large": (2, 2, 1 << 16), "numpy-halo": (2, 16, 1 << 11)}
+        # numpy-large keeps the full-mode 4 MiB arrays (fewer steps): at
+        # 64 KiB the scenario is latency-bound and says nothing about
+        # the data plane, which would make a CI bandwidth floor on it
+        # meaningless.
+        shapes = {"numpy-large": (2, 2, 1 << 19), "numpy-halo": (2, 16, 1 << 11)}
     else:
         shapes = {"numpy-large": (8, 2, 1 << 19), "numpy-halo": (8, 32, 1 << 13)}
     for name, (steps, narrays, size) in shapes.items():
@@ -210,6 +278,13 @@ def main(argv=None) -> int:
         print(f"{name:14s} {scenarios[name]['mb_per_s']:10.1f} MB/s "
               f"{scenarios[name]['packets_per_s']:12.0f} pkt/s "
               f"({scenarios[name]['wall_s']:.3f}s wall)")
+
+    memcpy = bench_memcpy(shapes["numpy-large"][2] * 8, repeats=repeats)
+    scenarios["memcpy-baseline"] = memcpy
+    fraction = scenarios["numpy-large"]["mb_per_s"] / memcpy["mb_per_s"]
+    scenarios["numpy-large"]["memcpy_fraction"] = round(fraction, 3)
+    print(f"{'memcpy-baseline':14s} {memcpy['mb_per_s']:10.1f} MB/s "
+          f"(numpy-large reaches {100 * fraction:.1f}% of the copy ceiling)")
 
     if TcpBackend is not None:
         steps, narrays, size = (2, 8, 1 << 11) if args.quick \
@@ -250,7 +325,32 @@ def main(argv=None) -> int:
             json.dump(doc, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote snapshot {label!r} to {args.output}")
-    return 0
+
+    failed = False
+    for spec in args.floor:
+        name, _, mbps = spec.partition("=")
+        got = scenarios.get(name, {}).get("mb_per_s")
+        if got is None:
+            print(f"FLOOR FAIL: scenario {name!r} not measured")
+            failed = True
+        elif got < float(mbps):
+            print(f"FLOOR FAIL: {name} at {got:.1f} MB/s "
+                  f"is below the floor of {float(mbps):.1f} MB/s")
+            failed = True
+        else:
+            print(f"floor ok: {name} at {got:.1f} MB/s >= {float(mbps):.1f}")
+    if args.check_leaks:
+        if scan_orphans is None:
+            print("leak check skipped: no zero-copy data plane")
+        else:
+            leaked = sorted(set(scan_orphans()) - leaks_before)
+            if leaked:
+                print(f"LEAK FAIL: {len(leaked)} orphaned /dev/shm "
+                      f"segment(s): {', '.join(leaked)}")
+                failed = True
+            else:
+                print("leak check ok: no orphaned /dev/shm segments")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -8,7 +8,9 @@ payload copy per packet — each per-destination bucket crosses the process
 boundary as **one frame**:
 
 * a small pickled *header* ``(tag, run_id, step, src, mode, buffer
-  lengths, slab offset, meta)`` — one pipe message per frame;
+  lengths, slab offset, meta, more, extra)`` — one pipe message per
+  frame; ``extra`` carries the zero-copy plane's lease entries and
+  piggybacked lease releases (``None`` for purely small frames);
 * the *meta* blob riding the header: the packets' ``seq``/``h`` arrays
   plus their payloads, serialized once with pickle protocol 5 so that
   large contiguous buffers (NumPy halos, Cannon blocks, essential trees)
@@ -21,6 +23,14 @@ boundary as **one frame**:
   ``pickle.loads(meta, buffers=...)``.  Two memcpys total, no pickle
   stream ever contains the payload bytes, and no pipe write is ever
   larger than the metadata.
+
+Buffers at or above the zero-copy threshold (default 64 KiB, see
+:mod:`repro.backends.shm`) skip the slab entirely: the sender memcpys
+them into a leased shared-memory segment region and the receiver's
+payload is reconstructed directly over the shared pages — one copy end
+to end, and the receive-side copy of the slab path disappears.  The
+slab/pipe machinery below still moves the (small) remainder of such
+frames.
 
 Frames whose buffers total more than **half** the slab capacity fall back
 to dedicated pipe messages (``Connection.send_bytes`` straight from the
@@ -54,12 +64,16 @@ import time
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+import numpy as np
+
 from .. import faults
 from ..core.errors import SynchronizationError
 from ..core.packets import Packet
+from . import shm
 
-#: Frame tags.
-TAG_PKT, TAG_LEFT, TAG_DEAD, TAG_FENCE = 0, 1, 2, 3
+#: Frame tags.  TAG_RELEASE carries zero-copy lease ids back to the
+#: segment owner when no data frame is owed to piggyback them on.
+TAG_PKT, TAG_LEFT, TAG_DEAD, TAG_FENCE, TAG_RELEASE = 0, 1, 2, 3, 4
 
 #: Buffer transport modes.
 _MODE_SLAB, _MODE_PIPE = 0, 1
@@ -252,6 +266,11 @@ class Frame:
     per-link sequence number, ``ack`` the sender's cumulative receive
     position on the reverse direction.  Pipe-fabric frames never set
     them; ``-1`` means "unsequenced".
+
+    ``stale`` is set by ``recv`` when a zero-copy lease in the frame
+    predates a reset of its sender's segment pool: the bytes may alias a
+    newer lease, so a channel that matches the frame to its current run
+    must fail loudly instead of delivering it.
     """
 
     tag: int
@@ -263,6 +282,7 @@ class Frame:
     more: int = 0
     seq: int = -1
     ack: int = -1
+    stale: int = 0
 
     def packets(self, dst: int) -> list[Packet]:
         """Decode into :class:`Packet` objects addressed to ``dst``."""
@@ -350,6 +370,116 @@ class FrameTransport:
             r, w = ctx.Pipe(duplex=False)
             self._recv_conns.append(r)
             self._send_conns.append(w)
+        # -- zero-copy data plane (repro.backends.shm) ----------------------
+        # Env knobs are read here, in the parent, before forking, so every
+        # worker of one fabric agrees on them.
+        self._zc_enabled = shm.zerocopy_enabled()
+        self._zc_threshold = shm.zerocopy_threshold()
+        self._zc_token = shm.fabric_token()
+        #: Fork-shared per-src count of segments ever created: all the
+        #: parent needs to sweep a (possibly SIGKILLed) worker's segments
+        #: by deterministic name.  Single writer per slot (the owner).
+        self._segc_mm = mmap.mmap(-1, max(8 * nprocs, mmap.PAGESIZE))
+        self._segc = memoryview(self._segc_mm).cast("Q")
+        #: Fork-shared zerocopy telemetry: slot ``2*src`` counts buffers
+        #: that took a segment lease, ``2*src + 1`` buffers big enough
+        #: but routed through slab/pipe (REPRO_ZEROCOPY=off or a pool
+        #: failure).  Surfaced by ``BspPool.health()``.
+        self._zc_mm = mmap.mmap(-1, max(16 * nprocs, mmap.PAGESIZE))
+        self._zc = memoryview(self._zc_mm).cast("Q")
+        #: Post-fork, lazily built, per-process state: each worker only
+        #: ever touches its own pid's slot.  ``False`` marks a pool whose
+        #: creation failed (no /dev/shm): big buffers then fall back.
+        self._seg_pools: list[Any] = [None] * nprocs
+        self._seg_maps: list[shm.SegmentMap | None] = [None] * nprocs
+        self._lease_tables: list[shm.LeaseTable | None] = [None] * nprocs
+        #: Per-src broadcast dedup: ``((run_id, step), {data_ptr: (pin,
+        #: name, offset, nbytes, lease_id)})``.  A payload sent to p-1
+        #: peers is copied into its segment once; the other p-2 frames
+        #: carry aliased leases over the same bytes.  The pinned buffer
+        #: keeps the exporting array's memory alive, so a data pointer
+        #: cannot be recycled while its cache entry exists.
+        self._dedup: list[Any] = [None] * nprocs
+
+    # -- zero-copy data plane ------------------------------------------------
+
+    def _seg_pool(self, src: int) -> shm.SegmentPool | None:
+        pool = self._seg_pools[src]
+        if pool is None:
+            try:
+                pool = shm.SegmentPool(self._zc_token, src, self._segc)
+            except OSError:  # pragma: no cover - /dev/shm unavailable
+                pool = False
+            self._seg_pools[src] = pool
+        return pool or None
+
+    def _lease_table(self, pid: int) -> shm.LeaseTable:
+        table = self._lease_tables[pid]
+        if table is None:
+            table = self._lease_tables[pid] = shm.LeaseTable()
+        return table
+
+    def _seg_map(self, pid: int) -> shm.SegmentMap:
+        seg_map = self._seg_maps[pid]
+        if seg_map is None:
+            seg_map = self._seg_maps[pid] = shm.SegmentMap()
+        return seg_map
+
+    def collect_releases(self, pid: int, *,
+                         discard: bool = False) -> dict[int, list[int]]:
+        """Reap ``pid``'s no-longer-referenced inbound leases, per src.
+
+        Called at each superstep boundary; the ids ride back to their
+        segment owners on this boundary's outgoing frames.  ``discard``
+        (TORN_LEASE fault) drops them instead — the owner's pool must
+        then grow, never corrupt, and teardown's sweep still reclaims
+        the segments.
+        """
+        table = self._lease_tables[pid]
+        if table is None:
+            return {}
+        freed = table.collect_free()
+        return {} if discard else freed
+
+    def leak_segment(self, pid: int) -> None:
+        """LEAK_SEGMENT fault hook: create a segment only the sweep can
+        reclaim."""
+        pool = self._seg_pool(pid)
+        if pool is not None:
+            pool.leak()
+
+    def reset_segments(self, pid: int) -> None:
+        """Fence ``pid``'s zero-copy state: rewind the pool (generation
+        bump) and forget inbound leases of the dead run."""
+        pool = self._seg_pools[pid]
+        if pool not in (None, False):
+            pool.reset()
+        table = self._lease_tables[pid]
+        if table is not None:
+            table.clear()
+
+    def zerocopy_stats(self) -> tuple[int, int]:
+        """Fabric-wide (lease hits, threshold-crossing fallbacks)."""
+        hits = sum(self._zc[2 * pid] for pid in range(self.nprocs))
+        fallbacks = sum(self._zc[2 * pid + 1] for pid in range(self.nprocs))
+        return int(hits), int(fallbacks)
+
+    def segment_counts(self) -> dict[int, int]:
+        """Per-src segments ever created (parent-side sweep input)."""
+        return {pid: int(self._segc[pid]) for pid in range(self.nprocs)}
+
+    def sweep_segments(self, pids: Sequence[int] | None = None) -> int:
+        """Unlink segments created by ``pids`` (default: everyone).
+
+        Parent-side only: on full teardown/rebuild every name goes; on a
+        partial heal only the dead workers' — survivors' pools stay
+        live.  Unlinking never invalidates a live mapping, so receivers
+        still holding views into a dead sender's segment are unaffected.
+        """
+        counts = self.segment_counts()
+        if pids is not None:
+            counts = {pid: counts.get(pid, 0) for pid in pids}
+        return shm.sweep_segments(self._zc_token, counts)
 
     # -- supervision ---------------------------------------------------------
 
@@ -443,12 +573,27 @@ class FrameTransport:
     def send_control(self, dst: int, tag: int, run_id: int, src: int,
                      step: int = -1) -> None:
         header = pickle.dumps(
-            (tag, run_id, step, src, _MODE_PIPE, (), 0, None, 0))
+            (tag, run_id, step, src, _MODE_PIPE, (), 0, None, 0, None))
+        with self._locks[dst]:
+            self._send_conns[dst].send_bytes(header)
+
+    def send_release(self, dst: int, run_id: int, src: int,
+                     lease_ids: Sequence[int]) -> None:
+        """Return lease ids to segment owner ``dst`` on a control frame.
+
+        Only used when no data frame to ``dst`` is owed this boundary
+        (relaxed sync with an empty bucket); otherwise releases piggyback
+        on the boundary frame for free.
+        """
+        header = pickle.dumps(
+            (TAG_RELEASE, run_id, -1, src, _MODE_PIPE, (), 0, None, 0,
+             tuple(lease_ids)))
         with self._locks[dst]:
             self._send_conns[dst].send_bytes(header)
 
     def send_packets(self, dst: int, run_id: int, step: int, src: int,
-                     packets: Sequence[Packet], *, more: int = 0) -> None:
+                     packets: Sequence[Packet], *, more: int = 0,
+                     releases: Sequence[int] = ()) -> None:
         # Fault-injection hook: one attribute load + None test per frame
         # (never per packet) when disabled.
         plan = faults._ACTIVE
@@ -457,6 +602,52 @@ class FrameTransport:
                 return
             plan.count_frame(src)
         meta, buffers = encode_packets(packets)
+        # Zero-copy placement: buffers at or above the threshold go into
+        # leased shared-memory regions (one sender memcpy, no receiver
+        # copy); the frame carries only (index, name, offset, nbytes,
+        # lease id).  Leasing happens before the destination lock — the
+        # pool belongs to this sender alone.
+        entries: tuple = ()
+        rel = tuple(releases)
+        extra = None
+        if buffers:
+            threshold = self._zc_threshold
+            big = [i for i, mv in enumerate(buffers)
+                   if mv.nbytes >= threshold]
+            if big:
+                pool = self._seg_pool(src) if self._zc_enabled else None
+                if pool is not None:
+                    cache = self._dedup[src]
+                    if cache is None or cache[0] != (run_id, step):
+                        cache = self._dedup[src] = ((run_id, step), {})
+                    seen = cache[1]
+                    placed = []
+                    for i in big:
+                        mv = buffers[i]
+                        key = (np.frombuffer(mv, np.uint8).ctypes.data,
+                               mv.nbytes)
+                        hit = seen.get(key)
+                        alias = pool.alias(hit[4]) if hit is not None \
+                            else None
+                        if alias is not None:
+                            # Same bytes, another destination: no copy.
+                            placed.append((i, hit[1], hit[2], hit[3], alias))
+                            continue
+                        lease_id, name, offset, region = pool.lease(
+                            dst, mv.nbytes)
+                        region[:] = mv
+                        placed.append((i, name, offset, mv.nbytes, lease_id))
+                        seen[key] = (mv, name, offset, mv.nbytes, lease_id)
+                    entries = tuple(placed)
+                    self._zc[2 * src] += len(big)
+                    big_set = set(big)
+                    buffers = [mv for i, mv in enumerate(buffers)
+                               if i not in big_set]
+                else:
+                    self._zc[2 * src + 1] += len(big)
+        if entries or rel:
+            generation = self._seg_pools[src].generation if entries else 0
+            extra = (generation, entries, rel)
         lens = tuple(mv.nbytes for mv in buffers)
         total = sum(map(_aligned, lens))
         slab = self._slabs[dst]
@@ -473,11 +664,11 @@ class FrameTransport:
                     offset += _aligned(n)
                 conn.send_bytes(pickle.dumps(
                     (TAG_PKT, run_id, step, src, _MODE_SLAB, lens, start,
-                     meta, more)))
+                     meta, more, extra)))
             else:
                 conn.send_bytes(pickle.dumps(
                     (TAG_PKT, run_id, step, src, _MODE_PIPE, lens, 0, meta,
-                     more)))
+                     more, extra)))
                 for mv in buffers:
                     conn.send_bytes(mv)
 
@@ -501,11 +692,19 @@ class FrameTransport:
         discarding a stale frame (old ``run_id``) cannot leak ring space.
         """
         conn = self._recv_conns[pid]
-        tag, run_id, step, src, mode, lens, start, meta, more = pickle.loads(
-            conn.recv_bytes())
+        (tag, run_id, step, src, mode, lens, start, meta, more,
+         extra) = pickle.loads(conn.recv_bytes())
+        if tag == TAG_RELEASE:
+            # Lease ids coming home: applied at transport level, whatever
+            # run they belong to — ids are monotonic and unknown ids are
+            # ignored, so a stale release can never free a live region.
+            seg_pool = self._seg_pools[pid]
+            if seg_pool not in (None, False) and extra:
+                seg_pool.release(extra)
+            return Frame(tag, run_id, step, src, None, None, more)
         if tag != TAG_PKT:
             return Frame(tag, run_id, step, src, None, None, more)
-        buffers: list[bytearray] = []
+        buffers: list[Any] = []
         pool = self._pools[pid]
         if mode == _MODE_SLAB:
             slab = self._slabs[pid]
@@ -525,9 +724,58 @@ class FrameTransport:
                 else:
                     conn.recv_bytes()  # zero-length message, nothing to copy
                 buffers.append(buf)
-        return Frame(tag, run_id, step, src, meta, buffers, more)
+        stale = 0
+        if extra is not None:
+            generation, entries, rel = extra
+            if rel:
+                seg_pool = self._seg_pools[pid]
+                if seg_pool not in (None, False):
+                    seg_pool.release(rel)
+            if entries:
+                # Zero-copy delivery: map each leased region (attach is
+                # cached per segment) and splice the per-lease exporters
+                # into the buffer list at their original indices — the
+                # reconstructed payloads are then backed by the shared
+                # pages themselves, no receive-side copy.
+                table = self._lease_table(pid)
+                seg_map = self._seg_map(pid)
+                full: list[Any] = [None] * (len(lens) + len(entries))
+                for index, name, offset, nbytes, lease_id in entries:
+                    region = seg_map.region(name, offset, nbytes)
+                    if table.register(src, lease_id, generation, region):
+                        stale = 1
+                    full[index] = region
+                small = iter(buffers)
+                for j, slot in enumerate(full):
+                    if slot is None:
+                        full[j] = next(small)
+                buffers = full
+        return Frame(tag, run_id, step, src, meta, buffers, more,
+                     stale=stale)
 
     def close(self) -> None:
+        # Orphan sweep first: whoever closes the fabric (the parent, on
+        # teardown/rebuild/KeyboardInterrupt) unlinks every segment any
+        # worker ever created — counts survive worker death in the
+        # fork-shared counter, so even SIGKILL mid-superstep leaks
+        # nothing.  Live mappings elsewhere stay valid; only the names
+        # go.
+        try:
+            self.sweep_segments()
+        except (ValueError, OSError):  # pragma: no cover - already closed
+            pass
+        for seg_pool in self._seg_pools:
+            if seg_pool not in (None, False):
+                seg_pool.close()
+        # Tables before maps: dropping the table's region exporters
+        # releases their buffer exports, so the map's segments close
+        # cleanly instead of lingering until garbage collection.
+        for table in self._lease_tables:
+            if table is not None:
+                table.clear()
+        for seg_map in self._seg_maps:
+            if seg_map is not None:
+                seg_map.close()
         for conn in (*self._recv_conns, *self._send_conns):
             try:
                 conn.close()
@@ -547,5 +795,12 @@ class FrameTransport:
         try:
             self._ep.release()
             self._ep_mm.close()
+        except (BufferError, ValueError):  # pragma: no cover
+            pass
+        try:
+            self._segc.release()
+            self._segc_mm.close()
+            self._zc.release()
+            self._zc_mm.close()
         except (BufferError, ValueError):  # pragma: no cover
             pass

@@ -75,6 +75,7 @@ from ..core.errors import (
     BspConfigError,
     BspUsageError,
     DeadlockError,
+    PacketError,
     PoolExhaustedError,
     SynchronizationError,
     VirtualProcessorError,
@@ -157,7 +158,8 @@ class _FrameChannel:
         # process alive then.
         self._cv = threading.Condition()
         self._req: tuple[int, dict[int, list[Packet]],
-                         Sequence[int], int | None] | None = None
+                         Sequence[int], int | None,
+                         dict[int, list[int]]] | None = None
         self._stop = False
         self._push_error: list[BaseException] = []
         self._sender: threading.Thread | None = None
@@ -180,11 +182,12 @@ class _FrameChannel:
                     self._cv.wait()
                 if self._req is None:
                     return
-                step, buckets, targets, epoch = self._req
+                step, buckets, targets, epoch, releases = self._req
             try:
                 for peer in targets:
                     transport.send_packets(
-                        peer, run_id, step, self._pid, buckets.get(peer, ()))
+                        peer, run_id, step, self._pid, buckets.get(peer, ()),
+                        releases=releases.get(peer, ()))
             except BaseException as exc:  # e.g. an unpicklable payload
                 self._push_error.append(exc)
                 # Fail fast: wake every peer (and ourselves) so nobody
@@ -214,14 +217,15 @@ class _FrameChannel:
 
     def _send_async(self, step: int, buckets: dict[int, list[Packet]],
                     targets: Sequence[int], *,
-                    epoch: int | None = None) -> None:
+                    epoch: int | None = None,
+                    releases: dict[int, list[int]] | None = None) -> None:
         if self._sender is None:
             self._sender = threading.Thread(
                 target=self._sender_loop, name=f"bsp-send-{self._pid}",
                 daemon=True)
             self._sender.start()
         with self._cv:
-            self._req = (step, buckets, targets, epoch)
+            self._req = (step, buckets, targets, epoch, releases or {})
             self._cv.notify_all()
 
     def _send_wait(self) -> None:
@@ -246,6 +250,16 @@ class _FrameChannel:
         plan = faults._ACTIVE
         if plan is not None:
             plan.at_boundary(self._pid, step, self._nprocs, outbox)
+        # Zero-copy lease upkeep: reap inbound leases whose payloads the
+        # program dropped; their ids ride home piggybacked on this
+        # boundary's outgoing frames (strict mode always owes one frame
+        # per peer, so releases are free).  TORN_LEASE discards them —
+        # the owner's pool must grow, never alias.
+        releases = self._transport.collect_releases(
+            self._pid,
+            discard=plan is not None and plan.tears_lease(self._pid, step))
+        if plan is not None and plan.leaks_segment(self._pid, step):
+            self._transport.leak_segment(self._pid)
         buckets: dict[int, list[Packet]] = {}
         for pkt in outbox:
             buckets.setdefault(pkt.dst, []).append(pkt)
@@ -254,7 +268,7 @@ class _FrameChannel:
         strict = self._sync == "strict" or self._fence_strict
         self._fence_strict = False
         if not strict:
-            return self._exchange_relaxed(step, buckets)
+            return self._exchange_relaxed(step, buckets, releases)
 
         # Pipe writes and slab allocations block once full, so two peers
         # pushing large boundary frames at each other would deadlock — the
@@ -263,7 +277,14 @@ class _FrameChannel:
         # the sender thread performs the blocking sends in schedule order.
         transport = self._transport
         run_id = self._run_id
-        self._send_async(step, buckets, self._peers)
+        # Releases for owners we owe no frame this boundary (a previous
+        # run on this pool used more processors) go on dedicated control
+        # frames; everything else piggybacks.
+        covered = set(self._peers)
+        for owner, ids in releases.items():
+            if owner not in covered:
+                transport.send_release(owner, run_id, self._pid, ids)
+        self._send_async(step, buckets, self._peers, releases=releases)
 
         got: dict[int, list[Packet]] = {}
         own = buckets.get(self._pid)
@@ -278,6 +299,11 @@ class _FrameChannel:
             if frame.run_id != run_id:
                 continue  # stale frame from an earlier run on this pool
             if frame.tag == TAG_PKT:
+                if frame.stale:
+                    raise PacketError(
+                        f"pid {self._pid}: frame from pid {frame.src} at "
+                        f"superstep {frame.step} carries a zero-copy lease "
+                        "from a reset segment pool (stale generation)")
                 pkts = frame.packets(self._pid)
                 if frame.step == step:
                     got[frame.src] = pkts
@@ -309,6 +335,11 @@ class _FrameChannel:
         if frame.run_id != self._run_id:
             return  # stale frame from an earlier run on this pool
         if frame.tag == TAG_PKT:
+            if frame.stale:
+                raise PacketError(
+                    f"pid {self._pid}: frame from pid {frame.src} at "
+                    f"superstep {frame.step} carries a zero-copy lease "
+                    "from a reset segment pool (stale generation)")
             pkts = frame.packets(self._pid)
             if frame.step == step:
                 got[frame.src] = pkts
@@ -323,7 +354,8 @@ class _FrameChannel:
             raise _Abort()
 
     def _exchange_relaxed(self, step: int,
-                          buckets: dict[int, list[Packet]]) -> PacketRuns:
+                          buckets: dict[int, list[Packet]],
+                          releases: dict[int, list[int]]) -> PacketRuns:
         """Relaxed/elide boundary: frames for data, epochs for the barrier.
 
         Only non-empty buckets become frames.  This thread drains its own
@@ -337,13 +369,22 @@ class _FrameChannel:
         transport, run_id, pid = self._transport, self._run_id, self._pid
         pattern = self._pattern
         targets = [peer for peer in self._peers if buckets.get(peer)]
+        # Releases piggyback on the data frames we owe; owners getting no
+        # frame this boundary (empty bucket) get a dedicated control
+        # frame.  Lease releases only exist at all after large payloads
+        # flowed, so empty-superstep frame budgets are unchanged.
+        covered = set(targets)
+        for owner, ids in releases.items():
+            if owner not in covered:
+                transport.send_release(owner, run_id, pid, ids)
         target = (run_id << 32) | (step + 1)
         queued = bool(targets)
         if queued:
             # The sender thread publishes our epoch itself, right after
             # its last pipe write — this thread never has to poll for
             # its own send completion.
-            self._send_async(step, buckets, targets, epoch=target)
+            self._send_async(step, buckets, targets, epoch=target,
+                             releases=releases)
         else:
             # Barrier-bound fast path: nothing to write means nothing
             # can block, so the epoch is published inline and the whole
@@ -476,6 +517,13 @@ def _do_fence(pid: int, nprocs: int, fence_id: int,
     for peer in peers:
         transport.send_control(peer, TAG_FENCE, fence_id, pid, step=fence_id)
     drainer.join()
+    # The failed run's zero-copy leases die with it: rewind this worker's
+    # segment pool (the generation bump makes any of its frames still in
+    # flight detectably stale) and forget inbound leases — their release
+    # frames were never going to come.  Segments are *not* unlinked here:
+    # they are reused by the next run, and only the parent's sweep
+    # removes names (teardown, rebuild, heal of dead workers).
+    transport.reset_segments(pid)
 
 
 def _pool_worker(pid: int, transport: FrameTransport, ctrl_q: Any,
@@ -771,6 +819,14 @@ class PoolHealth:
         Mesh links transparently re-established mid-run after a drop or
         reset (TCP mesh only).  High ``reconnects`` with zero
         ``heal_kinds`` entries means link flaps, not rank deaths.
+    zerocopy_hits:
+        Payload buffers delivered through shared-memory segment leases
+        (no receive-side copy) over the pool's lifetime.
+    zerocopy_fallbacks:
+        Buffers large enough for the zero-copy path that took the
+        slab/pipe path instead (``REPRO_ZEROCOPY=off`` or segment
+        creation failure) — nonzero hits with zero fallbacks means the
+        data plane is fully engaged.
     """
 
     generation: int
@@ -782,6 +838,8 @@ class PoolHealth:
     heal_kinds: tuple[str, ...] = ()
     retransmits: int = 0
     reconnects: int = 0
+    zerocopy_hits: int = 0
+    zerocopy_fallbacks: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-data view of this snapshot, safe for ``json.dumps``.
@@ -800,6 +858,8 @@ class PoolHealth:
             "heal_kinds": list(self.heal_kinds),
             "retransmits": self.retransmits,
             "reconnects": self.reconnects,
+            "zerocopy_hits": self.zerocopy_hits,
+            "zerocopy_fallbacks": self.zerocopy_fallbacks,
         }
 
     @classmethod
@@ -939,6 +999,12 @@ class BspPool:
         """Supervision snapshot: generation, restarts, last fault."""
         alive = 0 if self._closed else \
             sum(1 for proc in self._procs if proc.is_alive())
+        zc_hits = zc_fallbacks = 0
+        if not self._closed:
+            try:
+                zc_hits, zc_fallbacks = self._transport.zerocopy_stats()
+            except (ValueError, OSError):  # pragma: no cover - closing race
+                pass
         return PoolHealth(
             generation=self._generation,
             restarts=self._restarts,
@@ -947,6 +1013,8 @@ class BspPool:
             alive=alive,
             capacity=self._capacity,
             heal_kinds=tuple(self._heal_kinds),
+            zerocopy_hits=zc_hits,
+            zerocopy_fallbacks=zc_fallbacks,
         )
 
     # -- fault recovery -----------------------------------------------------
@@ -1014,6 +1082,12 @@ class BspPool:
         self._restarts += len(dead)
         if self._fence(self._capacity):
             self._transport.reset_slabs()
+        # The victims' segments have no owner left to reuse them; their
+        # replacements continue the name numbering from the fork-shared
+        # counter, so sweeping the dead generation now cannot collide.
+        # Survivors still holding views into these segments are safe —
+        # unlink removes the name, not live mappings.
+        self._transport.sweep_segments(dead)
         return True
 
     # -- running ------------------------------------------------------------

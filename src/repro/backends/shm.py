@@ -1,0 +1,402 @@
+"""Pooled named shared-memory segments: the zero-copy data plane.
+
+The slab ring of :mod:`repro.backends.frames` moves every payload with
+two memcpys (sender into the ring, receiver out of it).  For large
+buffers — above :func:`zerocopy_threshold`, default 64 KiB — this module
+removes the receive-side copy entirely: the sender places the bytes
+directly into a named ``multiprocessing.shared_memory`` segment drawn
+from its :class:`SegmentPool`, the frame carries only ``(segment name,
+offset, length, lease id)``, and the receiver maps the segment once
+(:class:`SegmentMap`) and reconstructs the payload *over* the shared
+pages — the NumPy array a program gets from ``bsp.get_pkt()`` is backed
+by the very bytes the sender wrote.  One memcpy end to end.
+
+Lease lifecycle
+---------------
+A *lease* is one sender-side region handed to one receiver:
+
+1. ``SegmentPool.lease(dst, nbytes)`` — bump-allocates a region in a
+   per-destination segment (creating segments on demand, each with a
+   deterministic fabric-unique name) and returns ``(lease id, name,
+   offset, writable view)``.  Lease ids are monotonic for the pool's
+   whole lifetime, so a release that arrives late — or twice — can never
+   free somebody else's region.
+2. The receiver's :class:`LeaseTable` keeps, per lease, a dedicated
+   ``np.frombuffer`` exporter over exactly the leased region.  Payloads
+   reconstructed by ``pickle.loads(meta, buffers=[region])`` hold a
+   reference to that exporter for as long as the program holds the
+   payload, so ``sys.getrefcount(region)`` is the lease's liveness
+   probe: 2 (table entry + probe argument) means every consumer dropped
+   the payload.
+3. ``LeaseTable.collect_free()`` runs at each superstep boundary; the
+   freed ids ride back to the segment owner piggybacked on the next
+   boundary frame (or a dedicated release frame when no data frame is
+   owed), and ``SegmentPool.release`` drops the segment's outstanding
+   count — a segment rewinds to offset 0 only once *all* its leases are
+   back, so no live view is ever overwritten.
+4. Pool ``reset()`` (a fence after a failed run) bumps the pool's
+   *generation* and forgets all leases: frames of the dead run still in
+   flight carry the old generation, which the receiver's table flags as
+   stale — a loud :class:`~repro.core.errors.PacketError`, never a
+   silent alias.
+
+Segments are never unlinked by workers (a mapped view may outlive the
+run); the parent sweeps them by name — creation counts live in a
+fork-shared counter — on pool teardown, rebuild, and partial heal, so a
+SIGKILLed worker cannot leak ``/dev/shm`` entries.
+
+CPython 3.11's ``resource_tracker`` registers every POSIX segment on
+*both* create and attach and would unlink (and warn about) segments
+behind our back; every handle here is unregistered immediately and the
+sweep owns the unlink.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+from multiprocessing import shared_memory
+
+import numpy as np
+
+#: Default capacity of one pooled segment; larger leases get a dedicated
+#: right-sized segment.
+DEFAULT_SEGMENT_BYTES = 16 << 20
+
+#: Default smallest payload buffer routed through a segment lease.
+DEFAULT_THRESHOLD = 64 << 10
+
+#: Region alignment inside a segment (one cache line).
+_ALIGN = 64
+
+#: Prefix of every segment name this library creates (leak scans key on it).
+NAME_PREFIX = "repro-zc"
+
+
+def zerocopy_enabled() -> bool:
+    """The ``REPRO_ZEROCOPY`` escape hatch (default on)."""
+    return os.environ.get("REPRO_ZEROCOPY", "on").strip().lower() not in (
+        "off", "0", "no", "false")
+
+
+def zerocopy_threshold() -> int:
+    """Smallest buffer (bytes) that takes the segment-lease path."""
+    try:
+        return int(os.environ.get("REPRO_ZEROCOPY_THRESHOLD", ""))
+    except ValueError:
+        return DEFAULT_THRESHOLD
+
+
+def fabric_token() -> str:
+    """A name component unique to one transport fabric."""
+    return f"{os.getpid():x}-{os.urandom(3).hex()}"
+
+
+def segment_name(token: str, src: int, k: int) -> str:
+    """Deterministic name of the ``k``-th segment created by ``src``.
+
+    Deterministic so the parent can sweep every segment a (possibly
+    SIGKILLed) worker ever created knowing only the fork-shared creation
+    count."""
+    return f"{NAME_PREFIX}-{token}-{src}-{k}"
+
+
+def _aligned(n: int) -> int:
+    return (n + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def _untrack(seg: shared_memory.SharedMemory) -> None:
+    """Undo resource_tracker's unconditional create/attach registration."""
+    try:  # pragma: no branch
+        from multiprocessing import resource_tracker
+        resource_tracker.unregister(seg._name, "shared_memory")
+    except Exception:  # pragma: no cover - non-POSIX / tracker absent
+        pass
+
+
+try:
+    import _posixshmem
+
+    def unlink_segment(name: str) -> bool:
+        """Unlink ``name`` if it exists; ``True`` when something was removed.
+
+        Unlinking is always safe while mappings are live (POSIX keeps the
+        pages until the last munmap); only the name disappears."""
+        try:
+            _posixshmem.shm_unlink("/" + name)
+        except (FileNotFoundError, OSError):
+            return False
+        return True
+except ImportError:  # pragma: no cover - exotic platforms
+    def unlink_segment(name: str) -> bool:
+        try:
+            seg = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError):
+            return False
+        _untrack(seg)
+        try:
+            seg.unlink()
+        finally:
+            seg.close()
+        return True
+
+
+def sweep_segments(token: str, counts: dict[int, int]) -> int:
+    """Unlink every segment named by ``(token, src, k < counts[src])``.
+
+    The parent-side orphan sweep: run on pool teardown/rebuild (all
+    srcs) and partial heal (dead srcs only).  Missing names — already
+    swept, or never created because the counter raced a death — are
+    skipped.  Returns how many segments were actually removed."""
+    removed = 0
+    for src, count in counts.items():
+        for k in range(count):
+            if unlink_segment(segment_name(token, src, k)):
+                removed += 1
+    return removed
+
+
+def scan_orphans() -> list[str]:
+    """Names of library-created segments currently present in /dev/shm."""
+    try:
+        entries = os.listdir("/dev/shm")
+    except OSError:  # pragma: no cover - no tmpfs mount
+        return []
+    return sorted(e for e in entries if e.startswith(NAME_PREFIX + "-"))
+
+
+class _Segment:
+    """One named segment owned by a :class:`SegmentPool`."""
+
+    __slots__ = ("name", "shm", "buf", "capacity", "used", "outstanding")
+
+    def __init__(self, name: str, seg: shared_memory.SharedMemory):
+        self.name = name
+        self.shm = seg
+        self.buf = seg.buf
+        self.capacity = seg.size
+        #: Bump-allocation high-water mark; rewinds to 0 only when
+        #: ``outstanding`` returns to 0, so no live lease is overwritten.
+        self.used = 0
+        self.outstanding = 0
+
+
+class SegmentPool:
+    """Sender-side pool of named segments, one sub-pool per destination.
+
+    Thread-safe: the channel's sender thread leases while the main
+    thread applies releases collected from inbound frames.
+    """
+
+    def __init__(self, token: str, src: int, counter=None, *,
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES):
+        self._token = token
+        self._src = src
+        #: Fork-shared "Q"-cast memoryview (or None): slot ``src`` holds
+        #: how many segments this pool ever created, which is all the
+        #: parent needs to sweep them by name.  Read at construction so a
+        #: re-forked replacement worker continues the numbering instead
+        #: of colliding with names the parent may already have swept.
+        self._counter = counter
+        self._segment_bytes = segment_bytes
+        self._created = int(counter[src]) if counter is not None else 0
+        self._next_lease = 1
+        self._generation = 0
+        self._pools: dict[int, list[_Segment]] = {}
+        self._leases: dict[int, _Segment] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def generation(self) -> int:
+        """Bumped by every :meth:`reset`; stamped into outgoing frames."""
+        return self._generation
+
+    @property
+    def outstanding(self) -> int:
+        """Leases handed out and not yet released."""
+        return len(self._leases)
+
+    @property
+    def segments(self) -> int:
+        """Segments currently owned by this pool."""
+        return sum(len(segs) for segs in self._pools.values())
+
+    def _new_segment(self, nbytes: int) -> _Segment:
+        capacity = max(self._segment_bytes, _aligned(nbytes))
+        name = segment_name(self._token, self._src, self._created)
+        seg = shared_memory.SharedMemory(name=name, create=True,
+                                         size=capacity)
+        _untrack(seg)
+        self._created += 1
+        if self._counter is not None:
+            self._counter[self._src] = self._created
+        return _Segment(name, seg)
+
+    def lease(self, dst: int, nbytes: int) -> tuple[int, str, int, memoryview]:
+        """Reserve ``nbytes`` for ``dst``: (lease id, name, offset, view)."""
+        with self._lock:
+            segs = self._pools.setdefault(dst, [])
+            seg = next((s for s in segs
+                        if s.capacity - s.used >= nbytes), None)
+            if seg is None:
+                seg = self._new_segment(nbytes)
+                segs.append(seg)
+            offset = seg.used
+            seg.used = _aligned(offset + nbytes)
+            seg.outstanding += 1
+            lease_id = self._next_lease
+            self._next_lease += 1
+            self._leases[lease_id] = seg
+            return lease_id, seg.name, offset, seg.buf[offset:offset + nbytes]
+
+    def alias(self, lease_id: int) -> int | None:
+        """A fresh lease over an existing lease's region (broadcast dedup).
+
+        The same payload sent to several destinations is copied into its
+        segment once; every further destination gets its own lease id —
+        and so its own release — over the same bytes.  The segment's
+        outstanding count rises per alias, so it rewinds only after
+        *every* receiver has let go.  ``None`` when ``lease_id`` is no
+        longer live (released, or wiped by a reset): the caller must
+        place a fresh copy.
+        """
+        with self._lock:
+            seg = self._leases.get(lease_id)
+            if seg is None:
+                return None
+            seg.outstanding += 1
+            alias_id = self._next_lease
+            self._next_lease += 1
+            self._leases[alias_id] = seg
+            return alias_id
+
+    def release(self, lease_ids) -> None:
+        """Return leases; unknown ids (stale generation, duplicate
+        release) are ignored — ids are never reused, so ignoring is
+        always safe."""
+        with self._lock:
+            for lease_id in lease_ids:
+                seg = self._leases.pop(lease_id, None)
+                if seg is None:
+                    continue
+                seg.outstanding -= 1
+                if seg.outstanding == 0:
+                    seg.used = 0
+
+    def leak(self) -> None:
+        """Create a segment nothing will ever release (LEAK_SEGMENT
+        fault): only the parent's name sweep can reclaim it."""
+        with self._lock:
+            seg = self._new_segment(self._segment_bytes)
+            seg.outstanding += 1
+            self._pools.setdefault(-1, []).append(seg)
+
+    def reset(self) -> None:
+        """Forget every lease and rewind every segment (fence after a
+        failed run).  The generation bump makes any still-in-flight
+        frame of the dead run detectably stale at the receiver."""
+        with self._lock:
+            self._generation += 1
+            self._leases.clear()
+            for segs in self._pools.values():
+                for seg in segs:
+                    seg.outstanding = 0
+                    seg.used = 0
+
+    def close(self) -> None:
+        """Drop this process's mappings (unlinking is the parent sweep's
+        job).  Live payload exports keep their segment mapped — close
+        failures on exported buffers are expected and harmless."""
+        with self._lock:
+            for segs in self._pools.values():
+                for seg in segs:
+                    try:
+                        seg.shm.close()
+                    except BufferError:  # pragma: no cover - views alive
+                        pass
+            self._pools.clear()
+            self._leases.clear()
+
+
+class SegmentMap:
+    """Receiver-side attach cache: one mapping per segment name, kept for
+    the process lifetime (payload views may outlive everything else, and
+    ``SharedMemory.close`` refuses while exports are live anyway)."""
+
+    def __init__(self) -> None:
+        self._segs: dict[str, shared_memory.SharedMemory] = {}
+
+    def region(self, name: str, offset: int, nbytes: int) -> np.ndarray:
+        """A per-lease writable uint8 exporter over one leased region.
+
+        A *fresh ndarray per lease* on purpose: payloads reconstructed
+        over it hold a reference to exactly this object, which is what
+        makes ``sys.getrefcount`` a per-lease liveness probe (a shared
+        exporter would conflate every lease in the segment)."""
+        seg = self._segs.get(name)
+        if seg is None:
+            seg = shared_memory.SharedMemory(name=name)
+            _untrack(seg)
+            self._segs[name] = seg
+        return np.frombuffer(seg.buf, dtype=np.uint8, count=nbytes,
+                             offset=offset)
+
+    def close(self) -> None:
+        for seg in self._segs.values():
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - views alive
+                pass
+        self._segs.clear()
+
+
+class LeaseTable:
+    """Receiver-side ledger of live inbound leases.
+
+    One entry per lease: ``(src, region exporter)``.  The exporter's
+    refcount is the probe — 2 means only the table and the probe itself
+    hold it, i.e. every reconstructed payload is gone.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, tuple[int, np.ndarray]] = {}
+        #: Highest pool generation seen per src; a frame below it leased
+        #: from a pool that has since been reset — stale.
+        self._gen: dict[int, int] = {}
+
+    def register(self, src: int, lease_id: int, generation: int,
+                 region: np.ndarray) -> bool:
+        """File one inbound lease; ``True`` means the frame is stale (its
+        generation predates a reset of ``src``'s pool)."""
+        seen = self._gen.get(src, 0)
+        if generation < seen:
+            return True
+        self._gen[src] = generation
+        self._entries[lease_id] = (src, region)
+        return False
+
+    def collect_free(self) -> dict[int, list[int]]:
+        """Reap leases with no live consumer, grouped by owning src.
+
+        ``getrefcount(region) <= 2``: the entry tuple plus the probe
+        argument.  ``<=`` so interpreters that report more (immortal or
+        deferred counts) merely delay reaping, never reap a live lease.
+        The probe indexes the entry tuple instead of unpacking it — a
+        named loop variable would itself hold a third reference and no
+        lease would ever test free.
+        """
+        freed: dict[int, list[int]] = {}
+        dead = [lease_id for lease_id, entry in self._entries.items()
+                if sys.getrefcount(entry[1]) <= 2]
+        for lease_id in dead:
+            src, _ = self._entries.pop(lease_id)
+            freed.setdefault(src, []).append(lease_id)
+        return freed
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (fence: the runs that leased them are dead)."""
+        self._entries.clear()

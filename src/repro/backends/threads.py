@@ -31,6 +31,8 @@ import traceback
 from collections import defaultdict
 from typing import Any, Sequence
 
+import numpy as np
+
 from ..core.api import Bsp
 from ..core.errors import SynchronizationError, VirtualProcessorError
 from ..core.packets import Packet, PacketRuns
@@ -42,6 +44,7 @@ from .base import (
     check_pattern_sends,
     check_sync,
 )
+from .shm import zerocopy_enabled
 
 
 class _Abort(BaseException):
@@ -119,17 +122,55 @@ class _ThreadShared:
 
 
 class _ThreadChannel:
-    """Per-processor view of the shared mailbox structure."""
+    """Per-processor view of the shared mailbox structure.
 
-    def __init__(self, shared: _ThreadShared, abort: threading.Event):
+    Payloads cross by *reference* — the Packet objects a receiver reads
+    out of a sender's parity slot hold the very objects the sender
+    queued, so a NumPy halo costs zero copies and zero pickling.  The
+    hazard of by-reference delivery is the send()→sync() window: a
+    program that mutates an array *after* sending it would silently
+    change what the receiver gets.  :meth:`prepare_payload` guards that
+    window by flipping the array's writeable flag off at send time (an
+    attempted mutation then raises ``ValueError`` at the faulty line —
+    loud, attributable) and restoring it on delivery, i.e. right after
+    the barrier that publishes the superstep's sends.  With
+    ``REPRO_ZEROCOPY=off`` the guard becomes a documented *copy-on-send*
+    fallback: every outgoing array is copied at send time, restoring
+    full value semantics for programs that insist on recycling their
+    send buffers mid-superstep.
+    """
+
+    def __init__(self, shared: _ThreadShared, abort: threading.Event, *,
+                 zerocopy: bool = True):
         self._shared = shared
         self._abort = abort
         self._pattern = None
+        self._zerocopy = zerocopy
+        #: Arrays *this channel* froze at send time, by id — only those
+        #: are unfrozen on delivery, so an array the program itself made
+        #: read-only stays read-only.
+        self._frozen: dict[int, np.ndarray] = {}
 
     def declare_pattern(self, pattern) -> None:
         """Parity with the real backends: shared memory has no frames to
         elide, but declared patterns are validated identically."""
         self._pattern = pattern
+
+    def prepare_payload(self, payload: Any) -> Any:
+        """Apply the by-reference mutation guard to one outgoing payload.
+
+        Zero-copy on: writeable arrays are frozen until delivery.
+        Zero-copy off: arrays are copied at send time (copy-on-send).
+        Non-array payloads pass through untouched — they are shared by
+        reference exactly as this backend always has.
+        """
+        if isinstance(payload, np.ndarray):
+            if not self._zerocopy:
+                return payload.copy()
+            if payload.flags.writeable and id(payload) not in self._frozen:
+                payload.flags.writeable = False
+                self._frozen[id(payload)] = payload
+        return payload
 
     def exchange(self, pid: int, step: int, outbox: list[Packet]) -> PacketRuns:
         shared = self._shared
@@ -146,6 +187,14 @@ class _ThreadChannel:
             raise _Abort() from None
         if self._abort.is_set():
             raise _Abort()
+        # Delivery: the barrier has published every send of this
+        # superstep, so the guarded window is over — restore the
+        # writeable flags this channel flipped.  Receivers see writable
+        # arrays, as on every other backend.
+        if self._frozen:
+            for arr in self._frozen.values():
+                arr.flags.writeable = True
+            self._frozen.clear()
         # Each sender's slot holds its per-destination bucket in send order,
         # i.e. a seq-sorted run; collecting in src order yields the inbox
         # pre-ordered (PacketRuns), so Bsp.sync skips the sort.
@@ -181,12 +230,13 @@ class ThreadBackend(Backend):
         kwargs = kwargs or {}
         shared = _ThreadShared(nprocs)
         abort = threading.Event()
+        zerocopy = zerocopy_enabled()
         results: list[Any] = [None] * nprocs
         ledgers: list[VPLedger | None] = [None] * nprocs
         errors: list[tuple[int, str, BaseException] | None] = [None] * nprocs
 
         def body(pid: int) -> None:
-            channel = _ThreadChannel(shared, abort)
+            channel = _ThreadChannel(shared, abort, zerocopy=zerocopy)
             bsp = Bsp(pid, nprocs, channel)
             try:
                 results[pid] = program(bsp, *args, **kwargs)

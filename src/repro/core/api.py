@@ -72,6 +72,7 @@ class Bsp:
         "_finished",
         "_clock",
         "_ckpt",
+        "_prepare",
     )
 
     def __init__(
@@ -96,6 +97,11 @@ class Bsp:
         self._seq = 0
         self._finished = False
         self._ckpt = None
+        #: Optional backend hook applied to every outgoing payload at
+        #: send time (e.g. the thread backend's by-reference mutation
+        #: guard / copy-on-send fallback).  Cached once: the per-send
+        #: cost for backends without the hook is a single None test.
+        self._prepare = getattr(channel, "prepare_payload", None)
         self._t0 = clock()
 
     # -- identity ---------------------------------------------------------
@@ -129,6 +135,8 @@ class Bsp:
             raise BspUsageError(
                 f"destination {dst} out of range for nprocs {self._nprocs}"
             )
+        if self._prepare is not None:
+            payload = self._prepare(payload)
         cost = h_units(payload) if h is None else h
         pkt = Packet(src=self._pid, dst=dst, payload=payload, h=cost, seq=self._seq)
         self._seq += 1

@@ -45,7 +45,8 @@ def h_units(payload: Any) -> int:
     mirroring the paper's fixed-size packet accounting.  Sizes are derived
     structurally (no pickling) so the charge is cheap and deterministic:
 
-    * ``bytes``/``bytearray``/``memoryview`` — their length;
+    * ``bytes``/``bytearray`` — their length; ``memoryview`` — its
+      ``nbytes`` (a view's byte size, whatever its item type);
     * NumPy arrays and scalars — ``nbytes``;
     * ``bool``/``int``/``float``/``complex``/``None`` — 8 bytes (one word,
       rounded up; a single packet);
@@ -64,8 +65,13 @@ _WORD_TYPES = frozenset((bool, int, float, complex, type(None)))
 def _payload_nbytes(payload: Any) -> int:
     if payload is None or isinstance(payload, (bool, int, float, complex)):
         return 8
-    if isinstance(payload, (bytes, bytearray, memoryview)):
+    if isinstance(payload, (bytes, bytearray)):
         return len(payload)
+    if isinstance(payload, memoryview):
+        # nbytes, not len(): a view of n 8-byte items is n*8 wire bytes,
+        # and zero-copy deliveries hand programs memoryview-backed
+        # payloads whose h-charge must match the bytes actually moved.
+        return payload.nbytes
     if isinstance(payload, np.ndarray):
         return int(payload.nbytes)
     if isinstance(payload, np.generic):

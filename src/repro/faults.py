@@ -53,6 +53,21 @@ changing results or ledgers):
                   visible as latency, never as an error.
 ================= ========================================================
 
+Zero-copy data-plane kinds (consulted by the process backend's boundary
+exchange; they attack the shared-memory segment pool of
+:mod:`repro.backends.shm` and must never corrupt a delivery):
+
+================ =========================================================
+``LEAK_SEGMENT`` the worker creates a segment at the boundary and forgets
+                 it — nothing in the run ever releases or unlinks it, so
+                 only the parent's orphan sweep (teardown/rebuild/heal)
+                 can reclaim the ``/dev/shm`` entry.
+``TORN_LEASE``   the receiver discards the lease releases it collected at
+                 the boundary instead of sending them home — the owner's
+                 pool must grow (fresh regions) rather than reuse the
+                 unreleased ones, and teardown still reclaims everything.
+================ =========================================================
+
 Checkpoint-targeted kinds (consulted by
 :meth:`repro.checkpoint.CheckpointStore.save_shard` right after a shard
 is durably written, i.e. they model storage-level damage, not a failed
@@ -115,11 +130,18 @@ DUP_FRAME = "dup-frame"
 RESET_CONN = "reset-conn"
 PARTITION = "partition"
 SLOW_LINK = "slow-link"
+LEAK_SEGMENT = "leak-segment"
+TORN_LEASE = "torn-lease"
 
 _KINDS = frozenset({KILL, EXIT, RAISE, POISON, DELAY, DROP_FRAME,
                     DROP_DEPART, TRUNCATE_CHECKPOINT, CORRUPT_CHECKPOINT,
                     CORRUPT_FRAME, DUP_FRAME, RESET_CONN, PARTITION,
-                    SLOW_LINK})
+                    SLOW_LINK, LEAK_SEGMENT, TORN_LEASE})
+
+#: Kinds that attack the zero-copy shared-memory data plane: they must
+#: never corrupt a delivery — only grow the segment pool until the
+#: parent's orphan sweep reclaims it.
+ZEROCOPY_KINDS = frozenset({LEAK_SEGMENT, TORN_LEASE})
 
 #: Kinds that damage a just-written checkpoint shard.
 CHECKPOINT_KINDS = frozenset({TRUNCATE_CHECKPOINT, CORRUPT_CHECKPOINT})
@@ -244,6 +266,8 @@ class FaultPlan:
         #: (pid, step) -> peer to reset, or None meaning "every link".
         self._resets: dict[tuple[int, int], int | None] = {}
         self._slow: dict[tuple[int, int, int], float] = {}
+        self._leaks: set[tuple[int, int]] = set()
+        self._tears: set[tuple[int, int]] = set()
         for fault in self.faults:
             if fault.kind == DROP_FRAME:
                 self._drops.add((fault.pid, fault.step, int(fault.arg)))
@@ -264,6 +288,10 @@ class FaultPlan:
                 peer, seconds = fault.arg
                 self._slow[(fault.pid, fault.step, int(peer))] = \
                     float(seconds)
+            elif fault.kind == LEAK_SEGMENT:
+                self._leaks.add((fault.pid, fault.step))
+            elif fault.kind == TORN_LEASE:
+                self._tears.add((fault.pid, fault.step))
             else:
                 self._boundary[(fault.pid, fault.step)] = fault
 
@@ -334,6 +362,17 @@ class FaultPlan:
 
     def drops_depart(self, pid: int, peer: int) -> bool:
         return (pid, peer) in self._drop_departs
+
+    # -- zero-copy data-plane hooks (process backend) ------------------------
+
+    def leaks_segment(self, pid: int, step: int) -> bool:
+        """True when ``pid`` must leak one orphan segment at ``step``."""
+        return (pid, step) in self._leaks
+
+    def tears_lease(self, pid: int, step: int) -> bool:
+        """True when ``pid`` must discard its collected lease releases at
+        ``step`` (they never reach the owning pool)."""
+        return (pid, step) in self._tears
 
     # -- network-fabric hooks (TCP mesh channel) -----------------------------
 
