@@ -1,0 +1,242 @@
+"""Measure durable-gateway recovery: SIGKILL mid-job, replay, resume.
+
+Two runs of the same workload — ``JOBS`` checkpointed ``spin`` jobs that
+together saturate the fleet — against a gateway subprocess serving warm
+process pools with ``--journal-dir``:
+
+* **cold** — the baseline: a fresh gateway runs every job start to
+  finish.  Wall time from gateway spawn to the last DONE.
+* **recovery** — the same jobs are submitted, the gateway is SIGKILLed
+  once every job has checkpointed ≥ ``KILL_AT`` of its supersteps, and a
+  new gateway is started on the same journal.  Wall time from the
+  *restart* spawn to the last DONE — the recovery time objective (RTO):
+  journal replay + orphan reap + fleet re-fork + resuming every job from
+  its last checkpoint (~15% of the compute), with the original streaming
+  clients re-attached by idempotency key.
+
+Because the interrupted jobs resume instead of restarting, recovery must
+beat re-running the workload from scratch:
+
+Acceptance floors (enforced, nonzero exit):
+
+* ``cold_s / recovery_s >= 2.0`` — replay at ~85% progress recovers at
+  least twice as fast as cold resubmission;
+* every recovered job is DONE with a ledger digest **bit-identical** to
+  its uninterrupted twin's;
+* every client handle survived the bounce (``reconnects >= 1``) and the
+  dead incarnation's workers were reaped (``orphans_reaped >= 1``);
+* the journal directory holds **zero** orphaned ``.tmp-`` files after
+  replay compaction.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_gateway_recovery.py --quick
+    PYTHONPATH=src python benchmarks/bench_gateway_recovery.py \
+        --label gateway --output BENCH_gateway.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.service import ServiceClient
+
+NPROCS = 2
+POOLS = 2
+JOBS = 2  # == POOLS: every job runs (and checkpoints) from the start
+KILL_AT = 0.85
+SPIN_SECONDS = 0.05
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def spawn_gateway(port: int, journal_dir: str) -> subprocess.Popen:
+    """Start ``serve`` as a subprocess; returns once it is listening."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [_SRC, env.get("PYTHONPATH", "")])
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.harness", "serve",
+         "--port", str(port), "--fleet", f"processes:{NPROCS}x{POOLS}",
+         "--journal-dir", journal_dir, "--probe-interval", "0"],
+        stderr=subprocess.PIPE, env=env, text=True)
+    deadline = time.time() + 120
+    banner = []
+    while time.time() < deadline:
+        line = proc.stderr.readline()
+        if not line and proc.poll() is not None:
+            raise RuntimeError(f"gateway died at startup: {''.join(banner)}")
+        banner.append(line)
+        if "listening on" in line:
+            return proc
+    proc.kill()
+    raise RuntimeError(f"gateway never listened: {''.join(banner)}")
+
+
+def submit_jobs(client: ServiceClient, steps: int) -> list:
+    return [client.submit(app="spin", size=str(steps), nprocs=NPROCS,
+                          backend="processes", checkpoint_every=1,
+                          params={"spin_seconds": SPIN_SECONDS},
+                          key=f"recover-{i}", wait=False)
+            for i in range(JOBS)]
+
+
+def run_cold(journal_dir: str, steps: int) -> dict:
+    """The uninterrupted baseline; returns wall seconds and digests."""
+    port = free_port()
+    t0 = time.perf_counter()
+    proc = spawn_gateway(port, journal_dir)
+    client = ServiceClient("127.0.0.1", port, timeout=600)
+    finals = [handle.wait() for handle in submit_jobs(client, steps)]
+    wall = time.perf_counter() - t0
+    client.shutdown()
+    proc.wait(timeout=60)
+    states = {final["state"] for final in finals}
+    if states != {"DONE"}:
+        raise AssertionError(f"cold jobs not all DONE: {states}")
+    return {"wall_s": wall,
+            "digest_set": {final["result"]["digest"] for final in finals}}
+
+
+def run_recovery(journal_dir: str, steps: int) -> dict:
+    """Kill at ~KILL_AT progress, restart, drain; returns RTO + checks."""
+    port = free_port()
+    proc = spawn_gateway(port, journal_dir)
+    client = ServiceClient("127.0.0.1", port, timeout=600,
+                           reconnect_timeout=300)
+    handles = submit_jobs(client, steps)
+    target = max(1, int(steps * KILL_AT))
+    deadline = time.time() + 600
+    while time.time() < deadline:
+        states = [client.status(handle.job_id) for handle in handles]
+        if all(state["state"] == "RUNNING"
+               and (state["progress_step"] or 0) >= target
+               for state in states):
+            break
+        time.sleep(0.02)
+    else:
+        raise AssertionError("jobs never reached the kill point")
+    progress_at_kill = min((s["progress_step"] or 0) for s in states)
+    os.kill(proc.pid, signal.SIGKILL)
+    proc.wait(timeout=60)
+
+    t0 = time.perf_counter()
+    proc = spawn_gateway(port, journal_dir)
+    finals = [handle.wait() for handle in handles]
+    wall = time.perf_counter() - t0
+    health = client.health()
+    client.shutdown()
+    proc.wait(timeout=60)
+    states = {final["state"] for final in finals}
+    if states != {"DONE"}:
+        raise AssertionError(f"recovered jobs not all DONE: {states}")
+    temps = [name for name in os.listdir(journal_dir)
+             if name.startswith(".tmp-")]
+    return {"wall_s": wall,
+            "progress_at_kill": progress_at_kill,
+            "digest_set": {final["result"]["digest"] for final in finals},
+            "reconnects": [handle.reconnects for handle in handles],
+            "orphans_reaped": health["journal"]["orphans_reaped"],
+            "replayed": health["journal"]["replayed"],
+            "orphan_temps": temps}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer supersteps per job (CI smoke)")
+    parser.add_argument("--label", default=None,
+                        help="snapshot name in the output JSON")
+    parser.add_argument("--output", default=None,
+                        help="JSON file to merge this snapshot into")
+    args = parser.parse_args(argv)
+
+    steps = 24 if args.quick else 60
+    speedup_floor = 2.0
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="bench-gw-") as root:
+        cold = run_cold(os.path.join(root, "cold"), steps)
+        recovery = run_recovery(os.path.join(root, "crash"), steps)
+
+    speedup = cold["wall_s"] / recovery["wall_s"]
+    print(f"{'run':>10}  {'wall s':>8}")
+    print(f"{'cold':>10}  {cold['wall_s']:>8.3f}")
+    print(f"{'recovery':>10}  {recovery['wall_s']:>8.3f}   "
+          f"(killed at step {recovery['progress_at_kill']}/{steps}, "
+          f"speedup {speedup:.2f}x)")
+
+    if speedup < speedup_floor:
+        failures.append(
+            f"recovery speedup {speedup:.2f}x is below the "
+            f"{speedup_floor}x floor (cold {cold['wall_s']:.3f}s, "
+            f"recovery {recovery['wall_s']:.3f}s)")
+    if recovery["digest_set"] != cold["digest_set"]:
+        failures.append(
+            f"recovered ledgers differ from the uninterrupted run: "
+            f"{recovery['digest_set']} != {cold['digest_set']}")
+    if not all(count >= 1 for count in recovery["reconnects"]):
+        failures.append(
+            f"some client handles never re-attached: "
+            f"reconnects={recovery['reconnects']}")
+    if recovery["orphans_reaped"] < 1:
+        failures.append("the restarted gateway reaped no orphan workers")
+    if recovery["orphan_temps"]:
+        failures.append(
+            f"journal dir holds orphaned temp files after compaction: "
+            f"{recovery['orphan_temps']}")
+
+    for line in failures:
+        print(f"FAIL: {line}", file=sys.stderr)
+
+    snapshot = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": args.quick,
+        "jobs": JOBS,
+        "supersteps": steps,
+        "spin_seconds": SPIN_SECONDS,
+        "kill_at": KILL_AT,
+        "floors": {"recovery_speedup": speedup_floor},
+        "cold_s": round(cold["wall_s"], 3),
+        "recovery_s": round(recovery["wall_s"], 3),
+        "recovery_speedup": round(speedup, 2),
+        "progress_at_kill": recovery["progress_at_kill"],
+        "reconnects": recovery["reconnects"],
+        "orphans_reaped": recovery["orphans_reaped"],
+        "journal_replayed": recovery["replayed"],
+        "ledgers_bit_identical":
+            recovery["digest_set"] == cold["digest_set"],
+    }
+    if args.output:
+        label = args.label or "snapshot"
+        try:
+            with open(args.output) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            doc = {}
+        doc[label] = snapshot
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote snapshot {label!r} to {args.output}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

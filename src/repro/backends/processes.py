@@ -827,6 +827,16 @@ class PoolHealth:
         slab/pipe path instead (``REPRO_ZEROCOPY=off`` or segment
         creation failure) — nonzero hits with zero fallbacks means the
         data plane is fully engaged.
+    quarantines:
+        Times the service gateway quarantined the pool's fleet slot
+        (failed health probes or a restart storm); filled in by the
+        service layer, always 0 on a snapshot taken from the pool itself.
+    probes_failed:
+        Gateway health probes this pool failed over its lifetime
+        (service layer, like ``quarantines``).
+    journal_replays:
+        Resumed jobs (journal replay after a gateway crash) this pool's
+        slot has run (service layer, like ``quarantines``).
     """
 
     generation: int
@@ -840,6 +850,9 @@ class PoolHealth:
     reconnects: int = 0
     zerocopy_hits: int = 0
     zerocopy_fallbacks: int = 0
+    quarantines: int = 0
+    probes_failed: int = 0
+    journal_replays: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-data view of this snapshot, safe for ``json.dumps``.
@@ -860,6 +873,9 @@ class PoolHealth:
             "reconnects": self.reconnects,
             "zerocopy_hits": self.zerocopy_hits,
             "zerocopy_fallbacks": self.zerocopy_fallbacks,
+            "quarantines": self.quarantines,
+            "probes_failed": self.probes_failed,
+            "journal_replays": self.journal_replays,
         }
 
     @classmethod

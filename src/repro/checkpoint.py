@@ -76,6 +76,33 @@ _TMP_PREFIX = ".tmp-"
 _MAX_HEADER = 4096
 
 
+def atomic_replace_write(path: str, *chunks: bytes,
+                         tmp_prefix: str = _TMP_PREFIX) -> None:
+    """Durably write ``chunks`` to ``path``: dot-tmp + fsync + os.replace.
+
+    The disk-durability primitive shared by :class:`DiskCheckpointStore`
+    shards and the service's job journal (:mod:`repro.service.journal`):
+    a reader never observes a half-written file under its final name, and
+    a crash mid-write leaves only a temp file for the next sweep.  The
+    temp file lives in ``path``'s own directory so the replace is within
+    one filesystem.
+    """
+    directory, name = os.path.split(path)
+    tmp = os.path.join(directory, f"{tmp_prefix}{name}-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            for chunk in chunks:
+                fh.write(chunk)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        try:
+            os.unlink(tmp)
+        except FileNotFoundError:
+            pass
+
+
 @dataclass
 class Snapshot:
     """One rank's member of a consistent cut at a superstep boundary.
@@ -320,29 +347,15 @@ class DiskCheckpointStore(CheckpointStore):
             "nprocs": nprocs, "nbytes": len(blob),
             "sha256": hashlib.sha256(blob).hexdigest(),
         }).encode("ascii")
-        tmp = os.path.join(
-            step_dir, f"{_TMP_PREFIX}{_RANK_PREFIX}{pid:04d}-{os.getpid()}")
+        path = self._shard_path(run_key, step, pid)
         try:
-            try:
-                fh = open(tmp, "wb")
-            except FileNotFoundError:
-                # A peer's retention pass (or a driver rollback) removed
-                # the step directory between our makedirs and the open;
-                # re-create it — this rank's shard is current either way.
-                os.makedirs(step_dir, exist_ok=True)
-                fh = open(tmp, "wb")
-            with fh:
-                fh.write(header)
-                fh.write(b"\n")
-                fh.write(blob)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, self._shard_path(run_key, step, pid))
-        finally:
-            try:
-                os.unlink(tmp)
-            except FileNotFoundError:
-                pass
+            atomic_replace_write(path, header, b"\n", blob)
+        except FileNotFoundError:
+            # A peer's retention pass (or a driver rollback) removed the
+            # step directory between our makedirs and the write; re-create
+            # it — this rank's shard is current either way.
+            os.makedirs(step_dir, exist_ok=True)
+            atomic_replace_write(path, header, b"\n", blob)
         self._prune(run_key, pid)
 
     def _prune(self, run_key, pid):

@@ -163,6 +163,46 @@ class PoolExhaustedError(BspError, RuntimeError):
     """
 
 
+class GatewayUnavailableError(BspError, ConnectionError):
+    """The service gateway's socket is gone (refused, timed out, reset).
+
+    Raised by :class:`~repro.service.client.ServiceClient` in place of the
+    raw :class:`ConnectionRefusedError`/``OSError`` so callers get one
+    typed signal for "no gateway is listening there right now" — which,
+    with a durable gateway, is usually a *transient* condition: the
+    gateway is bouncing and will replay its journal.  Carries the last
+    known address so a retry loop (or an operator) knows exactly which
+    endpoint went dark.
+    """
+
+    def __init__(self, host: str, port: int, cause: str | None = None):
+        self.host = host
+        self.port = port
+        self.cause = cause
+        message = f"gateway at {host}:{port} is unavailable"
+        if cause:
+            message = f"{message} ({cause})"
+        super().__init__(message)
+
+
+class ServiceOverloadError(BspError, RuntimeError):
+    """The service shed a submission because no healthy pool can take it.
+
+    Distinct from :class:`AdmissionError` (queue bounds — the service is
+    healthy, just full): here every warm pool serving the job's fleet key
+    is quarantined (failed health probes, restart storm) and accepting
+    the job would mean silent unbounded latency.  ``retry_after`` is the
+    gateway's hint, in seconds, for when capacity is expected back —
+    quarantined pools recycle in the background.
+    """
+
+    def __init__(self, message: str, *, retry_after: float | None = None):
+        self.retry_after = retry_after
+        if retry_after is not None:
+            message = f"{message} (retry after {retry_after:.0f}s)"
+        super().__init__(message)
+
+
 class VirtualProcessorError(BspError, RuntimeError):
     """An exception escaped the program body of one virtual processor.
 

@@ -81,6 +81,26 @@ write):
                         media corruption that only a checksum catches.
 ======================= ==================================================
 
+Service-layer kinds (consulted by :mod:`repro.service` — the durable
+gateway's journal and the fleet health prober; they model the service's
+own failure surfaces, which no worker-local hook can reach):
+
+================= ========================================================
+``GATEWAY_CRASH`` SIGKILL the gateway process itself immediately after
+                  journal record *step* is durably appended — the
+                  "kill -9 the control plane" scenario.  Restarting with
+                  the same ``--journal-dir`` must replay every admitted
+                  job.
+``JOURNAL_TORN``  truncate the just-appended journal record to half its
+                  bytes — a torn tail write on a crashing filesystem.
+                  Replay must *skip* the damaged record (fallback
+                  ladder), never resurrect a half-parsed job.
+``POOL_SICK``     make fleet slot *pid*'s health probe number *step*
+                  raise — a pool whose supervision state is gone.  The
+                  prober must quarantine the slot, drain work to healthy
+                  pools, and recycle the sick one in the background.
+================= ========================================================
+
 Zero overhead when disabled
 ---------------------------
 The hooks in ``processes.py``/``frames.py`` are a single module-attribute
@@ -132,11 +152,20 @@ PARTITION = "partition"
 SLOW_LINK = "slow-link"
 LEAK_SEGMENT = "leak-segment"
 TORN_LEASE = "torn-lease"
+GATEWAY_CRASH = "gateway-crash"
+JOURNAL_TORN = "journal-torn"
+POOL_SICK = "pool-sick"
 
 _KINDS = frozenset({KILL, EXIT, RAISE, POISON, DELAY, DROP_FRAME,
                     DROP_DEPART, TRUNCATE_CHECKPOINT, CORRUPT_CHECKPOINT,
                     CORRUPT_FRAME, DUP_FRAME, RESET_CONN, PARTITION,
-                    SLOW_LINK, LEAK_SEGMENT, TORN_LEASE})
+                    SLOW_LINK, LEAK_SEGMENT, TORN_LEASE,
+                    GATEWAY_CRASH, JOURNAL_TORN, POOL_SICK})
+
+#: Kinds that attack the service layer (the durable gateway), not a
+#: worker: the gateway process itself, its job journal, or a warm pool's
+#: probed health.  See the service-fault section of the module docstring.
+SERVICE_KINDS = frozenset({GATEWAY_CRASH, JOURNAL_TORN, POOL_SICK})
 
 #: Kinds that attack the zero-copy shared-memory data plane: they must
 #: never corrupt a delivery — only grow the segment pool until the
@@ -268,6 +297,9 @@ class FaultPlan:
         self._slow: dict[tuple[int, int, int], float] = {}
         self._leaks: set[tuple[int, int]] = set()
         self._tears: set[tuple[int, int]] = set()
+        self._gateway_crashes: set[int] = set()
+        self._journal_tears: set[int] = set()
+        self._sick_probes: set[tuple[int, int]] = set()
         for fault in self.faults:
             if fault.kind == DROP_FRAME:
                 self._drops.add((fault.pid, fault.step, int(fault.arg)))
@@ -292,6 +324,12 @@ class FaultPlan:
                 self._leaks.add((fault.pid, fault.step))
             elif fault.kind == TORN_LEASE:
                 self._tears.add((fault.pid, fault.step))
+            elif fault.kind == GATEWAY_CRASH:
+                self._gateway_crashes.add(fault.step)
+            elif fault.kind == JOURNAL_TORN:
+                self._journal_tears.add(fault.step)
+            elif fault.kind == POOL_SICK:
+                self._sick_probes.add((fault.pid, fault.step))
             else:
                 self._boundary[(fault.pid, fault.step)] = fault
 
@@ -421,6 +459,23 @@ class FaultPlan:
     def tampers_checkpoint(self, pid: int, step: int) -> str | None:
         """The checkpoint-damage kind scheduled for (pid, step), if any."""
         return self._ckpt_tampers.get((pid, step))
+
+    # -- service-layer hooks (durable gateway) -------------------------------
+
+    def crashes_gateway(self, seq: int) -> bool:
+        """True when the gateway must SIGKILL itself right after journal
+        record ``seq`` is durably appended."""
+        return seq in self._gateway_crashes
+
+    def tears_journal(self, seq: int) -> bool:
+        """True when journal record ``seq`` must be torn (truncated to
+        half its bytes) right after its durable append."""
+        return seq in self._journal_tears
+
+    def pool_sick(self, slot_index: int, probe_seq: int) -> bool:
+        """True when fleet slot ``slot_index``'s health probe number
+        ``probe_seq`` must fail (raise)."""
+        return (slot_index, probe_seq) in self._sick_probes
 
 
 #: The installed plan; ``None`` (the default) short-circuits every hook.

@@ -322,7 +322,31 @@ def _serve(argv: list[str]) -> int:
                         help="fair-share weight for a tenant (default 1)")
     parser.add_argument("--checkpoint-root", default=None,
                         help="service-managed on-disk checkpoint store "
-                             "(default: private tempdir)")
+                             "(default: private tempdir, or "
+                             "<journal-dir>/checkpoints with --journal-dir)")
+    parser.add_argument("--journal-dir", default=None,
+                        help="durable job journal root; on startup an "
+                             "existing journal is replayed — queued jobs "
+                             "re-admitted in fair order, interrupted jobs "
+                             "resumed from their last checkpoint")
+    parser.add_argument("--probe-interval", type=float, default=1.0,
+                        help="fleet health probe period in seconds "
+                             "(0 disables probing)")
+    parser.add_argument("--quarantine-after", type=int, default=2,
+                        help="consecutive failed probes before a pool "
+                             "slot is quarantined")
+    parser.add_argument("--restart-burst", type=int, default=3,
+                        help="worker restarts between probes that count "
+                             "as a storm (immediate quarantine)")
+    parser.add_argument("--crash-after-journal", type=int, default=None,
+                        metavar="SEQ",
+                        help="test hook: SIGKILL this gateway right "
+                             "after journal record SEQ lands on disk")
+    parser.add_argument("--tear-journal-at", type=int, default=None,
+                        metavar="SEQ",
+                        help="test hook: tear journal record SEQ in "
+                             "half after writing it (simulated torn "
+                             "tail)")
     args = parser.parse_args(argv)
 
     import asyncio
@@ -343,12 +367,26 @@ def _serve(argv: list[str]) -> int:
         weights[tenant] = float(weight)
     fleet = tuple(parse_fleet_spec(text)
                   for text in (args.fleet or ["processes:4x2"]))
+    if args.crash_after_journal is not None or args.tear_journal_at is not None:
+        from .. import faults
+        plan = []
+        if args.crash_after_journal is not None:
+            plan.append(faults.Fault(faults.GATEWAY_CRASH, 0,
+                                     args.crash_after_journal))
+        if args.tear_journal_at is not None:
+            plan.append(faults.Fault(faults.JOURNAL_TORN, 0,
+                                     args.tear_journal_at))
+        faults.install(faults.FaultPlan(plan))
     config = GatewayConfig(
         host=args.host, port=args.port, fleet=fleet,
         scheduler=SchedulerConfig(max_queued=args.max_queued,
                                   max_in_flight=args.max_in_flight,
                                   weights=weights),
         checkpoint_root=args.checkpoint_root,
+        journal_dir=args.journal_dir,
+        probe_interval=args.probe_interval,
+        quarantine_after=args.quarantine_after,
+        restart_burst=args.restart_burst,
     )
 
     async def body() -> None:
@@ -356,6 +394,11 @@ def _serve(argv: list[str]) -> int:
         await gateway.start()
         fleet_desc = ", ".join(
             f"{spec.backend}:{spec.nprocs}x{spec.pools}" for spec in fleet)
+        if gateway.journal is not None:
+            print(f"[serve] journal: replayed={gateway.journal_replays} "
+                  f"damaged={gateway.journal_damaged} "
+                  f"orphans_reaped={gateway.orphans_reaped}",
+                  file=sys.stderr)
         print(f"[serve] listening on {gateway.host}:{gateway.port} "
               f"fleet=[{fleet_desc}]", file=sys.stderr)
         await gateway.serve_forever()
@@ -365,6 +408,12 @@ def _serve(argv: list[str]) -> int:
     except KeyboardInterrupt:
         print("[serve] interrupted; fleet shut down", file=sys.stderr)
     return 0
+
+
+#: Exit code for "no gateway is listening there" — distinct from 1
+#: (the request reached a gateway and failed), so retry wrappers can
+#: tell a bouncing gateway from a genuinely failed job.
+_EX_UNAVAILABLE = 3
 
 
 def _client_args(parser: argparse.ArgumentParser) -> None:
@@ -391,6 +440,12 @@ def _submit(argv: list[str]) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--retries", type=int, default=0)
     parser.add_argument("--checkpoint-every", type=int, default=None)
+    parser.add_argument("--key", default=None,
+                        help="idempotency key: resubmitting the same key "
+                             "re-attaches to the existing job (across "
+                             "restarts of a journalled gateway) instead "
+                             "of queuing a duplicate, and arms automatic "
+                             "stream re-attach on a gateway bounce")
     parser.add_argument("--no-wait", action="store_true",
                         help="print the accepted record and return "
                              "without waiting for completion")
@@ -398,7 +453,7 @@ def _submit(argv: list[str]) -> int:
 
     import json
 
-    from ..core.errors import BspError
+    from ..core.errors import BspError, GatewayUnavailableError
     from ..service import ServiceClient
     client = ServiceClient(args.host, args.port, tenant=args.tenant)
     try:
@@ -406,7 +461,7 @@ def _submit(argv: list[str]) -> int:
             app=args.app, size=args.size, nprocs=args.nprocs,
             backend=args.backend, sync=args.sync, seed=args.seed,
             retries=args.retries, checkpoint_every=args.checkpoint_every,
-            wait=False)
+            key=args.key, wait=False)
         if args.no_wait:
             outcome.close()
             print(json.dumps(outcome.job, indent=2))
@@ -414,6 +469,9 @@ def _submit(argv: list[str]) -> int:
         final = outcome.wait(
             on_state=lambda job: print(f"[{job['job_id']}] {job['state']}",
                                        file=sys.stderr))
+    except GatewayUnavailableError as exc:
+        print(f"submit failed: {exc}", file=sys.stderr)
+        return _EX_UNAVAILABLE
     except (BspError, ConnectionError) as exc:
         print(f"submit failed: {exc}", file=sys.stderr)
         return 1
@@ -428,18 +486,36 @@ def _status(argv: list[str]) -> int:
     )
     parser.add_argument("job_id", nargs="?", default=None)
     _client_args(parser)
+    parser.add_argument("--json", action="store_true",
+                        help="full machine-readable health dump, "
+                             "including per-fleet-slot health (probe "
+                             "failures, quarantined pools, journal "
+                             "replay counters)")
     args = parser.parse_args(argv)
 
     import json
 
-    from ..core.errors import BspError
+    from ..core.errors import BspError, GatewayUnavailableError
     from ..service import ServiceClient
     client = ServiceClient(args.host, args.port, tenant=args.tenant)
     try:
         if args.job_id is not None:
             print(json.dumps(client.status(args.job_id), indent=2))
         else:
-            print(json.dumps(client.health(), indent=2))
+            health = client.health()
+            if not args.json:
+                # Summary view: drop the per-slot detail, keep the
+                # fleet-level counters (quarantines included).
+                health = dict(health)
+                health["fleet"] = [
+                    {k: slot[k] for k in ("slot", "busy_job", "jobs_run",
+                                          "recycles", "quarantined")
+                     if k in slot}
+                    for slot in health.get("fleet", [])]
+            print(json.dumps(health, indent=2))
+    except GatewayUnavailableError as exc:
+        print(f"status failed: {exc}", file=sys.stderr)
+        return _EX_UNAVAILABLE
     except (BspError, ConnectionError) as exc:
         print(f"status failed: {exc}", file=sys.stderr)
         return 1
@@ -457,11 +533,14 @@ def _cancel(argv: list[str]) -> int:
 
     import json
 
-    from ..core.errors import BspError
+    from ..core.errors import BspError, GatewayUnavailableError
     from ..service import ServiceClient
     client = ServiceClient(args.host, args.port, tenant=args.tenant)
     try:
         print(json.dumps(client.cancel(args.job_id), indent=2))
+    except GatewayUnavailableError as exc:
+        print(f"cancel failed: {exc}", file=sys.stderr)
+        return _EX_UNAVAILABLE
     except (BspError, ConnectionError) as exc:
         print(f"cancel failed: {exc}", file=sys.stderr)
         return 1

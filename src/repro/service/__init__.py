@@ -19,22 +19,34 @@ package turns them into a serving system:
     The warm pools: pre-forked ``BspPool``/``TcpMesh`` instances keyed
     by ``(backend, nprocs)``, leased one job at a time and recycled
     through the existing self-heal machinery when they break.
+``journal``
+    The crash-safe job journal: a write-ahead log of every job-state
+    transition (SHA-256 self-validating records, torn tails skipped,
+    atomic compaction), replayed by a restarted gateway so queued jobs
+    keep their fair order and interrupted jobs resume from their last
+    worker checkpoint.
 ``gateway``
     The asyncio server gluing the above together and streaming job
-    state + telemetry to clients.
+    state + telemetry to clients; with a ``journal_dir`` it survives
+    its own SIGKILL.  Also home of fleet health probing: sick pools are
+    quarantined and recycled in the background, and submissions with no
+    healthy pool are shed with a typed Retry-After.
 ``client``
     ``ServiceClient``, the blocking Python client the CLI subcommands
     (``python -m repro.harness serve | submit | status | cancel``) and
-    the benchmarks use.
+    the benchmarks use.  Keyed submissions are idempotent and their
+    streams auto-re-attach across gateway bounces.
 
 See DESIGN.md "Service architecture" for the state machine and the
-fleet-recycling rules, and README "Serving BSP jobs" for a transcript.
+fleet-recycling rules, "Durable service" for the journal format and the
+replay state machine, and README "Serving BSP jobs" for a transcript.
 """
 
 from .client import ServiceClient, SubmitHandle
 from .fleet import FleetSpec, WarmFleet, parse_fleet_spec
 from .gateway import GatewayConfig, ServiceGateway, serve_in_background
 from .jobs import JOB_STATES, JobRecord, JobSpec
+from .journal import JobJournal, JournalReplay
 from .protocol import PROTOCOL_VERSION, ProtocolError
 from .scheduler import Scheduler, SchedulerConfig
 
@@ -42,8 +54,10 @@ __all__ = [
     "FleetSpec",
     "GatewayConfig",
     "JOB_STATES",
+    "JobJournal",
     "JobRecord",
     "JobSpec",
+    "JournalReplay",
     "PROTOCOL_VERSION",
     "ProtocolError",
     "Scheduler",

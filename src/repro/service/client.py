@@ -1,11 +1,20 @@
 """``ServiceClient`` — the blocking Python client of the job gateway.
 
 One connection per request keeps the client trivially robust (no
-multiplexing, no reconnect state machine): ``submit`` holds its
-connection open only while streaming the job's lifecycle; ``status`` /
-``cancel`` / ``health`` are single round trips.  On loopback a connect
-costs tens of microseconds — measured as part of the gateway-overhead
-row in ``BENCH_service.json``.
+multiplexing): ``submit`` holds its connection open only while streaming
+the job's lifecycle; ``status`` / ``cancel`` / ``health`` are single
+round trips.  On loopback a connect costs tens of microseconds —
+measured as part of the gateway-overhead row in ``BENCH_service.json``.
+
+A gateway whose socket is gone surfaces as the typed
+:class:`~repro.core.errors.GatewayUnavailableError` (never a raw
+``ConnectionRefusedError``), carrying the address that went dark.  A
+streaming submit that supplied an idempotency ``key`` goes further: if
+the stream drops mid-job (the gateway bounced), the handle reconnects
+with exponential backoff and full jitter — the same retry shape the TCP
+mesh uses for rank dials — and re-attaches to the *same* job by key via
+a ``watch`` frame, so a durable gateway's restart is a pause, not a
+failure, from the client's point of view.
 
 >>> client = ServiceClient("127.0.0.1", port)          # doctest: +SKIP
 >>> job = client.submit(app="noop", size="1", nprocs=4)  # doctest: +SKIP
@@ -15,7 +24,10 @@ row in ``BENCH_service.json``.
 
 from __future__ import annotations
 
+import random
 import socket
+import time
+from functools import partial
 from typing import Any, Callable
 
 from ..core.errors import (
@@ -23,6 +35,8 @@ from ..core.errors import (
     BspConfigError,
     BspError,
     BspUsageError,
+    GatewayUnavailableError,
+    ServiceOverloadError,
 )
 from . import protocol
 from .protocol import ProtocolError
@@ -39,17 +53,31 @@ _ERROR_TYPES: dict[str, type[BspError]] = {
 
 def _raise_error(frame: dict[str, Any]) -> None:
     code = frame.get("error", "BspError")
+    message = frame.get("message", code)
+    if code == "ServiceOverloadError":
+        raise ServiceOverloadError(message,
+                                   retry_after=frame.get("retry_after"))
     exc_type = _ERROR_TYPES.get(code, BspError)
     raise exc_type(f"{code}: {frame.get('message', '(no message)')}"
-                   if exc_type is BspError else frame.get("message", code))
+                   if exc_type is BspError else message)
 
 
 class SubmitHandle:
-    """A streaming submission in flight: iterate states, or ``wait()``."""
+    """A streaming submission in flight: iterate states, or ``wait()``.
 
-    def __init__(self, sock: socket.socket, job: dict[str, Any]):
+    When built with a ``reattach`` callable (submissions carrying an
+    idempotency key), a dropped stream is survivable: the handle
+    reconnects and resumes watching the same job, counting each recovery
+    in ``reconnects``.  Without one, a dropped stream raises.
+    """
+
+    def __init__(self, sock: socket.socket, job: dict[str, Any],
+                 reattach: Callable[[], tuple[socket.socket,
+                                              dict[str, Any]]] | None = None):
         self._sock = sock
         self.job = job
+        self._reattach = reattach
+        self.reconnects = 0
 
     @property
     def job_id(self) -> str:
@@ -59,11 +87,23 @@ class SubmitHandle:
         """Yield job snapshots until the terminal one (inclusive)."""
         try:
             while True:
-                frame = protocol.recv_frame(self._sock)
+                try:
+                    frame = protocol.recv_frame(self._sock)
+                except (ConnectionError, socket.timeout, OSError):
+                    frame = None
                 if frame is None:
-                    raise ProtocolError(
-                        f"gateway closed the stream for {self.job_id} "
-                        "before a terminal state")
+                    # The stream died before a terminal state: either the
+                    # gateway bounced (re-attach by key, if we can) or
+                    # this is a hard error.
+                    if self._reattach is None:
+                        raise ProtocolError(
+                            f"gateway closed the stream for {self.job_id} "
+                            "before a terminal state")
+                    self._sock.close()
+                    self._sock, accepted = self._reattach()
+                    self.reconnects += 1
+                    self.job = accepted["job"]
+                    continue
                 if frame.get("type") == "error":
                     _raise_error(frame)
                 snapshot = frame["job"]
@@ -89,20 +129,82 @@ class SubmitHandle:
 
 
 class ServiceClient:
-    """Blocking client for one gateway (host, port)."""
+    """Blocking client for one gateway (host, port).
+
+    ``reconnect_timeout`` bounds how long a keyed streaming submit keeps
+    retrying to re-attach after its stream drops (exponential backoff
+    with full jitter, capped at 1s between attempts).
+    """
 
     def __init__(self, host: str, port: int, *,
-                 tenant: str = "default", timeout: float = 120.0):
+                 tenant: str = "default", timeout: float = 120.0,
+                 reconnect_timeout: float = 60.0):
         self.host = host
         self.port = port
         self.tenant = tenant
         self.timeout = timeout
+        self.reconnect_timeout = reconnect_timeout
 
     def _connect(self) -> socket.socket:
-        sock = socket.create_connection((self.host, self.port),
-                                        timeout=self.timeout)
+        try:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+        except OSError as exc:
+            raise GatewayUnavailableError(
+                self.host, self.port,
+                cause=type(exc).__name__) from exc
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         return sock
+
+    def _reattach(self, *, key: str | None = None,
+                  job_id: str | None = None,
+                  ) -> tuple[socket.socket, dict[str, Any]]:
+        """Reconnect (backoff + full jitter) and re-open a job's stream.
+
+        The retry shape is the TCP mesh's ``connect_retry``: double the
+        delay each miss, sleep a uniformly random fraction of it (full
+        jitter, so a fleet of re-attaching clients doesn't stampede the
+        freshly restarted gateway), give up past ``reconnect_timeout``
+        with the typed :class:`GatewayUnavailableError`.
+        """
+        request: dict[str, Any] = {"type": "watch", "stream": True}
+        if key is not None:
+            request["key"] = key
+        else:
+            request["job_id"] = job_id
+        deadline = time.monotonic() + self.reconnect_timeout
+        delay = 0.05
+        while True:
+            sock = None
+            try:
+                sock = self._connect()
+                protocol.send_frame(sock, request)
+                frame = protocol.recv_frame(sock)
+                if frame is None:
+                    raise GatewayUnavailableError(
+                        self.host, self.port,
+                        cause="connection closed during re-attach")
+                if frame.get("type") == "error":
+                    # The gateway is *up* and rejected us (e.g. the job
+                    # is genuinely unknown): not retryable.
+                    _raise_error(frame)
+                return sock, frame
+            except (GatewayUnavailableError, ConnectionError,
+                    socket.timeout) as exc:
+                if sock is not None:
+                    sock.close()
+                if time.monotonic() >= deadline:
+                    if isinstance(exc, GatewayUnavailableError):
+                        raise
+                    raise GatewayUnavailableError(
+                        self.host, self.port,
+                        cause=type(exc).__name__) from exc
+                time.sleep(delay * (0.5 + random.random() * 0.5))
+                delay = min(delay * 2, 1.0)
+            except BaseException:
+                if sock is not None:
+                    sock.close()
+                raise
 
     def _roundtrip(self, request: dict[str, Any]) -> dict[str, Any]:
         with self._connect() as sock:
@@ -122,6 +224,7 @@ class ServiceClient:
                checkpoint_every: int | None = None,
                params: dict[str, Any] | None = None,
                tenant: str | None = None,
+               key: str | None = None,
                wait: bool = True,
                on_state: Callable[[dict[str, Any]], None] | None = None,
                ) -> dict[str, Any] | SubmitHandle:
@@ -133,9 +236,17 @@ class ServiceClient:
         whose ``events()``/``wait()`` the caller drives — or closes, to
         stop watching a job that keeps running server-side.
 
+        ``key`` is an idempotency key: resubmitting the same key returns
+        the *same* job (even across restarts of a journalled gateway)
+        instead of queuing a duplicate, and arms the handle's automatic
+        re-attach — a stream dropped by a gateway bounce reconnects with
+        backoff and resumes watching the same job.
+
         Raises :class:`~repro.core.errors.AdmissionError` when the
         gateway sheds the job at admission (queue full, unknown fleet
-        key, tenant over its allowance) — nothing was queued.
+        key, tenant over its allowance) — nothing was queued — and
+        :class:`~repro.core.errors.ServiceOverloadError` when every pool
+        for the fleet key is quarantined (retry after the hint).
         """
         job: dict[str, Any] = {"app": app, "size": str(size),
                                "nprocs": nprocs, "backend": backend,
@@ -145,6 +256,8 @@ class ServiceClient:
                                "params": params or {}}
         request = {"type": "submit", "tenant": tenant or self.tenant,
                    "stream": True, "job": job}
+        if key is not None:
+            request["key"] = key
         sock = self._connect()
         try:
             protocol.send_frame(sock, request)
@@ -157,7 +270,29 @@ class ServiceClient:
         except BaseException:
             sock.close()
             raise
-        handle = SubmitHandle(sock, frame["job"])
+        reattach = (partial(self._reattach, key=key)
+                    if key is not None else None)
+        handle = SubmitHandle(sock, frame["job"], reattach)
+        if not wait:
+            return handle
+        return handle.wait(on_state)
+
+    def watch(self, *, job_id: str | None = None, key: str | None = None,
+              wait: bool = True,
+              on_state: Callable[[dict[str, Any]], None] | None = None,
+              ) -> dict[str, Any] | SubmitHandle:
+        """Attach to an existing job's state stream (by id or key).
+
+        The recovery path for a client that lost its submit stream *and*
+        its process: reconnect, name the job, watch it to terminal.  Like
+        :meth:`submit`, keyed watches re-attach automatically if the
+        stream drops again.
+        """
+        if job_id is None and key is None:
+            raise BspUsageError("watch() needs a job_id or a key")
+        sock, frame = self._reattach(key=key, job_id=job_id)
+        reattach = partial(self._reattach, key=key, job_id=job_id)
+        handle = SubmitHandle(sock, frame["job"], reattach)
         if not wait:
             return handle
         return handle.wait(on_state)

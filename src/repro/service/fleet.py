@@ -24,6 +24,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any
 
+from .. import faults
 from ..core.errors import BspConfigError
 from .jobs import FLEET_BACKENDS, JobRecord, execute_job
 
@@ -92,15 +93,34 @@ def _build_backend(spec: FleetSpec) -> Any:
 
 
 class FleetSlot:
-    """One warm pooled backend plus its recycle bookkeeping."""
+    """One warm pooled backend plus its recycle and health bookkeeping.
 
-    def __init__(self, slot_id: str, spec: FleetSpec):
+    A slot can be **quarantined** by the gateway's health prober: a
+    quarantined slot is skipped by the dispatchers (jobs drain to the
+    healthy slots serving the same fleet key) while its pool recycles in
+    the background, after which the prober lifts the quarantine.  The
+    service-level counters (``quarantines``, ``probes_failed``,
+    ``journal_replays``) survive recycles — they describe the slot, not
+    the pool incarnation behind it.
+    """
+
+    def __init__(self, slot_id: str, spec: FleetSpec, index: int = 0):
         self.slot_id = slot_id
         self.spec = spec
         self.key = spec.key
+        #: Position in the fleet's slot list; the deterministic handle
+        #: fault plans use to target this slot (``POOL_SICK``).
+        self.index = index
         self.recycles = 0
         self.jobs_run = 0
         self.busy_job: str | None = None
+        self.quarantined = False
+        self.quarantines = 0
+        self.probes_failed = 0
+        self.consecutive_probe_failures = 0
+        self.journal_replays = 0
+        #: Pool restart count at the last probe (restart-storm detection).
+        self.probed_restarts = 0
         self._backend = _build_backend(spec)
         self._lock = threading.Lock()
 
@@ -110,10 +130,58 @@ class FleetSlot:
         self.busy_job = record.job_id
         try:
             self.jobs_run += 1
+            if record.resume:
+                self.journal_replays += 1
             return execute_job(record, self._backend,
                                checkpoint_root=checkpoint_root)
         finally:
             self.busy_job = None
+
+    def probe(self, probe_seq: int = 0) -> dict[str, Any]:
+        """One health probe: ``{"healthy": bool, "restarts": int}``.
+
+        Consults the installed fault plan first (``POOL_SICK`` makes this
+        probe report sick, deterministically), then the pool's own
+        telemetry: a probe fails when the health call itself raises or
+        when live workers are below capacity.  In-process backends
+        (threads/simulator) have no pool and always probe healthy.
+        """
+        healthy = True
+        restarts = self.probed_restarts
+        plan = faults._ACTIVE
+        if plan is not None and plan.pool_sick(self.index, probe_seq):
+            healthy = False
+        else:
+            health = getattr(self._backend, "health", None)
+            snap = None
+            if health is not None:
+                try:
+                    snap = health()
+                except Exception:
+                    healthy = False
+            if snap is not None:
+                restarts = snap.restarts
+                if snap.alive < snap.capacity:
+                    healthy = False
+        if healthy:
+            self.consecutive_probe_failures = 0
+        else:
+            self.probes_failed += 1
+            self.consecutive_probe_failures += 1
+        burst = max(0, restarts - self.probed_restarts)
+        self.probed_restarts = restarts
+        return {"healthy": healthy, "restarts": restarts,
+                "restart_burst": burst}
+
+    def quarantine(self) -> None:
+        """Take the slot out of dispatch until its pool is recycled."""
+        if not self.quarantined:
+            self.quarantined = True
+            self.quarantines += 1
+
+    def unquarantine(self) -> None:
+        self.quarantined = False
+        self.consecutive_probe_failures = 0
 
     def recycle(self) -> None:
         """Replace a broken backend with a freshly forked one."""
@@ -138,12 +206,23 @@ class FleetSlot:
                 or getattr(self._backend, "_mesh", None))
 
     def health(self) -> dict[str, Any]:
-        """JSON-safe slot telemetry, including the pool's own snapshot."""
+        """JSON-safe slot telemetry, including the pool's own snapshot.
+
+        The service-level counters are merged into the pool snapshot
+        (``quarantines``, ``probes_failed``, ``journal_replays`` — the
+        :class:`~repro.backends.processes.PoolHealth` fields the pool
+        itself cannot know), so ``status --json`` shows one coherent
+        health dict per slot.
+        """
         pool_health = None
         health = getattr(self._backend, "health", None)
         if health is not None:
             snap = health()
             pool_health = None if snap is None else snap.to_dict()
+        if pool_health is not None:
+            pool_health["quarantines"] = self.quarantines
+            pool_health["probes_failed"] = self.probes_failed
+            pool_health["journal_replays"] = self.journal_replays
         return {
             "slot": self.slot_id,
             "backend": self.spec.backend,
@@ -151,6 +230,10 @@ class FleetSlot:
             "busy_job": self.busy_job,
             "jobs_run": self.jobs_run,
             "recycles": self.recycles,
+            "quarantined": self.quarantined,
+            "quarantines": self.quarantines,
+            "probes_failed": self.probes_failed,
+            "journal_replays": self.journal_replays,
             "pool": pool_health,
         }
 
@@ -168,11 +251,35 @@ class WarmFleet:
                 index = by_key.get(spec.key, 0)
                 by_key[spec.key] = index + 1
                 self.slots.append(FleetSlot(
-                    f"{spec.backend}-p{spec.nprocs}-{index}", spec))
+                    f"{spec.backend}-p{spec.nprocs}-{index}", spec,
+                    index=len(self.slots)))
 
     @property
     def keys(self) -> set[tuple[str, int]]:
         return {slot.key for slot in self.slots}
+
+    def healthy_slots(self, key: tuple[str, int]) -> list[FleetSlot]:
+        """Un-quarantined slots serving ``key`` (load-shedding check)."""
+        return [slot for slot in self.slots
+                if slot.key == key and not slot.quarantined]
+
+    def worker_os_pids(self) -> list[int]:
+        """OS pids of every forked pool worker across the fleet.
+
+        Journaled as a FLEET record so a restarted gateway can reap the
+        orphans a SIGKILLed predecessor left running.  In-process slots
+        (threads/simulator) contribute nothing.
+        """
+        pids: list[int] = []
+        for slot in self.slots:
+            pool = slot.pool()
+            if pool is None:
+                continue
+            try:
+                pids.extend(faults.pool_worker_os_pids(pool))
+            except Exception:  # pragma: no cover - mesh without os pids
+                continue
+        return pids
 
     def close(self) -> None:
         for slot in self.slots:

@@ -163,7 +163,16 @@ class JobSpec:
 
 @dataclass
 class JobRecord:
-    """One job's full lifecycle state, as the gateway tracks it."""
+    """One job's full lifecycle state, as the gateway tracks it.
+
+    ``key`` is the client-supplied idempotency key, when any: retried
+    submissions carrying the same key dedupe onto this record, across
+    gateway restarts (the key is journaled with the submission).
+    ``resume`` marks a job a crash interrupted mid-run — its next lease
+    resumes from the last worker checkpoint instead of restarting — and
+    ``progress_step`` is the newest complete superstep observed in its
+    checkpoint shards (the recovery point, surfaced in ``status``).
+    """
 
     job_id: str
     tenant: str
@@ -175,6 +184,9 @@ class JobRecord:
     attempts: int = 0
     result: dict[str, Any] | None = None
     error: dict[str, Any] | None = None
+    key: str | None = None
+    resume: bool = False
+    progress_step: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -188,6 +200,9 @@ class JobRecord:
             "attempts": self.attempts,
             "result": self.result,
             "error": self.error,
+            "key": self.key,
+            "resume": self.resume,
+            "progress_step": self.progress_step,
         }
 
     @property
@@ -225,7 +240,10 @@ def execute_job(record: JobRecord, backend: Any, *,
     ``checkpoint_root`` is the service-managed on-disk store; each job
     checkpoints under its own ``job_id`` run key, so concurrent jobs
     sharing the root never collide and a crash retry resumes the right
-    shards.
+    shards.  A record flagged ``resume`` (the journal replay marks jobs
+    a gateway crash interrupted mid-run) starts from its last complete
+    checkpoint instead of step 0 — the same ``CheckpointConfig(resume)``
+    path a worker crash uses, now driven by the control plane.
     """
     spec = record.spec
     checkpoint = None
@@ -240,7 +258,8 @@ def execute_job(record: JobRecord, backend: Any, *,
         else:
             store = MemoryCheckpointStore()
         checkpoint = CheckpointConfig(store=store, every=spec.checkpoint_every,
-                                      run_key=record.job_id, resume=False)
+                                      run_key=record.job_id,
+                                      resume=bool(record.resume))
     t0 = time.perf_counter()
     if spec.app in BUILTIN_APPS:
         from ..core.runtime import bsp_run

@@ -19,6 +19,17 @@ Request frames (client → gateway)
     ``job`` fields).  With ``stream`` (the default) the connection stays
     open and receives ``state`` frames until the job is terminal; without
     it the gateway answers ``accepted`` and the client polls ``status``.
+    An optional ``"key"`` (non-empty string) makes the submission
+    idempotent: a later submit with the same key — including after a
+    gateway restart, when the gateway journals — re-attaches to the
+    existing job (the ``accepted`` reply carries ``"deduped": true``)
+    instead of queuing a duplicate.
+``{"v": 1, "type": "watch", "job_id": id}`` / ``{..., "key": k}``
+    Re-attach to an existing job's state stream by id or idempotency
+    key: ``accepted`` then ``state`` frames to terminal (a late joiner
+    first receives the *current* state — the stream is monotonic
+    snapshots, not edge events).  The reconnect half of a client
+    surviving a gateway bounce.
 ``{"v": 1, "type": "status", "job_id": id}`` / ``{"v": 1, "type": "status"}``
     One job record, or the service-level summary of every known job.
 ``{"v": 1, "type": "cancel", "job_id": id}``

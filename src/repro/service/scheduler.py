@@ -28,6 +28,25 @@ how many of its jobs may hold pools at once.
 Within a tenant, jobs dispatch FIFO.  Jobs are keyed by their fleet key
 ``(backend, nprocs)``: a dispatcher slot asks for the next job *its*
 pools can run, so a queue full of p=8 jobs never blocks a p=4 slot.
+
+Replay
+------
+The durable gateway (:mod:`repro.service.journal`) reconstructs a
+scheduler from its write-ahead log after a crash.  Three affordances
+exist only for that path:
+
+* :meth:`Scheduler.mark_dispatched` replays a journaled lease — it
+  removes the *named* job (not the fairness winner) and advances its
+  tenant's pass exactly as the original ``next_job`` did, so the pass
+  state after replay is bit-equal to the pre-crash state.
+* :meth:`Scheduler.enqueue_resumed` parks a job on the **resume lane**:
+  a per-fleet-key FIFO that ``next_job`` serves ahead of the fair
+  queues, *without* charging the tenant's pass again (the original
+  dispatch already paid).  Jobs the crash left RUNNING land here — they
+  hold worker checkpoints, so running them first minimises recovery
+  time, and their fairness cost was already accounted.
+* :meth:`Scheduler.set_passes` restores pass values frozen by journal
+  compaction, so fairness survives a second crash after a replay.
 """
 
 from __future__ import annotations
@@ -94,6 +113,8 @@ class Scheduler:
         self._lock = threading.Lock()
         #: (key, tenant) → FIFO of queued records.
         self._queues: dict[tuple[Any, str], deque[JobRecord]] = {}
+        #: key → FIFO of resumed records, served before the fair queues.
+        self._resume: dict[Any, deque[JobRecord]] = {}
         self._tenants: dict[str, _TenantState] = {}
         self._jobs: dict[str, JobRecord] = {}
         self._queued_total = 0
@@ -155,6 +176,21 @@ class Scheduler:
         """
         cfg = self._config
         with self._lock:
+            # Resume lane first: jobs a crash interrupted mid-run hold
+            # worker checkpoints and already paid their fairness cost.
+            lane = self._resume.get(key)
+            if lane:
+                for record in lane:
+                    tenant = self._tenants[record.tenant]
+                    if (cfg.max_in_flight is not None
+                            and tenant.in_flight >= cfg.max_in_flight):
+                        continue
+                    lane.remove(record)
+                    tenant.queued -= 1
+                    tenant.in_flight += 1
+                    self._queued_total -= 1
+                    record.state = "RUNNING"
+                    return record
             best: str | None = None
             best_pass = float("inf")
             for (qkey, tenant_name), queue in self._queues.items():
@@ -176,6 +212,88 @@ class Scheduler:
             self._queued_total -= 1
             record.state = "RUNNING"
             return record
+
+    # -- journal replay -----------------------------------------------------
+
+    def mark_dispatched(self, job_id: str) -> JobRecord | None:
+        """Replay a journaled lease of the *named* job.
+
+        Unlike :meth:`next_job` (which picks the fairness winner), this
+        removes exactly the job the write-ahead log says was dispatched,
+        advancing its tenant's pass just as the original lease did — so
+        replaying a journal reproduces the scheduler's pass state
+        bit-for-bit.  Resume-lane jobs are dispatched without a second
+        pass charge.  Returns ``None`` when the job is unknown or not
+        queued (a damaged journal can reference jobs that never made it).
+        """
+        with self._lock:
+            record = self._jobs.get(job_id)
+            if record is None or record.state != "QUEUED":
+                return None
+            tenant = self._tenants[record.tenant]
+            lane = self._resume.get(record.spec.key)
+            if lane is not None and record in lane:
+                lane.remove(record)
+            else:
+                queue = self._queues.get((record.spec.key, record.tenant))
+                if queue is None or record not in queue:
+                    return None
+                queue.remove(record)
+                tenant.pass_ += _STRIDE / tenant.weight
+            tenant.queued -= 1
+            tenant.in_flight += 1
+            self._queued_total -= 1
+            record.state = "RUNNING"
+            return record
+
+    def enqueue_resumed(self, record: JobRecord) -> None:
+        """Park ``record`` on the resume lane (no fresh pass charge).
+
+        Accepts a job the crash left RUNNING (re-queues it) or one
+        already QUEUED in a fair queue (promotes it — the replay path for
+        an ``ADMITTED resume=true`` compaction record).  Resume-lane jobs
+        are leased FIFO, ahead of the fair queues, and never pay the
+        stride again: their original dispatch already advanced the pass.
+        """
+        with self._lock:
+            tenant = self._tenant(record.tenant)
+            if record.state == "RUNNING":
+                tenant.in_flight -= 1
+                tenant.queued += 1
+                self._queued_total += 1
+            elif record.state == "QUEUED":
+                queue = self._queues.get((record.spec.key, record.tenant))
+                if queue is not None and record in queue:
+                    queue.remove(record)
+            else:
+                raise BspUsageError(
+                    f"enqueue_resumed() on a {record.state} job "
+                    f"({record.job_id})")
+            record.state = "QUEUED"
+            record.resume = True
+            self._resume.setdefault(record.spec.key, deque()).append(record)
+
+    def set_passes(self, passes: dict[str, float]) -> None:
+        """Restore per-tenant WFQ pass values frozen by journal compaction."""
+        with self._lock:
+            for name, value in passes.items():
+                self._tenant(name).pass_ = value
+
+    def passes(self) -> dict[str, float]:
+        """Current per-tenant pass values (for journal compaction)."""
+        with self._lock:
+            return {name: t.pass_ for name, t in self._tenants.items()}
+
+    def resume_order(self) -> list[str]:
+        """Job ids currently on the resume lanes, in lease order.
+
+        Journal compaction uses this to emit resumed jobs' records in
+        lane order, so a second crash replays them in the same order the
+        first crash's dispatch established.
+        """
+        with self._lock:
+            return [record.job_id for lane in self._resume.values()
+                    for record in lane]
 
     def finish(self, record: JobRecord, state: str) -> None:
         """Move a RUNNING job to DONE or FAILED and release its slots."""
@@ -213,8 +331,11 @@ class Scheduler:
             if queue is not None:
                 try:
                     queue.remove(record)
-                except ValueError:  # pragma: no cover - state guard above
+                except ValueError:
                     pass
+            lane = self._resume.get(record.spec.key)
+            if lane is not None and record in lane:
+                lane.remove(record)
             self._tenants[record.tenant].queued -= 1
             self._queued_total -= 1
             record.state = "CANCELLED"
@@ -239,6 +360,9 @@ class Scheduler:
     def has_queued(self, key: tuple[Any, ...] | None = None) -> bool:
         """Any dispatchable job (for ``key``, or at all)?"""
         with self._lock:
+            for qkey, lane in self._resume.items():
+                if lane and (key is None or qkey == key):
+                    return True
             for (qkey, _), queue in self._queues.items():
                 if queue and (key is None or qkey == key):
                     return True
@@ -249,6 +373,7 @@ class Scheduler:
         with self._lock:
             return {
                 "queued": self._queued_total,
+                "resume_lane": sum(len(q) for q in self._resume.values()),
                 "completed": self.completed,
                 "failed": self.failed,
                 "cancelled": self.cancelled,

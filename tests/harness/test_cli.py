@@ -83,18 +83,26 @@ class TestRunJson:
 
 
 class TestServiceCliClients:
-    """The client subcommands fail cleanly when no gateway listens."""
+    """The client subcommands fail cleanly when no gateway listens.
+
+    "No gateway is listening" gets its own exit code (3) — distinct from
+    1 (the request reached a gateway and failed) — and the message names
+    the address that went dark, so wrappers can retry a bouncing gateway
+    without retrying genuinely failed jobs.
+    """
 
     def test_submit_refused_connection(self, capsys):
         code = main(["submit", "ocean", "66", "--port", "1",
                      "--host", "127.0.0.1"])
-        assert code == 1
-        assert "submit failed" in capsys.readouterr().err
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "submit failed" in err
+        assert "127.0.0.1:1" in err and "unavailable" in err
 
     def test_status_refused_connection(self, capsys):
-        assert main(["status", "--port", "1"]) == 1
+        assert main(["status", "--port", "1"]) == 3
         assert "status failed" in capsys.readouterr().err
 
     def test_cancel_refused_connection(self, capsys):
-        assert main(["cancel", "j1", "--port", "1"]) == 1
+        assert main(["cancel", "j1", "--port", "1"]) == 3
         assert "cancel failed" in capsys.readouterr().err
